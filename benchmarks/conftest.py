@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures.
+
+Benches use the ``default`` preset (larger datasets / longer training
+than the unit tests). Expensive sweeps are cached in a session-scoped
+store so that e.g. Table I reuses the Fig. 6-8 sweeps instead of
+recomputing them. Every bench writes its reproduction table to
+``benchmarks/results/`` — those files are the measured side of
+EXPERIMENTS.md.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.setups import build_setup
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def tm_setup():
+    return build_setup("text_matching", "default", seed=0)
+
+
+@pytest.fixture(scope="session")
+def vc_setup():
+    return build_setup("vehicle_counting", "default", seed=0)
+
+
+@pytest.fixture(scope="session")
+def ir_setup():
+    return build_setup("image_retrieval", "default", seed=0)
+
+
+@pytest.fixture(scope="session")
+def sweep_cache():
+    """Cross-bench cache for deadline sweeps (fig6/7/8 -> table1)."""
+    return {}
+
+
+def save_result(name: str, text: str, payload=None) -> Path:
+    """Persist a bench's formatted table (and raw JSON payload)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    if payload is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, default=_jsonable)
+        )
+    return path
+
+
+def _jsonable(value):
+    try:
+        return value.item()
+    except AttributeError:
+        return list(value)

@@ -1,0 +1,141 @@
+"""Design-choice ablations (beyond the paper's own figures).
+
+DESIGN.md documents several substrate decisions; these benches quantify
+each one so a reader can see what it buys:
+
+* TV vs JS as the discrepancy distance (the substitution's effect on
+  how well the score orders subset correctness);
+* the isotonic difficulty-monotone repair of the profiled utilities;
+* the Exp-5 fast path (idle-system direct dispatch).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.baselines.schemble import SchemblePipeline
+from repro.data.traces import poisson_trace
+from repro.difficulty.discrepancy import DiscrepancyScorer
+from repro.experiments.runner import make_workload, run_policy, summarize
+from repro.metrics.tables import format_table
+from repro.serving.policies import BufferedSchedulingPolicy
+from repro.scheduling.dp import DPScheduler
+
+
+def test_ablation_tv_vs_js_distance(benchmark, tm_setup):
+    """TV orders subset correctness where JS inverts (DESIGN.md)."""
+
+    def compute():
+        table = tm_setup.history_table
+        members = [table.outputs[n] for n in table.model_names]
+        ensemble_labels = table.ensemble_output.argmax(axis=1)
+        n_agree = sum(
+            (table.outputs[n].argmax(1) == ensemble_labels).astype(int)
+            for n in table.model_names
+        )
+        out = {}
+        for distance in ("tv", "js"):
+            scorer = DiscrepancyScorer(distance=distance)
+            scores = scorer.fit_score(members, table.ensemble_output)
+            out[distance] = float(np.corrcoef(scores, n_agree)[0, 1])
+        return out
+
+    corr = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = format_table(
+        ["distance", "corr(score, #members agreeing with ensemble)"],
+        [[d, f"{c:+.3f}"] for d, c in corr.items()],
+        title="Ablation — discrepancy distance (more negative is better)",
+    )
+    save_result("ablation_distance", text, corr)
+    print(text)
+
+    # Both should be negative (higher score = fewer agreeing members),
+    # with TV at least as discriminative as JS on this substrate.
+    assert corr["tv"] < -0.3
+    assert corr["tv"] <= corr["js"] + 0.05
+
+
+def test_ablation_monotone_repairs(benchmark, tm_setup):
+    """Utility-table repairs: scheduling quality with/without them."""
+
+    def compute():
+        results = {}
+        trace = poisson_trace(
+            rate=3.0 * tm_setup.overload_rate, duration=12.0, seed=11
+        )
+        workload = make_workload(tm_setup, trace, deadline=0.105, seed=12)
+        for repaired in (True, False):
+            pipeline = SchemblePipeline(
+                tm_setup.ensemble,
+                enforce_monotone=repaired,
+                predictor_epochs=60,
+                seed=13,
+            ).fit(
+                tm_setup.history.features,
+                tm_setup.history_table,
+                tm_setup.history_quality,
+            )
+            policy = pipeline.policy(
+                tm_setup.pool.features,
+                name=f"repair={repaired}",
+            )
+            stats = summarize(
+                run_policy(tm_setup, policy, workload), tm_setup
+            )
+            results[repaired] = stats
+        return results
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [str(k), f"{v['accuracy']:.3f}", f"{v['dmr']:.3f}"]
+        for k, v in results.items()
+    ]
+    text = format_table(
+        ["monotone repairs", "accuracy", "DMR"],
+        rows,
+        title="Ablation — profiled-utility monotone repairs",
+    )
+    save_result("ablation_monotone", text, {str(k): v for k, v in results.items()})
+    print(text)
+
+    # The repairs should not hurt; they typically help under load.
+    assert results[True]["accuracy"] >= results[False]["accuracy"] - 0.02
+
+
+def test_ablation_fast_path(benchmark, tm_setup):
+    """Exp-5's idle-system fast path trims light-load latency."""
+
+    def compute():
+        trace = poisson_trace(rate=2.0, duration=30.0, seed=21)  # light
+        workload = make_workload(tm_setup, trace, deadline=0.2, seed=22)
+        out = {}
+        for fast_path in (False, True):
+            base = tm_setup.schemble.policy(tm_setup.pool.features)
+            policy = BufferedSchedulingPolicy(
+                f"fast_path={fast_path}",
+                DPScheduler(delta=0.01),
+                base.utilities,
+                scores=base.scores,
+                entry_delay=base.entry_delay,
+                fast_path=fast_path,
+            )
+            stats = summarize(
+                run_policy(tm_setup, policy, workload), tm_setup
+            )
+            out[fast_path] = stats
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [str(k), f"{v['latency_mean']*1e3:.1f}ms", f"{v['accuracy']:.3f}"]
+        for k, v in results.items()
+    ]
+    text = format_table(
+        ["fast path", "mean latency", "accuracy"],
+        rows,
+        title="Ablation — Exp-5 idle-system fast path (light load)",
+    )
+    save_result("ablation_fast_path", text, {str(k): v for k, v in results.items()})
+    print(text)
+
+    # Fast path cuts light-load latency (skips predictor + scheduler).
+    assert results[True]["latency_mean"] < results[False]["latency_mean"]

@@ -1,0 +1,79 @@
+"""Fig. 10 — difficulty-distribution shift (Exp-3).
+
+The serving pool is resampled so true discrepancy scores follow Normal
+or Gamma distributions with growing means; accuracy decreases with the
+mean, Schemble stays on top, and Schemble(t) — no prediction module —
+is only competitive at the extremes where queries are indistinguishable.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.experiments.distribution import run_distribution_shift
+from repro.metrics.tables import format_table
+
+BASELINES = ("original", "static", "gating", "schemble_t", "schemble")
+MEANS = (0.1, 0.25, 0.4, 0.55, 0.7)
+
+
+def _run_family(setup, family):
+    return run_distribution_shift(
+        setup,
+        family=family,
+        means=MEANS,
+        baselines=BASELINES,
+        deadline=0.105,
+        duration=30.0,
+        seed=5,
+    )
+
+
+def _format(out, title):
+    rows = []
+    for name in BASELINES:
+        acc = out["methods"][name]["accuracy"]
+        pacc = out["methods"][name]["processed_accuracy"]
+        rows.append(
+            [name] + [f"{a:.2f}/{p:.2f}" for a, p in zip(acc, pacc)]
+        )
+    return format_table(
+        ["method (acc/pacc)"] + [f"mean={m}" for m in out["means"]],
+        rows,
+        title=title,
+    )
+
+
+def _check(out):
+    methods = out["methods"]
+    sch = np.array(methods["schemble"]["accuracy"])
+    # Harder pools score lower (decreasing trend).
+    assert sch[-1] < sch[0]
+    # Schemble tops every non-Schemble baseline on average.
+    for name in ("original", "static", "gating"):
+        assert sch.mean() > np.mean(methods[name]["accuracy"]) - 1e-9
+    # The prediction module pays off in the mid-difficulty region where
+    # queries are distinguishable (paper's Schemble vs Schemble(t)).
+    mid = slice(1, 4)
+    sch_t = np.array(methods["schemble_t"]["processed_accuracy"])
+    sch_p = np.array(methods["schemble"]["processed_accuracy"])
+    assert sch_p[mid].mean() >= sch_t[mid].mean() - 0.02
+
+
+def test_fig10_normal_distribution(benchmark, tm_setup):
+    out = benchmark.pedantic(
+        lambda: _run_family(tm_setup, "normal"), rounds=1, iterations=1
+    )
+    text = _format(out, "Fig 10 — Normal(μ, 0.12) difficulty shift")
+    save_result("fig10_normal", text, out["methods"])
+    print(text)
+    _check(out)
+
+
+def test_fig10_gamma_distribution(benchmark, tm_setup):
+    out = benchmark.pedantic(
+        lambda: _run_family(tm_setup, "gamma"), rounds=1, iterations=1
+    )
+    text = _format(out, "Fig 10 — Gamma difficulty shift")
+    save_result("fig10_gamma", text, out["methods"])
+    print(text)
+    _check(out)

@@ -1,0 +1,84 @@
+"""Fig. 1 — motivation.
+
+(a) One-day query traffic and the Original ensemble's per-hour deadline
+    miss rate: DMR tracks load and spikes during the burst (paper: 45%).
+(b) The ensemble beats each base model on quality but inherits the
+    slowest member's latency.
+Also reproduces Section I's redundancy numbers (78.3% of samples solved
+by any single model; <11% need all three).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.experiments.motivation import (
+    fig1a_burst_dmr,
+    fig1b_ensemble_vs_members,
+    redundancy_fractions,
+)
+from repro.metrics.tables import format_table
+
+
+def test_fig1a_burst_miss_rate(benchmark, tm_setup):
+    out = benchmark.pedantic(
+        lambda: fig1a_burst_dmr(tm_setup, deadline=0.105, duration=240.0),
+        rounds=1,
+        iterations=1,
+    )
+    load = np.array(out["load"])
+    dmr = np.array(out["dmr"])
+
+    rows = [
+        [f"{h:02d}h", load[h], f"{dmr[h]:.2f}"] for h in range(len(load))
+    ]
+    text = format_table(
+        ["segment", "queries", "original DMR"],
+        rows,
+        title="Fig 1a — one-day traffic vs Original's deadline miss rate",
+    )
+    busy = load > 0
+    corr = np.corrcoef(load[busy], dmr[busy])[0, 1]
+    text += f"\n\nload/DMR correlation: {corr:.3f}"
+    text += f"\npeak-hour DMR: {dmr[load.argmax()]:.3f} (paper: ~0.45)"
+    save_result("fig1a", text, out)
+    print(text)
+
+    # Shape assertions: DMR tracks load; burst hours miss heavily while
+    # night hours barely miss.
+    assert corr > 0.5
+    assert dmr[load.argmax()] > 0.3
+    night = dmr[:6][load[:6] > 0]
+    if night.size:
+        assert night.mean() < 0.1
+
+
+def test_fig1b_ensemble_vs_base_models(benchmark, tm_setup):
+    rows_dict = benchmark.pedantic(
+        lambda: fig1b_ensemble_vs_members(tm_setup), rounds=1, iterations=1
+    )
+    fractions = redundancy_fractions(tm_setup)
+
+    rows = [
+        [name, f"{row['quality']:.3f}", f"{row['latency']*1e3:.0f}ms"]
+        for name, row in rows_dict.items()
+    ]
+    text = format_table(
+        ["model", "quality (vs ensemble gt)", "latency"],
+        rows,
+        title="Fig 1b — ensemble vs base models",
+    )
+    text += (
+        f"\n\nany-single-model-correct: {fractions['any_single_correct']:.3f}"
+        " (paper: 0.783)"
+        f"\nneeds-all-models: {fractions['needs_all_models']:.3f}"
+        " (paper: <0.11)"
+    )
+    save_result("fig1b", text, {**{k: v for k, v in rows_dict.items()}, **fractions})
+    print(text)
+
+    members = {k: v for k, v in rows_dict.items() if k != "ensemble"}
+    ensemble = rows_dict["ensemble"]
+    assert ensemble["quality"] >= max(r["quality"] for r in members.values())
+    assert ensemble["latency"] == max(r["latency"] for r in members.values())
+    assert fractions["any_single_correct"] > 0.6
+    assert fractions["needs_all_models"] < 0.15

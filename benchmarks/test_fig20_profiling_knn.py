@@ -1,0 +1,61 @@
+"""Fig. 20 — Eq. 3 estimation accuracy (left) and KNN k-robustness
+(right).
+
+Left: with six CIFAR-like models fully profiled, utilities of size >= 3
+combinations estimated from singleton/pair profiles via Eq. 3 stay close
+to the true profile (paper MSE < 1.6e-4 at full scale).
+Right: Schemble's stacking aggregation with KNN-filled missing outputs
+is insensitive to k in 1..100.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.experiments.profiling_knn import (
+    knn_robustness_study,
+    marginal_estimation_study,
+)
+from repro.metrics.tables import format_table
+
+
+def test_fig20a_marginal_estimation(benchmark):
+    mse = benchmark.pedantic(
+        lambda: marginal_estimation_study(n_samples=2400, epochs=14, n_bins=6),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [[f"ES={size}", f"{value:.2e}"] for size, value in sorted(mse.items())]
+    text = format_table(
+        ["ensemble size", "MSE (estimated vs true utility)"],
+        rows,
+        title="Fig 20 left — Eq. 3 marginal-utility estimation error",
+    )
+    save_result("fig20a", text, {str(k): v for k, v in mse.items()})
+    print(text)
+
+    assert set(mse) == {3, 4, 5, 6}
+    assert all(value < 5e-3 for value in mse.values())
+
+
+def test_fig20b_knn_k_robustness(benchmark, tm_setup):
+    results = benchmark.pedantic(
+        lambda: knn_robustness_study(
+            tm_setup, k_values=(1, 5, 10, 25, 50, 100)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [[f"k={k}", f"{acc:.3f}"] for k, acc in results.items()]
+    text = format_table(
+        ["k", "accuracy (subset {m1,m2} + KNN fill)"],
+        rows,
+        title="Fig 20 right — robustness to the KNN parameter k",
+    )
+    save_result("fig20b", text, {str(k): v for k, v in results.items()})
+    print(text)
+
+    values = np.array(list(results.values()))
+    # Paper: small k loses a little accuracy; k in 10..100 is flat.
+    assert values.max() - values.min() < 0.1
+    big_k = [acc for k, acc in results.items() if k >= 10]
+    assert max(big_k) - min(big_k) < 0.03

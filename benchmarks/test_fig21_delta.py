@@ -1,0 +1,54 @@
+"""Fig. 21 — quantisation step δ: overhead versus accuracy.
+
+Smaller δ means rewards closer to optimal but a DP table (and thus a
+scheduling delay) that grows as 1/δ; the sweet spot in the paper is
+δ = 0.01, with δ = 0.001 losing accuracy to its own overhead.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.experiments.scheduler_ablation import run_delta_sweep
+from repro.metrics.tables import format_table
+
+DELTAS = (0.2, 0.1, 0.05, 0.01, 0.005, 0.001)
+
+
+def test_fig21_delta_sweep(benchmark, tm_setup):
+    rows_by_delta = benchmark.pedantic(
+        lambda: run_delta_sweep(
+            tm_setup,
+            deltas=DELTAS,
+            duration=30.0,
+            rate=2.0 * tm_setup.overload_rate,
+            seed=5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            f"{delta}",
+            f"{row['accuracy']:.3f}",
+            f"{row['dmr']:.3f}",
+            f"{row['work_per_invocation']:.0f}",
+        ]
+        for delta, row in rows_by_delta.items()
+    ]
+    text = format_table(
+        ["delta", "accuracy", "DMR", "DP work / invocation"],
+        rows,
+        title="Fig 21 — quantisation step: overhead vs performance",
+    )
+    save_result("fig21", text, {str(k): v for k, v in rows_by_delta.items()})
+    print(text)
+
+    work = {d: r["work_per_invocation"] for d, r in rows_by_delta.items()}
+    acc = {d: r["accuracy"] for d, r in rows_by_delta.items()}
+    # Table size grows as delta shrinks.
+    assert work[0.001] > work[0.1]
+    # delta = 0.01 is at or near the best accuracy; the coarsest delta
+    # loses accuracy to quantisation, the finest to overhead.
+    best = max(acc.values())
+    assert acc[0.01] >= best - 0.02
+    assert acc[0.001] <= acc[0.01] + 0.01

@@ -1,0 +1,53 @@
+"""Fig. 6 — text matching: accuracy & DMR vs deadline, all baselines."""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.experiments.overall import run_deadline_sweep
+from repro.metrics.tables import format_table
+
+
+def _format_sweep(sweep, title):
+    deadlines = sweep["deadlines"]
+    rows = []
+    for name, series in sweep["methods"].items():
+        rows.append(
+            [name]
+            + [f"{a:.2f}/{d:.2f}" for a, d in zip(series["accuracy"], series["dmr"])]
+        )
+    return format_table(
+        ["method (acc/dmr)"] + [f"dl={dl}" for dl in deadlines], rows, title=title
+    )
+
+
+def check_sweep_shape(sweep):
+    """The qualitative Fig. 6-8 pattern shared by all three tasks."""
+    methods = sweep["methods"]
+    avg = {
+        name: np.mean(series["accuracy"]) for name, series in methods.items()
+    }
+    dmr = {name: np.mean(series["dmr"]) for name, series in methods.items()}
+    # Schemble (or its ea ablation) leads accuracy; plain Schemble beats
+    # every non-Schemble baseline and slashes Original's miss rate.
+    non_schemble = [v for k, v in avg.items() if not k.startswith("schemble")]
+    assert avg["schemble"] > max(non_schemble)
+    assert dmr["schemble"] < 0.5 * dmr["original"]
+    assert avg["original"] == min(avg.values())
+
+
+def test_fig6_text_matching_sweep(benchmark, tm_setup, sweep_cache):
+    sweep = benchmark.pedantic(
+        lambda: run_deadline_sweep(tm_setup, duration=25.0, seed=5),
+        rounds=1,
+        iterations=1,
+    )
+    sweep_cache["text_matching"] = sweep
+    text = _format_sweep(
+        sweep, "Fig 6 — text matching: accuracy/DMR under deadline constraints"
+    )
+    save_result("fig6", text, sweep["methods"])
+    print(text)
+    check_sweep_shape(sweep)
+    # Accuracy improves (weakly) with looser deadlines for Schemble.
+    acc = sweep["methods"]["schemble"]["accuracy"]
+    assert acc[-1] >= acc[0] - 0.03

@@ -1,0 +1,22 @@
+"""Fig. 7 — vehicle counting: accuracy & DMR under per-camera random
+deadlines with varying means."""
+
+from benchmarks.conftest import save_result
+from repro.experiments.overall import run_deadline_sweep
+from benchmarks.test_fig6_text_matching import _format_sweep, check_sweep_shape
+
+
+def test_fig7_vehicle_counting_sweep(benchmark, vc_setup, sweep_cache):
+    sweep = benchmark.pedantic(
+        lambda: run_deadline_sweep(vc_setup, duration=25.0, seed=5),
+        rounds=1,
+        iterations=1,
+    )
+    sweep_cache["vehicle_counting"] = sweep
+    text = _format_sweep(
+        sweep,
+        "Fig 7 — vehicle counting: accuracy/DMR under random camera deadlines",
+    )
+    save_result("fig7", text, sweep["methods"])
+    print(text)
+    check_sweep_shape(sweep)

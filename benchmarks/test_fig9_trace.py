@@ -1,0 +1,72 @@
+"""Figs. 9 & 14 — one-day trace: per-segment latency/accuracy/DMR.
+
+The compressed day (diurnal burst) is served by all baselines with
+rejection enabled (Fig. 14's per-segment accuracy/DMR) and the key
+latency comparison of Fig. 9: Schemble/Static/Gating eliminate the
+latency burst that floors the Original pipeline, and Schemble adapts by
+running fewer models during the burst.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.experiments.trace_segments import run_day_trace
+from repro.metrics.tables import format_table
+
+BASELINES = ("original", "static", "des", "gating", "schemble_ea", "schemble")
+
+
+def test_fig9_fig14_one_day_trace(benchmark, tm_setup):
+    out = benchmark.pedantic(
+        lambda: run_day_trace(
+            tm_setup,
+            baselines=BASELINES,
+            deadline=0.105,
+            duration=240.0,
+            n_segments=24,
+            seed=5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    load = np.array(out["original"]["load"])
+    burst = np.argsort(load)[-6:]
+    night = [h for h in range(8) if load[h] > 0]
+
+    rows = []
+    for name in BASELINES:
+        seg = out[name]
+        rows.append(
+            [
+                name,
+                f"{np.mean([seg['dmr'][h] for h in night]):.2f}" if night else "-",
+                f"{np.mean([seg['dmr'][h] for h in burst]):.2f}",
+                f"{np.mean([seg['latency'][h] for h in burst]):.3f}",
+                f"{seg['overall_accuracy']:.3f}",
+                f"{seg['overall_dmr']:.3f}",
+            ]
+        )
+    text = format_table(
+        ["method", "night DMR", "burst DMR", "burst latency", "acc", "DMR"],
+        rows,
+        title="Fig 9/14 — one-day trace, per-segment behaviour",
+    )
+    save_result("fig9_fig14", text, {n: {k: v for k, v in out[n].items()} for n in BASELINES})
+    print(text)
+
+    # Original's burst latency/misses dwarf Schemble's.
+    orig_burst_dmr = np.mean([out["original"]["dmr"][h] for h in burst])
+    sch_burst_dmr = np.mean([out["schemble"]["dmr"][h] for h in burst])
+    assert sch_burst_dmr < 0.5 * orig_burst_dmr
+    # Schemble eliminates the latency burst (Fig. 9a).
+    orig_lat = np.mean([out["original"]["latency"][h] for h in burst])
+    sch_lat = np.mean([out["schemble"]["latency"][h] for h in burst])
+    assert sch_lat < orig_lat
+    # Overall accuracy ordering holds on the day trace too.
+    accs = {n: out[n]["overall_accuracy"] for n in BASELINES}
+    non_schemble = [v for k, v in accs.items() if not k.startswith("schemble")]
+    assert accs["schemble"] > max(non_schemble)
+    # Light-traffic night hours: Schemble misses (almost) nothing.
+    if night:
+        assert np.mean([out["schemble"]["dmr"][h] for h in night]) < 0.1

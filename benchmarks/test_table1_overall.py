@@ -1,0 +1,89 @@
+"""Table I — average accuracy and DMR across deadline constraints for
+all six baselines on all three tasks.
+
+Paper values (Acc / DMR):
+                TM            VC            IR (mAP)
+Original        60.4 / 39.6   57.0 / 43.0   47.3 / 52.7
+Static          84.8 / 12.3   69.4 / 26.9   74.1 / 11.8
+DES             66.2 / 30.7   56.4 / 39.6   55.7 / 35.2
+Gating          85.3 /  8.0   60.5 / 23.0   58.1 / 32.8
+Schemble(ea)    87.6 /  6.8   73.3 / 16.3   75.0 / 14.5
+Schemble        91.2 /  6.1   80.4 / 15.4   78.4 / 14.3
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.experiments.overall import average_over_deadlines, run_deadline_sweep
+from repro.metrics.tables import format_table
+
+PAPER = {
+    "text_matching": {
+        "original": (60.4, 39.6), "static": (84.8, 12.3), "des": (66.2, 30.7),
+        "gating": (85.3, 8.0), "schemble_ea": (87.6, 6.8), "schemble": (91.2, 6.1),
+    },
+    "vehicle_counting": {
+        "original": (57.0, 43.0), "static": (69.4, 26.9), "des": (56.4, 39.6),
+        "gating": (60.5, 23.0), "schemble_ea": (73.3, 16.3), "schemble": (80.4, 15.4),
+    },
+    "image_retrieval": {
+        "original": (47.3, 52.7), "static": (74.1, 11.8), "des": (55.7, 35.2),
+        "gating": (58.1, 32.8), "schemble_ea": (75.0, 14.5), "schemble": (78.4, 14.3),
+    },
+}
+
+
+def test_table1_overall_comparison(
+    benchmark, tm_setup, vc_setup, ir_setup, sweep_cache
+):
+    setups = {
+        "text_matching": tm_setup,
+        "vehicle_counting": vc_setup,
+        "image_retrieval": ir_setup,
+    }
+
+    def compute():
+        table = {}
+        for task, setup in setups.items():
+            sweep = sweep_cache.get(task)
+            if sweep is None:
+                sweep = run_deadline_sweep(setup, duration=25.0, seed=5)
+                sweep_cache[task] = sweep
+            table[task] = average_over_deadlines(sweep)
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for name in ("original", "static", "des", "gating", "schemble_ea", "schemble"):
+        row = [name]
+        for task in setups:
+            measured = table[task][name]
+            paper_acc, paper_dmr = PAPER[task][name]
+            row.append(
+                f"{100*measured['accuracy']:.1f}/{100*measured['dmr']:.1f}"
+                f" (paper {paper_acc}/{paper_dmr})"
+            )
+        rows.append(row)
+    text = format_table(
+        ["method"] + [f"{t} acc/dmr" for t in setups],
+        rows,
+        title="Table I — average accuracy & deadline miss rate",
+    )
+    save_result("table1", text, table)
+    print(text)
+
+    for task in setups:
+        acc = {n: v["accuracy"] for n, v in table[task].items()}
+        dmr = {n: v["dmr"] for n, v in table[task].items()}
+        # Who wins: Schemble leads accuracy on every task (small slack
+        # vs its own ea ablation), Original is worst everywhere.
+        non_schemble_best = max(
+            v for k, v in acc.items() if not k.startswith("schemble")
+        )
+        assert acc["schemble"] > non_schemble_best - 1e-9, task
+        assert acc["schemble"] >= acc["schemble_ea"] - 0.03, task
+        assert acc["original"] <= min(acc.values()) + 0.02, task
+        # Factor-level DMR claim: large reduction vs the Original
+        # pipeline (paper: ~5-6x on TM).
+        assert dmr["schemble"] < 0.45 * dmr["original"], task

@@ -1,0 +1,100 @@
+"""Table II + Figs. 11/15 — forced processing: latency and accuracy.
+
+Every query must be processed (no rejection); the paper reports the
+latency distribution and the accuracy relative to the Original pipeline,
+then scores the trade-off ``c = 100*Acc - λ*Latency`` over weights λ.
+Headline: Schemble's mean latency is orders of magnitude below
+Original's (500x in the paper) at >97% relative accuracy, with the best
+P95/max among accurate baselines.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.experiments.latency import run_forced_processing, tradeoff_windows
+from repro.metrics.tables import format_table
+
+PAPER_TM = {
+    "original": (100.0, 50.5), "static": (96.9, 0.11), "des": (96.9, 8.2),
+    "gating": (93.0, 0.08), "schemble_ea": (96.5, 0.13), "schemble": (97.2, 0.10),
+}
+
+
+@pytest.mark.parametrize(
+    "fixture_name,task",
+    [
+        ("tm_setup", "text_matching"),
+        ("vc_setup", "vehicle_counting"),
+        ("ir_setup", "image_retrieval"),
+    ],
+)
+def test_table2_forced_processing(benchmark, request, fixture_name, task):
+    setup = request.getfixturevalue(fixture_name)
+    rows = benchmark.pedantic(
+        lambda: run_forced_processing(
+            setup,
+            deadline=setup.deadline_grid[2],
+            duration=40.0,
+            seed=5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    formatted = []
+    for name, row in rows.items():
+        paper = (
+            f" (paper {PAPER_TM[name][0]}%/{PAPER_TM[name][1]}s)"
+            if task == "text_matching"
+            else ""
+        )
+        formatted.append(
+            [
+                name,
+                f"{100*row['accuracy_rel']:.1f}%",
+                f"{row['latency_mean']:.3f}{paper}",
+                f"{row['latency_p95']:.3f}",
+                f"{row['latency_max']:.3f}",
+            ]
+        )
+    text = format_table(
+        ["method", "rel. acc", "mean lat (s)", "P95", "max"],
+        formatted,
+        title=f"Table II ({task}) — forced processing",
+    )
+
+    windows = tradeoff_windows(rows)
+    winner_span = {
+        name: (min(w), max(w)) for name, w in windows.items() if w
+    }
+    text += "\n\ntrade-off winners (Fig 11/15): " + ", ".join(
+        f"{name} on λ∈[{low:.2g}, {high:.2g}]"
+        for name, (low, high) in winner_span.items()
+    )
+    save_result(f"table2_{task}", text, rows)
+    print(text)
+
+    # Original scores 100% by construction but queues explode.
+    assert rows["original"]["accuracy_rel"] == pytest.approx(1.0)
+    assert (
+        rows["schemble"]["latency_mean"]
+        < 0.05 * rows["original"]["latency_mean"]
+    )
+    # Schemble: high accuracy with controlled tail latency. Vehicle
+    # counting is offered ~1.4x its aggregate capacity, so any policy
+    # with bounded latency caps out lower there (the paper's testbed is
+    # less oversubscribed in forced mode).
+    floors = {"text_matching": 0.9, "vehicle_counting": 0.72,
+              "image_retrieval": 0.8}
+    assert rows["schemble"]["accuracy_rel"] > floors[task]
+    accurate = {
+        n: r for n, r in rows.items() if r["accuracy_rel"] > 0.9 and n != "original"
+    }
+    if "schemble" in accurate:
+        best_p95 = min(r["latency_p95"] for r in accurate.values())
+        assert rows["schemble"]["latency_p95"] <= 2.5 * best_p95
+    # The Schemble framework (either difficulty metric) wins the
+    # trade-off on a non-trivial weight window.
+    framework = len(windows["schemble"]) + len(windows["schemble_ea"])
+    assert framework >= 3

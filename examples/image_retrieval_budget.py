@@ -1,0 +1,46 @@
+"""Image retrieval + offline budgeted selection.
+
+Part 1 serves the two-model DELG-style retrieval ensemble under
+deadlines (the paper's third application). Part 2 switches to the
+offline setting of the appendix's Exp-4: select model subsets per query
+under a cumulative runtime budget, comparing Schemble* against Random
+and the oracle that knows true difficulty.
+
+Run:  python examples/image_retrieval_budget.py
+"""
+
+import numpy as np
+
+from repro.data.traces import poisson_trace
+from repro.experiments import build_setup, make_workload, run_policy, summarize
+from repro.experiments.offline_budget import run_offline_budget
+
+
+def main():
+    print("building image-retrieval setup (2 embedding models)...")
+    setup = build_setup("image_retrieval", "small", seed=0)
+
+    # --- online serving under deadlines -----------------------------
+    trace = poisson_trace(rate=setup.overload_rate, duration=30.0, seed=9)
+    workload = make_workload(setup, trace, deadline=0.2, seed=10)
+    print(f"\nonline serving: {len(trace)} queries, 200ms deadlines")
+    print(f"{'method':12s} {'mAP':>6s} {'DMR':>6s}")
+    for name, policy in setup.policies().items():
+        stats = summarize(
+            run_policy(setup, policy, workload, policy_name=name), setup
+        )
+        print(f"{name:12s} {stats['accuracy']:6.3f} {stats['dmr']:6.3f}")
+
+    # --- offline budgeted selection (Fig. 16) -----------------------
+    out = run_offline_budget(setup, seed=11)
+    budgets = out["budgets"]
+    print("\noffline accuracy under per-query runtime budgets")
+    header = "method            " + "  ".join(f"{1e3*b:5.0f}ms" for b in budgets)
+    print(header)
+    for name in ("random", "static", "schemble*", "schemble*(oracle)"):
+        series = out["methods"][name]
+        print(f"{name:18s}" + "  ".join(f"{v:7.3f}" for v in series))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Schemble: query difficulty-dependent task scheduling for efficient
+deep ensemble inference.
+
+A from-scratch reproduction of Li et al., "Efficient Deep Ensemble
+Inference via Query Difficulty-dependent Task Scheduling" (ICDE 2023),
+including every substrate the paper depends on: a numpy neural-network
+library, gradient-boosted trees, synthetic workload generators for the
+paper's three applications, and a discrete-event serving simulator.
+
+Quickstart::
+
+    from repro import (
+        make_text_matching, build_text_matching_ensemble, SchemblePipeline,
+    )
+
+    data = make_text_matching(n_samples=2000, seed=0)
+    train, cal, history, pool = data.split([0.4, 0.1, 0.25, 0.25], seed=1)
+    ensemble = build_text_matching_ensemble(train, calibration=cal)
+    pipeline = SchemblePipeline(ensemble).fit(history.features)
+    policy = pipeline.policy(pool.features)
+
+See ``examples/`` for full serving runs and ``benchmarks/`` for the
+reproduction of every figure and table in the paper.
+"""
+
+from repro.baselines.schemble import SchemblePipeline
+from repro.data import (
+    Dataset,
+    make_cifar_like,
+    make_image_retrieval,
+    make_text_matching,
+    make_vehicle_counting,
+)
+from repro.difficulty import (
+    AccuracyProfiler,
+    DiscrepancyPredictor,
+    DiscrepancyScorer,
+    ensemble_agreement,
+)
+from repro.ensemble import DeepEnsemble, MajorityVote, Stacking, WeightedAverage
+from repro.models.zoo import (
+    build_cifar_like_models,
+    build_image_retrieval_ensemble,
+    build_text_matching_ensemble,
+    build_vehicle_counting_ensemble,
+)
+from repro.scheduling import DPScheduler, GreedyScheduler
+from repro.serving import (
+    BufferedSchedulingPolicy,
+    EnsembleServer,
+    ImmediateMaskPolicy,
+    ServingWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SchemblePipeline",
+    "Dataset",
+    "make_text_matching",
+    "make_vehicle_counting",
+    "make_image_retrieval",
+    "make_cifar_like",
+    "DiscrepancyScorer",
+    "DiscrepancyPredictor",
+    "AccuracyProfiler",
+    "ensemble_agreement",
+    "DeepEnsemble",
+    "WeightedAverage",
+    "MajorityVote",
+    "Stacking",
+    "build_text_matching_ensemble",
+    "build_vehicle_counting_ensemble",
+    "build_image_retrieval_ensemble",
+    "build_cifar_like_models",
+    "DPScheduler",
+    "GreedyScheduler",
+    "EnsembleServer",
+    "ServingWorkload",
+    "ImmediateMaskPolicy",
+    "BufferedSchedulingPolicy",
+    "__version__",
+]

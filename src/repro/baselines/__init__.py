@@ -1,0 +1,16 @@
+"""Serving baselines: Original, Static, DES, Gating and Schemble."""
+
+from repro.baselines.original import original_policy
+from repro.baselines.static import StaticSelection, static_policy
+from repro.baselines.des import DynamicEnsembleSelection
+from repro.baselines.gating import GatingNetwork
+from repro.baselines.schemble import SchemblePipeline
+
+__all__ = [
+    "original_policy",
+    "StaticSelection",
+    "static_policy",
+    "DynamicEnsembleSelection",
+    "GatingNetwork",
+    "SchemblePipeline",
+]

@@ -1,0 +1,104 @@
+"""Dynamic ensemble selection (Section III-B / Fig. 2c).
+
+The repo's stand-in for FIRE-DES++: k-means partitions the feature space
+into regions; each base model's *competence* per region is its accuracy
+against the full ensemble on historical data; at inference time, the
+query's region selects every model whose competence clears a threshold
+relative to the region's best (online pruning), falling back to the
+single most competent model.
+
+Like all DES methods, the selection is a pure function of the query's
+features — queue state is ignored, which is the weakness Schemble
+exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeans
+from repro.serving.policies import ImmediateMaskPolicy
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_in_range
+
+
+class DynamicEnsembleSelection:
+    """Region-competence DES selector.
+
+    Args:
+        n_regions: Number of k-means regions.
+        threshold: A model is selected when its regional competence is at
+            least ``threshold * best_competence`` in that region.
+        seed: Clustering seed.
+    """
+
+    def __init__(
+        self,
+        n_regions: int = 12,
+        threshold: float = 0.995,
+        seed: SeedLike = None,
+    ):
+        if n_regions < 1:
+            raise ValueError(f"n_regions must be >= 1, got {n_regions}")
+        self.n_regions = n_regions
+        self.threshold = check_in_range("threshold", threshold, 0.0, 1.0)
+        self._kmeans = KMeans(n_clusters=n_regions, seed=seed)
+        self.competence_: Optional[np.ndarray] = None  # (regions, models)
+
+    def fit(
+        self,
+        features: np.ndarray,
+        member_correct: np.ndarray,
+    ) -> "DynamicEnsembleSelection":
+        """Learn regions and per-region competences.
+
+        Args:
+            features: Historical query features ``(n, d)``.
+            member_correct: ``(n, m)`` booleans — whether each base model
+                alone matched the full ensemble on each sample.
+        """
+        features = np.asarray(features, dtype=float)
+        member_correct = np.asarray(member_correct, dtype=float)
+        if features.shape[0] != member_correct.shape[0]:
+            raise ValueError(
+                "features and member_correct disagree on sample count"
+            )
+        self._kmeans.fit(features)
+        regions = self._kmeans.predict(features)
+        m = member_correct.shape[1]
+        competence = np.zeros((self.n_regions, m))
+        overall = member_correct.mean(axis=0)
+        for region in range(self.n_regions):
+            members = regions == region
+            # Sparse regions fall back to global competence.
+            competence[region] = (
+                member_correct[members].mean(axis=0)
+                if members.sum() >= 5
+                else overall
+            )
+        self.competence_ = competence
+        return self
+
+    def select_masks(self, features: np.ndarray) -> np.ndarray:
+        """Subset mask per query (>= 1 model each)."""
+        if self.competence_ is None:
+            raise RuntimeError("select_masks called before fit")
+        regions = self._kmeans.predict(np.asarray(features, dtype=float))
+        masks = np.zeros(regions.shape[0], dtype=int)
+        for i, region in enumerate(regions):
+            competence = self.competence_[region]
+            cutoff = self.threshold * competence.max()
+            mask = 0
+            for k, value in enumerate(competence):
+                if value >= cutoff - 1e-12:
+                    mask |= 1 << k
+            if mask == 0:
+                mask = 1 << int(np.argmax(competence))
+            masks[i] = mask
+        return masks
+
+    def policy(self, features: np.ndarray) -> ImmediateMaskPolicy:
+        """Precompute masks for a serving pool and wrap them as a policy."""
+        return ImmediateMaskPolicy("des", self.select_masks(features))

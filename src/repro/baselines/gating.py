@@ -1,0 +1,98 @@
+"""Gating-network selection (Section III-B / Fig. 2d).
+
+A lightweight network (the same capacity class as Schemble's
+discrepancy predictor, per the paper's fair-comparison setup) is trained
+to predict each base model's per-query credibility — whether that
+model's lone output would match the full ensemble. Models whose gate
+weight clears a threshold relative to the best gate are executed.
+
+Because deep models' preference space is high-variance (Fig. 5), the
+gate tends to learn something close to each model's average accuracy,
+producing near-identical selections for all queries — the failure mode
+the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.models import MLPRegressor
+from repro.serving.policies import ImmediateMaskPolicy
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_in_range
+
+
+class GatingNetwork:
+    """Per-model gate weights from query features.
+
+    Args:
+        in_features: Query feature dimension.
+        n_models: Ensemble size (one gate output per model).
+        threshold: Execute model ``k`` when its gate weight is at least
+            ``threshold * max_gate`` for the query.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        n_models: int,
+        threshold: float = 0.9,
+        hidden=(32, 16),
+        epochs: int = 40,
+        lr: float = 1e-3,
+        seed: SeedLike = None,
+    ):
+        if n_models < 1:
+            raise ValueError(f"n_models must be >= 1, got {n_models}")
+        self.n_models = n_models
+        self.threshold = check_in_range("threshold", threshold, 0.0, 1.0)
+        self._network = MLPRegressor(
+            in_features=in_features,
+            out_features=n_models,
+            hidden=hidden,
+            epochs=epochs,
+            lr=lr,
+            seed=seed,
+        )
+        self._fitted = False
+
+    def fit(
+        self, features: np.ndarray, member_correct: np.ndarray
+    ) -> "GatingNetwork":
+        """Train gates against per-model correctness targets."""
+        member_correct = np.asarray(member_correct, dtype=float)
+        if member_correct.shape[1] != self.n_models:
+            raise ValueError(
+                f"member_correct has {member_correct.shape[1]} columns, "
+                f"expected {self.n_models}"
+            )
+        self._network.fit(np.asarray(features, dtype=float), member_correct)
+        self._fitted = True
+        return self
+
+    def gate_weights(self, features: np.ndarray) -> np.ndarray:
+        """Gate weight per (query, model), clipped to [0, 1]."""
+        if not self._fitted:
+            raise RuntimeError("gate_weights called before fit")
+        return np.clip(self._network.predict(features), 0.0, 1.0)
+
+    def select_masks(self, features: np.ndarray) -> np.ndarray:
+        """Subset mask per query by thresholding gate weights."""
+        weights = self.gate_weights(features)
+        masks = np.zeros(weights.shape[0], dtype=int)
+        for i, row in enumerate(weights):
+            cutoff = self.threshold * row.max()
+            mask = 0
+            for k, value in enumerate(row):
+                if value >= cutoff - 1e-12:
+                    mask |= 1 << k
+            if mask == 0:
+                mask = 1 << int(np.argmax(row))
+            masks[i] = mask
+        return masks
+
+    def policy(self, features: np.ndarray) -> ImmediateMaskPolicy:
+        """Precompute masks for a serving pool and wrap them as a policy."""
+        return ImmediateMaskPolicy("gating", self.select_masks(features))

@@ -1,0 +1,13 @@
+"""The original inference pipeline: every model on every query."""
+
+from __future__ import annotations
+
+from repro.serving.policies import ImmediateMaskPolicy
+
+
+def original_policy(n_models: int) -> ImmediateMaskPolicy:
+    """Execute all ``n_models`` base models for each arriving query."""
+    if n_models < 1:
+        raise ValueError(f"n_models must be >= 1, got {n_models}")
+    full_mask = (1 << n_models) - 1
+    return ImmediateMaskPolicy("original", full_mask)

@@ -1,0 +1,218 @@
+"""The Schemble pipeline (Section IV): the paper's primary contribution.
+
+Wires together the discrepancy scorer (Eq. 1), the score predictor
+(Eq. 2), the accuracy profiler (Section V-D) and the DP task scheduler
+(Alg. 1) into a buffered serving policy. Variants reproduce the paper's
+ablations:
+
+* ``metric="agreement"`` — Schemble(ea): ensemble agreement replaces the
+  discrepancy score.
+* ``use_predictor=False`` — Schemble(t): every query gets the same
+  (historical-mean) difficulty, isolating the scheduler's contribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.difficulty.agreement import ensemble_agreement
+from repro.difficulty.discrepancy import DiscrepancyScorer
+from repro.difficulty.predictor import DiscrepancyPredictor, predictor_profile
+from repro.difficulty.profiling import AccuracyProfiler
+from repro.ensemble.ensemble import DeepEnsemble
+from repro.models.prediction_table import PredictionTable
+from repro.scheduling.dp import DPScheduler
+from repro.serving.policies import BufferedSchedulingPolicy
+from repro.utils.rng import SeedLike
+
+
+class SchemblePipeline:
+    """End-to-end Schemble: difficulty estimation + profiling + scheduling.
+
+    Args:
+        ensemble: The deployed deep ensemble.
+        metric: ``"discrepancy"`` (Eq. 1) or ``"agreement"`` (the
+            Schemble(ea) ablation).
+        use_predictor: When False, skip score prediction and assign every
+            query the historical mean score (Schemble(t)).
+        n_bins: Discrepancy bins for accuracy profiling.
+        delta: DP quantisation step δ.
+        lam: Eq. 2 loss weight λ for the predictor's score head.
+        predictor_epochs: Predictor training epochs.
+        enforce_monotone: Repair the profiled utility table so supersets
+            never score below subsets (Assumption 1).
+        seed: Seed for predictor training.
+    """
+
+    def __init__(
+        self,
+        ensemble: DeepEnsemble,
+        metric: str = "discrepancy",
+        use_predictor: bool = True,
+        n_bins: int = 8,
+        delta: float = 0.01,
+        lam: float = 0.2,
+        predictor_epochs: int = 40,
+        enforce_monotone: bool = True,
+        seed: SeedLike = None,
+    ):
+        if metric not in ("discrepancy", "agreement"):
+            raise ValueError(f"unknown metric {metric!r}")
+        self.ensemble = ensemble
+        self.metric = metric
+        self.use_predictor = use_predictor
+        self.lam = lam
+        self.predictor_epochs = predictor_epochs
+        self.enforce_monotone = enforce_monotone
+        self.seed = seed
+        # Divergence family follows the serving task: JS for classifier
+        # ensembles, Euclidean for regression/retrieval ensembles.
+        self._scorer = DiscrepancyScorer(task=ensemble.task)
+        self._agreement_scale: Optional[float] = None
+        self.profiler = AccuracyProfiler(n_bins=n_bins)
+        self.delta = delta
+        self.predictor: Optional[DiscrepancyPredictor] = None
+        self._mean_history_score: Optional[float] = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+
+    def _raw_scores(self, table: PredictionTable) -> np.ndarray:
+        """Difficulty scores (chosen metric) for a prediction table."""
+        member = [table.outputs[name] for name in table.model_names]
+        if self.metric == "discrepancy":
+            if self._scorer.scales_ is None:
+                return self._scorer.fit_score(member, table.ensemble_output)
+            return self._scorer.score(member, table.ensemble_output)
+        raw = ensemble_agreement(member, task=self.ensemble.task)
+        if self._agreement_scale is None:
+            self._agreement_scale = max(float(np.quantile(raw, 0.95)), 1e-9)
+        return np.clip(raw / self._agreement_scale, 0.0, 1.0)
+
+    def fit(
+        self,
+        history_features: np.ndarray,
+        history_table: Optional[PredictionTable] = None,
+        history_quality: Optional[np.ndarray] = None,
+    ) -> "SchemblePipeline":
+        """Offline phase on historical queries.
+
+        Computes difficulty scores from recorded full inference results,
+        profiles subset accuracy per score bin, and trains the score
+        predictor (Eq. 2) on (features -> ensemble label, score).
+        ``history_quality`` optionally provides the per-sample subset
+        quality matrix the deployment is evaluated on (e.g. retrieval
+        AP), keeping rewards aligned with the reported metric.
+        """
+        history_features = np.asarray(history_features, dtype=float)
+        if history_table is None:
+            history_table = PredictionTable.from_models(
+                self.ensemble.models, history_features, self.ensemble
+            )
+        scores = self._raw_scores(history_table)
+        self._mean_history_score = float(scores.mean())
+
+        if self.use_predictor:
+            if self.ensemble.task == "classification":
+                labels = history_table.ensemble_output.argmax(axis=1)
+                num_classes = history_table.ensemble_output.shape[1]
+                task = "classification"
+            else:
+                labels = history_table.ensemble_output
+                num_classes = history_table.ensemble_output.shape[1]
+                task = "regression"
+            self.predictor = DiscrepancyPredictor(
+                in_features=history_features.shape[1],
+                num_classes=num_classes,
+                task=task,
+                lam=self.lam,
+                epochs=self.predictor_epochs,
+                seed=self.seed,
+            )
+            self.predictor.fit(history_features, labels, scores)
+
+        # Profile accuracy against the signal the scheduler will
+        # actually observe at serving time: the *predicted* score. This
+        # calibrates away predictor noise (profiling on true scores and
+        # looking up with noisy predictions flattens the conditional).
+        profile_scores = (
+            self.predictor.predict(history_features)
+            if self.use_predictor
+            else scores
+        )
+        self.profiler.fit(
+            history_table,
+            profile_scores,
+            self.ensemble,
+            quality=history_quality,
+        )
+        if self.enforce_monotone:
+            # Two structural repairs on the profiled rewards: supersets
+            # never score below subsets (Assumption 1), and no subset
+            # gets *easier* as difficulty grows (Fig. 4b's monotone
+            # curves) — both guard the scheduler from profiling noise.
+            self.profiler.enforce_monotone()
+            self.profiler.enforce_difficulty_monotone()
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Serving phase
+    # ------------------------------------------------------------------
+
+    def predict_scores(self, features: np.ndarray) -> np.ndarray:
+        """Difficulty estimate for unseen queries (predictor or constant)."""
+        if not self._fitted:
+            raise RuntimeError("predict_scores called before fit")
+        features = np.asarray(features, dtype=float)
+        if self.use_predictor:
+            return self.predictor.predict(features)
+        return np.full(features.shape[0], self._mean_history_score)
+
+    def true_scores(self, table: PredictionTable) -> np.ndarray:
+        """Oracle scores from full inference results (analysis only)."""
+        if not self._fitted:
+            raise RuntimeError("true_scores called before fit")
+        return self._raw_scores(table)
+
+    def utilities(self, scores: np.ndarray) -> np.ndarray:
+        """Per-query reward rows ``(n, 2**m)`` for the scheduler."""
+        return self.profiler.utilities_for_scores(scores)
+
+    def policy(
+        self,
+        pool_features: np.ndarray,
+        name: str = "schemble",
+        scheduler=None,
+        scores: Optional[np.ndarray] = None,
+        charge_predictor_overhead: bool = True,
+    ) -> BufferedSchedulingPolicy:
+        """Build the buffered serving policy for a query pool.
+
+        Args:
+            pool_features: Features of the serving pool (scores are
+                predicted from them unless ``scores`` is given).
+            name: Reported policy name.
+            scheduler: Scheduling algorithm; defaults to DP with this
+                pipeline's δ.
+            scores: Override difficulty scores (e.g. oracle scores).
+            charge_predictor_overhead: Charge the predictor's latency as
+                the buffer entry delay (Fig. 13's measured overhead).
+        """
+        if scores is None:
+            scores = self.predict_scores(pool_features)
+        scheduler = scheduler or DPScheduler(delta=self.delta)
+        entry_delay = 0.0
+        if charge_predictor_overhead and self.use_predictor:
+            entry_delay = predictor_profile(self.ensemble).latency
+        return BufferedSchedulingPolicy(
+            name=name,
+            scheduler=scheduler,
+            utilities=self.utilities(scores),
+            scores=scores,
+            entry_delay=entry_delay,
+        )

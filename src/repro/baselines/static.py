@@ -1,0 +1,135 @@
+"""Static ensemble selection (Section III-B / Fig. 2b).
+
+Chooses one model subset for *all* queries and spends the memory freed
+by undeployed models on replicas of the chosen ones (Fig. 2b deploys
+models 1 and 2 plus a replica of model 2). The paper finds the optimal
+deployment by greedy search, which is cheap for deep-ensemble sizes; the
+search here scores every feasible plan by
+
+    mean subset quality x min(1, plan throughput / target rate)
+
+so a plan that cannot keep up with the offered load is penalised by the
+deadline misses it would incur — the accuracy/throughput trade-off that
+makes static selection prefer fewer-but-replicated models under load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.scheduling.subsets import iter_masks, mask_members
+from repro.serving.policies import ImmediateMaskPolicy
+from repro.serving.server import WorkerSpec
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class StaticSelection:
+    """A static deployment plan: one subset + replica workers."""
+
+    mask: int
+    workers: List[WorkerSpec]
+    score: float = 0.0
+
+    @property
+    def policy(self) -> ImmediateMaskPolicy:
+        return ImmediateMaskPolicy("static", self.mask)
+
+    def replica_counts(self, n_models: int) -> List[int]:
+        counts = [0] * n_models
+        for worker in self.workers:
+            counts[worker.model_index] += 1
+        return counts
+
+
+def replica_workers(
+    mask: int,
+    latencies: Sequence[float],
+    memories: Sequence[float],
+    memory_budget: float,
+) -> List[WorkerSpec]:
+    """Deploy the subset once, then replicate the throughput bottleneck.
+
+    Every query needs every subset member, so plan throughput is
+    ``min_k replicas_k / latency_k``; each added replica goes to the
+    member currently limiting that minimum, while its memory fits.
+    """
+    members = mask_members(mask)
+    if not members:
+        raise ValueError("mask must select at least one model")
+    workers = [WorkerSpec(k, float(latencies[k])) for k in members]
+    used = sum(memories[k] for k in members)
+    while True:
+        replica_counts = {k: 0 for k in members}
+        for worker in workers:
+            replica_counts[worker.model_index] += 1
+        candidates = [
+            k for k in members if used + memories[k] <= memory_budget + 1e-9
+        ]
+        if not candidates:
+            break
+        bottleneck = max(
+            candidates, key=lambda k: latencies[k] / replica_counts[k]
+        )
+        workers.append(WorkerSpec(bottleneck, float(latencies[bottleneck])))
+        used += memories[bottleneck]
+    return workers
+
+
+def plan_throughput(
+    workers: Sequence[WorkerSpec], mask: int, latencies: Sequence[float]
+) -> float:
+    """Sustainable queries/second of a static plan (bottleneck member)."""
+    members = mask_members(mask)
+    rates = []
+    for k in members:
+        replicas = sum(1 for w in workers if w.model_index == k)
+        rates.append(replicas / latencies[k])
+    return min(rates) if rates else 0.0
+
+
+def static_policy(
+    quality: np.ndarray,
+    latencies: Sequence[float],
+    memories: Sequence[float],
+    target_rate: float = 20.0,
+    memory_budget: float = None,
+) -> StaticSelection:
+    """Greedy search over all subset deployments.
+
+    Args:
+        quality: ``(n, 2**m)`` historical subset-quality table.
+        latencies: Per-model inference times.
+        memories: Per-model memory footprints.
+        target_rate: Offered load (queries/second) the plan should keep
+            up with; plans below it are penalised proportionally.
+        memory_budget: Defaults to deploying the complete ensemble once
+            (the shared resource envelope).
+    """
+    check_positive("target_rate", target_rate)
+    m = len(latencies)
+    if quality.shape[1] != (1 << m):
+        raise ValueError(
+            f"quality has {quality.shape[1]} masks, expected {1 << m}"
+        )
+    if memory_budget is None:
+        memory_budget = float(sum(memories))
+
+    best: StaticSelection = None
+    for mask in iter_masks(m):
+        members = mask_members(mask)
+        base_memory = sum(memories[k] for k in members)
+        if base_memory > memory_budget + 1e-9:
+            continue
+        workers = replica_workers(mask, latencies, memories, memory_budget)
+        throughput = plan_throughput(workers, mask, latencies)
+        accuracy = float(quality[:, mask].mean())
+        score = accuracy * min(1.0, throughput / target_rate)
+        if best is None or score > best.score:
+            best = StaticSelection(mask=mask, workers=workers, score=score)
+    if best is None:
+        raise ValueError("no subset fits the memory budget")
+    return best

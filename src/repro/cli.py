@@ -1,0 +1,202 @@
+"""Command-line entry point: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1 [--preset small|default] [--seed N]
+    python -m repro sweep --task text_matching [--preset small]
+    python -m repro day --task text_matching
+    python -m repro schedulers --task text_matching
+    python -m repro budget --task vehicle_counting
+
+Each command builds the task setup (training the models on first use),
+runs the corresponding experiment and prints its table. The commands are
+thin wrappers over :mod:`repro.experiments`, useful for exploring
+configurations without writing a script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.overall import average_over_deadlines, run_deadline_sweep
+from repro.experiments.offline_budget import run_offline_budget
+from repro.experiments.scheduler_ablation import run_scheduler_ablation
+from repro.experiments.setups import TASKS, build_setup
+from repro.experiments.trace_segments import run_day_trace
+from repro.metrics.tables import format_table
+
+COMMANDS = ("list", "table1", "sweep", "day", "schedulers", "budget")
+
+
+def _add_common(parser: argparse.ArgumentParser, default_task: bool = True):
+    if default_task:
+        parser.add_argument(
+            "--task", choices=TASKS, default="text_matching",
+            help="application to run (default: text_matching)",
+        )
+    parser.add_argument(
+        "--preset", choices=("small", "default"), default="small",
+        help="experiment scale (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--duration", type=float, default=30.0,
+        help="simulated trace length in seconds",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The `python -m repro` argument parser (one subcommand per family)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Schemble (ICDE 2023) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available tasks and commands")
+
+    table1 = sub.add_parser(
+        "table1", help="Table I: all baselines x all tasks"
+    )
+    _add_common(table1, default_task=False)
+
+    sweep = sub.add_parser(
+        "sweep", help="Figs. 6-8: accuracy/DMR vs deadline for one task"
+    )
+    _add_common(sweep)
+
+    day = sub.add_parser(
+        "day", help="Figs. 9/14: one-day bursty trace, per-segment metrics"
+    )
+    _add_common(day)
+
+    schedulers = sub.add_parser(
+        "schedulers", help="Fig. 12: greedy orders vs DP quantisation steps"
+    )
+    _add_common(schedulers)
+
+    budget = sub.add_parser(
+        "budget", help="Fig. 16: offline accuracy under runtime budgets"
+    )
+    _add_common(budget)
+    return parser
+
+
+def _cmd_list() -> str:
+    lines = ["tasks:"]
+    lines += [f"  {task}" for task in TASKS]
+    lines.append("commands:")
+    lines += [f"  {command}" for command in COMMANDS]
+    return "\n".join(lines)
+
+
+def _cmd_table1(args) -> str:
+    rows = []
+    for task in TASKS:
+        setup = build_setup(task, args.preset, seed=args.seed)
+        sweep = run_deadline_sweep(
+            setup, duration=args.duration, seed=args.seed + 5
+        )
+        averaged = average_over_deadlines(sweep)
+        for name, stats in averaged.items():
+            rows.append(
+                [task, name, 100 * stats["accuracy"], 100 * stats["dmr"]]
+            )
+    return format_table(
+        ["task", "method", "accuracy %", "DMR %"],
+        rows,
+        title="Table I (reproduced)",
+    )
+
+
+def _cmd_sweep(args) -> str:
+    setup = build_setup(args.task, args.preset, seed=args.seed)
+    sweep = run_deadline_sweep(setup, duration=args.duration, seed=args.seed + 5)
+    rows = []
+    for name, series in sweep["methods"].items():
+        rows.append(
+            [name]
+            + [f"{a:.3f}/{d:.3f}" for a, d in zip(series["accuracy"], series["dmr"])]
+        )
+    return format_table(
+        ["method (acc/dmr)"] + [f"dl={dl}" for dl in sweep["deadlines"]],
+        rows,
+        title=f"deadline sweep — {args.task}",
+    )
+
+
+def _cmd_day(args) -> str:
+    setup = build_setup(args.task, args.preset, seed=args.seed)
+    out = run_day_trace(
+        setup,
+        baselines=("original", "static", "gating", "schemble"),
+        deadline=min(setup.deadline_grid),
+        duration=max(args.duration, 120.0),
+        seed=args.seed + 5,
+    )
+    rows = [
+        [name, out[name]["overall_accuracy"], out[name]["overall_dmr"]]
+        for name in out
+    ]
+    return format_table(
+        ["method", "accuracy", "DMR"],
+        rows,
+        title=f"one-day trace — {args.task}",
+    )
+
+
+def _cmd_schedulers(args) -> str:
+    setup = build_setup(args.task, args.preset, seed=args.seed)
+    out = run_scheduler_ablation(
+        setup,
+        deadlines=[setup.deadline_grid[0], setup.deadline_grid[-1]],
+        duration=min(args.duration, 12.0),
+        seed=args.seed + 5,
+    )
+    rows = []
+    for name, series in out["methods"].items():
+        rows.append(
+            [name]
+            + [f"{a:.3f}/{d:.3f}" for a, d in zip(series["accuracy"], series["dmr"])]
+        )
+    return format_table(
+        ["scheduler (acc/dmr)"] + [f"dl={dl}" for dl in out["deadlines"]],
+        rows,
+        title=f"scheduler ablation — {args.task}",
+    )
+
+
+def _cmd_budget(args) -> str:
+    setup = build_setup(args.task, args.preset, seed=args.seed)
+    out = run_offline_budget(setup, seed=args.seed + 5)
+    rows = [
+        [name] + [f"{v:.3f}" for v in series]
+        for name, series in out["methods"].items()
+    ]
+    return format_table(
+        ["method"] + [f"{1e3*b:.0f}ms" for b in out["budgets"]],
+        rows,
+        title=f"offline budgets — {args.task}",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": lambda: _cmd_list(),
+        "table1": lambda: _cmd_table1(args),
+        "sweep": lambda: _cmd_sweep(args),
+        "day": lambda: _cmd_day(args),
+        "schedulers": lambda: _cmd_schedulers(args),
+        "budget": lambda: _cmd_budget(args),
+    }
+    print(handlers[args.command]())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

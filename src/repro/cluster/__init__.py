@@ -1,0 +1,5 @@
+"""Clustering substrate (k-means) used by dynamic ensemble selection."""
+
+from repro.cluster.kmeans import KMeans
+
+__all__ = ["KMeans"]

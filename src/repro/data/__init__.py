@@ -1,0 +1,40 @@
+"""Synthetic datasets and query traces.
+
+Each loader returns a :class:`repro.data.base.Dataset` whose samples have
+a *latent difficulty*: a generative knob that controls how ambiguous the
+sample is. Trained base models never see the knob — they only see
+features — but heterogeneous models naturally disagree more on
+high-difficulty samples, which is precisely the structure the paper's
+discrepancy score exploits.
+"""
+
+from repro.data.base import Dataset, train_test_split
+from repro.data.text_matching import make_text_matching
+from repro.data.vehicle_counting import make_vehicle_counting
+from repro.data.image_retrieval import make_image_retrieval
+from repro.data.cifar_like import make_cifar_like
+from repro.data.traces import (
+    ArrivalTrace,
+    constant_deadlines,
+    diurnal_trace,
+    camera_deadlines,
+    mmpp_trace,
+    poisson_trace,
+)
+from repro.data.sampling import resample_to_distribution
+
+__all__ = [
+    "Dataset",
+    "train_test_split",
+    "make_text_matching",
+    "make_vehicle_counting",
+    "make_image_retrieval",
+    "make_cifar_like",
+    "ArrivalTrace",
+    "poisson_trace",
+    "diurnal_trace",
+    "mmpp_trace",
+    "constant_deadlines",
+    "camera_deadlines",
+    "resample_to_distribution",
+]

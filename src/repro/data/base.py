@@ -1,0 +1,122 @@
+"""Dataset container shared by every synthetic task."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+VALID_TASKS = ("classification", "regression", "retrieval")
+
+
+@dataclass
+class Dataset:
+    """A supervised dataset with an optional latent difficulty channel.
+
+    Attributes:
+        name: Human-readable dataset name.
+        task: One of ``classification``, ``regression``, ``retrieval``.
+        features: ``(n, d)`` feature matrix — the only thing models see.
+        labels: ``(n,)`` integer labels for classification, ``(n, k)``
+            targets for regression/retrieval.
+        num_classes: Number of classes (classification only).
+        difficulty: ``(n,)`` latent difficulty in ``[0, 1]``; generative
+            ground truth used for analysis and distribution-shift
+            resampling, never shown to models.
+        metadata: Task-specific extras (e.g. camera ids, the retrieval
+            database).
+    """
+
+    name: str
+    task: str
+    features: np.ndarray
+    labels: np.ndarray
+    num_classes: int = 0
+    difficulty: Optional[np.ndarray] = None
+    metadata: Dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.task not in VALID_TASKS:
+            raise ValueError(
+                f"task must be one of {VALID_TASKS}, got {self.task!r}"
+            )
+        self.features = np.asarray(self.features, dtype=float)
+        self.labels = np.asarray(self.labels)
+        if self.features.ndim != 2:
+            raise ValueError(
+                f"features must be 2-d, got shape {self.features.shape}"
+            )
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise ValueError(
+                f"features and labels disagree on sample count: "
+                f"{self.features.shape[0]} vs {self.labels.shape[0]}"
+            )
+        if self.task == "classification" and self.num_classes < 2:
+            raise ValueError("classification datasets need num_classes >= 2")
+        if self.difficulty is not None:
+            self.difficulty = np.asarray(self.difficulty, dtype=float)
+            if self.difficulty.shape[0] != len(self):
+                raise ValueError("difficulty length must match sample count")
+
+    def __len__(self) -> int:
+        return int(self.features.shape[0])
+
+    def subset(self, indices: np.ndarray, name: Optional[str] = None) -> "Dataset":
+        """Return a new dataset restricted to ``indices``.
+
+        Metadata arrays aligned with the sample axis (first dimension
+        equals ``len(self)``) are sliced too; everything else (e.g. the
+        retrieval database) is carried over unchanged.
+        """
+        indices = np.asarray(indices, dtype=int)
+        metadata = {}
+        for key, value in self.metadata.items():
+            if isinstance(value, np.ndarray) and value.shape[:1] == (len(self),):
+                metadata[key] = value[indices]
+            else:
+                metadata[key] = value
+        return Dataset(
+            name=name or self.name,
+            task=self.task,
+            features=self.features[indices],
+            labels=self.labels[indices],
+            num_classes=self.num_classes,
+            difficulty=(
+                None if self.difficulty is None else self.difficulty[indices]
+            ),
+            metadata=metadata,
+        )
+
+    def split(
+        self, fractions: Sequence[float], seed: SeedLike = None
+    ) -> Tuple["Dataset", ...]:
+        """Random disjoint splits with the given fractions (must sum <= 1)."""
+        fractions = list(fractions)
+        if any(f <= 0 for f in fractions):
+            raise ValueError(f"fractions must be positive, got {fractions}")
+        if sum(fractions) > 1.0 + 1e-9:
+            raise ValueError(f"fractions sum to {sum(fractions)} > 1")
+        rng = as_rng(seed)
+        order = rng.permutation(len(self))
+        parts = []
+        start = 0
+        for fraction in fractions:
+            size = int(round(fraction * len(self)))
+            parts.append(self.subset(order[start : start + size]))
+            start += size
+        return tuple(parts)
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.3, seed: SeedLike = None
+) -> Tuple[Dataset, Dataset]:
+    """Convenience two-way split."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    train, test = dataset.split([1.0 - test_fraction, test_fraction], seed=seed)
+    return train, test

@@ -1,0 +1,27 @@
+"""Query difficulty: discrepancy score, prediction and accuracy profiling."""
+
+from repro.difficulty.divergence import (
+    euclidean_distance,
+    js_divergence,
+    kl_divergence,
+    symmetric_kl,
+)
+from repro.difficulty.discrepancy import DiscrepancyScorer
+from repro.difficulty.agreement import ensemble_agreement
+from repro.difficulty.predictor import DiscrepancyPredictor
+from repro.difficulty.profiling import (
+    AccuracyProfiler,
+    estimate_marginal_utility,
+)
+
+__all__ = [
+    "kl_divergence",
+    "symmetric_kl",
+    "js_divergence",
+    "euclidean_distance",
+    "DiscrepancyScorer",
+    "ensemble_agreement",
+    "DiscrepancyPredictor",
+    "AccuracyProfiler",
+    "estimate_marginal_utility",
+]

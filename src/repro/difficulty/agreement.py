@@ -1,0 +1,46 @@
+"""Ensemble agreement (Carlini et al.) — the difficulty baseline.
+
+Ranks samples by the disagreement *within* the ensemble, measured as the
+mean pairwise symmetric KL divergence between base-model outputs. The
+paper's Schemble(ea) ablation swaps the discrepancy score for this
+metric; it underperforms on heterogeneous ensembles because inaccurate
+or badly calibrated members dominate the divergences.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.difficulty.divergence import euclidean_distance, symmetric_kl
+
+
+def ensemble_agreement(
+    member_outputs: Sequence[np.ndarray], task: str = "classification"
+) -> np.ndarray:
+    """Per-sample disagreement: mean pairwise distance between members.
+
+    Higher values mean *less* agreement (harder samples), matching the
+    orientation of the discrepancy score.
+    """
+    if task not in ("classification", "regression"):
+        raise ValueError(f"unknown task {task!r}")
+    outputs = [np.asarray(o, dtype=float) for o in member_outputs]
+    if len(outputs) < 2:
+        raise ValueError("ensemble agreement needs at least two members")
+    shapes = {o.shape for o in outputs}
+    if len(shapes) != 1:
+        raise ValueError(f"member outputs disagree on shape: {shapes}")
+
+    n = outputs[0].shape[0]
+    total = np.zeros(n)
+    pairs = 0
+    for i in range(len(outputs)):
+        for j in range(i + 1, len(outputs)):
+            if task == "classification":
+                total += symmetric_kl(outputs[i], outputs[j])
+            else:
+                total += euclidean_distance(outputs[i], outputs[j])
+            pairs += 1
+    return total / pairs

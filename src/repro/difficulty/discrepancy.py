@@ -1,0 +1,127 @@
+"""The discrepancy score (Eq. 1, Section V-A).
+
+``Dis(x) = (1/m) * sum_k Norm_x( d(f(x; θ_k), E(x; θ_1..θ_m)) )``
+
+Each base model's distance-to-ensemble is *normalised per model* before
+averaging, which removes the bias where an inaccurate model's larger
+average distances dominate the score — the heterogeneous-ensemble
+problem that plain ensemble agreement cannot handle.
+
+Because the normalisation constants must be applied to *future* queries
+(whose distances are unknown until execution), they are fit once on
+historical data and stored, mirroring how a production system would
+profile its ensemble offline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.difficulty.divergence import (
+    euclidean_distance,
+    js_divergence,
+    total_variation,
+)
+
+
+class DiscrepancyScorer:
+    """Computes discrepancy scores with per-model normalisation.
+
+    Args:
+        task: ``classification`` or ``regression`` (Euclidean distance).
+        distance: Classification distance — ``"tv"`` (total variation,
+            the substrate default; see :func:`total_variation` for why)
+            or ``"js"`` (the paper's Jensen-Shannon divergence).
+        normalization: How each model's distance column is scaled —
+            ``"quantile"`` divides by an upper quantile (robust to
+            outliers), ``"max"`` by the maximum, ``"mean"`` by the mean.
+        quantile: The quantile used when ``normalization="quantile"``.
+    """
+
+    def __init__(
+        self,
+        task: str = "classification",
+        distance: str = "tv",
+        normalization: str = "quantile",
+        quantile: float = 0.95,
+    ):
+        if task not in ("classification", "regression"):
+            raise ValueError(f"unknown task {task!r}")
+        if distance not in ("tv", "js"):
+            raise ValueError(f"unknown distance {distance!r}")
+        if normalization not in ("quantile", "max", "mean"):
+            raise ValueError(f"unknown normalization {normalization!r}")
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+        self.task = task
+        self.distance = distance
+        self.normalization = normalization
+        self.quantile = quantile
+        self.scales_: Optional[np.ndarray] = None
+
+    def _distances(
+        self,
+        member_outputs: Sequence[np.ndarray],
+        ensemble_output: np.ndarray,
+    ) -> np.ndarray:
+        """Per-model distance columns, shape ``(n, m)``."""
+        ensemble_output = np.asarray(ensemble_output, dtype=float)
+        columns: List[np.ndarray] = []
+        for output in member_outputs:
+            output = np.asarray(output, dtype=float)
+            if output.shape != ensemble_output.shape:
+                raise ValueError(
+                    f"member output shape {output.shape} does not match "
+                    f"ensemble output shape {ensemble_output.shape}"
+                )
+            if self.task == "classification":
+                dist = total_variation if self.distance == "tv" else js_divergence
+                columns.append(dist(output, ensemble_output))
+            else:
+                columns.append(euclidean_distance(output, ensemble_output))
+        return np.stack(columns, axis=1)
+
+    def fit(
+        self,
+        member_outputs: Sequence[np.ndarray],
+        ensemble_output: np.ndarray,
+    ) -> "DiscrepancyScorer":
+        """Fit per-model normalisation constants on historical outputs."""
+        distances = self._distances(member_outputs, ensemble_output)
+        if self.normalization == "quantile":
+            scales = np.quantile(distances, self.quantile, axis=0)
+        elif self.normalization == "max":
+            scales = distances.max(axis=0)
+        else:
+            scales = distances.mean(axis=0)
+        self.scales_ = np.maximum(scales, 1e-9)
+        return self
+
+    def score(
+        self,
+        member_outputs: Sequence[np.ndarray],
+        ensemble_output: np.ndarray,
+    ) -> np.ndarray:
+        """Discrepancy score per sample using the fitted normalisation."""
+        if self.scales_ is None:
+            raise RuntimeError("score called before fit")
+        distances = self._distances(member_outputs, ensemble_output)
+        if distances.shape[1] != self.scales_.shape[0]:
+            raise ValueError(
+                f"got {distances.shape[1]} member outputs, fitted with "
+                f"{self.scales_.shape[0]}"
+            )
+        normalised = np.clip(distances / self.scales_, 0.0, 1.0)
+        return normalised.mean(axis=1)
+
+    def fit_score(
+        self,
+        member_outputs: Sequence[np.ndarray],
+        ensemble_output: np.ndarray,
+    ) -> np.ndarray:
+        """Fit on the given outputs and return their scores."""
+        return self.fit(member_outputs, ensemble_output).score(
+            member_outputs, ensemble_output
+        )

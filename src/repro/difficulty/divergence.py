@@ -1,0 +1,73 @@
+"""Distances between model output distributions (Section V-A).
+
+Classification tasks use Jensen-Shannon divergence between probability
+rows (as the discrepancy score does) or symmetric KL (as the ensemble
+agreement baseline does); regression tasks use Euclidean distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def _clip_rows(p: np.ndarray) -> np.ndarray:
+    p = np.asarray(p, dtype=float)
+    if p.ndim == 1:
+        p = p[None, :]
+    return np.clip(p, _EPS, None)
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Row-wise ``KL(p || q)`` for probability matrices."""
+    p = _clip_rows(p)
+    q = _clip_rows(q)
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    return (p * (np.log(p) - np.log(q))).sum(axis=1)
+
+
+def symmetric_kl(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Row-wise symmetric KL divergence ``KL(p||q) + KL(q||p)``."""
+    return kl_divergence(p, q) + kl_divergence(q, p)
+
+
+def js_divergence(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Row-wise Jensen-Shannon divergence (bounded by ``log 2``)."""
+    p = _clip_rows(p)
+    q = _clip_rows(q)
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    mid = 0.5 * (p + q)
+    return 0.5 * kl_divergence(p, mid) + 0.5 * kl_divergence(q, mid)
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Row-wise total variation distance ``0.5 * ||p - q||_1``.
+
+    Unlike KL/JS, TV is not dominated by log-ratio blow-ups near the
+    simplex corners: two models that are both confident (but unequally
+    so) stay close, while an actual prediction flip registers strongly.
+    On the numpy substrate, whose calibrated MLPs differ in confidence
+    far more than real deep models do, TV preserves the discrepancy
+    score's intended ranking where JS inverts it (see DESIGN.md).
+    """
+    p = _clip_rows(p)
+    q = _clip_rows(q)
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    return 0.5 * np.abs(p - q).sum(axis=1)
+
+
+def euclidean_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise L2 distance for regression outputs."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim == 1:
+        a = a[:, None]
+    if b.ndim == 1:
+        b = b[:, None]
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return np.linalg.norm(a - b, axis=1)

@@ -1,0 +1,370 @@
+"""Model-combination accuracy profiling (Section V-D).
+
+The profiler bins historical queries by discrepancy score and measures,
+per bin, the accuracy of every base-model combination *against the full
+ensemble's output* (the paper's ground-truth convention for efficiency
+experiments). The resulting table ``U(bin, subset)`` is the reward
+function the task scheduler maximises.
+
+For large ensembles where profiling every combination is too expensive,
+Eq. 3 estimates the utility of combinations of size > 2 from pair and
+singleton profiles with diminishing marginal-reward factors γ_k.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.difficulty.divergence import euclidean_distance
+from repro.ensemble.ensemble import DeepEnsemble
+from repro.models.prediction_table import PredictionTable
+from repro.scheduling.subsets import iter_masks, mask_members, mask_size
+
+
+def _subset_output(
+    table: PredictionTable, ensemble: DeepEnsemble, mask: int
+) -> np.ndarray:
+    """Aggregated output of the subset ``mask`` over the whole pool."""
+    members = set(mask_members(mask))
+    outputs = [
+        table.outputs[name] if index in members else None
+        for index, name in enumerate(table.model_names)
+    ]
+    return ensemble.aggregate(outputs)
+
+
+def subset_correctness(
+    table: PredictionTable,
+    ensemble: DeepEnsemble,
+    tolerance: Optional[float] = None,
+) -> np.ndarray:
+    """Per-sample correctness of every subset vs the full ensemble.
+
+    Returns a ``(n_samples, 2**m)`` boolean matrix; column 0 (the empty
+    subset) is all False. Classification subsets are correct when their
+    argmax matches the ensemble's; regression subsets when their output
+    is within ``tolerance`` (L2) of the ensemble's.
+    """
+    n_masks = 1 << table.n_models
+    correct = np.zeros((table.n_samples, n_masks), dtype=bool)
+    ensemble_out = table.ensemble_output
+
+    if ensemble.task == "regression" and tolerance is None:
+        tolerance = default_regression_tolerance(table)
+
+    for mask in iter_masks(table.n_models):
+        subset_out = _subset_output(table, ensemble, mask)
+        if ensemble.task == "classification":
+            correct[:, mask] = subset_out.argmax(axis=1) == ensemble_out.argmax(
+                axis=1
+            )
+        else:
+            correct[:, mask] = (
+                euclidean_distance(subset_out, ensemble_out) <= tolerance
+            )
+    return correct
+
+
+def default_regression_tolerance(
+    table: PredictionTable, quantile: float = 0.75
+) -> float:
+    """Default closeness threshold for regression "accuracy".
+
+    The ``quantile`` of single-model deviations from the ensemble: with
+    the default, a lone model "agrees" with the ensemble on ~75% of
+    samples, matching the redundancy level the paper measures (78.3% of
+    Q&A samples are predicted correctly by any single base model).
+    """
+    deviations = [
+        euclidean_distance(table.outputs[name], table.ensemble_output)
+        for name in table.model_names
+    ]
+    return float(np.quantile(np.concatenate(deviations), quantile))
+
+
+class AccuracyProfiler:
+    """Per-bin, per-subset accuracy table over discrepancy scores.
+
+    Args:
+        n_bins: Number of discrepancy bins.
+        strategy: ``"quantile"`` (equal-count bins, robust to the paper's
+            zero-heavy score distribution) or ``"uniform"`` (equal-width).
+        tolerance: Regression closeness threshold; defaults to
+            :func:`default_regression_tolerance`.
+    """
+
+    def __init__(
+        self,
+        n_bins: int = 8,
+        strategy: str = "quantile",
+        tolerance: Optional[float] = None,
+    ):
+        if n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+        if strategy not in ("quantile", "uniform"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.n_bins = n_bins
+        self.strategy = strategy
+        self.tolerance = tolerance
+        self.bin_edges_: Optional[np.ndarray] = None
+        self.utilities_: Optional[np.ndarray] = None
+        self.bin_counts_: Optional[np.ndarray] = None
+        self.n_models_: Optional[int] = None
+
+    def fit(
+        self,
+        table: PredictionTable,
+        scores: np.ndarray,
+        ensemble: DeepEnsemble,
+        quality: Optional[np.ndarray] = None,
+    ) -> "AccuracyProfiler":
+        """Profile subset accuracies on a historical pool.
+
+        ``quality`` optionally supplies a precomputed ``(n, 2**m)``
+        per-sample subset-quality matrix (e.g. retrieval AP); when
+        omitted, correctness against the full ensemble is used. Passing
+        the same matrix the evaluation uses keeps the scheduler's reward
+        aligned with the reported metric.
+        """
+        scores = np.asarray(scores, dtype=float)
+        if scores.shape[0] != table.n_samples:
+            raise ValueError(
+                f"scores length {scores.shape[0]} does not match pool size "
+                f"{table.n_samples}"
+            )
+        self.n_models_ = table.n_models
+        self.bin_edges_ = self._make_edges(scores)
+        bins = self.bin_of(scores)
+
+        if quality is None:
+            correct = subset_correctness(
+                table, ensemble, tolerance=self.tolerance
+            ).astype(float)
+        else:
+            correct = np.asarray(quality, dtype=float)
+            if correct.shape != (table.n_samples, 1 << table.n_models):
+                raise ValueError(
+                    f"quality shape {correct.shape} does not match "
+                    f"({table.n_samples}, {1 << table.n_models})"
+                )
+        n_masks = 1 << table.n_models
+        utilities = np.zeros((self.n_bins, n_masks))
+        counts = np.zeros(self.n_bins, dtype=int)
+        for b in range(self.n_bins):
+            members = bins == b
+            counts[b] = int(members.sum())
+            if counts[b]:
+                utilities[b] = correct[members].mean(axis=0)
+        # Empty bins inherit the global average so lookups stay defined.
+        overall = correct.mean(axis=0)
+        for b in range(self.n_bins):
+            if counts[b] == 0:
+                utilities[b] = overall
+        utilities[:, 0] = 0.0
+        self.utilities_ = utilities
+        self.bin_counts_ = counts
+        return self
+
+    def _make_edges(self, scores: np.ndarray) -> np.ndarray:
+        if self.strategy == "quantile":
+            quantiles = np.linspace(0.0, 1.0, self.n_bins + 1)
+            edges = np.quantile(scores, quantiles)
+            # Collapse duplicate edges (heavy mass at score 0).
+            for i in range(1, edges.shape[0]):
+                if edges[i] <= edges[i - 1]:
+                    edges[i] = edges[i - 1] + 1e-9
+        else:
+            low, high = float(scores.min()), float(scores.max())
+            if high <= low:
+                high = low + 1e-9
+            edges = np.linspace(low, high, self.n_bins + 1)
+        return edges
+
+    def bin_of(self, scores: np.ndarray) -> np.ndarray:
+        """Bin index for each score, clipped to the fitted range."""
+        if self.bin_edges_ is None:
+            raise RuntimeError("bin_of called before fit")
+        scores = np.atleast_1d(np.asarray(scores, dtype=float))
+        bins = np.digitize(scores, self.bin_edges_[1:-1], right=False)
+        return np.clip(bins, 0, self.n_bins - 1)
+
+    def utility_table(self) -> np.ndarray:
+        """The fitted ``(n_bins, 2**m)`` utility table."""
+        if self.utilities_ is None:
+            raise RuntimeError("utility_table called before fit")
+        return self.utilities_
+
+    def utilities_for_scores(self, scores: np.ndarray) -> np.ndarray:
+        """Per-query utility rows ``(n, 2**m)`` for the given scores."""
+        return self.utility_table()[self.bin_of(scores)]
+
+    def utility(self, score: float, mask: int) -> float:
+        """Utility of executing subset ``mask`` on a query with ``score``."""
+        row = self.utilities_for_scores(np.array([score]))[0]
+        if not 0 <= mask < row.shape[0]:
+            raise ValueError(f"mask {mask} out of range")
+        return float(row[mask])
+
+    def enforce_monotone(self) -> "AccuracyProfiler":
+        """Repair the table so supersets never score below subsets.
+
+        Assumption 1 (diminishing marginal utility) implies monotonicity;
+        finite-sample profiling noise can violate it, and repairing keeps
+        the scheduler from preferring strictly smaller subsets for free.
+        """
+        if self.utilities_ is None or self.n_models_ is None:
+            raise RuntimeError("enforce_monotone called before fit")
+        masks = sorted(iter_masks(self.n_models_), key=mask_size)
+        for mask in masks:
+            for k in mask_members(mask):
+                parent = mask & ~(1 << k)
+                self.utilities_[:, mask] = np.maximum(
+                    self.utilities_[:, mask], self.utilities_[:, parent]
+                )
+        return self
+
+    def enforce_difficulty_monotone(self) -> "AccuracyProfiler":
+        """Repair the table so utilities never *increase* with difficulty.
+
+        Finite-sample profiling noise can make a harder bin look easier
+        for some subset, which misleads the scheduler into spending
+        models on the wrong queries. Each mask's column is projected to
+        the nearest non-increasing sequence (pool-adjacent-violators,
+        weighted by bin occupancy) — the structural prior behind
+        Fig. 4b's monotone curves.
+        """
+        if self.utilities_ is None or self.bin_counts_ is None:
+            raise RuntimeError("enforce_difficulty_monotone called before fit")
+        weights = np.maximum(self.bin_counts_.astype(float), 1.0)
+        for mask in range(1, self.utilities_.shape[1]):
+            self.utilities_[:, mask] = _isotonic_non_increasing(
+                self.utilities_[:, mask], weights
+            )
+        return self
+
+    def per_bin_accuracy(self, mask: int) -> np.ndarray:
+        """Accuracy of one combination across bins (the Fig. 4b series)."""
+        return self.utility_table()[:, mask]
+
+
+def _isotonic_non_increasing(
+    values: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Weighted L2 projection onto non-increasing sequences (PAV)."""
+    # Negate, solve the non-decreasing problem, negate back.
+    values = -np.asarray(values, dtype=float)
+    blocks = [[values[0], weights[0], 1]]  # (mean, weight, length)
+    for value, weight in zip(values[1:], weights[1:]):
+        blocks.append([value, weight, 1])
+        while len(blocks) > 1 and blocks[-2][0] > blocks[-1][0]:
+            mean_b, weight_b, len_b = blocks.pop()
+            mean_a, weight_a, len_a = blocks.pop()
+            total = weight_a + weight_b
+            blocks.append(
+                [(mean_a * weight_a + mean_b * weight_b) / total, total,
+                 len_a + len_b]
+            )
+    out = np.empty_like(values)
+    position = 0
+    for mean, _, length in blocks:
+        out[position : position + length] = mean
+        position += length
+    return -out
+
+
+def fit_gammas(
+    profiler: AccuracyProfiler, model_order: Sequence[int]
+) -> List[float]:
+    """Estimate diminishing factors γ_k from a fully profiled table.
+
+    For each growth step ``k`` (from a k-set to a (k+1)-set along the
+    accuracy-sorted ``model_order``), γ_k is the least-squares ratio
+    between observed marginal gains and Eq. 3's pairwise-average
+    predictor, pooled over bins.
+    """
+    table = profiler.utility_table()
+    m = profiler.n_models_
+    if m is None:
+        raise RuntimeError("profiler must be fit first")
+    order = list(model_order)
+    gammas: List[float] = []
+    for k in range(1, m):
+        prefix_mask = 0
+        for model in order[:k]:
+            prefix_mask |= 1 << model
+        new_model = order[k]
+        grown_mask = prefix_mask | (1 << new_model)
+        observed = table[:, grown_mask] - table[:, prefix_mask]
+        predicted = np.zeros(table.shape[0])
+        for model in order[:k]:
+            pair = (1 << model) | (1 << new_model)
+            predicted += table[:, pair] - table[:, 1 << model]
+        predicted /= k
+        denom = float((predicted**2).sum())
+        gammas.append(float((observed * predicted).sum() / denom) if denom > 1e-12 else 1.0)
+    return gammas
+
+
+def estimate_marginal_utility(
+    small_utilities: Dict[int, np.ndarray],
+    n_models: int,
+    model_order: Sequence[int],
+    gammas: Optional[Sequence[float]] = None,
+) -> Dict[int, np.ndarray]:
+    """Estimate utilities of all subsets from size-≤2 profiles (Eq. 3).
+
+    Args:
+        small_utilities: ``mask -> per-bin utility vector`` for every
+            mask of size 1 and 2 (and optionally the empty mask).
+        n_models: Ensemble size ``m``.
+        model_order: Model indices sorted by accuracy (descending), the
+            order along which Eq. 3 grows combinations.
+        gammas: Diminishing factors ``γ_1..γ_{m-1}``; defaults to a
+            geometric decay ``0.9**k``.
+
+    Returns:
+        ``mask -> per-bin utility vector`` for *every* non-empty mask.
+    """
+    order = list(model_order)
+    if sorted(order) != list(range(n_models)):
+        raise ValueError(
+            f"model_order must be a permutation of 0..{n_models - 1}"
+        )
+    if gammas is None:
+        gammas = [0.9**k for k in range(1, n_models)]
+    gammas = list(gammas)
+    if len(gammas) < n_models - 1:
+        raise ValueError(
+            f"need {n_models - 1} gammas, got {len(gammas)}"
+        )
+
+    for mask in iter_masks(n_models):
+        if mask_size(mask) <= 2 and mask not in small_utilities:
+            raise ValueError(f"missing profiled utility for mask {mask:b}")
+
+    rank = {model: position for position, model in enumerate(order)}
+    estimates: Dict[int, np.ndarray] = {
+        mask: np.asarray(value, dtype=float)
+        for mask, value in small_utilities.items()
+    }
+    for mask in sorted(iter_masks(n_models), key=mask_size):
+        if mask in estimates:
+            continue
+        members = sorted(mask_members(mask), key=lambda model: rank[model])
+        newest = members[-1]
+        base_members = members[:-1]
+        base_mask = 0
+        for model in base_members:
+            base_mask |= 1 << model
+        k = len(base_members)
+        marginal = np.zeros_like(estimates[1 << newest])
+        for model in base_members:
+            pair = (1 << model) | (1 << newest)
+            marginal += estimates[pair] - estimates[1 << model]
+        marginal /= k
+        estimates[mask] = np.clip(
+            estimates[base_mask] + gammas[k - 1] * marginal, 0.0, 1.0
+        )
+    return estimates

@@ -1,0 +1,17 @@
+"""Deep ensembles: aggregation modules and the ensemble container."""
+
+from repro.ensemble.aggregation import (
+    Aggregator,
+    MajorityVote,
+    Stacking,
+    WeightedAverage,
+)
+from repro.ensemble.ensemble import DeepEnsemble
+
+__all__ = [
+    "Aggregator",
+    "MajorityVote",
+    "WeightedAverage",
+    "Stacking",
+    "DeepEnsemble",
+]

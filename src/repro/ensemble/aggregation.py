@@ -1,0 +1,186 @@
+"""Aggregation modules combining base-model outputs (Sections III, VII).
+
+Every aggregator accepts a list of per-model output arrays where an
+entry may be ``None`` for models the scheduler did not execute; each
+aggregator implements the corresponding missing-value strategy from
+Section VII (vote exclusion, weight renormalisation, KNN filling for
+stacking).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.filling.knn import KNNFiller
+
+
+def _validate_members(
+    member_outputs: Sequence[Optional[np.ndarray]],
+) -> List[Optional[np.ndarray]]:
+    outputs = list(member_outputs)
+    if not outputs:
+        raise ValueError("need at least one member output slot")
+    present = [o for o in outputs if o is not None]
+    if not present:
+        raise ValueError("at least one member output must be present")
+    shapes = {np.asarray(o).shape for o in present}
+    if len(shapes) != 1:
+        raise ValueError(f"present member outputs disagree on shape: {shapes}")
+    return [None if o is None else np.asarray(o, dtype=float) for o in outputs]
+
+
+class Aggregator:
+    """Combines a list of ``(n, k)`` member outputs into one ``(n, k)``."""
+
+    def aggregate(
+        self, member_outputs: Sequence[Optional[np.ndarray]]
+    ) -> np.ndarray:
+        """Combine member outputs; ``None`` marks an unexecuted model."""
+        raise NotImplementedError
+
+
+class WeightedAverage(Aggregator):
+    """Weighted averaging; missing members get weight 0 and the rest are
+    renormalised (Section VII, "(Weighted) Averaging")."""
+
+    def __init__(self, weights: Optional[Sequence[float]] = None):
+        self.weights = None if weights is None else np.asarray(weights, dtype=float)
+        if self.weights is not None and np.any(self.weights < 0):
+            raise ValueError("weights must be non-negative")
+
+    def aggregate(
+        self, member_outputs: Sequence[Optional[np.ndarray]]
+    ) -> np.ndarray:
+        """Weighted mean of present members (weights renormalised)."""
+        outputs = _validate_members(member_outputs)
+        m = len(outputs)
+        weights = (
+            np.ones(m) if self.weights is None else self.weights.copy()
+        )
+        if weights.shape[0] != m:
+            raise ValueError(
+                f"got {m} member slots but {weights.shape[0]} weights"
+            )
+        weights = np.array(
+            [w if o is not None else 0.0 for w, o in zip(weights, outputs)]
+        )
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("all present members have zero weight")
+        weights = weights / total
+        combined = None
+        for weight, output in zip(weights, outputs):
+            if output is None or weight == 0.0:
+                continue
+            term = weight * output
+            combined = term if combined is None else combined + term
+        return combined
+
+
+class MajorityVote(Aggregator):
+    """(Weighted) voting over predicted classes; missing members simply
+    do not vote (Section VII, "(Weighted) Voting").
+
+    The output is a probability-like matrix: the vote share per class,
+    with ties broken by the mean probability of the voting members so the
+    result stays deterministic.
+    """
+
+    def __init__(self, weights: Optional[Sequence[float]] = None):
+        self.weights = None if weights is None else np.asarray(weights, dtype=float)
+
+    def aggregate(
+        self, member_outputs: Sequence[Optional[np.ndarray]]
+    ) -> np.ndarray:
+        """Vote shares per class over the present members."""
+        outputs = _validate_members(member_outputs)
+        m = len(outputs)
+        weights = np.ones(m) if self.weights is None else self.weights.copy()
+        if weights.shape[0] != m:
+            raise ValueError(
+                f"got {m} member slots but {weights.shape[0]} weights"
+            )
+        present = [
+            (w, o) for w, o in zip(weights, outputs) if o is not None and w > 0
+        ]
+        n, k = present[0][1].shape
+        votes = np.zeros((n, k))
+        mean_probs = np.zeros((n, k))
+        total_weight = 0.0
+        for weight, output in present:
+            winners = output.argmax(axis=1)
+            votes[np.arange(n), winners] += weight
+            mean_probs += weight * output
+            total_weight += weight
+        votes /= total_weight
+        mean_probs /= total_weight
+        # Tiny probability-based tie-break keeps argmax deterministic
+        # without changing the vote ordering.
+        return votes + 1e-6 * mean_probs
+
+
+class Stacking(Aggregator):
+    """A trained meta-model over concatenated member outputs.
+
+    Any predictor with ``fit``/``predict_proba`` (classification) or
+    ``fit``/``predict`` (regression) works as the meta-model; the repo's
+    :class:`repro.trees.GradientBoostingClassifier` plays the role of the
+    paper's XGBoost aggregator. Missing member outputs are imputed by a
+    :class:`KNNFiller` fit on historical full inference results.
+    """
+
+    def __init__(self, meta_model, task: str = "classification", knn_k: int = 10):
+        if task not in ("classification", "regression"):
+            raise ValueError(f"unknown task {task!r}")
+        self.meta_model = meta_model
+        self.task = task
+        self.filler = KNNFiller(k=knn_k)
+        self._fitted = False
+
+    @staticmethod
+    def _concat(member_outputs: Sequence[np.ndarray]) -> np.ndarray:
+        return np.concatenate([np.asarray(o, dtype=float) for o in member_outputs], axis=1)
+
+    def fit(
+        self, member_outputs: Sequence[np.ndarray], labels: np.ndarray
+    ) -> "Stacking":
+        """Train the meta-model on *full* member outputs and fit the KNN
+        filler's history from the same records."""
+        outputs = [np.asarray(o, dtype=float) for o in member_outputs]
+        if any(o is None for o in member_outputs):
+            raise ValueError("stacking must be fit on full member outputs")
+        self.meta_model.fit(self._concat(outputs), np.asarray(labels))
+        self.filler.fit(np.stack(outputs, axis=1))
+        self._fitted = True
+        return self
+
+    def aggregate(
+        self, member_outputs: Sequence[Optional[np.ndarray]]
+    ) -> np.ndarray:
+        """Meta-model output; missing members are KNN-filled first."""
+        if not self._fitted:
+            raise RuntimeError("Stacking.aggregate called before fit")
+        outputs = _validate_members(member_outputs)
+        mask = np.array([o is not None for o in outputs])
+        template = next(o for o in outputs if o is not None)
+        n, dim = template.shape
+
+        if mask.all():
+            full = np.stack(outputs, axis=1)
+        else:
+            partials = np.zeros((n, len(outputs), dim))
+            for j, output in enumerate(outputs):
+                if output is not None:
+                    partials[:, j, :] = output
+            masks = np.tile(mask, (n, 1))
+            full = self.filler.fill_batch(partials, masks)
+
+        flat = full.reshape(n, -1)
+        if self.task == "classification":
+            return self.meta_model.predict_proba(flat)
+        predicted = np.asarray(self.meta_model.predict(flat), dtype=float)
+        if predicted.ndim == 1:
+            predicted = predicted[:, None]
+        return predicted

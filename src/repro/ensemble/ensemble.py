@@ -1,0 +1,95 @@
+"""The deep ensemble container (Section III-A)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ensemble.aggregation import Aggregator
+from repro.models.base import BaseModel
+
+
+class DeepEnsemble:
+    """Multiple base models plus an aggregation module.
+
+    The ensemble's full output is the reference "ground truth" of every
+    efficiency experiment in the paper: Schemble aims to match it while
+    executing fewer base models.
+    """
+
+    def __init__(
+        self,
+        models: Sequence[BaseModel],
+        aggregator: Aggregator,
+        task: str,
+    ):
+        if not models:
+            raise ValueError("ensemble needs at least one base model")
+        if task not in ("classification", "regression"):
+            raise ValueError(f"unknown task {task!r}")
+        names = [m.name for m in models]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate model names: {names}")
+        self.models: List[BaseModel] = list(models)
+        self.aggregator = aggregator
+        self.task = task
+
+    @property
+    def size(self) -> int:
+        return len(self.models)
+
+    @property
+    def model_names(self) -> List[str]:
+        return [m.name for m in self.models]
+
+    def member_outputs(self, features: np.ndarray) -> List[np.ndarray]:
+        """Run every base model on ``features``."""
+        return [model.predict(features) for model in self.models]
+
+    def aggregate(
+        self, member_outputs: Sequence[Optional[np.ndarray]]
+    ) -> np.ndarray:
+        """Aggregate member outputs (``None`` marks an unexecuted model)."""
+        return self.aggregator.aggregate(member_outputs)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Full-ensemble output (executes every base model)."""
+        return self.aggregate(self.member_outputs(features))
+
+    def predict_subset(
+        self, features: np.ndarray, subset: Sequence[int]
+    ) -> np.ndarray:
+        """Output using only the base models indexed by ``subset``."""
+        chosen = set(int(i) for i in subset)
+        if not chosen:
+            raise ValueError("subset must contain at least one model index")
+        if not chosen.issubset(range(self.size)):
+            raise ValueError(
+                f"subset {sorted(chosen)} out of range for {self.size} models"
+            )
+        outputs: List[Optional[np.ndarray]] = []
+        for index, model in enumerate(self.models):
+            outputs.append(model.predict(features) if index in chosen else None)
+        return self.aggregate(outputs)
+
+    def labels_from_output(self, output: np.ndarray) -> np.ndarray:
+        """Convert aggregated output into task labels.
+
+        Classification outputs become argmax labels; regression outputs
+        pass through. Used everywhere the ensemble's output serves as
+        ground truth.
+        """
+        output = np.asarray(output)
+        if self.task == "classification":
+            return output.argmax(axis=1)
+        return output
+
+    def total_latency(self) -> float:
+        """Latency of a synchronous full-ensemble execution: the paper
+        notes it is (slightly more than) the slowest base model."""
+        return max(model.latency for model in self.models)
+
+    def total_memory(self) -> float:
+        """Memory to deploy every base model once."""
+        return sum(model.memory for model in self.models)

@@ -1,0 +1,22 @@
+"""Experiment harness: one module per paper experiment.
+
+``setups.build_setup`` assembles a complete application (dataset,
+ensemble, profiling, baselines) once per (task, preset, seed) and caches
+it, so the benches for different figures share the expensive offline
+phase exactly the way the paper's system shares its deployed models.
+"""
+
+from repro.experiments.setups import TaskSetup, build_setup
+from repro.experiments.runner import (
+    make_workload,
+    run_policy,
+    summarize,
+)
+
+__all__ = [
+    "TaskSetup",
+    "build_setup",
+    "make_workload",
+    "run_policy",
+    "summarize",
+]

@@ -1,0 +1,91 @@
+"""Exp-3: difficulty-distribution shift (Fig. 10).
+
+The serving pool is resampled so that true discrepancy scores follow a
+Normal or Gamma distribution with a chosen mean; accuracy and processed
+accuracy are compared across baselines, including Schemble(t) — the
+variant without the prediction module — to isolate the first module's
+contribution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.sampling import (
+    gamma_pdf,
+    normal_pdf,
+    resample_to_distribution,
+    uniform_pdf,
+)
+from repro.data.traces import poisson_trace
+from repro.experiments.runner import make_workload, run_policy, summarize
+from repro.experiments.setups import TaskSetup
+
+
+def target_pdf(family: str, mean: float) -> Callable:
+    """The paper's target families, rescaled to this substrate's [0, 1]
+    score range (the paper's std-0.03 Normal lives on a narrower raw
+    scale; 0.12 keeps the same relative within-pool spread)."""
+    if family == "normal":
+        return normal_pdf(mean, std=0.12)
+    if family == "gamma":
+        # The paper's Gamma has scale 1 on raw scores; our scores live in
+        # [0, 1], so the scale shrinks proportionally.
+        return gamma_pdf(mean, scale=0.05)
+    if family == "uniform":
+        return uniform_pdf(max(mean - 0.15, 0.0), min(mean + 0.15, 1.0))
+    raise ValueError(f"unknown family {family!r}")
+
+
+def run_distribution_shift(
+    setup: TaskSetup,
+    family: str,
+    means: Sequence[float],
+    baselines: Sequence[str] = (
+        "original", "static", "gating", "schemble_t", "schemble",
+    ),
+    deadline: float = 0.105,
+    duration: float = 30.0,
+    rate: Optional[float] = None,
+    seed: int = 5,
+) -> Dict:
+    """Serve pools resampled to each target mean; Fig. 10 series."""
+    # Extra load pressure makes per-query model counts a real trade-off;
+    # without it every difficulty-aware variant can afford full subsets.
+    rate = rate if rate is not None else 1.5 * setup.overload_rate
+    true_scores = setup.schemble.true_scores(setup.pool_table)
+
+    policies = dict(setup.policies())
+    policies["schemble_t"] = setup.schemble_t.policy(
+        setup.pool.features, name="schemble_t"
+    )
+
+    methods: Dict[str, Dict[str, List[float]]] = {
+        name: {"accuracy": [], "processed_accuracy": [], "dmr": []}
+        for name in baselines
+    }
+    for i, mean in enumerate(means):
+        trace = poisson_trace(rate=rate, duration=duration, seed=seed + i)
+        indices = resample_to_distribution(
+            true_scores,
+            target_pdf(family, mean),
+            n_samples=len(trace),
+            seed=seed + 100 + i,
+        )
+        workload = make_workload(
+            setup, trace, deadline=deadline,
+            sample_indices=indices, seed=seed + 200 + i,
+        )
+        for name in baselines:
+            result = run_policy(
+                setup, policies[name], workload, policy_name=name
+            )
+            stats = summarize(result, setup)
+            methods[name]["accuracy"].append(stats["accuracy"])
+            methods[name]["processed_accuracy"].append(
+                stats["processed_accuracy"]
+            )
+            methods[name]["dmr"].append(stats["dmr"])
+    return {"means": list(means), "family": family, "methods": methods}

@@ -1,0 +1,88 @@
+"""Exp-2: forced-processing latency (Table II, Figs. 11 and 15).
+
+Rejection is disabled — every query must be processed eventually — and
+the latency distribution plus the accuracy of the returned results are
+reported. The accuracy column is *relative to the Original pipeline*,
+which by construction scores 100%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.data.traces import poisson_trace
+from repro.experiments.runner import make_workload, run_policy
+from repro.experiments.setups import TaskSetup
+from repro.experiments.overall import DEFAULT_BASELINES
+from repro.metrics.tradeoff import best_method_windows
+
+
+def run_forced_processing(
+    setup: TaskSetup,
+    deadline: Optional[float] = None,
+    duration: float = 40.0,
+    rate: Optional[float] = None,
+    baselines: Sequence[str] = DEFAULT_BASELINES,
+    seed: int = 5,
+) -> Dict[str, Dict[str, float]]:
+    """Serve the trace with rejection disabled; report Table II rows.
+
+    The deadline still parameterises the schedulers' reward horizon but
+    queries past it are completed anyway (and scored on what they ran).
+    """
+    deadline = deadline if deadline is not None else setup.deadline_grid[1]
+    rate = rate if rate is not None else setup.overload_rate
+    trace = poisson_trace(rate=rate, duration=duration, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    sample_indices = rng.integers(len(setup.pool), size=len(trace))
+    workload = make_workload(
+        setup, trace, deadline=deadline,
+        sample_indices=sample_indices, seed=seed + 2,
+    )
+
+    policies = setup.policies()
+    rows: Dict[str, Dict[str, float]] = {}
+    full_quality = float(
+        setup.quality[:, (1 << setup.n_models) - 1][sample_indices].mean()
+    )
+    for name in baselines:
+        result = run_policy(
+            setup,
+            policies[name],
+            workload,
+            policy_name=name,
+            allow_rejection=False,
+        )
+        stats = result.latency_stats()
+        qualities = np.array(
+            [
+                setup.quality[r.sample_index, r.executed_mask]
+                for r in result.records
+                if r.completion is not None
+            ]
+        )
+        absolute = float(qualities.mean()) if qualities.size else 0.0
+        rows[name] = {
+            "accuracy_rel": absolute / max(full_quality, 1e-9),
+            "accuracy_abs": absolute,
+            "latency_mean": stats["mean"],
+            "latency_p95": stats["p95"],
+            "latency_max": stats["max"],
+        }
+    return rows
+
+
+def tradeoff_windows(
+    rows: Dict[str, Dict[str, float]],
+    weights: Optional[Sequence[float]] = None,
+) -> Dict[str, list]:
+    """Fig. 11/15: who wins ``c = 100*Acc - λ*Latency`` per weight λ."""
+    if weights is None:
+        weights = np.geomspace(0.01, 500.0, 60)
+    methods = {
+        name: (row["accuracy_rel"], row["latency_mean"])
+        for name, row in rows.items()
+    }
+    return best_method_windows(methods, weights)

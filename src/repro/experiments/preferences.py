@@ -1,0 +1,99 @@
+"""Fig. 5: model-preference variance versus discrepancy stability.
+
+Six architectures are trained with two random seeds each on the
+CIFAR-like task. A model's *preference* is the vector of its distances
+to the ensemble output over the test set. The paper's finding: the
+correlation of preferences across architectures — and even across seeds
+of the *same* architecture — is weak, while the discrepancy score
+computed from independently seeded ensembles correlates strongly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.base import Dataset
+from repro.data.cifar_like import make_cifar_like
+from repro.difficulty.discrepancy import DiscrepancyScorer
+from repro.difficulty.divergence import js_divergence
+from repro.models.prediction_table import PredictionTable
+from repro.models.zoo import CIFAR_ARCHITECTURES, build_cifar_like_models
+
+
+def preference_vectors(
+    table: PredictionTable,
+) -> Dict[str, np.ndarray]:
+    """Per-model distance-to-ensemble vectors over the pool."""
+    return {
+        name: js_divergence(table.outputs[name], table.ensemble_output)
+        for name in table.model_names
+    }
+
+
+def preference_study(
+    n_samples: int = 1200,
+    seeds: Tuple[int, int] = (0, 1),
+    epochs: int = 10,
+    architectures=CIFAR_ARCHITECTURES,
+) -> Dict:
+    """Train every architecture under two seeds; correlation structure.
+
+    Returns:
+        ``archs``: architecture names;
+        ``cross_arch``: mean correlation between preferences of
+        *different* architectures (same seed);
+        ``same_arch``: per-architecture correlation across seeds (the
+        diagonal of Fig. 5);
+        ``discrepancy``: correlation of the two ensembles' discrepancy
+        scores (Fig. 5's Dis diagonal);
+        ``matrix``: the full (arch+Dis) x (arch+Dis) correlation matrix,
+        entry [i][j] = corr(preference of arch i under seed A, arch j
+        under seed B).
+    """
+    data = make_cifar_like(n_samples=n_samples, seed=42)
+    train, test = data.split([0.6, 0.4], seed=43)
+
+    tables: List[PredictionTable] = []
+    scores: List[np.ndarray] = []
+    for seed in seeds:
+        ensemble = build_cifar_like_models(
+            train, architectures=architectures, epochs=epochs, seed=seed
+        )
+        table = PredictionTable.from_models(
+            ensemble.models, test.features, ensemble
+        )
+        tables.append(table)
+        member = [table.outputs[n] for n in table.model_names]
+        scorer = DiscrepancyScorer(task="classification")
+        scores.append(scorer.fit_score(member, table.ensemble_output))
+
+    prefs_a = preference_vectors(tables[0])
+    prefs_b = preference_vectors(tables[1])
+    names = tables[0].model_names
+
+    size = len(names) + 1
+    matrix = np.zeros((size, size))
+    for i, name_i in enumerate(names):
+        for j, name_j in enumerate(names):
+            matrix[i, j] = np.corrcoef(prefs_a[name_i], prefs_b[name_j])[0, 1]
+    for i, name_i in enumerate(names):
+        matrix[i, -1] = np.corrcoef(prefs_a[name_i], scores[1])[0, 1]
+        matrix[-1, i] = np.corrcoef(scores[0], prefs_b[name_i])[0, 1]
+    matrix[-1, -1] = np.corrcoef(scores[0], scores[1])[0, 1]
+
+    same_arch = {name: float(matrix[i, i]) for i, name in enumerate(names)}
+    cross = [
+        matrix[i, j]
+        for i in range(len(names))
+        for j in range(len(names))
+        if i != j
+    ]
+    return {
+        "archs": names,
+        "matrix": matrix,
+        "same_arch": same_arch,
+        "cross_arch": float(np.mean(cross)),
+        "discrepancy": float(matrix[-1, -1]),
+    }

@@ -1,0 +1,106 @@
+"""Exp-7 / Fig. 20: Eq. 3 estimation quality and KNN k-robustness.
+
+Left panel: with six CIFAR-like models fully profiled, utilities of
+combinations of size >= 3 are *estimated* from singleton/pair profiles
+via the marginal-reward recursion (Eq. 3); the MSE against the true
+profile is reported per ensemble size.
+
+Right panel: stacking aggregation with KNN-filled missing outputs is
+evaluated while k sweeps 1..100; accuracy should be nearly flat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.cifar_like import make_cifar_like
+from repro.difficulty.discrepancy import DiscrepancyScorer
+from repro.difficulty.profiling import (
+    AccuracyProfiler,
+    estimate_marginal_utility,
+    fit_gammas,
+)
+from repro.ensemble.aggregation import Stacking
+from repro.experiments.setups import TaskSetup
+from repro.models.prediction_table import PredictionTable
+from repro.models.zoo import build_cifar_like_models
+from repro.scheduling.subsets import iter_masks, mask_size
+
+
+def marginal_estimation_study(
+    n_samples: int = 1200,
+    epochs: int = 10,
+    n_bins: int = 6,
+    seed: int = 0,
+) -> Dict[int, float]:
+    """MSE of Eq. 3 estimates per ensemble size (Fig. 20 left)."""
+    data = make_cifar_like(n_samples=n_samples, seed=seed)
+    train, test = data.split([0.6, 0.4], seed=seed + 1)
+    ensemble = build_cifar_like_models(train, epochs=epochs, seed=seed)
+    table = PredictionTable.from_models(ensemble.models, test.features, ensemble)
+
+    member = [table.outputs[n] for n in table.model_names]
+    scores = DiscrepancyScorer("classification").fit_score(
+        member, table.ensemble_output
+    )
+    profiler = AccuracyProfiler(n_bins=n_bins).fit(table, scores, ensemble)
+    true_table = profiler.utility_table()
+    m = ensemble.size
+
+    # Models sorted by singleton accuracy, as Eq. 3 prescribes.
+    singleton_acc = [float(true_table[:, 1 << k].mean()) for k in range(m)]
+    order = list(np.argsort(singleton_acc)[::-1])
+    gammas = fit_gammas(profiler, order)
+
+    small = {
+        mask: true_table[:, mask]
+        for mask in iter_masks(m)
+        if mask_size(mask) <= 2
+    }
+    estimates = estimate_marginal_utility(small, m, order, gammas)
+
+    mse_by_size: Dict[int, List[float]] = {}
+    for mask in iter_masks(m):
+        size = mask_size(mask)
+        if size <= 2:
+            continue
+        err = float(np.mean((estimates[mask] - true_table[:, mask]) ** 2))
+        mse_by_size.setdefault(size, []).append(err)
+    return {size: float(np.mean(errs)) for size, errs in mse_by_size.items()}
+
+
+def knn_robustness_study(
+    setup: TaskSetup,
+    k_values: Sequence[int] = (1, 5, 10, 25, 50, 100),
+    mask: int = 0b011,
+) -> Dict[int, float]:
+    """Accuracy of stacking aggregation as the filler's k varies
+    (Fig. 20 right). ``mask`` is the executed subset whose missing
+    member outputs get KNN-filled."""
+    if setup.ensemble.task != "classification":
+        raise ValueError("KNN study needs a classification (stacking) task")
+    aggregator = setup.ensemble.aggregator
+    if not isinstance(aggregator, Stacking):
+        raise ValueError("KNN study needs a stacking aggregator")
+
+    history = setup.history_table
+    pool = setup.pool_table
+    ensemble_labels = pool.ensemble_output.argmax(axis=1)
+    members = [
+        pool.outputs[name] if (mask >> k) & 1 else None
+        for k, name in enumerate(pool.model_names)
+    ]
+    original_k = aggregator.filler.k
+    results: Dict[int, float] = {}
+    try:
+        for k in k_values:
+            aggregator.filler.k = int(k)
+            output = aggregator.aggregate(members)
+            results[int(k)] = float(
+                (output.argmax(axis=1) == ensemble_labels).mean()
+            )
+    finally:
+        aggregator.filler.k = original_k
+    return results

@@ -1,0 +1,281 @@
+"""Per-task experiment setups shared by every bench.
+
+Building a setup performs the paper's full offline phase for one
+application: generate data, train the heterogeneous base models and the
+aggregator, record historical inference results, fit the discrepancy
+scorer/predictor/profiler, train the DES and Gating selectors, and plan
+the static deployment. Setups are cached per (task, preset, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.des import DynamicEnsembleSelection
+from repro.baselines.gating import GatingNetwork
+from repro.baselines.original import original_policy
+from repro.baselines.schemble import SchemblePipeline
+from repro.baselines.static import StaticSelection, static_policy
+from repro.data import (
+    Dataset,
+    make_image_retrieval,
+    make_text_matching,
+    make_vehicle_counting,
+)
+from repro.data.image_retrieval import average_precision
+from repro.difficulty.profiling import subset_correctness
+from repro.ensemble.ensemble import DeepEnsemble
+from repro.models.prediction_table import PredictionTable
+from repro.models.zoo import (
+    build_image_retrieval_ensemble,
+    build_text_matching_ensemble,
+    build_vehicle_counting_ensemble,
+)
+from repro.scheduling.subsets import iter_masks, mask_members
+
+TASKS = ("text_matching", "vehicle_counting", "image_retrieval")
+PRESETS = ("small", "default")
+
+# Deadline grids (seconds) per task, spanning tight to loose relative to
+# each ensemble's slowest model — the x-axes of Figs. 6-8.
+DEADLINE_GRIDS = {
+    "text_matching": (0.105, 0.125, 0.15, 0.2, 0.3),
+    "vehicle_counting": (0.09, 0.12, 0.16, 0.22, 0.3),
+    "image_retrieval": (0.135, 0.16, 0.2, 0.28, 0.4),
+}
+
+# Arrival rates (queries/second) that overload each ensemble enough to
+# expose queue blocking, scaled to the per-task latencies.
+OVERLOAD_RATES = {
+    "text_matching": 18.0,
+    "vehicle_counting": 45.0,
+    "image_retrieval": 10.0,
+}
+
+_PRESET_SIZES = {
+    # (n_samples, train, cal, history, pool, model epochs, predictor epochs)
+    "small": {"n": 1400, "splits": (0.35, 0.15, 0.25, 0.25), "epochs": 8, "pred_epochs": 60},
+    "default": {"n": 3200, "splits": (0.35, 0.15, 0.25, 0.25), "epochs": 18, "pred_epochs": 60},
+}
+
+
+@dataclass
+class TaskSetup:
+    """Everything one application's experiments need."""
+
+    task: str
+    preset: str
+    ensemble: DeepEnsemble
+    train: Dataset
+    calibration: Dataset
+    history: Dataset
+    pool: Dataset
+    history_table: PredictionTable
+    pool_table: PredictionTable
+    quality: np.ndarray  # (n_pool, 2**m) result quality per mask
+    history_quality: np.ndarray  # (n_history, 2**m)
+    schemble: SchemblePipeline
+    schemble_ea: SchemblePipeline
+    schemble_t: SchemblePipeline
+    des: DynamicEnsembleSelection
+    gating: GatingNetwork
+    static_plan: StaticSelection
+
+    @property
+    def latencies(self) -> np.ndarray:
+        return np.array([m.latency for m in self.ensemble.models])
+
+    @property
+    def memories(self) -> np.ndarray:
+        return np.array([m.memory for m in self.ensemble.models])
+
+    @property
+    def n_models(self) -> int:
+        return self.ensemble.size
+
+    @property
+    def deadline_grid(self):
+        return DEADLINE_GRIDS[self.task]
+
+    @property
+    def overload_rate(self) -> float:
+        return OVERLOAD_RATES[self.task]
+
+    def policies(self, scores: Optional[np.ndarray] = None) -> Dict[str, object]:
+        """The paper's six Exp-1 baselines, ready to serve the pool."""
+        pool_features = self.pool.features
+        return {
+            "original": original_policy(self.n_models),
+            "static": self.static_plan.policy,
+            "des": self.des.policy(pool_features),
+            "gating": self.gating.policy(pool_features),
+            "schemble_ea": self.schemble_ea.policy(
+                pool_features, name="schemble_ea"
+            ),
+            "schemble": self.schemble.policy(
+                pool_features, name="schemble", scores=scores
+            ),
+        }
+
+    def workers_for(self, policy_name: str):
+        """Worker deployment: static gets its replica plan, everyone else
+        deploys each base model once."""
+        if policy_name == "static":
+            return self.static_plan.workers
+        return None
+
+
+def _make_dataset(task: str, n: int, seed: int) -> Dataset:
+    if task == "text_matching":
+        return make_text_matching(n_samples=n, seed=seed)
+    if task == "vehicle_counting":
+        return make_vehicle_counting(n_samples=n, seed=seed)
+    if task == "image_retrieval":
+        return make_image_retrieval(n_queries=n, seed=seed)
+    raise ValueError(f"unknown task {task!r}; choose from {TASKS}")
+
+
+def _build_ensemble(task: str, train: Dataset, cal: Dataset, epochs: int, seed: int):
+    if task == "text_matching":
+        return build_text_matching_ensemble(
+            train, calibration=cal, epochs=epochs, seed=seed
+        )
+    if task == "vehicle_counting":
+        return build_vehicle_counting_ensemble(train, epochs=epochs, seed=seed)
+    return build_image_retrieval_ensemble(train, epochs=epochs, seed=seed)
+
+
+def retrieval_quality(
+    table: PredictionTable,
+    ensemble: DeepEnsemble,
+    dataset: Dataset,
+    top_k: int = 50,
+) -> np.ndarray:
+    """Per-sample, per-mask retrieval quality: average precision of the
+    subset-aggregated embedding against the query's true topic."""
+    database = dataset.metadata["database"]
+    item_topics = dataset.metadata["item_topics"]
+    query_topics = dataset.metadata["query_topics"]
+    db_norm = database / np.maximum(
+        np.linalg.norm(database, axis=1, keepdims=True), 1e-9
+    )
+    n_masks = 1 << table.n_models
+    quality = np.zeros((table.n_samples, n_masks))
+    for mask in iter_masks(table.n_models):
+        members = set(mask_members(mask))
+        outputs = [
+            table.outputs[name] if k in members else None
+            for k, name in enumerate(table.model_names)
+        ]
+        embeddings = ensemble.aggregate(outputs)
+        emb_norm = embeddings / np.maximum(
+            np.linalg.norm(embeddings, axis=1, keepdims=True), 1e-9
+        )
+        similarity = emb_norm @ db_norm.T
+        for i in range(table.n_samples):
+            order = np.argsort(-similarity[i])[:top_k]
+            quality[i, mask] = average_precision(
+                item_topics[order], int(query_topics[i])
+            )
+    return quality
+
+
+def _quality_table(
+    task: str,
+    table: PredictionTable,
+    ensemble: DeepEnsemble,
+    dataset: Dataset,
+) -> np.ndarray:
+    if task == "image_retrieval":
+        return retrieval_quality(table, ensemble, dataset)
+    return subset_correctness(table, ensemble).astype(float)
+
+
+def _member_competence(quality: np.ndarray, n_models: int) -> np.ndarray:
+    """Per-sample single-model quality columns ``(n, m)`` used as the
+    DES/Gating training targets ("is this model alone credible?")."""
+    return np.stack([quality[:, 1 << k] for k in range(n_models)], axis=1)
+
+
+def build_setup(
+    task: str, preset: str = "default", seed: int = 0
+) -> TaskSetup:
+    """Build (or fetch from cache) the full offline phase for a task."""
+    return _cached_setup(task, preset, seed)
+
+
+@lru_cache(maxsize=8)
+def _cached_setup(task: str, preset: str, seed: int) -> TaskSetup:
+    if task not in TASKS:
+        raise ValueError(f"unknown task {task!r}; choose from {TASKS}")
+    if preset not in PRESETS:
+        raise ValueError(f"unknown preset {preset!r}; choose from {PRESETS}")
+    sizes = _PRESET_SIZES[preset]
+
+    dataset = _make_dataset(task, sizes["n"], seed)
+    train, cal, history, pool = dataset.split(sizes["splits"], seed=seed + 1)
+
+    ensemble = _build_ensemble(task, train, cal, sizes["epochs"], seed)
+    history_table = PredictionTable.from_models(
+        ensemble.models, history.features, ensemble
+    )
+    pool_table = PredictionTable.from_models(
+        ensemble.models, pool.features, ensemble
+    )
+    quality = _quality_table(task, pool_table, ensemble, pool)
+    history_quality = _quality_table(task, history_table, ensemble, history)
+
+    pred_epochs = sizes["pred_epochs"]
+    schemble = SchemblePipeline(
+        ensemble, metric="discrepancy", predictor_epochs=pred_epochs,
+        seed=seed + 10,
+    ).fit(history.features, history_table, history_quality)
+    schemble_ea = SchemblePipeline(
+        ensemble, metric="agreement", predictor_epochs=pred_epochs,
+        seed=seed + 11,
+    ).fit(history.features, history_table, history_quality)
+    schemble_t = SchemblePipeline(
+        ensemble, metric="discrepancy", use_predictor=False,
+        seed=seed + 12,
+    ).fit(history.features, history_table, history_quality)
+
+    competence = _member_competence(history_quality, ensemble.size)
+    des = DynamicEnsembleSelection(n_regions=10, seed=seed + 20).fit(
+        history.features, competence
+    )
+    gating = GatingNetwork(
+        in_features=history.features.shape[1],
+        n_models=ensemble.size,
+        epochs=pred_epochs,
+        seed=seed + 21,
+    ).fit(history.features, competence)
+
+    latencies = [m.latency for m in ensemble.models]
+    memories = [m.memory for m in ensemble.models]
+    static_plan = static_policy(
+        history_quality, latencies, memories, target_rate=OVERLOAD_RATES[task]
+    )
+
+    return TaskSetup(
+        task=task,
+        preset=preset,
+        ensemble=ensemble,
+        train=train,
+        calibration=cal,
+        history=history,
+        pool=pool,
+        history_table=history_table,
+        pool_table=pool_table,
+        quality=quality,
+        history_quality=history_quality,
+        schemble=schemble,
+        schemble_ea=schemble_ea,
+        schemble_t=schemble_t,
+        des=des,
+        gating=gating,
+        static_plan=static_plan,
+    )

@@ -1,0 +1,5 @@
+"""Missing-output handling for partially executed ensembles (Section VII)."""
+
+from repro.filling.knn import KNNFiller
+
+__all__ = ["KNNFiller"]

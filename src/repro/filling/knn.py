@@ -1,0 +1,108 @@
+"""KNN filling of missing base-model outputs (Section VII, Stacking).
+
+When the scheduler executes only a subset of base models, stacking
+aggregation still needs a full output vector for its meta-classifier.
+The paper fills missing outputs from the ``k`` most similar *historical*
+full inference results, weighting neighbours by inverse distance on the
+observed coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike
+
+
+class KNNFiller:
+    """Fill missing per-model outputs from historical full outputs.
+
+    The history is a tensor ``(n_history, n_models, k)`` of full-ensemble
+    inference records. To fill a partial observation, distance is
+    computed only over the models that *were* executed, and each missing
+    model's output is the distance-weighted average of its outputs in the
+    ``k`` nearest records.
+    """
+
+    def __init__(self, k: int = 10):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._history: Optional[np.ndarray] = None
+
+    def fit(self, history: np.ndarray) -> "KNNFiller":
+        """Store historical full outputs ``(n_history, n_models, dim)``."""
+        history = np.asarray(history, dtype=float)
+        if history.ndim != 3:
+            raise ValueError(
+                f"history must have shape (n, models, dim), got {history.shape}"
+            )
+        if history.shape[0] < 1:
+            raise ValueError("history must contain at least one record")
+        self._history = history
+        return self
+
+    @property
+    def history_size(self) -> int:
+        if self._history is None:
+            raise RuntimeError("fit has not been called")
+        return int(self._history.shape[0])
+
+    def fill(
+        self, partial: np.ndarray, present_mask: Sequence[bool]
+    ) -> np.ndarray:
+        """Return ``partial`` with missing model rows filled.
+
+        Args:
+            partial: ``(n_models, dim)`` outputs; rows for unexecuted
+                models may hold anything (they are ignored).
+            present_mask: Boolean per-model flags; True means executed.
+        """
+        if self._history is None:
+            raise RuntimeError("fit has not been called")
+        partial = np.asarray(partial, dtype=float)
+        mask = np.asarray(present_mask, dtype=bool)
+        if partial.shape != self._history.shape[1:]:
+            raise ValueError(
+                f"partial shape {partial.shape} does not match history "
+                f"record shape {self._history.shape[1:]}"
+            )
+        if mask.shape[0] != partial.shape[0]:
+            raise ValueError("present_mask length must equal n_models")
+        if mask.all():
+            return partial.copy()
+        if not mask.any():
+            # Nothing observed: fall back to the historical mean output.
+            return self._history.mean(axis=0)
+
+        observed = self._history[:, mask, :].reshape(self.history_size, -1)
+        target = partial[mask].ravel()
+        distances = np.linalg.norm(observed - target, axis=1)
+        k = min(self.k, self.history_size)
+        neighbours = np.argpartition(distances, k - 1)[:k]
+        # Inverse-distance weights; an exact match dominates.
+        weights = 1.0 / (distances[neighbours] + 1e-9)
+        weights = weights / weights.sum()
+
+        filled = partial.copy()
+        missing = ~mask
+        neighbour_outputs = self._history[neighbours][:, missing, :]
+        filled[missing] = np.tensordot(weights, neighbour_outputs, axes=(0, 0))
+        return filled
+
+    def fill_batch(
+        self, partials: np.ndarray, present_masks: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised convenience wrapper over :meth:`fill`."""
+        partials = np.asarray(partials, dtype=float)
+        present_masks = np.asarray(present_masks, dtype=bool)
+        if partials.shape[0] != present_masks.shape[0]:
+            raise ValueError("partials and present_masks disagree on count")
+        return np.stack(
+            [
+                self.fill(partials[i], present_masks[i])
+                for i in range(partials.shape[0])
+            ]
+        )

@@ -1,0 +1,13 @@
+"""Evaluation metrics and reporting helpers."""
+
+from repro.metrics.tradeoff import (
+    best_method_windows,
+    tradeoff_objective,
+)
+from repro.metrics.tables import format_table
+
+__all__ = [
+    "tradeoff_objective",
+    "best_method_windows",
+    "format_table",
+]

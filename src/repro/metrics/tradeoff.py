@@ -1,0 +1,52 @@
+"""Latency/accuracy trade-off objective (Exp-2, Fig. 11/15).
+
+The paper scores each baseline with ``c = 100 * Acc - λ * Latency`` and
+reports the window of weights λ over which Schemble achieves the best
+trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def tradeoff_objective(
+    accuracy: float, latency: float, weight: float
+) -> float:
+    """``c = 100 * accuracy - weight * latency`` (accuracy in [0, 1])."""
+    if not 0.0 <= accuracy <= 1.0 + 1e-9:
+        raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
+    check_positive("latency", latency, allow_zero=True)
+    return 100.0 * accuracy - weight * latency
+
+
+def best_method_windows(
+    methods: Dict[str, Tuple[float, float]],
+    weights: Sequence[float],
+) -> Dict[str, List[float]]:
+    """Which method wins the trade-off at each weight λ.
+
+    Args:
+        methods: ``name -> (accuracy, latency)``.
+        weights: The λ grid to evaluate.
+
+    Returns:
+        ``name -> list of weights where that method is (tied-)best``.
+    """
+    if not methods:
+        raise ValueError("need at least one method")
+    windows: Dict[str, List[float]] = {name: [] for name in methods}
+    for weight in weights:
+        scores = {
+            name: tradeoff_objective(acc, lat, weight)
+            for name, (acc, lat) in methods.items()
+        }
+        best = max(scores.values())
+        for name, score in scores.items():
+            if score >= best - 1e-9:
+                windows[name].append(float(weight))
+    return windows

@@ -1,0 +1,43 @@
+"""Base models: wrappers, cost profiles, calibration and builders."""
+
+from repro.models.profiles import (
+    IMAGE_RETRIEVAL_PROFILES,
+    TEXT_MATCHING_PROFILES,
+    VEHICLE_COUNTING_PROFILES,
+    ModelProfile,
+)
+from repro.models.base import BaseModel, TrainedModel
+from repro.models.calibration import TemperatureScaling
+from repro.models.prediction_table import PredictionTable
+
+_ZOO_EXPORTS = (
+    "build_text_matching_ensemble",
+    "build_vehicle_counting_ensemble",
+    "build_image_retrieval_ensemble",
+    "build_cifar_like_models",
+)
+
+
+def __getattr__(name):
+    # The zoo builders import repro.ensemble, which imports this package;
+    # loading them lazily breaks the cycle (PEP 562).
+    if name in _ZOO_EXPORTS:
+        from repro.models import zoo
+
+        return getattr(zoo, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ModelProfile",
+    "TEXT_MATCHING_PROFILES",
+    "VEHICLE_COUNTING_PROFILES",
+    "IMAGE_RETRIEVAL_PROFILES",
+    "BaseModel",
+    "TrainedModel",
+    "TemperatureScaling",
+    "PredictionTable",
+    "build_text_matching_ensemble",
+    "build_vehicle_counting_ensemble",
+    "build_image_retrieval_ensemble",
+    "build_cifar_like_models",
+]

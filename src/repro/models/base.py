@@ -1,0 +1,131 @@
+"""Base-model abstraction wrapping trained predictors with cost profiles."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.calibration import TemperatureScaling
+from repro.models.profiles import ModelProfile
+
+
+class BaseModel:
+    """One deployable base model of a deep ensemble.
+
+    A base model couples a predictor with its serving cost profile and an
+    optional *feature view*. The view (a fixed subset of input columns)
+    is how we reproduce architectural heterogeneity: real base models
+    attend to different aspects of the input, so their errors are only
+    partially correlated — the property ensembling (and Schemble's
+    redundancy analysis) relies on.
+    """
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        feature_indices: Optional[np.ndarray] = None,
+    ):
+        self.profile = profile
+        self.feature_indices = (
+            None
+            if feature_indices is None
+            else np.asarray(feature_indices, dtype=int)
+        )
+        self.calibration: Optional[TemperatureScaling] = None
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def latency(self) -> float:
+        return self.profile.latency
+
+    @property
+    def memory(self) -> float:
+        return self.profile.memory
+
+    def view(self, features: np.ndarray) -> np.ndarray:
+        """Apply this model's feature view."""
+        features = np.asarray(features, dtype=float)
+        if self.feature_indices is None:
+            return features
+        return features[:, self.feature_indices]
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Model output for raw dataset features.
+
+        Classification models return a probability matrix ``(n, k)``
+        (calibrated if a calibration has been fit); regression models
+        return ``(n, k)`` real outputs.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class TrainedModel(BaseModel):
+    """A base model backed by a trained numpy network (or tree model).
+
+    ``predictor`` must expose ``predict_proba`` for classification tasks
+    or ``predict`` for regression; ``task`` selects which is used.
+
+    ``sharpen`` (< 1) raises classifier confidence by scaling log-probs,
+    emulating the overconfidence of real deep networks (Guo et al.): a
+    deep model near a decision boundary does not hedge toward uniform —
+    it commits to a side, confidently. That per-sample overconfident
+    *disagreement* between members on ambiguous inputs is exactly the
+    structure the discrepancy score measures, and a global temperature
+    calibration fit afterwards cannot (and should not) undo it.
+    """
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        predictor,
+        task: str,
+        feature_indices: Optional[np.ndarray] = None,
+        sharpen: float = 1.0,
+    ):
+        if task not in ("classification", "regression"):
+            raise ValueError(f"unknown task {task!r}")
+        if sharpen <= 0:
+            raise ValueError(f"sharpen must be > 0, got {sharpen}")
+        super().__init__(profile, feature_indices)
+        self.predictor = predictor
+        self.task = task
+        self.sharpen = float(sharpen)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        viewed = self.view(features)
+        if self.task == "classification":
+            probs = self.predictor.predict_proba(viewed)
+            if self.sharpen != 1.0:
+                logp = np.log(np.clip(probs, 1e-12, None)) / self.sharpen
+                shifted = np.exp(logp - logp.max(axis=1, keepdims=True))
+                probs = shifted / shifted.sum(axis=1, keepdims=True)
+            if self.calibration is not None:
+                probs = self.calibration.transform(probs)
+            return probs
+        output = self.predictor.predict(viewed)
+        output = np.asarray(output, dtype=float)
+        if output.ndim == 1:
+            output = output[:, None]
+        return output
+
+    def fit_calibration(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> "TrainedModel":
+        """Fit temperature scaling on held-out data (classification only).
+
+        Section V-A applies temperature scaling so that heterogeneous
+        base models' output distributions are comparable before
+        divergence computation.
+        """
+        if self.task != "classification":
+            raise ValueError("calibration only applies to classification models")
+        probs = self.predictor.predict_proba(self.view(features))
+        self.calibration = TemperatureScaling().fit(probs, labels)
+        return self

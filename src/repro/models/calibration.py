@@ -1,0 +1,86 @@
+"""Temperature scaling (Guo et al., 2017).
+
+Deep networks are poorly calibrated: the confidence of the predicted
+class does not match its correctness likelihood, and the mismatch
+differs per architecture. The paper applies temperature scaling to every
+classifier before computing divergences (Section V-A) so that the
+discrepancy score is not dominated by one model's over-confidence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import one_hot, softmax
+
+
+def expected_calibration_error(
+    probs: np.ndarray, labels: np.ndarray, n_bins: int = 10
+) -> float:
+    """ECE: confidence-weighted gap between accuracy and confidence."""
+    probs = np.asarray(probs, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    confidence = probs.max(axis=1)
+    predicted = probs.argmax(axis=1)
+    correct = (predicted == labels).astype(float)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    ece = 0.0
+    for low, high in zip(edges[:-1], edges[1:]):
+        mask = (confidence > low) & (confidence <= high)
+        if not mask.any():
+            continue
+        gap = abs(correct[mask].mean() - confidence[mask].mean())
+        ece += mask.mean() * gap
+    return float(ece)
+
+
+class TemperatureScaling:
+    """Post-hoc single-parameter calibration.
+
+    Fits a temperature ``T`` minimising negative log-likelihood of
+    ``softmax(log(p) / T)`` on held-out data. Operating on log-probs
+    rather than raw logits lets the transform wrap any probabilistic
+    predictor, including the boosted-tree aggregator.
+    """
+
+    def __init__(self, grid: Optional[np.ndarray] = None):
+        self.grid = (
+            np.geomspace(0.1, 10.0, 61) if grid is None else np.asarray(grid)
+        )
+        if np.any(self.grid <= 0):
+            raise ValueError("temperatures must be positive")
+        self.temperature_: Optional[float] = None
+
+    @staticmethod
+    def _nll(log_probs: np.ndarray, targets: np.ndarray, temperature: float) -> float:
+        scaled = softmax(log_probs / temperature)
+        picked = np.clip((scaled * targets).sum(axis=1), 1e-12, None)
+        return float(-np.log(picked).mean())
+
+    def fit(self, probs: np.ndarray, labels: np.ndarray) -> "TemperatureScaling":
+        """Grid-search the temperature minimising held-out NLL."""
+        probs = np.asarray(probs, dtype=float)
+        if probs.ndim != 2:
+            raise ValueError(f"probs must be 2-d, got shape {probs.shape}")
+        labels = np.asarray(labels)
+        targets = (
+            one_hot(labels, probs.shape[1]) if labels.ndim == 1 else labels
+        )
+        log_probs = np.log(np.clip(probs, 1e-12, None))
+        best_t, best_nll = 1.0, np.inf
+        for temperature in self.grid:
+            nll = self._nll(log_probs, targets, float(temperature))
+            if nll < best_nll:
+                best_nll = nll
+                best_t = float(temperature)
+        self.temperature_ = best_t
+        return self
+
+    def transform(self, probs: np.ndarray) -> np.ndarray:
+        """Rescale probabilities with the fitted temperature."""
+        if self.temperature_ is None:
+            raise RuntimeError("transform called before fit")
+        log_probs = np.log(np.clip(np.asarray(probs, dtype=float), 1e-12, None))
+        return softmax(log_probs / self.temperature_)

@@ -1,0 +1,70 @@
+"""Precomputed per-model outputs for a fixed query pool.
+
+Serving experiments replay a pool of test samples through the simulator
+thousands of times (one per baseline per deadline setting). Computing
+every model's output for every pool sample once and replaying lookups
+keeps the experiments deterministic and fast, and it mirrors the paper's
+methodology of recording historical inference results at low cost
+(Section V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class PredictionTable:
+    """Outputs of every base model (and the full ensemble) on a pool.
+
+    Attributes:
+        model_names: Base model names in deployment order.
+        outputs: ``model name -> (n, k)`` output array.
+        ensemble_output: ``(n, k)`` full-ensemble output.
+        n_samples: Pool size.
+    """
+
+    def __init__(
+        self,
+        model_names: Sequence[str],
+        outputs: Dict[str, np.ndarray],
+        ensemble_output: np.ndarray,
+    ):
+        self.model_names: List[str] = list(model_names)
+        if not self.model_names:
+            raise ValueError("need at least one model")
+        missing = [m for m in self.model_names if m not in outputs]
+        if missing:
+            raise ValueError(f"outputs missing for models {missing}")
+        sizes = {outputs[m].shape[0] for m in self.model_names}
+        sizes.add(np.asarray(ensemble_output).shape[0])
+        if len(sizes) != 1:
+            raise ValueError(f"inconsistent sample counts across outputs: {sizes}")
+        self.outputs = {m: np.asarray(outputs[m], dtype=float) for m in self.model_names}
+        self.ensemble_output = np.asarray(ensemble_output, dtype=float)
+        self.n_samples = int(self.ensemble_output.shape[0])
+
+    @property
+    def n_models(self) -> int:
+        return len(self.model_names)
+
+    def model_output(self, model: str, sample: int) -> np.ndarray:
+        """Output of one model on one pool sample."""
+        return self.outputs[model][sample]
+
+    def stacked(self, samples: Optional[np.ndarray] = None) -> np.ndarray:
+        """Outputs stacked to ``(n_models, n, k)`` (optionally row-subset)."""
+        arrays = [self.outputs[m] for m in self.model_names]
+        stacked = np.stack(arrays, axis=0)
+        if samples is not None:
+            stacked = stacked[:, np.asarray(samples, dtype=int)]
+        return stacked
+
+    @classmethod
+    def from_models(cls, models: Sequence, features: np.ndarray, ensemble) -> "PredictionTable":
+        """Run every model (and the ensemble aggregation) over ``features``."""
+        outputs = {model.name: model.predict(features) for model in models}
+        member_list = [outputs[model.name] for model in models]
+        ensemble_output = ensemble.aggregate(member_list)
+        return cls([m.name for m in models], outputs, ensemble_output)

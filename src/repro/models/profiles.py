@@ -1,0 +1,64 @@
+"""Latency and memory cost profiles for base models.
+
+The paper's scheduling behaviour depends on *relative* model costs
+(queue blocking arises because a query occupies every model for the
+slowest model's latency), so the profiles below keep the published
+relative scale of the real models on a P100:
+
+* text matching — BiLSTM is several times faster than the transformers,
+  BERT slightly slower than RoBERTa; deadlines (~100 ms) sit just above
+  the slowest model.
+* vehicle counting — EfficientDet-D0 fastest, YOLOX slowest.
+* image retrieval — two DELG backbones, R101 roughly 2x R50.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Serving cost profile of one base model.
+
+    Attributes:
+        name: Model name (matches the paper's base model where relevant).
+        latency: Per-query inference time in seconds (approximately
+            constant for deep models, as the paper assumes).
+        memory: Deployed memory footprint in MB; static selection uses it
+            to decide how many replicas fit.
+    """
+
+    name: str
+    latency: float
+    memory: float
+
+    def __post_init__(self):
+        check_positive("latency", self.latency)
+        check_positive("memory", self.memory)
+
+
+TEXT_MATCHING_PROFILES = (
+    ModelProfile("BiLSTM", latency=0.018, memory=400.0),
+    ModelProfile("RoBERTa", latency=0.072, memory=1300.0),
+    ModelProfile("BERT", latency=0.090, memory=1400.0),
+)
+
+VEHICLE_COUNTING_PROFILES = (
+    ModelProfile("EfficientDet-D0", latency=0.030, memory=500.0),
+    ModelProfile("YOLOv5l", latency=0.055, memory=900.0),
+    ModelProfile("YOLOX", latency=0.075, memory=1000.0),
+)
+
+IMAGE_RETRIEVAL_PROFILES = (
+    ModelProfile("DELG-R50", latency=0.065, memory=1100.0),
+    ModelProfile("DELG-R101", latency=0.120, memory=1800.0),
+)
+
+# The paper's discrepancy predictor costs ~6.5% of the ensemble's
+# runtime and 0.4-2% of its memory (Fig. 13); profiles for the predictor
+# are derived from these ratios in repro.difficulty.predictor.
+PREDICTOR_RUNTIME_FRACTION = 0.065
+PREDICTOR_MEMORY_FRACTION = 0.015

@@ -1,0 +1,54 @@
+"""A compact, from-scratch neural-network library on numpy.
+
+This is the substrate standing in for PyTorch/TensorFlow in the paper's
+pipeline: base models, the discrepancy-score predictor (Section V-C) and
+the gating baseline are all built from these pieces.
+
+The design is deliberately small and explicit: layers implement
+``forward``/``backward`` with cached activations, losses pair a scalar
+forward with the gradient w.r.t. the network output, and optimizers
+update ``Parameter`` objects in place.
+"""
+
+from repro.nn.initializers import he_init, xavier_init
+from repro.nn.layers import Dense, Dropout, Layer, Parameter
+from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.losses import (
+    Loss,
+    MeanSquaredError,
+    SigmoidBinaryCrossEntropy,
+    SoftmaxCrossEntropy,
+)
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.network import Sequential
+from repro.nn.models import MLPClassifier, MLPRegressor, MultiHeadMLP
+from repro.nn.functional import log_softmax, one_hot, sigmoid, softmax
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "Dropout",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "SigmoidBinaryCrossEntropy",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Sequential",
+    "MLPClassifier",
+    "MLPRegressor",
+    "MultiHeadMLP",
+    "softmax",
+    "log_softmax",
+    "sigmoid",
+    "one_hot",
+    "he_init",
+    "xavier_init",
+]

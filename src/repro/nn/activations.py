@@ -1,0 +1,96 @@
+"""Stateless activation layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import sigmoid
+from repro.nn.layers import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self):
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if training:
+            self._input = x
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * (self._input > 0.0)
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01):
+        if negative_slope < 0:
+            raise ValueError(f"negative_slope must be >= 0, got {negative_slope}")
+        self.negative_slope = negative_slope
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if training:
+            self._input = x
+        return np.where(x > 0.0, x, self.negative_slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        slope = np.where(self._input > 0.0, 1.0, self.negative_slope)
+        return grad_output * slope
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    def __init__(self):
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(np.asarray(x, dtype=float))
+        if training:
+            self._output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * (1.0 - self._output**2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid."""
+
+    def __init__(self):
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = sigmoid(x)
+        if training:
+            self._output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * self._output * (1.0 - self._output)
+
+
+class Identity(Layer):
+    """Pass-through layer (useful as a configurable head activation)."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return np.asarray(x, dtype=float)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output

@@ -1,0 +1,21 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def he_init(fan_in: int, fan_out: int, rng: SeedLike = None) -> np.ndarray:
+    """He-normal initialisation, suited to ReLU-family activations."""
+    rng = as_rng(rng)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def xavier_init(fan_in: int, fan_out: int, rng: SeedLike = None) -> np.ndarray:
+    """Xavier/Glorot-uniform initialisation, suited to tanh/sigmoid."""
+    rng = as_rng(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))

@@ -1,0 +1,126 @@
+"""Trainable layers with explicit forward/backward passes."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.initializers import he_init, xavier_init
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Parameter:
+    """A trainable tensor plus its accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "param"):
+        self.value = np.asarray(value, dtype=float)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses cache whatever they need in ``forward`` and consume the
+    cache in ``backward``. ``backward`` must return the gradient with
+    respect to the layer input.
+    """
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        init: str = "he",
+        rng: SeedLike = None,
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"Dense dimensions must be positive, got "
+                f"({in_features}, {out_features})"
+            )
+        if init == "he":
+            weight = he_init(in_features, out_features, rng)
+        elif init == "xavier":
+            weight = xavier_init(in_features, out_features, rng)
+        else:
+            raise ValueError(f"unknown init scheme {init!r}")
+        self.weight = Parameter(weight, name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias")
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"Dense expects 2-d input, got shape {x.shape}")
+        if x.shape[1] != self.weight.value.shape[0]:
+            raise ValueError(
+                f"Dense expects input width {self.weight.value.shape[0]}, "
+                f"got {x.shape[1]}"
+            )
+        if training:
+            self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        self.weight.grad += self._input.T @ grad_output
+        self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float, rng: SeedLike = None):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = as_rng(rng)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return np.asarray(x, dtype=float)
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask

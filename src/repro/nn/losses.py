@@ -1,0 +1,99 @@
+"""Loss functions pairing a scalar forward pass with its gradient."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot, sigmoid, softmax
+
+
+class Loss:
+    """Base class: ``forward`` returns the mean loss, ``backward`` the
+    gradient with respect to the network output passed to ``forward``."""
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(prediction, target)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Cross entropy over logits with a fused softmax for stability.
+
+    ``target`` may be integer class labels or a (soft) probability matrix;
+    soft targets are what Section V-C needs, where the ensemble's output
+    distribution plays the role of the label.
+    """
+
+    def __init__(self):
+        self._probs: Optional[np.ndarray] = None
+        self._target: Optional[np.ndarray] = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        logits = np.asarray(prediction, dtype=float)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-d, got shape {logits.shape}")
+        target = np.asarray(target)
+        if target.ndim == 1:
+            target = one_hot(target, logits.shape[1])
+        if target.shape != logits.shape:
+            raise ValueError(
+                f"target shape {target.shape} does not match logits "
+                f"shape {logits.shape}"
+            )
+        self._probs = softmax(logits)
+        self._target = target
+        log_probs = log_softmax(logits)
+        return float(-(target * log_probs).sum(axis=1).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._target is None:
+            raise RuntimeError("backward called before forward")
+        return (self._probs - self._target) / self._probs.shape[0]
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error for regression heads."""
+
+    def __init__(self):
+        self._diff: Optional[np.ndarray] = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction = np.asarray(prediction, dtype=float)
+        target = np.asarray(target, dtype=float).reshape(prediction.shape)
+        self._diff = prediction - target
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+
+class SigmoidBinaryCrossEntropy(Loss):
+    """Binary cross entropy over a single logit column."""
+
+    def __init__(self):
+        self._probs: Optional[np.ndarray] = None
+        self._target: Optional[np.ndarray] = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        logits = np.asarray(prediction, dtype=float)
+        target = np.asarray(target, dtype=float).reshape(logits.shape)
+        self._probs = sigmoid(logits)
+        self._target = target
+        # log(1+exp(-|z|)) formulation avoids overflow for large |logits|.
+        stable = np.maximum(logits, 0.0) - logits * target
+        stable += np.log1p(np.exp(-np.abs(logits)))
+        return float(stable.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._target is None:
+            raise RuntimeError("backward called before forward")
+        return (self._probs - self._target) / self._probs.size

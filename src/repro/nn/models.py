@@ -1,0 +1,307 @@
+"""High-level trainable models built on the layer substrate.
+
+``MLPClassifier``/``MLPRegressor`` play the role of the paper's deep base
+models; :class:`MultiHeadMLP` implements the two-output architecture of
+Section V-C (task prediction head + discrepancy-score head trained with
+the weighted loss of Eq. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.activations import Identity, ReLU, Tanh
+from repro.nn.functional import softmax
+from repro.nn.layers import Dense, Dropout, Layer
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy
+from repro.nn.network import Sequential
+from repro.nn.optim import Adam
+from repro.utils.rng import SeedLike, as_rng
+
+
+def _activation(name: str) -> Layer:
+    table = {"relu": ReLU, "tanh": Tanh, "identity": Identity}
+    if name not in table:
+        raise ValueError(f"unknown activation {name!r}; choose from {sorted(table)}")
+    return table[name]()
+
+
+def _build_mlp(
+    in_features: int,
+    hidden: Sequence[int],
+    out_features: int,
+    activation: str,
+    dropout: float,
+    rng: np.random.Generator,
+) -> Sequential:
+    net = Sequential()
+    width = in_features
+    for size in hidden:
+        net.add(Dense(width, size, rng=rng))
+        net.add(_activation(activation))
+        if dropout:
+            net.add(Dropout(dropout, rng=rng))
+        width = size
+    net.add(Dense(width, out_features, rng=rng))
+    return net
+
+
+def _iterate_minibatches(
+    n: int, batch_size: int, rng: np.random.Generator
+):
+    order = rng.permutation(n)
+    for start in range(0, n, batch_size):
+        yield order[start : start + batch_size]
+
+
+class MLPClassifier:
+    """A multi-layer perceptron classifier with an sklearn-like API."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden: Sequence[int] = (32,),
+        activation: str = "relu",
+        dropout: float = 0.0,
+        lr: float = 1e-3,
+        epochs: int = 30,
+        batch_size: int = 64,
+        seed: SeedLike = None,
+    ):
+        if num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {num_classes}")
+        self.in_features = in_features
+        self.num_classes = num_classes
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self._rng = as_rng(seed)
+        self.network = _build_mlp(
+            in_features, hidden, num_classes, activation, dropout, self._rng
+        )
+        self._loss = SoftmaxCrossEntropy()
+        self._optimizer = Adam(self.network.parameters(), lr=lr)
+        self.history: List[float] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        """Train on features ``x`` and integer (or soft) labels ``y``."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x and y disagree on sample count: {x.shape[0]} vs {y.shape[0]}"
+            )
+        for _ in range(self.epochs):
+            epoch_loss = 0.0
+            batches = 0
+            for idx in _iterate_minibatches(x.shape[0], self.batch_size, self._rng):
+                logits = self.network.forward(x[idx], training=True)
+                epoch_loss += self._loss.forward(logits, y[idx])
+                batches += 1
+                self._optimizer.zero_grad()
+                self.network.backward(self._loss.backward())
+                self._optimizer.step()
+            self.history.append(epoch_loss / max(batches, 1))
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Raw logits for ``x``."""
+        return self.network.forward(np.asarray(x, dtype=float), training=False)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class-probability matrix for ``x``."""
+        return softmax(self.decision_function(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions for ``x``."""
+        return np.argmax(self.decision_function(x), axis=1)
+
+    def num_parameters(self) -> int:
+        return self.network.num_parameters()
+
+
+class MLPRegressor:
+    """A multi-layer perceptron regressor with an sklearn-like API."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int = 1,
+        hidden: Sequence[int] = (32,),
+        activation: str = "relu",
+        dropout: float = 0.0,
+        lr: float = 1e-3,
+        epochs: int = 30,
+        batch_size: int = 64,
+        seed: SeedLike = None,
+    ):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self._rng = as_rng(seed)
+        self.network = _build_mlp(
+            in_features, hidden, out_features, activation, dropout, self._rng
+        )
+        self._loss = MeanSquaredError()
+        self._optimizer = Adam(self.network.parameters(), lr=lr)
+        self.history: List[float] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        """Train on features ``x`` and real targets ``y``."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(x.shape[0], -1)
+        if y.shape[1] != self.out_features:
+            raise ValueError(
+                f"y has {y.shape[1]} targets, model expects {self.out_features}"
+            )
+        for _ in range(self.epochs):
+            epoch_loss = 0.0
+            batches = 0
+            for idx in _iterate_minibatches(x.shape[0], self.batch_size, self._rng):
+                preds = self.network.forward(x[idx], training=True)
+                epoch_loss += self._loss.forward(preds, y[idx])
+                batches += 1
+                self._optimizer.zero_grad()
+                self.network.backward(self._loss.backward())
+                self._optimizer.step()
+            self.history.append(epoch_loss / max(batches, 1))
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Regression outputs for ``x`` with shape ``(n, out_features)``."""
+        return self.network.forward(np.asarray(x, dtype=float), training=False)
+
+    def num_parameters(self) -> int:
+        return self.network.num_parameters()
+
+
+class MultiHeadMLP:
+    """Shared trunk with a task head and a discrepancy head (Section V-C).
+
+    The network is trained with the weighted loss of Eq. 2::
+
+        Loss = l(label, output_1) + lambda * MSE(dis, output_2)
+
+    where ``output_1`` is the task head (trained against the ensemble's
+    output, which the paper treats as the label) and ``output_2`` is the
+    predicted discrepancy score. Only the discrepancy head is used at
+    inference time.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden: Sequence[int] = (32, 32),
+        head_hidden: int = 16,
+        lam: float = 0.2,
+        lr: float = 1e-3,
+        epochs: int = 40,
+        batch_size: int = 64,
+        task: str = "classification",
+        seed: SeedLike = None,
+    ):
+        if task not in ("classification", "regression"):
+            raise ValueError(f"unknown task {task!r}")
+        if lam < 0:
+            raise ValueError(f"lam must be >= 0, got {lam}")
+        self.task = task
+        self.lam = lam
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self._rng = as_rng(seed)
+
+        self.trunk = Sequential()
+        width = in_features
+        for size in hidden:
+            self.trunk.add(Dense(width, size, rng=self._rng))
+            self.trunk.add(ReLU())
+            width = size
+        self._trunk_width = width
+
+        # For regression tasks ``num_classes`` is the target dimension.
+        task_out = num_classes
+        self.task_head = Sequential(
+            [Dense(width, head_hidden, rng=self._rng), ReLU(),
+             Dense(head_hidden, task_out, rng=self._rng)]
+        )
+        self.disc_head = Sequential(
+            [Dense(width, head_hidden, rng=self._rng), ReLU(),
+             Dense(head_hidden, 1, rng=self._rng)]
+        )
+
+        self._task_loss = (
+            SoftmaxCrossEntropy() if task == "classification" else MeanSquaredError()
+        )
+        self._disc_loss = MeanSquaredError()
+        params = (
+            self.trunk.parameters()
+            + self.task_head.parameters()
+            + self.disc_head.parameters()
+        )
+        self._optimizer = Adam(params, lr=lr)
+        self.history: List[Dict[str, float]] = []
+
+    def fit(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        discrepancy: np.ndarray,
+    ) -> "MultiHeadMLP":
+        """Train against ensemble labels and ground-truth discrepancy."""
+        x = np.asarray(x, dtype=float)
+        labels = np.asarray(labels)
+        discrepancy = np.asarray(discrepancy, dtype=float).reshape(-1, 1)
+        if not (x.shape[0] == labels.shape[0] == discrepancy.shape[0]):
+            raise ValueError("x, labels and discrepancy disagree on sample count")
+        for _ in range(self.epochs):
+            task_total = 0.0
+            disc_total = 0.0
+            batches = 0
+            for idx in _iterate_minibatches(x.shape[0], self.batch_size, self._rng):
+                hidden = self.trunk.forward(x[idx], training=True)
+                task_out = self.task_head.forward(hidden, training=True)
+                disc_out = self.disc_head.forward(hidden, training=True)
+
+                task_total += self._task_loss.forward(task_out, labels[idx])
+                disc_total += self._disc_loss.forward(disc_out, discrepancy[idx])
+                batches += 1
+
+                self._optimizer.zero_grad()
+                grad_hidden = self.task_head.backward(self._task_loss.backward())
+                grad_hidden = grad_hidden + self.lam * self.disc_head.backward(
+                    self._disc_loss.backward()
+                )
+                self.trunk.backward(grad_hidden)
+                self._optimizer.step()
+            self.history.append(
+                {
+                    "task_loss": task_total / max(batches, 1),
+                    "disc_loss": disc_total / max(batches, 1),
+                }
+            )
+        return self
+
+    def predict_discrepancy(self, x: np.ndarray) -> np.ndarray:
+        """Predicted discrepancy scores, clipped to be non-negative."""
+        hidden = self.trunk.forward(np.asarray(x, dtype=float), training=False)
+        scores = self.disc_head.forward(hidden, training=False).ravel()
+        return np.maximum(scores, 0.0)
+
+    def predict_task(self, x: np.ndarray) -> np.ndarray:
+        """Task-head output (probabilities for classification)."""
+        hidden = self.trunk.forward(np.asarray(x, dtype=float), training=False)
+        out = self.task_head.forward(hidden, training=False)
+        if self.task == "classification":
+            return softmax(out)
+        return out
+
+    def num_parameters(self) -> int:
+        return (
+            self.trunk.num_parameters()
+            + self.task_head.num_parameters()
+            + self.disc_head.num_parameters()
+        )

@@ -1,0 +1,75 @@
+"""Sequential container composing layers into a network."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.layers import Layer, Parameter
+
+
+class Sequential(Layer):
+    """A straight-line composition of layers.
+
+    The container itself is a :class:`Layer`, so sequentials nest — the
+    multi-head predictor uses one sequential as a shared trunk and one
+    per head.
+    """
+
+    def __init__(self, layers: Iterable[Layer] = ()):
+        self.layers: List[Layer] = list(layers)
+        for layer in self.layers:
+            if not isinstance(layer, Layer):
+                raise TypeError(f"expected Layer, got {type(layer).__name__}")
+
+    def add(self, layer: Layer) -> "Sequential":
+        if not isinstance(layer, Layer):
+            raise TypeError(f"expected Layer, got {type(layer).__name__}")
+        self.layers.append(layer)
+        return self
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def state_dict(self) -> dict:
+        """Parameter values keyed by position (for ``numpy.savez``)."""
+        return {
+            f"param_{i}": p.value.copy()
+            for i, p in enumerate(self.parameters())
+        }
+
+    def load_state_dict(self, state: dict) -> "Sequential":
+        """Restore parameter values saved by :meth:`state_dict`."""
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} tensors, network has {len(params)}"
+            )
+        for i, param in enumerate(params):
+            key = f"param_{i}"
+            if key not in state:
+                raise KeyError(f"state is missing {key}")
+            value = np.asarray(state[key], dtype=float)
+            if value.shape != param.value.shape:
+                raise ValueError(
+                    f"{key} has shape {value.shape}, expected "
+                    f"{param.value.shape}"
+                )
+            param.value = value.copy()
+        return self

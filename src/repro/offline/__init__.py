@@ -1,0 +1,13 @@
+"""Offline budgeted ensemble selection (appendix Exp-4 / Fig. 16)."""
+
+from repro.offline.budget import (
+    budgeted_selection,
+    budget_accuracy_curve,
+    random_selection,
+)
+
+__all__ = [
+    "budgeted_selection",
+    "budget_accuracy_curve",
+    "random_selection",
+]

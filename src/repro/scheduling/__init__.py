@@ -1,0 +1,29 @@
+"""Task scheduling: the DP algorithm of Section VI and its baselines."""
+
+from repro.scheduling.subsets import (
+    iter_masks,
+    mask_latency,
+    mask_members,
+    mask_size,
+)
+from repro.scheduling.problem import QueryRequest, ScheduleDecision, SchedulingInstance
+from repro.scheduling.dp import DPScheduler
+from repro.scheduling.greedy import GreedyScheduler
+from repro.scheduling.orders import edf_order, fifo_order, sjf_order
+from repro.scheduling.bruteforce import BruteForceScheduler
+
+__all__ = [
+    "iter_masks",
+    "mask_members",
+    "mask_size",
+    "mask_latency",
+    "QueryRequest",
+    "ScheduleDecision",
+    "SchedulingInstance",
+    "DPScheduler",
+    "GreedyScheduler",
+    "BruteForceScheduler",
+    "edf_order",
+    "fifo_order",
+    "sjf_order",
+]

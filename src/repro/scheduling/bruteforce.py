@@ -1,0 +1,93 @@
+"""Exhaustive optimal scheduler for small instances.
+
+Used only by tests and theory benches: it searches every subset
+assignment (and optionally every processing order) to establish the true
+optimum that Theorem 2 (EDF optimality) and Theorem 3 ((1 − ε)
+approximation) are verified against.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations, product
+from typing import List, Optional
+
+from repro.scheduling.orders import edf_order
+from repro.scheduling.problem import (
+    ScheduleDecision,
+    ScheduleResult,
+    SchedulingInstance,
+    evaluate_schedule,
+)
+
+
+class BruteForceScheduler:
+    """Optimal local scheduling by exhaustive search.
+
+    Args:
+        search_orders: When True, also search every query permutation
+            (exponential in both masks and orderings — keep N tiny);
+            when False, EDF order is assumed.
+        max_queries: Refuse instances larger than this.
+    """
+
+    name = "bruteforce"
+
+    def __init__(self, search_orders: bool = False, max_queries: int = 6):
+        self.search_orders = search_orders
+        self.max_queries = max_queries
+
+    def schedule(self, instance: SchedulingInstance) -> ScheduleResult:
+        """Exhaustively search subset assignments (and orders)."""
+        n = instance.n_queries
+        if n == 0:
+            return ScheduleResult(decisions=[], total_utility=0.0, work_units=0)
+        if n > self.max_queries:
+            raise ValueError(
+                f"brute force limited to {self.max_queries} queries, got {n}"
+            )
+        n_masks = 1 << instance.n_models
+        base_order = edf_order(instance.queries)
+        orders = (
+            list(permutations(range(n))) if self.search_orders else [tuple(base_order)]
+        )
+
+        best_total = -1.0
+        best_decisions: Optional[List[ScheduleDecision]] = None
+        work_units = 0
+        for order in orders:
+            ordered = [instance.queries[i] for i in order]
+            for assignment in product(range(n_masks), repeat=n):
+                work_units += 1
+                decisions = [
+                    ScheduleDecision(query_id=q.query_id, mask=mask)
+                    for q, mask in zip(ordered, assignment)
+                ]
+                # Feasibility: every non-empty mask must meet its deadline.
+                if not self._feasible(instance, ordered, assignment):
+                    continue
+                total = evaluate_schedule(instance, decisions)
+                if total > best_total:
+                    best_total = total
+                    best_decisions = decisions
+        assert best_decisions is not None  # mask 0 everywhere is feasible
+        return ScheduleResult(
+            decisions=best_decisions,
+            total_utility=best_total,
+            work_units=work_units,
+        )
+
+    @staticmethod
+    def _feasible(instance, ordered, assignment) -> bool:
+        times = list(float(t) for t in instance.busy_until)
+        for query, mask in zip(ordered, assignment):
+            if mask == 0:
+                continue
+            completion = 0.0
+            for k in range(instance.n_models):
+                if (mask >> k) & 1:
+                    times[k] += instance.latencies[k]
+                    if times[k] > completion:
+                        completion = times[k]
+            if instance.now + completion > query.deadline + 1e-12:
+                return False
+        return True

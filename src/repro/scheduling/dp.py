@@ -1,0 +1,156 @@
+"""Dynamic-programming scheduling (Algorithm 1, Section VI-B).
+
+Queries in the buffer are indexed in EDF order (Theorem 2). The DP table
+is keyed by (query index, quantised cumulative reward); each cell keeps
+the Pareto frontier of per-model finish-time vectors achieving exactly
+that reward, pruning dominated vectors every step. The best plan is the
+non-empty cell with the largest reward after the last query.
+
+Quantising rewards to multiples of δ bounds the table size; Theorem 3
+shows the result is a (1 − ε) approximation of the optimal local plan
+for δ = ε/N.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.scheduling.orders import edf_order
+from repro.scheduling.problem import (
+    ScheduleDecision,
+    ScheduleResult,
+    SchedulingInstance,
+)
+from repro.utils.validation import check_positive
+
+# A table cell holds Pareto-minimal (finish-times, choices) pairs.
+_Solution = Tuple[Tuple[float, ...], Tuple[int, ...]]
+
+
+def _prune(solutions: List[_Solution]) -> List[_Solution]:
+    """Drop solutions whose finish-time vector is dominated by another.
+
+    Vector A dominates B when A is componentwise <= B: any continuation
+    feasible from B is feasible from A at equal reward.
+    """
+    if len(solutions) <= 1:
+        return solutions
+    solutions = sorted(solutions, key=lambda s: (sum(s[0]), s[0]))
+    kept: List[_Solution] = []
+    for times, choices in solutions:
+        dominated = False
+        for kept_times, _ in kept:
+            if all(kt <= t + 1e-12 for kt, t in zip(kept_times, times)):
+                dominated = True
+                break
+        if not dominated:
+            kept.append((times, choices))
+    return kept
+
+
+class DPScheduler:
+    """Near-optimal local scheduler with quantisation step δ.
+
+    Args:
+        delta: Reward quantisation step (paper default 0.01; Fig. 12 and
+            Fig. 21 sweep it). Pass ``None`` to derive δ adaptively from
+            ``epsilon`` as Theorem 3 prescribes: δ = ε/N for a buffer of
+            N queries, guaranteeing a (1 − ε) approximation at every
+            buffer size instead of only at one.
+        epsilon: Approximation target used when ``delta`` is None.
+        max_solutions_per_cell: Safety cap on a cell's Pareto frontier;
+            cells are pruned to the fastest vectors beyond it.
+    """
+
+    name = "dp"
+
+    def __init__(
+        self,
+        delta: Optional[float] = 0.01,
+        epsilon: float = 0.1,
+        max_solutions_per_cell: int = 8,
+    ):
+        self.delta = None if delta is None else check_positive("delta", delta)
+        self.epsilon = check_positive("epsilon", epsilon)
+        if max_solutions_per_cell < 1:
+            raise ValueError(
+                f"max_solutions_per_cell must be >= 1, got "
+                f"{max_solutions_per_cell}"
+            )
+        self.max_solutions_per_cell = max_solutions_per_cell
+
+    def step_for(self, n_queries: int) -> float:
+        """The quantisation step used for a buffer of ``n_queries``."""
+        if self.delta is not None:
+            return self.delta
+        return self.epsilon / max(n_queries, 1)
+
+    def schedule(self, instance: SchedulingInstance) -> ScheduleResult:
+        """Solve the local subproblem; decisions come back in EDF order."""
+        if instance.n_queries == 0:
+            return ScheduleResult(decisions=[], total_utility=0.0, work_units=0)
+
+        step = self.step_for(instance.n_queries)
+        order = edf_order(instance.queries)
+        queries = [instance.queries[i] for i in order]
+        latencies = instance.latencies
+        n_models = instance.n_models
+        n_masks = 1 << n_models
+        start = tuple(float(t) for t in instance.busy_until)
+
+        # Precompute quantised rewards and per-mask latency increments.
+        member_lists = [
+            [k for k in range(n_models) if (mask >> k) & 1]
+            for mask in range(n_masks)
+        ]
+
+        table: Dict[int, List[_Solution]] = {0: [(start, ())]}
+        work_units = 0
+        for query in queries:
+            relative_deadline = query.deadline - instance.now
+            rewards = query.utilities
+            quantised = np.floor(rewards / step).astype(int)
+            new_table: Dict[int, List[_Solution]] = {}
+            for u, solutions in table.items():
+                for mask in range(n_masks):
+                    members = member_lists[mask]
+                    du = int(quantised[mask]) if mask else 0
+                    for times, choices in solutions:
+                        work_units += 1
+                        if mask == 0:
+                            candidate = (times, choices + (0,))
+                        else:
+                            new_times = list(times)
+                            completion = 0.0
+                            for k in members:
+                                new_times[k] += latencies[k]
+                                if new_times[k] > completion:
+                                    completion = new_times[k]
+                            if completion > relative_deadline + 1e-12:
+                                continue
+                            candidate = (tuple(new_times), choices + (mask,))
+                        new_table.setdefault(u + du, []).append(candidate)
+            table = {}
+            for u, solutions in new_table.items():
+                pruned = _prune(solutions)
+                if len(pruned) > self.max_solutions_per_cell:
+                    pruned = sorted(pruned, key=lambda s: sum(s[0]))[
+                        : self.max_solutions_per_cell
+                    ]
+                table[u] = pruned
+
+        best_u = max(table)
+        choices = table[best_u][0][1]
+        decisions = [
+            ScheduleDecision(query_id=query.query_id, mask=mask)
+            for query, mask in zip(queries, choices)
+        ]
+        # Report the unquantised reward of the chosen plan.
+        total = sum(
+            float(q.utilities[mask]) for q, mask in zip(queries, choices)
+        )
+        return ScheduleResult(
+            decisions=decisions, total_utility=total, work_units=work_units
+        )

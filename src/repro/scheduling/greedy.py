@@ -1,0 +1,83 @@
+"""Greedy scheduling baselines (Exp-4).
+
+Processes queries in a chosen order (EDF/FIFO/SJF) and, for each query,
+picks the feasible subset with the highest reward — ignoring the queries
+still behind it, which is exactly the myopia the DP algorithm fixes.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.orders import ORDERS
+from repro.scheduling.problem import (
+    ScheduleDecision,
+    ScheduleResult,
+    SchedulingInstance,
+)
+
+
+class GreedyScheduler:
+    """Greedy subset choice under a fixed execution order.
+
+    Args:
+        order: ``"edf"``, ``"fifo"`` or ``"sjf"``.
+    """
+
+    def __init__(self, order: str = "edf"):
+        if order not in ORDERS:
+            raise ValueError(
+                f"unknown order {order!r}; choose from {sorted(ORDERS)}"
+            )
+        self.order = order
+        self.name = f"greedy+{order}"
+
+    def schedule(self, instance: SchedulingInstance) -> ScheduleResult:
+        """Pick the highest-reward feasible subset per query in order."""
+        if instance.n_queries == 0:
+            return ScheduleResult(decisions=[], total_utility=0.0, work_units=0)
+
+        order = ORDERS[self.order](instance.queries)
+        queries = [instance.queries[i] for i in order]
+        latencies = instance.latencies
+        n_models = instance.n_models
+        n_masks = 1 << n_models
+        times = list(float(t) for t in instance.busy_until)
+
+        decisions = []
+        total = 0.0
+        work_units = 0
+        for query in queries:
+            relative_deadline = query.deadline - instance.now
+            best_mask = 0
+            best_reward = 0.0
+            best_span = 0.0
+            for mask in range(1, n_masks):
+                work_units += 1
+                completion = 0.0
+                for k in range(n_models):
+                    if (mask >> k) & 1:
+                        finish = times[k] + latencies[k]
+                        if finish > completion:
+                            completion = finish
+                if completion > relative_deadline + 1e-12:
+                    continue
+                reward = float(query.utilities[mask])
+                # Prefer higher reward; break ties toward faster subsets.
+                if reward > best_reward + 1e-12 or (
+                    abs(reward - best_reward) <= 1e-12
+                    and best_mask
+                    and completion < best_span
+                ):
+                    best_mask = mask
+                    best_reward = reward
+                    best_span = completion
+            if best_mask:
+                for k in range(n_models):
+                    if (best_mask >> k) & 1:
+                        times[k] += latencies[k]
+                total += best_reward
+            decisions.append(
+                ScheduleDecision(query_id=query.query_id, mask=best_mask)
+            )
+        return ScheduleResult(
+            decisions=decisions, total_utility=total, work_units=work_units
+        )

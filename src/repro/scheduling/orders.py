@@ -1,0 +1,31 @@
+"""Query execution orders (Section VI-B / Exp-4).
+
+Theorem 1 shows a consistent per-query order never hurts, and Theorem 2
+shows EDF is optimal once tasks are fixed and feasible; FIFO and SJF are
+the Exp-4 comparison orders.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.scheduling.problem import QueryRequest
+
+
+def edf_order(queries: Sequence[QueryRequest]) -> List[int]:
+    """Earliest Deadline First: indices sorted by deadline."""
+    return sorted(range(len(queries)), key=lambda i: (queries[i].deadline, i))
+
+
+def fifo_order(queries: Sequence[QueryRequest]) -> List[int]:
+    """First In First Out: indices sorted by arrival time."""
+    return sorted(range(len(queries)), key=lambda i: (queries[i].arrival, i))
+
+
+def sjf_order(queries: Sequence[QueryRequest]) -> List[int]:
+    """Shortest Job First: indices sorted by estimated discrepancy score
+    (the paper's proxy for job size — easy queries run fewer models)."""
+    return sorted(range(len(queries)), key=lambda i: (queries[i].score, i))
+
+
+ORDERS = {"edf": edf_order, "fifo": fifo_order, "sjf": sjf_order}

@@ -1,0 +1,163 @@
+"""Scheduling problem types (Section VI-A).
+
+A scheduler sees the queries currently waiting in the buffer, each with
+an absolute deadline and a per-subset utility row (from the accuracy
+profiler), plus the per-model inference times and each model's remaining
+busy time. It returns a subset mask per query and the processing order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class QueryRequest:
+    """One pending query in the scheduling buffer.
+
+    Attributes:
+        query_id: Stable identifier (index into the serving run).
+        arrival: Absolute arrival time (seconds).
+        deadline: Absolute completion deadline (seconds).
+        utilities: Reward per subset mask, shape ``(2**m,)``; entry 0
+            (empty subset) must be 0.
+        score: Estimated discrepancy score (used by SJF ordering).
+        sample_index: Pool sample this query replays (serving detail).
+    """
+
+    query_id: int
+    arrival: float
+    deadline: float
+    utilities: np.ndarray
+    score: float = 0.0
+    sample_index: int = -1
+
+    def __post_init__(self):
+        self.utilities = np.asarray(self.utilities, dtype=float)
+        if self.utilities.ndim != 1:
+            raise ValueError(
+                f"utilities must be 1-d, got shape {self.utilities.shape}"
+            )
+        if self.deadline < self.arrival:
+            raise ValueError(
+                f"deadline {self.deadline} precedes arrival {self.arrival}"
+            )
+        if abs(float(self.utilities[0])) > 1e-9:
+            raise ValueError("utility of the empty subset must be 0")
+
+
+@dataclass
+class ScheduleDecision:
+    """Chosen subset for one query; ``mask == 0`` rejects the query."""
+
+    query_id: int
+    mask: int
+
+    def __post_init__(self):
+        if self.mask < 0:
+            raise ValueError(f"mask must be non-negative, got {self.mask}")
+
+
+@dataclass
+class ScheduleResult:
+    """Scheduler output: decisions in processing order plus run stats.
+
+    ``work_units`` counts inner-loop iterations; the serving simulator
+    converts it into scheduling overhead time so that very small δ
+    (huge DP tables) pays its cost, as in Exp-4/Fig. 21.
+    """
+
+    decisions: List[ScheduleDecision]
+    total_utility: float = 0.0
+    work_units: int = 0
+
+    def mask_for(self, query_id: int) -> int:
+        for decision in self.decisions:
+            if decision.query_id == query_id:
+                return decision.mask
+        raise KeyError(f"no decision for query {query_id}")
+
+
+@dataclass
+class SchedulingInstance:
+    """A local scheduling subproblem (the buffer at one moment).
+
+    Attributes:
+        queries: Pending queries (any order; schedulers sort internally).
+        latencies: Per-model inference times ``T_k``.
+        busy_until: Per-model remaining execution time ``t_k^(0)``
+            measured from ``now`` (0 for idle models).
+        now: Current absolute time.
+    """
+
+    queries: List[QueryRequest]
+    latencies: np.ndarray
+    busy_until: np.ndarray
+    now: float = 0.0
+
+    def __post_init__(self):
+        self.latencies = np.asarray(self.latencies, dtype=float)
+        self.busy_until = np.asarray(self.busy_until, dtype=float)
+        if self.latencies.ndim != 1 or self.latencies.size == 0:
+            raise ValueError("latencies must be a non-empty 1-d array")
+        if np.any(self.latencies <= 0):
+            raise ValueError("latencies must be positive")
+        if self.busy_until.shape != self.latencies.shape:
+            raise ValueError(
+                f"busy_until shape {self.busy_until.shape} must match "
+                f"latencies shape {self.latencies.shape}"
+            )
+        if np.any(self.busy_until < 0):
+            raise ValueError("busy_until entries must be non-negative")
+        n_masks = 1 << self.n_models
+        for query in self.queries:
+            if query.utilities.shape[0] != n_masks:
+                raise ValueError(
+                    f"query {query.query_id} has {query.utilities.shape[0]} "
+                    f"utilities, expected {n_masks}"
+                )
+
+    @property
+    def n_models(self) -> int:
+        return int(self.latencies.shape[0])
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+
+def evaluate_schedule(
+    instance: SchedulingInstance,
+    decisions: Sequence[ScheduleDecision],
+    order: Optional[Sequence[int]] = None,
+) -> float:
+    """Total reward of a schedule under the consistent-order execution
+    model: queries are processed in ``decisions`` order (or ``order`` as
+    indices into ``decisions``), each model runs its assigned tasks in
+    that order, and a query earns its utility iff its completion time
+    (max over assigned models) meets the deadline.
+
+    Queries whose deadline is missed earn 0 (they are still executed —
+    this evaluator is for comparing schedulers, and feasible schedulers
+    never submit a missing query).
+    """
+    by_id = {q.query_id: q for q in instance.queries}
+    times = instance.busy_until.copy()
+    sequence = list(decisions) if order is None else [decisions[i] for i in order]
+    total = 0.0
+    for decision in sequence:
+        query = by_id[decision.query_id]
+        mask = decision.mask
+        if mask == 0:
+            continue
+        completion = 0.0
+        for k in range(instance.n_models):
+            if (mask >> k) & 1:
+                times[k] += instance.latencies[k]
+                completion = max(completion, times[k])
+        if instance.now + completion <= query.deadline + 1e-12:
+            total += float(query.utilities[mask])
+    return total

@@ -1,0 +1,61 @@
+"""Model-subset bitmask conventions.
+
+A subset of an ``m``-model ensemble is an ``int`` bitmask in
+``[0, 2**m)``; bit ``k`` set means base model ``k`` is executed. Mask 0
+(the empty set) means the query is skipped/rejected. Every module that
+talks about model combinations — the profiler's utility tables, the DP
+table, the serving policies — shares this encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+
+def iter_masks(n_models: int, include_empty: bool = False) -> Iterator[int]:
+    """Yield every subset mask for ``n_models`` base models."""
+    if n_models < 1:
+        raise ValueError(f"n_models must be >= 1, got {n_models}")
+    start = 0 if include_empty else 1
+    yield from range(start, 1 << n_models)
+
+
+def mask_members(mask: int) -> List[int]:
+    """Model indices contained in ``mask``."""
+    if mask < 0:
+        raise ValueError(f"mask must be non-negative, got {mask}")
+    members = []
+    index = 0
+    while mask:
+        if mask & 1:
+            members.append(index)
+        mask >>= 1
+        index += 1
+    return members
+
+
+def mask_size(mask: int) -> int:
+    """Number of models in ``mask``."""
+    if mask < 0:
+        raise ValueError(f"mask must be non-negative, got {mask}")
+    return bin(mask).count("1")
+
+
+def mask_latency(mask: int, latencies: Sequence[float]) -> float:
+    """Synchronous latency of executing ``mask`` on idle models: the
+    slowest member (models run in parallel)."""
+    members = mask_members(mask)
+    if any(k >= len(latencies) for k in members):
+        raise ValueError(
+            f"mask {mask:b} references model beyond {len(latencies)} models"
+        )
+    if not members:
+        return 0.0
+    return max(latencies[k] for k in members)
+
+
+def mask_contains(mask: int, model_index: int) -> bool:
+    """Whether ``mask`` includes ``model_index``."""
+    if model_index < 0:
+        raise ValueError(f"model_index must be >= 0, got {model_index}")
+    return bool((mask >> model_index) & 1)

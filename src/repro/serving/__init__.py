@@ -1,0 +1,21 @@
+"""Discrete-event simulation of the ensemble serving system (Section IV)."""
+
+from repro.serving.workload import ServingWorkload
+from repro.serving.records import QueryRecord, ServingResult
+from repro.serving.policies import (
+    BufferedSchedulingPolicy,
+    ImmediateMaskPolicy,
+    ServingPolicy,
+)
+from repro.serving.server import EnsembleServer, WorkerSpec
+
+__all__ = [
+    "ServingWorkload",
+    "QueryRecord",
+    "ServingResult",
+    "ServingPolicy",
+    "ImmediateMaskPolicy",
+    "BufferedSchedulingPolicy",
+    "EnsembleServer",
+    "WorkerSpec",
+]

@@ -1,0 +1,127 @@
+"""Serving policies: how arriving queries become model inference tasks.
+
+Two families exist, matching the paper's taxonomy:
+
+* *Immediate* policies (Original, Static, DES, Gating) choose a model
+  subset the moment a query arrives, from its features alone. The
+  experiments precompute that per-sample choice, so the policy is a mask
+  lookup.
+* *Buffered* policies (the Schemble variants) hold arrivals in a query
+  buffer and run a scheduling algorithm over the whole buffer whenever a
+  model idles, choosing subsets from predicted difficulty *and* queue
+  state (Section IV).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class ServingPolicy:
+    """Common policy surface consumed by :class:`EnsembleServer`."""
+
+    name: str = "policy"
+    buffered: bool = False
+    entry_delay: float = 0.0
+
+
+class ImmediateMaskPolicy(ServingPolicy):
+    """Select a precomputed subset mask on arrival.
+
+    Args:
+        name: Policy name for reporting.
+        masks: Either one mask for every query (Original/Static) or a
+            per-pool-sample mask array (DES/Gating — their choice depends
+            only on the query features, so it is precomputable).
+    """
+
+    buffered = False
+
+    def __init__(self, name: str, masks: Union[int, np.ndarray]):
+        self.name = name
+        if isinstance(masks, (int, np.integer)):
+            if masks <= 0:
+                raise ValueError(
+                    f"constant mask must select at least one model, got {masks}"
+                )
+            self._constant: Optional[int] = int(masks)
+            self._masks: Optional[np.ndarray] = None
+        else:
+            masks = np.asarray(masks, dtype=int)
+            if masks.ndim != 1:
+                raise ValueError(f"masks must be 1-d, got shape {masks.shape}")
+            if np.any(masks <= 0):
+                raise ValueError("per-sample masks must select >= 1 model")
+            self._constant = None
+            self._masks = masks
+
+    def mask_for(self, sample_index: int) -> int:
+        if self._constant is not None:
+            return self._constant
+        if sample_index >= self._masks.shape[0]:
+            raise IndexError(
+                f"sample {sample_index} beyond mask table of "
+                f"{self._masks.shape[0]}"
+            )
+        return int(self._masks[sample_index])
+
+
+class BufferedSchedulingPolicy(ServingPolicy):
+    """Schemble-style buffered policy driving a scheduling algorithm.
+
+    Args:
+        name: Policy name for reporting.
+        scheduler: Object with ``schedule(SchedulingInstance) ->
+            ScheduleResult`` (DP or greedy).
+        utilities: ``(n_pool, 2**m)`` reward rows the scheduler
+            maximises — built from predicted discrepancy scores and the
+            accuracy profile.
+        scores: Per-pool-sample difficulty estimates (drives SJF order
+            and is recorded on queries).
+        entry_delay: Time a query spends in discrepancy-score prediction
+            before it becomes schedulable (Fig. 13 overhead).
+        fast_path: The paper's Exp-5 waiting-time optimisation: when the
+            system is idle (no buffered queries, every worker free), an
+            arriving query bypasses prediction and scheduling and goes
+            straight to the fastest base model.
+    """
+
+    buffered = True
+
+    def __init__(
+        self,
+        name: str,
+        scheduler,
+        utilities: np.ndarray,
+        scores: Optional[np.ndarray] = None,
+        entry_delay: float = 0.0,
+        fast_path: bool = False,
+    ):
+        self.name = name
+        self.scheduler = scheduler
+        self.utilities = np.asarray(utilities, dtype=float)
+        if self.utilities.ndim != 2:
+            raise ValueError(
+                f"utilities must be 2-d, got shape {self.utilities.shape}"
+            )
+        if np.any(np.abs(self.utilities[:, 0]) > 1e-9):
+            raise ValueError("utility of the empty subset must be 0")
+        if scores is None:
+            scores = np.zeros(self.utilities.shape[0])
+        self.scores = np.asarray(scores, dtype=float)
+        if self.scores.shape[0] != self.utilities.shape[0]:
+            raise ValueError("scores and utilities disagree on pool size")
+        if entry_delay < 0:
+            raise ValueError(f"entry_delay must be >= 0, got {entry_delay}")
+        self.entry_delay = float(entry_delay)
+        self.fast_path = bool(fast_path)
+
+    def utilities_for(self, sample_index: int) -> np.ndarray:
+        return self.utilities[sample_index]
+
+    def score_for(self, sample_index: int) -> float:
+        return float(self.scores[sample_index])

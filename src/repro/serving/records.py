@@ -1,0 +1,114 @@
+"""Per-query serving records and run-level results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class QueryRecord:
+    """Outcome of one served query.
+
+    ``completion`` is None while tasks are in flight and for rejected
+    queries; ``executed_mask`` accumulates the models that actually ran.
+    """
+
+    query_id: int
+    sample_index: int
+    arrival: float
+    deadline: float  # absolute
+    scheduled_mask: int = 0
+    executed_mask: int = 0
+    completion: Optional[float] = None
+    rejected: bool = False
+    pending_tasks: int = 0
+
+    @property
+    def processed(self) -> bool:
+        return self.completion is not None and not self.rejected
+
+    @property
+    def missed(self) -> bool:
+        """Deadline miss: rejected, unfinished, or finished too late."""
+        if self.rejected or self.completion is None:
+            return True
+        return self.completion > self.deadline + 1e-12
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completion is None:
+            return None
+        return self.completion - self.arrival
+
+
+@dataclass
+class ServingResult:
+    """All query records of one serving run plus scheduler stats."""
+
+    records: List[QueryRecord]
+    policy_name: str = ""
+    scheduler_invocations: int = 0
+    scheduler_work_units: int = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def deadline_miss_rate(self) -> float:
+        """Fraction of queries that missed their deadline."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.missed for r in self.records]))
+
+    def qualities(self, quality_table: np.ndarray) -> np.ndarray:
+        """Per-query result quality: table lookup, 0 for missed queries."""
+        values = np.zeros(len(self.records))
+        for i, record in enumerate(self.records):
+            if not record.missed:
+                values[i] = quality_table[record.sample_index, record.executed_mask]
+        return values
+
+    def accuracy(self, quality_table: np.ndarray) -> float:
+        """Mean quality with missed queries counted as 0 (the paper's
+        headline accuracy metric)."""
+        if not self.records:
+            return 0.0
+        return float(self.qualities(quality_table).mean())
+
+    def processed_accuracy(self, quality_table: np.ndarray) -> float:
+        """Mean quality over queries that met their deadline."""
+        processed = [
+            quality_table[r.sample_index, r.executed_mask]
+            for r in self.records
+            if not r.missed
+        ]
+        if not processed:
+            return 0.0
+        return float(np.mean(processed))
+
+    def latencies(self) -> np.ndarray:
+        """Latencies of completed queries (rejected ones excluded)."""
+        values = [r.latency for r in self.records if r.latency is not None]
+        return np.asarray(values, dtype=float)
+
+    def latency_stats(self) -> Dict[str, float]:
+        """Mean / P95 / max latency over completed queries."""
+        latencies = self.latencies()
+        if latencies.size == 0:
+            return {"mean": float("nan"), "p95": float("nan"), "max": float("nan")}
+        return {
+            "mean": float(latencies.mean()),
+            "p95": float(np.percentile(latencies, 95)),
+            "max": float(latencies.max()),
+        }
+
+    def executed_model_counts(self, n_models: int) -> np.ndarray:
+        """How many queries executed each base model (load analysis)."""
+        counts = np.zeros(n_models, dtype=int)
+        for record in self.records:
+            for k in range(n_models):
+                if (record.executed_mask >> k) & 1:
+                    counts[k] += 1
+        return counts

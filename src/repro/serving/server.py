@@ -1,0 +1,340 @@
+"""Event-driven serving simulator.
+
+The server deploys one worker per base model (Schemble's memory
+constraint) or an explicit worker list with replicas (static selection).
+Workers execute assigned tasks non-preemptively in FIFO order; the
+paper's approximately-constant deep-model execution times make a
+worker's availability exactly predictable, which is what both the
+rejection estimate and the DP's busy-time vector rely on.
+
+Buffered policies additionally model scheduling overhead: each scheduler
+invocation charges ``overhead_base + overhead_per_unit * work_units``
+of wall-clock time before its plan commits, so an over-fine quantisation
+step (δ = 0.001 in Exp-4) pays for its own table size.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.scheduling.problem import QueryRequest, SchedulingInstance
+from repro.serving.policies import BufferedSchedulingPolicy, ServingPolicy
+from repro.serving.records import QueryRecord, ServingResult
+from repro.serving.workload import ServingWorkload
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class WorkerSpec:
+    """One deployed model instance."""
+
+    model_index: int
+    latency: float
+
+    def __post_init__(self):
+        if self.model_index < 0:
+            raise ValueError(
+                f"model_index must be >= 0, got {self.model_index}"
+            )
+        check_positive("latency", self.latency)
+
+
+class _Worker:
+    """Runtime worker state: a FIFO accumulator of committed tasks."""
+
+    __slots__ = ("spec", "free_time")
+
+    def __init__(self, spec: WorkerSpec):
+        self.spec = spec
+        self.free_time = 0.0
+
+    def assign(self, now: float) -> float:
+        """Append one task; returns its completion time."""
+        start = max(self.free_time, now)
+        self.free_time = start + self.spec.latency
+        return self.free_time
+
+
+# Event kinds, ordered so ties at equal time resolve sensibly:
+# completions release capacity before new work is planned, and the
+# scheduler only runs after every same-instant arrival has joined the
+# buffer (so a burst is planned as a batch, not one query at a time).
+_TASK_DONE = 0
+_COMMIT = 1
+_ARRIVAL = 2
+_ENTER_BUFFER = 3
+_SCHEDULE = 4
+
+
+class EnsembleServer:
+    """Simulates one serving run of a policy over a workload.
+
+    Args:
+        latencies: Per-base-model inference time (seconds).
+        policy: The serving policy under test.
+        workers: Explicit deployment (for static selection with
+            replicas); defaults to one worker per base model.
+        allow_rejection: Skip queries whose estimated completion exceeds
+            their deadline (the paper's Exp-1 setting). When False every
+            query is processed (Exp-2 / Table II).
+        max_buffer: Largest buffer slice handed to the scheduler at once.
+        overhead_base: Fixed per-invocation scheduling delay (seconds).
+        overhead_per_unit: Scheduling delay per scheduler work unit.
+    """
+
+    def __init__(
+        self,
+        latencies: Sequence[float],
+        policy: ServingPolicy,
+        workers: Optional[Sequence[WorkerSpec]] = None,
+        allow_rejection: bool = True,
+        max_buffer: int = 16,
+        overhead_base: float = 2e-4,
+        overhead_per_unit: float = 2e-8,
+    ):
+        self.latencies = np.asarray(latencies, dtype=float)
+        if self.latencies.ndim != 1 or np.any(self.latencies <= 0):
+            raise ValueError("latencies must be a 1-d array of positives")
+        self.policy = policy
+        if workers is None:
+            workers = [
+                WorkerSpec(model_index=k, latency=float(t))
+                for k, t in enumerate(self.latencies)
+            ]
+        self._workers = [_Worker(spec) for spec in workers]
+        deployed = {w.spec.model_index for w in self._workers}
+        if not deployed.issubset(range(self.latencies.shape[0])):
+            raise ValueError("worker references an unknown model index")
+        self.allow_rejection = allow_rejection
+        if max_buffer < 1:
+            raise ValueError(f"max_buffer must be >= 1, got {max_buffer}")
+        self.max_buffer = max_buffer
+        self.overhead_base = check_positive(
+            "overhead_base", overhead_base, allow_zero=True
+        )
+        self.overhead_per_unit = check_positive(
+            "overhead_per_unit", overhead_per_unit, allow_zero=True
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, workload: ServingWorkload) -> ServingResult:
+        """Replay the workload; returns per-query records."""
+        if workload.n_models != self.latencies.shape[0]:
+            raise ValueError(
+                f"workload encodes {workload.n_models} models, server has "
+                f"{self.latencies.shape[0]}"
+            )
+        for worker in self._workers:
+            worker.free_time = 0.0
+
+        records: Dict[int, QueryRecord] = {}
+        events: List = []
+        sequence = itertools.count()
+
+        for i in range(workload.n_queries):
+            heapq.heappush(
+                events,
+                (float(workload.arrivals[i]), next(sequence), _ARRIVAL, i),
+            )
+            records[i] = QueryRecord(
+                query_id=i,
+                sample_index=int(workload.sample_indices[i]),
+                arrival=float(workload.arrivals[i]),
+                deadline=float(workload.arrivals[i] + workload.deadlines[i]),
+            )
+
+        buffer: List[int] = []
+        scheduling_busy = False
+        invocations = 0
+        total_work = 0
+
+        buffered = isinstance(self.policy, BufferedSchedulingPolicy)
+
+        def try_schedule(now: float):
+            nonlocal scheduling_busy, invocations, total_work
+            if scheduling_busy or not buffer:
+                return
+            if not any(w.free_time <= now + 1e-12 for w in self._workers):
+                return
+            # Snapshot the earliest-deadline slice of the buffer.
+            buffer.sort(key=lambda qid: records[qid].deadline)
+            snapshot = buffer[: self.max_buffer]
+            del buffer[: len(snapshot)]
+
+            queries = [
+                QueryRequest(
+                    query_id=qid,
+                    arrival=records[qid].arrival,
+                    deadline=records[qid].deadline,
+                    utilities=self.policy.utilities_for(
+                        records[qid].sample_index
+                    ),
+                    score=self.policy.score_for(records[qid].sample_index),
+                    sample_index=records[qid].sample_index,
+                )
+                for qid in snapshot
+            ]
+            busy_until = self._busy_per_model(now)
+            instance = SchedulingInstance(
+                queries=queries,
+                latencies=self.latencies,
+                busy_until=busy_until,
+                now=now,
+            )
+            result = self.policy.scheduler.schedule(instance)
+            invocations += 1
+            total_work += result.work_units
+            overhead = (
+                self.overhead_base
+                + self.overhead_per_unit * result.work_units
+            )
+            scheduling_busy = True
+            heapq.heappush(
+                events,
+                (now + overhead, next(sequence), _COMMIT, result.decisions),
+            )
+
+        def commit(now: float, decisions):
+            """Apply one plan: reject infeasible queries and dispatch the
+            plan's EDF prefix while some model is still idle. Queries
+            beyond that stay buffered, so later arrivals can reshape
+            their subsets (the paper's wait-for-idling-models rule)."""
+            nonlocal scheduling_busy
+            scheduling_busy = False
+            for decision in decisions:
+                record = records[decision.query_id]
+                mask = decision.mask
+                if mask == 0 and not self.allow_rejection:
+                    # Forced processing: fall back to the fastest model.
+                    mask = 1 << int(np.argmin(self.latencies))
+                if mask == 0:
+                    # Deadlines only get closer; infeasible stays so.
+                    record.rejected = True
+                    continue
+                if not any(w.free_time <= now + 1e-12 for w in self._workers):
+                    buffer.append(decision.query_id)
+                    continue
+                self._dispatch(record, mask, now, events, sequence)
+
+        def dispatch_immediate(now: float, qid: int):
+            record = records[qid]
+            mask = self.policy.mask_for(record.sample_index)
+            if self.allow_rejection:
+                estimate = self._estimate_completion(mask, now)
+                if estimate > record.deadline + 1e-12:
+                    record.rejected = True
+                    return
+            self._dispatch(record, mask, now, events, sequence)
+
+        fastest_mask = 1 << int(np.argmin(self.latencies))
+
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            if kind == _ARRIVAL:
+                if buffered:
+                    idle_system = (
+                        getattr(self.policy, "fast_path", False)
+                        and not buffer
+                        and not scheduling_busy
+                        and all(w.free_time <= now + 1e-12 for w in self._workers)
+                    )
+                    if idle_system:
+                        # Exp-5 fast path: skip prediction + scheduling
+                        # entirely when the system is idle.
+                        self._dispatch(
+                            records[payload], fastest_mask, now, events, sequence
+                        )
+                        continue
+                    delay = self.policy.entry_delay
+                    heapq.heappush(
+                        events,
+                        (now + delay, next(sequence), _ENTER_BUFFER, payload),
+                    )
+                else:
+                    dispatch_immediate(now, payload)
+            elif kind == _ENTER_BUFFER:
+                buffer.append(payload)
+                # Defer planning to a same-time _SCHEDULE event so every
+                # arrival in this instant is in the buffer first.
+                heapq.heappush(events, (now, next(sequence), _SCHEDULE, None))
+            elif kind == _SCHEDULE:
+                try_schedule(now)
+            elif kind == _COMMIT:
+                commit(now, payload)
+                try_schedule(now)
+            elif kind == _TASK_DONE:
+                qid, model_index = payload
+                record = records[qid]
+                record.executed_mask |= 1 << model_index
+                record.pending_tasks -= 1
+                if record.pending_tasks == 0:
+                    record.completion = now
+                if buffered:
+                    try_schedule(now)
+
+        # Anything still buffered never ran (trace ended): count as missed.
+        for qid in buffer:
+            records[qid].rejected = True
+
+        return ServingResult(
+            records=[records[i] for i in range(workload.n_queries)],
+            policy_name=self.policy.name,
+            scheduler_invocations=invocations,
+            scheduler_work_units=total_work,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _workers_for(self, model_index: int) -> List[_Worker]:
+        chosen = [
+            w for w in self._workers if w.spec.model_index == model_index
+        ]
+        if not chosen:
+            raise ValueError(f"no deployed worker serves model {model_index}")
+        return chosen
+
+    def _busy_per_model(self, now: float) -> np.ndarray:
+        """Remaining committed work per base model (min across replicas)."""
+        busy = np.zeros(self.latencies.shape[0])
+        for k in range(busy.shape[0]):
+            candidates = [
+                max(0.0, w.free_time - now)
+                for w in self._workers
+                if w.spec.model_index == k
+            ]
+            busy[k] = min(candidates) if candidates else np.inf
+        return busy
+
+    def _estimate_completion(self, mask: int, now: float) -> float:
+        """Estimated completion time of ``mask`` dispatched right now."""
+        estimate = now
+        for k in range(self.latencies.shape[0]):
+            if (mask >> k) & 1:
+                worker = min(self._workers_for(k), key=lambda w: w.free_time)
+                finish = max(worker.free_time, now) + worker.spec.latency
+                estimate = max(estimate, finish)
+        return estimate
+
+    def _dispatch(self, record, mask, now, events, sequence):
+        record.scheduled_mask = mask
+        count = 0
+        for k in range(self.latencies.shape[0]):
+            if (mask >> k) & 1:
+                worker = min(self._workers_for(k), key=lambda w: w.free_time)
+                finish = worker.assign(now)
+                heapq.heappush(
+                    events,
+                    (finish, next(sequence), _TASK_DONE, (record.query_id, k)),
+                )
+                count += 1
+        record.pending_tasks = count

@@ -1,0 +1,79 @@
+"""Serving workload: arrivals, deadlines and per-sample quality/utility.
+
+Experiments precompute, for every pool sample, (a) the *quality* of each
+model combination — 1/0 correctness vs the full ensemble for
+classification/regression, average precision for retrieval — and (b) the
+*utility* rows the scheduler maximises. The simulator then replays
+arrivals against these tables, so a serving run is pure queueing and
+scheduling with no model execution in the loop (the models already ran
+once to build the tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class ServingWorkload:
+    """Replayable open-loop workload over a scored sample pool.
+
+    Attributes:
+        arrivals: Absolute arrival times (seconds), sorted ascending.
+        deadlines: Relative deadlines (seconds after arrival), one per
+            arrival.
+        sample_indices: Pool sample replayed by each arrival.
+        quality: ``(n_pool, 2**m)`` result quality per subset mask in
+            ``[0, 1]``; column 0 must be 0 (no models executed).
+        utilities: ``(n_pool, 2**m)`` scheduler rewards; defaults to
+            ``quality`` when omitted.
+    """
+
+    arrivals: np.ndarray
+    deadlines: np.ndarray
+    sample_indices: np.ndarray
+    quality: np.ndarray
+    utilities: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        self.arrivals = np.asarray(self.arrivals, dtype=float)
+        self.deadlines = np.asarray(self.deadlines, dtype=float)
+        self.sample_indices = np.asarray(self.sample_indices, dtype=int)
+        self.quality = np.asarray(self.quality, dtype=float)
+        if self.utilities is None:
+            self.utilities = self.quality
+        else:
+            self.utilities = np.asarray(self.utilities, dtype=float)
+
+        n = self.arrivals.shape[0]
+        if self.deadlines.shape[0] != n or self.sample_indices.shape[0] != n:
+            raise ValueError(
+                "arrivals, deadlines and sample_indices must share length"
+            )
+        if n and np.any(np.diff(self.arrivals) < 0):
+            raise ValueError("arrivals must be sorted ascending")
+        if np.any(self.deadlines <= 0):
+            raise ValueError("relative deadlines must be positive")
+        if self.quality.shape != self.utilities.shape:
+            raise ValueError("quality and utilities must share shape")
+        if self.quality.ndim != 2:
+            raise ValueError("quality must be 2-d (n_pool, n_masks)")
+        if n and self.sample_indices.max() >= self.quality.shape[0]:
+            raise ValueError("sample index beyond quality table")
+        if np.any(np.abs(self.quality[:, 0]) > 1e-9):
+            raise ValueError("quality of the empty subset must be 0")
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.arrivals.shape[0])
+
+    @property
+    def n_masks(self) -> int:
+        return int(self.quality.shape[1])
+
+    @property
+    def n_models(self) -> int:
+        return int(self.n_masks).bit_length() - 1

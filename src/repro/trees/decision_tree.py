@@ -1,0 +1,142 @@
+"""CART regression trees used as gradient-boosting weak learners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves have ``value`` set, internal nodes a split."""
+
+    value: Optional[float] = None
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.value is not None
+
+
+class DecisionTreeRegressor:
+    """A depth-limited CART regressor minimising squared error.
+
+    Split candidates are quantiles of each feature rather than every
+    distinct value, which keeps fitting fast on the residual targets that
+    gradient boosting produces while losing essentially no quality.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+        max_thresholds: int = 16,
+    ):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError(
+                f"min_samples_leaf must be >= 1, got {min_samples_leaf}"
+            )
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_thresholds = max_thresholds
+        self._root: Optional[_Node] = None
+        self.n_features_: Optional[int] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        """Grow the tree on features ``x`` and real targets ``y``."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-d, got shape {x.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x and y disagree on sample count: {x.shape[0]} vs {y.shape[0]}"
+            )
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        self.n_features_ = x.shape[1]
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        if (
+            depth >= self.max_depth
+            or y.shape[0] < 2 * self.min_samples_leaf
+            or np.allclose(y, y[0])
+        ):
+            return _Node(value=float(y.mean()))
+        split = self._best_split(x, y)
+        if split is None:
+            return _Node(value=float(y.mean()))
+        feature, threshold, mask = split
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            left=self._grow(x[mask], y[mask], depth + 1),
+            right=self._grow(x[~mask], y[~mask], depth + 1),
+        )
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        """Return ``(feature, threshold, left_mask)`` minimising SSE."""
+        n = y.shape[0]
+        base_sse = float(((y - y.mean()) ** 2).sum())
+        best = None
+        best_gain = 1e-12
+        quantiles = np.linspace(0.0, 1.0, self.max_thresholds + 2)[1:-1]
+        for feature in range(x.shape[1]):
+            column = x[:, feature]
+            thresholds = np.unique(np.quantile(column, quantiles))
+            for threshold in thresholds:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if (
+                    n_left < self.min_samples_leaf
+                    or n - n_left < self.min_samples_leaf
+                ):
+                    continue
+                left, right = y[mask], y[~mask]
+                sse = float(
+                    ((left - left.mean()) ** 2).sum()
+                    + ((right - right.mean()) ** 2).sum()
+                )
+                gain = base_sse - sse
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold), mask)
+        return best
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Leaf-mean prediction for each row of ``x``."""
+        if self._root is None:
+            raise RuntimeError("predict called before fit")
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.n_features_:
+            raise ValueError(
+                f"x must have shape (n, {self.n_features_}), got {x.shape}"
+            )
+        out = np.empty(x.shape[0])
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("depth called before fit")
+        return walk(self._root)

@@ -1,0 +1,130 @@
+"""Gradient-boosted trees (the stacking aggregator substrate).
+
+``GradientBoostingClassifier`` fits one regression tree per class per
+round on the softmax gradient, exactly the scheme XGBoost uses for
+multi-class objectives (minus second-order weights and regularisation
+terms that do not matter at this scale).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.functional import one_hot, softmax
+from repro.trees.decision_tree import DecisionTreeRegressor
+from repro.utils.validation import check_in_range, check_positive
+
+
+class GradientBoostingRegressor:
+    """Least-squares gradient boosting."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+    ):
+        self.n_estimators = int(check_positive("n_estimators", n_estimators))
+        self.learning_rate = check_in_range("learning_rate", learning_rate, 0.0, 1.0)
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._trees: List[DecisionTreeRegressor] = []
+        self._base: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostingRegressor":
+        """Fit additive trees to least-squares residuals."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        self._base = float(y.mean())
+        self._trees = []
+        current = np.full_like(y, self._base)
+        for _ in range(self.n_estimators):
+            residual = y - current
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+            ).fit(x, residual)
+            current += self.learning_rate * tree.predict(x)
+            self._trees.append(tree)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Sum of the base score and all shrunken tree outputs."""
+        if not self._trees:
+            raise RuntimeError("predict called before fit")
+        x = np.asarray(x, dtype=float)
+        out = np.full(x.shape[0], self._base)
+        for tree in self._trees:
+            out += self.learning_rate * tree.predict(x)
+        return out
+
+
+class GradientBoostingClassifier:
+    """Softmax gradient boosting for (multi-class) classification."""
+
+    def __init__(
+        self,
+        n_estimators: int = 40,
+        learning_rate: float = 0.2,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+    ):
+        self.n_estimators = int(check_positive("n_estimators", n_estimators))
+        self.learning_rate = check_in_range("learning_rate", learning_rate, 0.0, 1.0)
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._rounds: List[List[DecisionTreeRegressor]] = []
+        self._prior: Optional[np.ndarray] = None
+        self.num_classes_: Optional[int] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        """Fit one tree per class per round on softmax gradients."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=int).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x and y disagree on sample count: {x.shape[0]} vs {y.shape[0]}"
+            )
+        self.num_classes_ = int(y.max()) + 1
+        if self.num_classes_ < 2:
+            raise ValueError("need at least two classes to fit a classifier")
+        targets = one_hot(y, self.num_classes_)
+        # Log-prior initialisation matches XGBoost's base_score behaviour.
+        counts = targets.mean(axis=0).clip(1e-6, None)
+        self._prior = np.log(counts)
+        scores = np.tile(self._prior, (x.shape[0], 1))
+        self._rounds = []
+        for _ in range(self.n_estimators):
+            probs = softmax(scores)
+            gradient = targets - probs
+            round_trees: List[DecisionTreeRegressor] = []
+            for k in range(self.num_classes_):
+                tree = DecisionTreeRegressor(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                ).fit(x, gradient[:, k])
+                scores[:, k] += self.learning_rate * tree.predict(x)
+                round_trees.append(tree)
+            self._rounds.append(round_trees)
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Raw per-class scores (log-prior plus tree contributions)."""
+        if self._prior is None:
+            raise RuntimeError("predict called before fit")
+        x = np.asarray(x, dtype=float)
+        scores = np.tile(self._prior, (x.shape[0], 1))
+        for round_trees in self._rounds:
+            for k, tree in enumerate(round_trees):
+                scores[:, k] += self.learning_rate * tree.predict(x)
+        return scores
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class-probability matrix via softmax over the scores."""
+        return softmax(self.decision_function(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions."""
+        return np.argmax(self.decision_function(x), axis=1)

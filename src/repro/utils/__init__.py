@@ -1,0 +1,18 @@
+"""Shared utilities: RNG handling, validation, small math helpers."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_probabilities,
+    check_positive,
+    check_in_range,
+    check_matrix,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_probabilities",
+    "check_positive",
+    "check_in_range",
+    "check_matrix",
+]

@@ -1,0 +1,71 @@
+"""Dynamic ensemble selection."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.des import DynamicEnsembleSelection
+
+
+@pytest.fixture()
+def regional_data(rng):
+    """Two regions; model 0 is credible on the left, model 1 on the right."""
+    n = 600
+    x = np.c_[rng.uniform(-1, 1, n), rng.normal(size=n) * 0.1]
+    left = x[:, 0] < 0
+    correct = np.zeros((n, 2))
+    correct[left, 0] = 1.0
+    correct[~left, 1] = 1.0
+    return x, correct, left
+
+
+class TestDES:
+    def test_learns_regional_competence(self, regional_data):
+        x, correct, left = regional_data
+        des = DynamicEnsembleSelection(n_regions=4, seed=0).fit(x, correct)
+        masks = des.select_masks(x)
+        # Left points should prefer model 0, right points model 1.
+        left_hits = np.mean([(m & 1) != 0 for m in masks[left]])
+        right_hits = np.mean([(m & 2) != 0 for m in masks[~left]])
+        assert left_hits > 0.9
+        assert right_hits > 0.9
+
+    def test_every_query_gets_a_model(self, regional_data):
+        x, correct, _ = regional_data
+        des = DynamicEnsembleSelection(n_regions=4, seed=0).fit(x, correct)
+        assert np.all(des.select_masks(x) > 0)
+
+    def test_low_threshold_selects_more_models(self, tm_setup):
+        history = tm_setup.history
+        competence = np.stack(
+            [tm_setup.history_quality[:, 1 << k] for k in range(3)], axis=1
+        )
+        strict = DynamicEnsembleSelection(
+            n_regions=6, threshold=0.999, seed=0
+        ).fit(history.features, competence)
+        lax = DynamicEnsembleSelection(
+            n_regions=6, threshold=0.5, seed=0
+        ).fit(history.features, competence)
+        pool = tm_setup.pool.features
+        strict_sizes = [bin(m).count("1") for m in strict.select_masks(pool)]
+        lax_sizes = [bin(m).count("1") for m in lax.select_masks(pool)]
+        assert np.mean(lax_sizes) >= np.mean(strict_sizes)
+
+    def test_policy_precomputes_masks(self, regional_data):
+        x, correct, _ = regional_data
+        des = DynamicEnsembleSelection(n_regions=4, seed=0).fit(x, correct)
+        policy = des.policy(x[:50])
+        assert policy.name == "des"
+        assert policy.mask_for(0) == des.select_masks(x[:1])[0]
+
+    def test_select_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DynamicEnsembleSelection().select_masks(np.zeros((1, 2)))
+
+    def test_validation(self, regional_data):
+        x, correct, _ = regional_data
+        with pytest.raises(ValueError):
+            DynamicEnsembleSelection(n_regions=0)
+        with pytest.raises(ValueError):
+            DynamicEnsembleSelection(threshold=1.5)
+        with pytest.raises(ValueError, match="sample count"):
+            DynamicEnsembleSelection(n_regions=2).fit(x[:10], correct)

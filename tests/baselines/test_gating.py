@@ -1,0 +1,68 @@
+"""Gating-network selection."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gating import GatingNetwork
+
+
+class TestGatingNetwork:
+    def test_learns_strong_preference_signal(self, rng):
+        """When preferences ARE learnable, gating finds them — the
+        paper's point is that deep-model preferences are not."""
+        n = 800
+        x = rng.normal(size=(n, 4))
+        correct = np.c_[(x[:, 0] > 0), (x[:, 0] <= 0)].astype(float)
+        gate = GatingNetwork(4, 2, epochs=40, seed=0).fit(x, correct)
+        masks = gate.select_masks(x)
+        pos = x[:, 0] > 0.5
+        neg = x[:, 0] < -0.5
+        assert np.mean([(m & 1) != 0 for m in masks[pos]]) > 0.8
+        assert np.mean([(m & 2) != 0 for m in masks[neg]]) > 0.8
+
+    def test_gate_weights_bounded(self, rng):
+        x = rng.normal(size=(100, 3))
+        correct = rng.random((100, 2))
+        gate = GatingNetwork(3, 2, epochs=2, seed=1).fit(x, correct)
+        weights = gate.gate_weights(x)
+        assert np.all((weights >= 0) & (weights <= 1))
+
+    def test_every_query_gets_a_model(self, rng):
+        x = rng.normal(size=(50, 3))
+        gate = GatingNetwork(3, 2, epochs=1, seed=1).fit(
+            x, rng.random((50, 2))
+        )
+        assert np.all(gate.select_masks(x) > 0)
+
+    def test_fails_to_capture_deep_model_preferences(self, tm_setup):
+        """Section V-C: on a real deep ensemble, the gate weight for a
+        model barely predicts whether that model is actually correct on
+        the query — the preference space is too noisy to learn."""
+        weights = tm_setup.gating.gate_weights(tm_setup.pool.features)
+        correct = np.stack(
+            [tm_setup.quality[:, 1 << k] for k in range(3)], axis=1
+        )
+        for k in range(3):
+            corr = np.corrcoef(weights[:, k], correct[:, k])[0, 1]
+            assert abs(corr) < 0.4
+
+    def test_policy_wrapper(self, rng):
+        x = rng.normal(size=(30, 3))
+        gate = GatingNetwork(3, 2, epochs=1, seed=2).fit(
+            x, rng.random((30, 2))
+        )
+        policy = gate.policy(x)
+        assert policy.name == "gating"
+
+    def test_weights_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GatingNetwork(3, 2).gate_weights(np.zeros((1, 3)))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            GatingNetwork(3, 0)
+        with pytest.raises(ValueError):
+            GatingNetwork(3, 2, threshold=2.0)
+        gate = GatingNetwork(3, 2, epochs=1)
+        with pytest.raises(ValueError, match="columns"):
+            gate.fit(rng.normal(size=(10, 3)), rng.random((10, 3)))

@@ -1,0 +1,44 @@
+"""Original policy + cross-baseline invariants (no training needed)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.original import original_policy
+from repro.baselines.static import StaticSelection, plan_throughput
+from repro.serving.server import WorkerSpec
+
+
+class TestOriginalPolicy:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5])
+    def test_full_mask_for_any_ensemble_size(self, m):
+        policy = original_policy(m)
+        assert policy.mask_for(0) == (1 << m) - 1
+
+    def test_policy_name(self):
+        assert original_policy(2).name == "original"
+
+    def test_not_buffered(self):
+        assert not original_policy(2).buffered
+
+
+class TestStaticSelectionContainer:
+    def test_replica_counts(self):
+        plan = StaticSelection(
+            mask=0b011,
+            workers=[WorkerSpec(0, 0.1), WorkerSpec(1, 0.2), WorkerSpec(1, 0.2)],
+        )
+        assert plan.replica_counts(3) == [1, 2, 0]
+
+    def test_policy_carries_mask(self):
+        plan = StaticSelection(mask=0b10, workers=[WorkerSpec(1, 0.2)])
+        assert plan.policy.mask_for(123) == 0b10
+
+    def test_throughput_zero_without_members(self):
+        assert plan_throughput([], 0, [0.1]) == 0.0
+
+    def test_throughput_counts_only_masked_models(self):
+        workers = [WorkerSpec(0, 0.1), WorkerSpec(0, 0.1), WorkerSpec(1, 0.4)]
+        # Mask includes only model 0: 2 replicas / 0.1s = 20/s.
+        assert plan_throughput(workers, 0b01, [0.1, 0.4]) == pytest.approx(20.0)
+        # Mask with both: bottleneck is model 1 at 2.5/s.
+        assert plan_throughput(workers, 0b11, [0.1, 0.4]) == pytest.approx(2.5)

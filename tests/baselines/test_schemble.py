@@ -1,0 +1,76 @@
+"""SchemblePipeline end-to-end behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.schemble import SchemblePipeline
+from repro.scheduling.greedy import GreedyScheduler
+
+
+class TestSchemblePipeline:
+    def test_fit_populates_components(self, tm_setup):
+        pipeline = tm_setup.schemble
+        assert pipeline.predictor is not None
+        assert pipeline.profiler.utilities_ is not None
+
+    def test_policy_shapes(self, tm_setup):
+        policy = tm_setup.schemble.policy(tm_setup.pool.features)
+        n_pool = len(tm_setup.pool)
+        assert policy.utilities.shape == (n_pool, 1 << tm_setup.n_models)
+        assert policy.scores.shape == (n_pool,)
+        assert policy.entry_delay > 0  # predictor overhead charged
+
+    def test_policy_overhead_can_be_disabled(self, tm_setup):
+        policy = tm_setup.schemble.policy(
+            tm_setup.pool.features, charge_predictor_overhead=False
+        )
+        assert policy.entry_delay == 0.0
+
+    def test_t_variant_has_constant_scores(self, tm_setup):
+        scores = tm_setup.schemble_t.predict_scores(tm_setup.pool.features)
+        assert np.allclose(scores, scores[0])
+
+    def test_t_variant_charges_no_predictor_overhead(self, tm_setup):
+        policy = tm_setup.schemble_t.policy(tm_setup.pool.features)
+        assert policy.entry_delay == 0.0
+
+    def test_ea_variant_scores_differ_from_discrepancy(self, tm_setup):
+        ea = tm_setup.schemble_ea.true_scores(tm_setup.pool_table)
+        dis = tm_setup.schemble.true_scores(tm_setup.pool_table)
+        assert not np.allclose(ea, dis)
+        assert np.all((ea >= 0) & (ea <= 1))
+
+    def test_custom_scheduler_threaded_through(self, tm_setup):
+        scheduler = GreedyScheduler("fifo")
+        policy = tm_setup.schemble.policy(
+            tm_setup.pool.features, scheduler=scheduler
+        )
+        assert policy.scheduler is scheduler
+
+    def test_oracle_scores_override(self, tm_setup):
+        oracle = tm_setup.schemble.true_scores(tm_setup.pool_table)
+        policy = tm_setup.schemble.policy(
+            tm_setup.pool.features, scores=oracle
+        )
+        np.testing.assert_array_equal(policy.scores, oracle)
+
+    def test_utilities_monotone_in_mask_inclusion(self, tm_setup):
+        scores = np.linspace(0, 1, 7)
+        rows = tm_setup.schemble.utilities(scores)
+        m = tm_setup.n_models
+        for mask in range(1, 1 << m):
+            for k in range(m):
+                if mask >> k & 1:
+                    parent = mask & ~(1 << k)
+                    assert np.all(rows[:, mask] >= rows[:, parent] - 1e-9)
+
+    def test_predict_before_fit_raises(self, tm_setup):
+        pipeline = SchemblePipeline(tm_setup.ensemble)
+        with pytest.raises(RuntimeError):
+            pipeline.predict_scores(tm_setup.pool.features)
+        with pytest.raises(RuntimeError):
+            pipeline.true_scores(tm_setup.pool_table)
+
+    def test_unknown_metric_rejected(self, tm_setup):
+        with pytest.raises(ValueError):
+            SchemblePipeline(tm_setup.ensemble, metric="entropy")

@@ -1,0 +1,116 @@
+"""Static selection: subset choice and replica deployment."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.original import original_policy
+from repro.baselines.static import (
+    plan_throughput,
+    replica_workers,
+    static_policy,
+)
+
+
+@pytest.fixture()
+def quality():
+    # Mask qualities for 3 models; full=0.95, pairs ~0.9, singles lower.
+    q = np.zeros((100, 8))
+    solo = {1: 0.6, 2: 0.8, 4: 0.85}
+    for mask in range(1, 8):
+        size = bin(mask).count("1")
+        if size == 1:
+            q[:, mask] = solo[mask]
+        elif size == 2:
+            q[:, mask] = 0.9
+        else:
+            q[:, mask] = 0.95
+    return q
+
+
+LATENCIES = [0.02, 0.07, 0.09]
+MEMORIES = [400.0, 1300.0, 1400.0]
+
+
+class TestOriginalPolicy:
+    def test_full_mask(self):
+        assert original_policy(3).mask_for(0) == 0b111
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            original_policy(0)
+
+
+class TestReplicaWorkers:
+    def test_single_model_fills_budget(self):
+        workers = replica_workers(0b001, LATENCIES, MEMORIES, 3100.0)
+        assert all(w.model_index == 0 for w in workers)
+        assert len(workers) == 7  # 3100 // 400
+
+    def test_bottleneck_replicated_first(self):
+        # Budget for base {0, 1} plus one extra copy: the slow model 1
+        # limits throughput, so it gets the replica.
+        workers = replica_workers(0b011, LATENCIES, MEMORIES, 3000.0)
+        counts = {0: 0, 1: 0}
+        for w in workers:
+            counts[w.model_index] += 1
+        assert counts[1] == 2
+        assert counts[0] == 1
+
+    def test_no_room_means_no_replicas(self):
+        workers = replica_workers(0b110, LATENCIES, MEMORIES, 2700.0)
+        assert len(workers) == 2
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            replica_workers(0, LATENCIES, MEMORIES, 1000.0)
+
+
+class TestPlanThroughput:
+    def test_bottleneck_rate(self):
+        workers = replica_workers(0b011, LATENCIES, MEMORIES, 3000.0)
+        # Model 0: 1/0.02 = 50/s; model 1 with 2 replicas: 2/0.07 = 28.6.
+        assert plan_throughput(workers, 0b011, LATENCIES) == pytest.approx(
+            2 / 0.07
+        )
+
+
+class TestStaticPolicy:
+    def test_low_load_prefers_accuracy(self, quality):
+        plan = static_policy(quality, LATENCIES, MEMORIES, target_rate=5.0)
+        assert plan.mask == 0b111  # everything keeps up at 5 qps
+
+    def test_high_load_prefers_replicated_subset(self, quality):
+        plan = static_policy(quality, LATENCIES, MEMORIES, target_rate=40.0)
+        # The full ensemble only sustains ~11 qps; a smaller subset with
+        # replicas wins under heavy load.
+        assert bin(plan.mask).count("1") < 3
+
+    def test_policy_mask_matches_plan(self, quality):
+        plan = static_policy(quality, LATENCIES, MEMORIES, target_rate=10.0)
+        assert plan.policy.mask_for(0) == plan.mask
+        assert plan.policy.name == "static"
+
+    def test_memory_budget_respected(self, quality):
+        plan = static_policy(
+            quality, LATENCIES, MEMORIES, target_rate=10.0,
+            memory_budget=500.0,
+        )
+        assert plan.mask == 0b001  # only the small model fits
+        used = sum(MEMORIES[w.model_index] for w in plan.workers)
+        assert used <= 500.0
+
+    def test_impossible_budget_rejected(self, quality):
+        with pytest.raises(ValueError, match="budget"):
+            static_policy(
+                quality, LATENCIES, MEMORIES, target_rate=10.0,
+                memory_budget=100.0,
+            )
+
+    def test_setup_plan_is_consistent(self, tm_setup):
+        plan = tm_setup.static_plan
+        counts = plan.replica_counts(tm_setup.n_models)
+        for k in range(tm_setup.n_models):
+            if plan.mask >> k & 1:
+                assert counts[k] >= 1
+            else:
+                assert counts[k] == 0

@@ -1,0 +1,72 @@
+"""Tests for the k-means substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import KMeans
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(0)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    labels = rng.integers(3, size=600)
+    return centers[labels] + rng.normal(size=(600, 2)) * 0.5, labels, centers
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, blobs):
+        x, _, centers = blobs
+        model = KMeans(n_clusters=3, seed=1).fit(x)
+        found = model.centers_[np.argsort(model.centers_[:, 0] + model.centers_[:, 1])]
+        expected = centers[np.argsort(centers[:, 0] + centers[:, 1])]
+        np.testing.assert_allclose(found, expected, atol=0.5)
+
+    def test_predict_assigns_nearest_center(self, blobs):
+        x, _, _ = blobs
+        model = KMeans(n_clusters=3, seed=1).fit(x)
+        point = np.array([[10.0, 0.2]])
+        label = model.predict(point)[0]
+        distances = ((model.centers_ - point) ** 2).sum(axis=1)
+        assert label == np.argmin(distances)
+
+    def test_predict_handles_1d_point(self, blobs):
+        x, _, _ = blobs
+        model = KMeans(n_clusters=3, seed=1).fit(x)
+        assert model.predict(np.array([0.0, 0.0])).shape == (1,)
+
+    def test_deterministic_under_seed(self, blobs):
+        x, _, _ = blobs
+        a = KMeans(n_clusters=3, seed=9).fit(x)
+        b = KMeans(n_clusters=3, seed=9).fit(x)
+        np.testing.assert_allclose(a.centers_, b.centers_)
+
+    def test_inertia_decreases_with_more_clusters(self, blobs):
+        x, _, _ = blobs
+        few = KMeans(n_clusters=2, seed=1).fit(x)
+        many = KMeans(n_clusters=6, seed=1).fit(x)
+        assert many.inertia_ < few.inertia_
+
+    def test_single_cluster_center_is_mean(self, blobs):
+        x, _, _ = blobs
+        model = KMeans(n_clusters=1, seed=0).fit(x)
+        np.testing.assert_allclose(model.centers_[0], x.mean(axis=0), atol=1e-6)
+
+    def test_duplicate_points_handled(self):
+        x = np.ones((20, 2))
+        model = KMeans(n_clusters=3, seed=0).fit(x)
+        assert np.all(np.isfinite(model.centers_))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2, max_iter=0)
+        with pytest.raises(ValueError, match="at least"):
+            KMeans(n_clusters=10).fit(np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="2-d"):
+            KMeans(n_clusters=1).fit(np.zeros(5))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KMeans(n_clusters=2).predict(np.zeros((1, 2)))

@@ -1,0 +1,29 @@
+"""Shared fixtures: small task setups are built once per session."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.setups import build_setup
+
+
+@pytest.fixture(scope="session")
+def tm_setup():
+    """Small text-matching setup (classification + stacking)."""
+    return build_setup("text_matching", "small", seed=0)
+
+
+@pytest.fixture(scope="session")
+def vc_setup():
+    """Small vehicle-counting setup (regression + weighted average)."""
+    return build_setup("vehicle_counting", "small", seed=0)
+
+
+@pytest.fixture(scope="session")
+def ir_setup():
+    """Small image-retrieval setup (two models, AP quality)."""
+    return build_setup("image_retrieval", "small", seed=0)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,118 @@
+"""Dataset container semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.base import Dataset, train_test_split
+
+
+def make_ds(n=20, d=3, **kwargs):
+    rng = np.random.default_rng(0)
+    defaults = dict(
+        name="t",
+        task="classification",
+        features=rng.normal(size=(n, d)),
+        labels=rng.integers(2, size=n),
+        num_classes=2,
+        difficulty=rng.uniform(0, 1, n),
+    )
+    defaults.update(kwargs)
+    return Dataset(**defaults)
+
+
+class TestValidation:
+    def test_rejects_unknown_task(self):
+        with pytest.raises(ValueError, match="task"):
+            make_ds(task="ranking")
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError, match="2-d"):
+            make_ds(features=np.zeros(5), labels=np.zeros(5))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="sample count"):
+            make_ds(features=np.zeros((4, 2)), labels=np.zeros(5, dtype=int))
+
+    def test_classification_needs_num_classes(self):
+        with pytest.raises(ValueError, match="num_classes"):
+            make_ds(num_classes=0)
+
+    def test_difficulty_length_checked(self):
+        with pytest.raises(ValueError, match="difficulty"):
+            make_ds(difficulty=np.zeros(3))
+
+
+class TestSubset:
+    def test_subsets_all_sample_fields(self):
+        ds = make_ds(n=10)
+        sub = ds.subset(np.array([1, 3, 5]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.features, ds.features[[1, 3, 5]])
+        np.testing.assert_array_equal(sub.labels, ds.labels[[1, 3, 5]])
+        np.testing.assert_array_equal(sub.difficulty, ds.difficulty[[1, 3, 5]])
+
+    def test_slices_aligned_metadata_arrays(self):
+        ds = make_ds(n=10)
+        ds.metadata["camera"] = np.arange(10)
+        ds.metadata["database"] = np.zeros((99, 4))  # not sample-aligned
+        sub = ds.subset(np.array([2, 7]))
+        np.testing.assert_array_equal(sub.metadata["camera"], [2, 7])
+        assert sub.metadata["database"].shape == (99, 4)
+
+    def test_non_array_metadata_passes_through(self):
+        ds = make_ds(n=5)
+        ds.metadata["note"] = "hello"
+        assert ds.subset(np.array([0])).metadata["note"] == "hello"
+
+
+class TestSplit:
+    def test_split_sizes(self):
+        ds = make_ds(n=100)
+        a, b, c = ds.split([0.5, 0.3, 0.2], seed=0)
+        assert (len(a), len(b), len(c)) == (50, 30, 20)
+
+    def test_splits_are_disjoint(self):
+        ds = make_ds(n=60)
+        ds.metadata["idx"] = np.arange(60)
+        a, b = ds.split([0.5, 0.5], seed=1)
+        assert set(a.metadata["idx"]).isdisjoint(b.metadata["idx"])
+
+    def test_rejects_over_unity(self):
+        with pytest.raises(ValueError, match="sum"):
+            make_ds().split([0.7, 0.7])
+
+    def test_rejects_non_positive_fraction(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_ds().split([0.5, 0.0])
+
+    def test_seeded_split_deterministic(self):
+        ds = make_ds(n=50)
+        a1, _ = ds.split([0.6, 0.4], seed=3)
+        a2, _ = ds.split([0.6, 0.4], seed=3)
+        np.testing.assert_array_equal(a1.features, a2.features)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_split_preserves_row_alignment(self, seed):
+        ds = make_ds(n=40)
+        ds.metadata["row"] = np.arange(40)
+        a, b = ds.split([0.5, 0.5], seed=seed)
+        for part in (a, b):
+            np.testing.assert_array_equal(
+                part.features, ds.features[part.metadata["row"]]
+            )
+
+
+class TestTrainTestSplit:
+    def test_fractions(self):
+        train, test = train_test_split(make_ds(n=100), 0.25, seed=0)
+        assert len(test) == 25
+        assert len(train) == 75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(make_ds(), 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(make_ds(), 1.0)

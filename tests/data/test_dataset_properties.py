@@ -1,0 +1,70 @@
+"""Hypothesis invariants across the data generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    make_cifar_like,
+    make_image_retrieval,
+    make_text_matching,
+    make_vehicle_counting,
+)
+
+GENERATORS = {
+    "text_matching": lambda n, seed: make_text_matching(n_samples=n, seed=seed),
+    "vehicle_counting": lambda n, seed: make_vehicle_counting(
+        n_samples=n, seed=seed
+    ),
+    "cifar_like": lambda n, seed: make_cifar_like(n_samples=n, seed=seed),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestGeneratorInvariants:
+    @given(st.integers(20, 200), st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_shapes_and_difficulty_bounds(self, name, n, seed):
+        ds = GENERATORS[name](n, seed)
+        assert len(ds) == n
+        assert ds.features.shape[0] == n
+        assert np.all(np.isfinite(ds.features))
+        assert np.all((ds.difficulty >= 0) & (ds.difficulty <= 1))
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_same_seed_same_data(self, name, seed):
+        a = GENERATORS[name](50, seed)
+        b = GENERATORS[name](50, seed)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    @given(st.integers(0, 2**30))
+    @settings(max_examples=8, deadline=None)
+    def test_different_seeds_differ(self, name, seed):
+        a = GENERATORS[name](50, seed)
+        b = GENERATORS[name](50, seed + 1)
+        assert not np.array_equal(a.features, b.features)
+
+
+class TestRetrievalInvariants:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_query_topics_within_topic_count(self, seed):
+        ds = make_image_retrieval(
+            n_queries=40, n_database=60, n_topics=6, seed=seed
+        )
+        assert ds.metadata["query_topics"].max() < 6
+        assert ds.metadata["item_topics"].max() < 6
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_every_topic_reachable(self, seed):
+        ds = make_image_retrieval(
+            n_queries=200, n_database=300, n_topics=4, seed=seed
+        )
+        # Every query topic has at least one relevant database item.
+        item_topics = set(ds.metadata["item_topics"].tolist())
+        for topic in np.unique(ds.metadata["query_topics"]):
+            assert int(topic) in item_topics

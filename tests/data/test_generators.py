@@ -1,0 +1,168 @@
+"""Tests for the synthetic task generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    make_cifar_like,
+    make_image_retrieval,
+    make_text_matching,
+    make_vehicle_counting,
+)
+from repro.data.image_retrieval import average_precision, retrieval_map
+
+
+class TestTextMatching:
+    def test_shapes_and_fields(self):
+        ds = make_text_matching(n_samples=100, latent_dim=5, seed=0)
+        assert ds.task == "classification"
+        assert ds.features.shape == (100, 20)
+        assert ds.labels.shape == (100,)
+        assert set(np.unique(ds.labels)).issubset({0, 1})
+        assert np.all((ds.difficulty >= 0) & (ds.difficulty <= 1))
+
+    def test_deterministic_per_seed(self):
+        a = make_text_matching(n_samples=50, seed=3)
+        b = make_text_matching(n_samples=50, seed=3)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_labels_follow_posterior(self):
+        ds = make_text_matching(n_samples=4000, seed=1)
+        posterior = ds.metadata["posterior"]
+        confident = posterior > 0.9
+        assert ds.labels[confident].mean() > 0.85
+
+    def test_difficulty_is_boundary_proximity(self):
+        ds = make_text_matching(n_samples=2000, seed=2)
+        posterior = ds.metadata["posterior"]
+        hard = ds.difficulty > 0.8
+        assert np.all(np.abs(posterior[hard] - 0.5) < 0.11)
+
+    def test_both_classes_present(self):
+        ds = make_text_matching(n_samples=500, seed=4)
+        assert 0.2 < ds.labels.mean() < 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_text_matching(n_samples=0)
+        with pytest.raises(ValueError):
+            make_text_matching(latent_dim=1)
+
+
+class TestVehicleCounting:
+    def test_shapes_and_fields(self):
+        ds = make_vehicle_counting(n_samples=80, n_lanes=4, seed=0)
+        assert ds.task == "regression"
+        assert ds.features.shape == (80, 6)
+        assert ds.labels.shape == (80, 1)
+        assert np.all(ds.labels >= 0)
+
+    def test_camera_metadata(self):
+        ds = make_vehicle_counting(n_samples=200, n_cameras=5, seed=1)
+        cameras = ds.metadata["camera"]
+        assert cameras.shape == (200,)
+        assert cameras.max() < 5
+
+    def test_clutter_is_difficulty(self):
+        ds = make_vehicle_counting(n_samples=100, seed=2)
+        np.testing.assert_array_equal(ds.difficulty, ds.features[:, -2])
+
+    def test_high_clutter_means_noisier_features(self):
+        ds = make_vehicle_counting(n_samples=5000, seed=3)
+        lanes_obs = ds.features[:, :-2]
+        # Reconstruction error proxy: negative lane observations only
+        # appear because of clutter noise (true activities are positive).
+        negatives = (lanes_obs < 0).mean(axis=1)
+        hard = ds.difficulty > 0.6
+        easy = ds.difficulty < 0.2
+        assert negatives[hard].mean() > negatives[easy].mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_vehicle_counting(n_samples=0)
+        with pytest.raises(ValueError):
+            make_vehicle_counting(n_lanes=0)
+        with pytest.raises(ValueError):
+            make_vehicle_counting(n_cameras=0)
+
+
+class TestImageRetrieval:
+    def test_shapes_and_metadata(self):
+        ds = make_image_retrieval(
+            n_queries=60, n_database=100, n_topics=5, seed=0
+        )
+        assert ds.task == "retrieval"
+        assert ds.labels.shape == (60, 8)
+        assert ds.metadata["database"].shape == (100, 8)
+        assert ds.metadata["item_topics"].shape == (100,)
+        assert ds.metadata["query_topics"].shape == (60,)
+
+    def test_oracle_embeddings_retrieve_perfectly(self):
+        ds = make_image_retrieval(n_queries=200, seed=1)
+        score = retrieval_map(
+            ds.labels,
+            ds.metadata["database"],
+            ds.metadata["item_topics"],
+            ds.metadata["query_topics"],
+            top_k=50,
+        )
+        assert score > 0.95
+
+    def test_split_keeps_topics_aligned(self):
+        ds = make_image_retrieval(n_queries=200, seed=2)
+        _, part = ds.split([0.5, 0.5], seed=3)
+        score = retrieval_map(
+            part.labels,
+            part.metadata["database"],
+            part.metadata["item_topics"],
+            part.metadata["query_topics"],
+            top_k=50,
+        )
+        assert score > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_image_retrieval(n_topics=1)
+        with pytest.raises(ValueError):
+            make_image_retrieval(n_database=3, n_topics=10)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(np.array([1, 1, 0, 0]), 1) == 1.0
+
+    def test_no_relevant_items(self):
+        assert average_precision(np.array([0, 0]), 1) == 0.0
+
+    def test_worst_ranking_below_best(self):
+        best = average_precision(np.array([1, 1, 0, 0]), 1)
+        worst = average_precision(np.array([0, 0, 1, 1]), 1)
+        assert worst < best
+
+    def test_known_value(self):
+        # Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+        value = average_precision(np.array([1, 0, 1]), 1)
+        assert value == pytest.approx((1.0 + 2.0 / 3.0) / 2.0)
+
+
+class TestCifarLike:
+    def test_shapes(self):
+        ds = make_cifar_like(n_samples=120, n_classes=6, feature_dim=10, seed=0)
+        assert ds.features.shape == (120, 10)
+        assert ds.num_classes == 6
+        assert ds.labels.max() < 6
+
+    def test_corruption_widens_spread(self):
+        ds = make_cifar_like(n_samples=4000, seed=1)
+        centers = ds.metadata["centers"]
+        distances = np.linalg.norm(ds.features - centers[ds.labels], axis=1)
+        hard = ds.difficulty > 0.7
+        easy = ds.difficulty < 0.2
+        assert distances[hard].mean() > distances[easy].mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_cifar_like(n_classes=1)
+        with pytest.raises(ValueError):
+            make_cifar_like(feature_dim=1)

@@ -1,0 +1,79 @@
+"""Distribution-shift resampling (Exp-3 support)."""
+
+import numpy as np
+import pytest
+
+from repro.data.sampling import (
+    gamma_pdf,
+    normal_pdf,
+    resample_to_distribution,
+    uniform_pdf,
+)
+
+
+@pytest.fixture(scope="module")
+def score_pool():
+    rng = np.random.default_rng(0)
+    # Zero-heavy pool like real discrepancy scores.
+    return np.clip(rng.beta(1.2, 5.0, size=8000), 0, 1)
+
+
+class TestTargetPdfs:
+    def test_normal_peaks_at_mean(self):
+        pdf = normal_pdf(0.4, 0.05)
+        assert pdf(np.array([0.4]))[0] > pdf(np.array([0.6]))[0]
+
+    def test_gamma_zero_below_origin(self):
+        pdf = gamma_pdf(0.3, scale=0.1)
+        np.testing.assert_array_equal(pdf(np.array([-0.1, 0.0])), [0.0, 0.0])
+
+    def test_uniform_support(self):
+        pdf = uniform_pdf(0.2, 0.4)
+        np.testing.assert_array_equal(
+            pdf(np.array([0.1, 0.3, 0.5])), [0.0, 1.0, 0.0]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normal_pdf(0.5, 0.0)
+        with pytest.raises(ValueError):
+            gamma_pdf(0.0)
+        with pytest.raises(ValueError):
+            uniform_pdf(0.5, 0.5)
+
+
+class TestResampling:
+    @pytest.mark.parametrize("target_mean", [0.2, 0.4, 0.6])
+    def test_achieves_target_mean(self, score_pool, target_mean):
+        indices = resample_to_distribution(
+            score_pool, normal_pdf(target_mean, 0.05), 4000, seed=1
+        )
+        achieved = score_pool[indices].mean()
+        assert achieved == pytest.approx(target_mean, abs=0.05)
+
+    def test_returns_valid_indices(self, score_pool):
+        indices = resample_to_distribution(
+            score_pool, uniform_pdf(0.0, 1.0), 100, seed=2
+        )
+        assert indices.shape == (100,)
+        assert indices.min() >= 0
+        assert indices.max() < score_pool.shape[0]
+
+    def test_deterministic_per_seed(self, score_pool):
+        a = resample_to_distribution(score_pool, normal_pdf(0.3, 0.05), 50, seed=3)
+        b = resample_to_distribution(score_pool, normal_pdf(0.3, 0.05), 50, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            resample_to_distribution(np.array([]), normal_pdf(0.5, 0.1), 10)
+
+    def test_rejects_zero_mass_target(self, score_pool):
+        with pytest.raises(ValueError, match="zero mass"):
+            resample_to_distribution(
+                score_pool, uniform_pdf(5.0, 6.0), 10, seed=0
+            )
+
+    def test_rejects_bad_n(self, score_pool):
+        with pytest.raises(ValueError):
+            resample_to_distribution(score_pool, normal_pdf(0.5, 0.1), 0)

@@ -1,0 +1,148 @@
+"""Arrival trace and deadline generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.traces import (
+    DIURNAL_PROFILE,
+    ArrivalTrace,
+    camera_deadlines,
+    constant_deadlines,
+    diurnal_trace,
+    poisson_trace,
+)
+
+
+class TestArrivalTrace:
+    def test_sorts_arrivals(self):
+        trace = ArrivalTrace(np.array([3.0, 1.0, 2.0]), duration=5.0)
+        np.testing.assert_array_equal(trace.arrivals, [1.0, 2.0, 3.0])
+
+    def test_rejects_negative_arrivals(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ArrivalTrace(np.array([-1.0]), duration=5.0)
+
+    def test_rate_per_bin(self):
+        trace = ArrivalTrace(np.array([0.5, 1.5, 1.6, 2.5]), duration=3.0)
+        np.testing.assert_array_equal(trace.rate_per_bin(1.0), [1, 2, 1])
+
+    def test_len(self):
+        assert len(ArrivalTrace(np.arange(5.0), duration=10.0)) == 5
+
+
+class TestPoissonTrace:
+    def test_rate_approximately_respected(self):
+        trace = poisson_trace(rate=50.0, duration=100.0, seed=0)
+        assert 4500 < len(trace) < 5500
+
+    def test_arrivals_within_duration(self):
+        trace = poisson_trace(rate=10.0, duration=20.0, seed=1)
+        assert trace.arrivals.min() >= 0
+        assert trace.arrivals.max() <= 20.0
+
+    def test_deterministic_per_seed(self):
+        a = poisson_trace(rate=5.0, duration=10.0, seed=2)
+        b = poisson_trace(rate=5.0, duration=10.0, seed=2)
+        np.testing.assert_array_equal(a.arrivals, b.arrivals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_trace(rate=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            poisson_trace(rate=1.0, duration=0.0)
+
+
+class TestDiurnalTrace:
+    def test_burst_hours_carry_most_traffic(self):
+        trace = diurnal_trace(base_rate=2.0, duration=240.0, seed=0)
+        counts = trace.rate_per_bin(10.0)  # 24 segments
+        burst = counts[10:16].mean()
+        night = counts[0:8].mean()
+        assert burst > 10 * night
+
+    def test_profile_shape_matches_paper(self):
+        # ~30x swing between quiet night and midday peak (Fig. 1a).
+        assert DIURNAL_PROFILE.max() / DIURNAL_PROFILE[:8].mean() > 20
+
+    def test_custom_profile(self):
+        trace = diurnal_trace(
+            base_rate=5.0, duration=20.0, profile=[0.0, 1.0], seed=1
+        )
+        counts = trace.rate_per_bin(10.0)
+        assert counts[0] == 0
+        assert counts[1] > 0
+
+    def test_zero_profile_gives_empty_trace(self):
+        trace = diurnal_trace(base_rate=5.0, duration=10.0, profile=[0.0], seed=1)
+        assert len(trace) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            diurnal_trace(base_rate=1.0, duration=1.0, profile=[])
+        with pytest.raises(ValueError, match="non-negative"):
+            diurnal_trace(base_rate=1.0, duration=1.0, profile=[-1.0])
+
+
+class TestDeadlines:
+    def test_constant(self):
+        np.testing.assert_array_equal(constant_deadlines(3, 0.1), [0.1] * 3)
+
+    def test_constant_validation(self):
+        with pytest.raises(ValueError):
+            constant_deadlines(-1, 0.1)
+        with pytest.raises(ValueError):
+            constant_deadlines(3, 0.0)
+
+    def test_camera_deadlines_shared_per_camera(self):
+        cameras = np.array([0, 1, 0, 2, 1])
+        deadlines = camera_deadlines(cameras, 0.1, 0.3, seed=0)
+        assert deadlines[0] == deadlines[2]
+        assert deadlines[1] == deadlines[4]
+        assert np.all((deadlines >= 0.1) & (deadlines <= 0.3))
+
+    def test_camera_deadlines_validation(self):
+        with pytest.raises(ValueError, match="high"):
+            camera_deadlines(np.array([0]), 0.3, 0.1)
+
+
+class TestMMPPTrace:
+    def test_total_volume_reasonable(self):
+        from repro.data.traces import mmpp_trace
+
+        trace = mmpp_trace([5.0, 50.0], mean_dwell=5.0, duration=200.0, seed=0)
+        # Long-run average rate ~ mean of the states.
+        assert 0.5 * 27.5 * 200 < len(trace) < 1.5 * 27.5 * 200
+
+    def test_burstier_than_poisson(self):
+        from repro.data.traces import mmpp_trace, poisson_trace
+
+        mmpp = mmpp_trace([2.0, 60.0], mean_dwell=10.0, duration=400.0, seed=1)
+        poisson = poisson_trace(
+            rate=len(mmpp) / 400.0, duration=400.0, seed=1
+        )
+        # Variance of per-second counts is much larger under MMPP.
+        assert mmpp.rate_per_bin(1.0).var() > 3 * poisson.rate_per_bin(1.0).var()
+
+    def test_arrivals_within_duration(self):
+        from repro.data.traces import mmpp_trace
+
+        trace = mmpp_trace([1.0, 10.0], mean_dwell=2.0, duration=30.0, seed=2)
+        if len(trace):
+            assert trace.arrivals.min() >= 0
+            assert trace.arrivals.max() <= 30.0
+
+    def test_zero_rate_state_allowed(self):
+        from repro.data.traces import mmpp_trace
+
+        trace = mmpp_trace([0.0, 10.0], mean_dwell=1.0, duration=20.0, seed=3)
+        assert len(trace) > 0
+
+    def test_validation(self):
+        from repro.data.traces import mmpp_trace
+
+        with pytest.raises(ValueError):
+            mmpp_trace([], mean_dwell=1.0, duration=10.0)
+        with pytest.raises(ValueError):
+            mmpp_trace([-1.0], mean_dwell=1.0, duration=10.0)
+        with pytest.raises(ValueError):
+            mmpp_trace([1.0], mean_dwell=0.0, duration=10.0)

@@ -1,0 +1,135 @@
+"""Discrepancy score (Eq. 1) semantics."""
+
+import numpy as np
+import pytest
+
+from repro.difficulty.agreement import ensemble_agreement
+from repro.difficulty.discrepancy import DiscrepancyScorer
+
+
+def agreeing_outputs(n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    p = rng.random((n, 2))
+    p = p / p.sum(axis=1, keepdims=True)
+    return [p.copy(), p.copy(), p.copy()], p.copy()
+
+
+class TestDiscrepancyScorer:
+    def test_zero_when_members_match_ensemble(self):
+        members, ensemble = agreeing_outputs()
+        scores = DiscrepancyScorer().fit_score(members, ensemble)
+        np.testing.assert_allclose(scores, 0.0, atol=1e-9)
+
+    def test_disagreeing_samples_score_higher(self, rng):
+        n = 100
+        p = np.tile([0.5, 0.5], (n, 1))
+        members = [p.copy(), p.copy(), p.copy()]
+        ensemble = p.copy()
+        # Make the last 10 samples contested on one member.
+        members[0][-10:] = [0.99, 0.01]
+        scorer = DiscrepancyScorer()
+        scores = scorer.fit_score(members, ensemble)
+        assert scores[-10:].min() > scores[:-10].max()
+
+    def test_scores_in_unit_interval(self, tm_setup):
+        table = tm_setup.pool_table
+        members = [table.outputs[n] for n in table.model_names]
+        scores = DiscrepancyScorer().fit_score(members, table.ensemble_output)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_normalisation_equalises_member_scales(self, rng):
+        """Per-model normalisation keeps every member's distance column
+        on the same scale, so an inaccurate member (with larger raw
+        distances) cannot dominate the average (Section V-A)."""
+        n = 400
+        latent = rng.uniform(0.05, 0.95, n)
+        def noisy(scale):
+            shifted = np.clip(latent + scale * rng.random(n), 0.01, 0.99)
+            return np.c_[shifted, 1 - shifted]
+
+        ensemble = np.c_[latent, 1 - latent]
+        members = [noisy(0.02), noisy(0.05), noisy(0.5)]
+
+        scorer = DiscrepancyScorer(normalization="quantile", quantile=0.95)
+        scorer.fit(members, ensemble)
+        distances = scorer._distances(members, ensemble)
+        normalised = np.clip(distances / scorer.scales_, 0, 1)
+        # Every member's normalised column tops out at the same scale.
+        q95 = np.quantile(normalised, 0.95, axis=0)
+        np.testing.assert_allclose(q95, 1.0, atol=0.05)
+        # Raw distances are wildly unequal across members.
+        raw_means = distances.mean(axis=0)
+        assert raw_means.max() / max(raw_means.min(), 1e-12) > 5
+
+    def test_regression_mode_uses_euclidean(self):
+        members = [np.array([[1.0], [5.0]]), np.array([[1.0], [3.0]])]
+        ensemble = np.array([[1.0], [4.0]])
+        scores = DiscrepancyScorer(task="regression").fit_score(members, ensemble)
+        assert scores[0] == pytest.approx(0.0, abs=1e-9)
+        assert scores[1] > 0
+
+    def test_score_uses_fitted_scales(self):
+        members, ensemble = agreeing_outputs()
+        scorer = DiscrepancyScorer().fit(members, ensemble)
+        # New outputs with large divergence get clipped at 1 per member.
+        flipped = [1.0 - m for m in members]
+        scores = scorer.score(flipped, ensemble)
+        assert np.all(scores <= 1.0 + 1e-9)
+
+    def test_score_before_fit_raises(self):
+        members, ensemble = agreeing_outputs()
+        with pytest.raises(RuntimeError):
+            DiscrepancyScorer().score(members, ensemble)
+
+    def test_member_count_must_match_fit(self):
+        members, ensemble = agreeing_outputs()
+        scorer = DiscrepancyScorer().fit(members, ensemble)
+        with pytest.raises(ValueError, match="member"):
+            scorer.score(members[:2], ensemble)
+
+    def test_shape_mismatch_rejected(self):
+        members, ensemble = agreeing_outputs()
+        members[0] = members[0][:, :1]
+        with pytest.raises(ValueError, match="shape"):
+            DiscrepancyScorer().fit(members, ensemble)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscrepancyScorer(task="ranking")
+        with pytest.raises(ValueError):
+            DiscrepancyScorer(normalization="zscore")
+        with pytest.raises(ValueError):
+            DiscrepancyScorer(quantile=0.0)
+
+    def test_ranks_samples_by_required_ensemble_size(self, tm_setup):
+        """The paper's premise (Fig. 4b): low-score samples are solved
+        by small model subsets; high-score samples need more models."""
+        table = tm_setup.pool_table
+        members = [table.outputs[n] for n in table.model_names]
+        scores = DiscrepancyScorer().fit_score(members, table.ensemble_output)
+        # How many solo models agree with the ensemble per sample.
+        n_agree = sum(
+            (table.outputs[n].argmax(1) == table.ensemble_output.argmax(1)).astype(int)
+            for n in table.model_names
+        )
+        corr = np.corrcoef(scores, n_agree)[0, 1]
+        assert corr < -0.5
+
+
+class TestEnsembleAgreement:
+    def test_zero_on_identical(self):
+        members, _ = agreeing_outputs()
+        np.testing.assert_allclose(ensemble_agreement(members), 0.0, atol=1e-9)
+
+    def test_needs_two_members(self):
+        with pytest.raises(ValueError, match="two members"):
+            ensemble_agreement([np.ones((2, 2)) / 2])
+
+    def test_regression_mode(self):
+        members = [np.array([[0.0], [0.0]]), np.array([[2.0], [0.0]])]
+        scores = ensemble_agreement(members, task="regression")
+        np.testing.assert_allclose(scores, [2.0, 0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            ensemble_agreement([np.ones((2, 2)), np.ones((3, 2))])

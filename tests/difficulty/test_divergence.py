@@ -1,0 +1,96 @@
+"""Divergence properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.difficulty.divergence import (
+    euclidean_distance,
+    js_divergence,
+    kl_divergence,
+    symmetric_kl,
+)
+
+
+def random_distributions(n=6, k=4, seed=0):
+    rng = np.random.default_rng(seed)
+    raw = rng.random((n, k)) + 1e-3
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+prob_rows = arrays(
+    np.float64,
+    (3, 4),
+    elements=st.floats(0.01, 1.0),
+).map(lambda a: a / a.sum(axis=1, keepdims=True))
+
+
+class TestKL:
+    def test_zero_on_identical(self):
+        p = random_distributions()
+        np.testing.assert_allclose(kl_divergence(p, p), 0.0, atol=1e-10)
+
+    def test_non_negative(self):
+        p = random_distributions(seed=1)
+        q = random_distributions(seed=2)
+        assert np.all(kl_divergence(p, q) >= -1e-12)
+
+    def test_asymmetric(self):
+        p = np.array([[0.9, 0.1]])
+        q = np.array([[0.5, 0.5]])
+        assert kl_divergence(p, q)[0] != pytest.approx(kl_divergence(q, p)[0])
+
+    def test_known_value(self):
+        p = np.array([[1.0, 0.0]])
+        q = np.array([[0.5, 0.5]])
+        assert kl_divergence(p, q)[0] == pytest.approx(np.log(2), abs=1e-6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.ones((1, 2)) / 2, np.ones((1, 3)) / 3)
+
+
+class TestSymmetricKL:
+    def test_symmetric(self):
+        p = random_distributions(seed=3)
+        q = random_distributions(seed=4)
+        np.testing.assert_allclose(symmetric_kl(p, q), symmetric_kl(q, p))
+
+
+class TestJS:
+    def test_bounded_by_log2(self):
+        p = np.array([[1.0, 0.0]])
+        q = np.array([[0.0, 1.0]])
+        assert js_divergence(p, q)[0] <= np.log(2) + 1e-9
+
+    def test_zero_on_identical(self):
+        p = random_distributions(seed=5)
+        np.testing.assert_allclose(js_divergence(p, p), 0.0, atol=1e-10)
+
+    @given(prob_rows, prob_rows)
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry_and_bounds_property(self, p, q):
+        forward = js_divergence(p, q)
+        backward = js_divergence(q, p)
+        np.testing.assert_allclose(forward, backward, atol=1e-9)
+        assert np.all(forward >= -1e-12)
+        assert np.all(forward <= np.log(2) + 1e-9)
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        a = np.array([[0.0, 0.0], [1.0, 1.0]])
+        b = np.array([[3.0, 4.0], [1.0, 1.0]])
+        np.testing.assert_allclose(euclidean_distance(a, b), [5.0, 0.0])
+
+    def test_1d_inputs_promoted(self):
+        np.testing.assert_allclose(
+            euclidean_distance(np.array([1.0, 2.0]), np.array([1.0, 4.0])),
+            [0.0, 2.0],
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            euclidean_distance(np.ones((2, 2)), np.ones((3, 2)))

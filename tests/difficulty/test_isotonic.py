@@ -1,0 +1,61 @@
+"""Isotonic (difficulty-monotone) utility repair."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.difficulty.profiling import AccuracyProfiler, _isotonic_non_increasing
+
+
+class TestPAV:
+    def test_already_monotone_unchanged(self):
+        values = np.array([0.9, 0.8, 0.5, 0.2])
+        out = _isotonic_non_increasing(values, np.ones(4))
+        np.testing.assert_allclose(out, values)
+
+    def test_single_violation_pooled(self):
+        values = np.array([0.5, 0.9])
+        out = _isotonic_non_increasing(values, np.ones(2))
+        np.testing.assert_allclose(out, [0.7, 0.7])
+
+    def test_weights_bias_the_pool(self):
+        values = np.array([0.5, 0.9])
+        out = _isotonic_non_increasing(values, np.array([3.0, 1.0]))
+        np.testing.assert_allclose(out, [0.6, 0.6])
+
+    def test_constant_input(self):
+        values = np.full(5, 0.4)
+        np.testing.assert_allclose(
+            _isotonic_non_increasing(values, np.ones(5)), 0.4
+        )
+
+    @given(
+        arrays(np.float64, 6, elements=st.floats(0.0, 1.0)),
+        arrays(np.float64, 6, elements=st.floats(0.5, 5.0)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_is_non_increasing_and_mean_preserving(self, values, weights):
+        out = _isotonic_non_increasing(values, weights)
+        assert np.all(np.diff(out) <= 1e-9)
+        # Weighted mean is preserved by PAV pooling.
+        assert np.average(out, weights=weights) == pytest.approx(
+            np.average(values, weights=weights), abs=1e-9
+        )
+
+
+class TestProfilerRepair:
+    def test_enforce_difficulty_monotone(self, tm_setup):
+        scores = tm_setup.schemble.true_scores(tm_setup.history_table)
+        profiler = AccuracyProfiler(n_bins=8).fit(
+            tm_setup.history_table, scores, tm_setup.ensemble
+        )
+        profiler.enforce_difficulty_monotone()
+        table = profiler.utility_table()
+        for mask in range(1, table.shape[1]):
+            assert np.all(np.diff(table[:, mask]) <= 1e-9)
+
+    def test_repair_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            AccuracyProfiler().enforce_difficulty_monotone()

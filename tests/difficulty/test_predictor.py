@@ -1,0 +1,60 @@
+"""Discrepancy-score predictor (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.difficulty.predictor import DiscrepancyPredictor, predictor_profile
+
+
+class TestDiscrepancyPredictor:
+    def test_learns_score_from_features(self, rng):
+        x = rng.normal(size=(1500, 6))
+        scores = np.clip(np.abs(x[:, 0]) / 3.0, 0, 1)
+        labels = (x[:, 1] > 0).astype(int)
+        predictor = DiscrepancyPredictor(6, 2, epochs=80, lr=3e-3, seed=0)
+        predictor.fit(x, labels, scores)
+        predicted = predictor.predict(x)
+        assert np.corrcoef(predicted, scores)[0, 1] > 0.5
+
+    def test_predictions_non_negative(self, rng):
+        x = rng.normal(size=(100, 4))
+        predictor = DiscrepancyPredictor(4, 2, epochs=2, seed=0)
+        predictor.fit(x, np.zeros(100, dtype=int), np.zeros(100))
+        assert np.all(predictor.predict(x) >= 0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DiscrepancyPredictor(4, 2).predict(np.zeros((1, 4)))
+
+    def test_trained_setup_predictor_correlates(self, tm_setup):
+        """The full pipeline's predictor should rank pool difficulty."""
+        predicted = tm_setup.schemble.predict_scores(tm_setup.pool.features)
+        true = tm_setup.schemble.true_scores(tm_setup.pool_table)
+        assert np.corrcoef(predicted, true)[0, 1] > 0.2
+
+    def test_regression_task_supported(self, rng):
+        x = rng.normal(size=(200, 5))
+        targets = x[:, :2]
+        scores = np.abs(x[:, 2]) / 3
+        predictor = DiscrepancyPredictor(
+            5, 2, task="regression", epochs=5, seed=1
+        )
+        predictor.fit(x, targets, scores)
+        assert predictor.predict(x).shape == (200,)
+
+
+class TestPredictorProfile:
+    def test_fractions_match_paper(self, tm_setup):
+        profile = predictor_profile(tm_setup.ensemble)
+        ensemble = tm_setup.ensemble
+        assert profile.latency == pytest.approx(
+            0.065 * ensemble.total_latency()
+        )
+        assert profile.memory == pytest.approx(
+            0.015 * ensemble.total_memory()
+        )
+
+    def test_overhead_is_small(self, tm_setup):
+        profile = predictor_profile(tm_setup.ensemble)
+        assert profile.latency < 0.1 * tm_setup.ensemble.total_latency()
+        assert profile.memory < 0.05 * tm_setup.ensemble.total_memory()

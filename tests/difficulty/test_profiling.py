@@ -1,0 +1,190 @@
+"""Accuracy profiling and the Eq. 3 marginal estimator."""
+
+import numpy as np
+import pytest
+
+from repro.difficulty.profiling import (
+    AccuracyProfiler,
+    default_regression_tolerance,
+    estimate_marginal_utility,
+    fit_gammas,
+    subset_correctness,
+)
+from repro.scheduling.subsets import iter_masks, mask_members, mask_size
+
+
+@pytest.fixture(scope="module")
+def fitted_profiler(tm_setup):
+    # An independently fitted profiler (the setup's own is monotone-repaired).
+    scores = tm_setup.schemble.true_scores(tm_setup.history_table)
+    return AccuracyProfiler(n_bins=6).fit(
+        tm_setup.history_table, scores, tm_setup.ensemble
+    ), scores
+
+
+class TestSubsetCorrectness:
+    def test_full_mask_always_correct_classification(self, tm_setup):
+        correct = subset_correctness(tm_setup.pool_table, tm_setup.ensemble)
+        full = (1 << tm_setup.n_models) - 1
+        assert correct[:, full].all()
+
+    def test_empty_mask_never_correct(self, tm_setup):
+        correct = subset_correctness(tm_setup.pool_table, tm_setup.ensemble)
+        assert not correct[:, 0].any()
+
+    def test_regression_tolerance_effect(self, vc_setup):
+        tight = subset_correctness(
+            vc_setup.pool_table, vc_setup.ensemble, tolerance=1e-9
+        )
+        loose = subset_correctness(
+            vc_setup.pool_table, vc_setup.ensemble, tolerance=1e9
+        )
+        assert tight[:, 1].sum() < loose[:, 1].sum()
+        assert loose[:, 1:].all()
+
+    def test_default_tolerance_matches_quantile(self, vc_setup):
+        tol = default_regression_tolerance(vc_setup.pool_table, quantile=0.75)
+        assert tol > 0
+
+
+class TestAccuracyProfiler:
+    def test_hard_bins_are_harder_for_small_subsets(self, fitted_profiler):
+        profiler, _ = fitted_profiler
+        table = profiler.utility_table()
+        # Average solo accuracy in the easiest vs hardest bin.
+        solo_masks = [1, 2, 4]
+        easy = np.mean([table[0, m] for m in solo_masks])
+        hard = np.mean([table[-1, m] for m in solo_masks])
+        assert easy > hard
+
+    def test_full_mask_utility_is_one(self, fitted_profiler):
+        profiler, _ = fitted_profiler
+        np.testing.assert_allclose(profiler.utility_table()[:, 7], 1.0)
+
+    def test_empty_mask_utility_zero(self, fitted_profiler):
+        profiler, _ = fitted_profiler
+        np.testing.assert_array_equal(profiler.utility_table()[:, 0], 0.0)
+
+    def test_bin_lookup_round_trip(self, fitted_profiler):
+        profiler, scores = fitted_profiler
+        bins = profiler.bin_of(scores)
+        assert bins.min() >= 0
+        assert bins.max() < profiler.n_bins
+
+    def test_out_of_range_scores_clipped(self, fitted_profiler):
+        profiler, _ = fitted_profiler
+        bins = profiler.bin_of(np.array([-5.0, 5.0]))
+        assert bins[0] == 0
+        assert bins[1] == profiler.n_bins - 1
+
+    def test_utilities_for_scores_shape(self, fitted_profiler, tm_setup):
+        profiler, scores = fitted_profiler
+        rows = profiler.utilities_for_scores(scores[:10])
+        assert rows.shape == (10, 1 << tm_setup.n_models)
+
+    def test_utility_scalar_lookup(self, fitted_profiler):
+        profiler, scores = fitted_profiler
+        value = profiler.utility(float(scores[0]), 3)
+        assert 0.0 <= value <= 1.0
+        with pytest.raises(ValueError, match="mask"):
+            profiler.utility(0.1, 99)
+
+    def test_enforce_monotone(self, tm_setup):
+        scores = tm_setup.schemble.true_scores(tm_setup.history_table)
+        profiler = AccuracyProfiler(n_bins=6).fit(
+            tm_setup.history_table, scores, tm_setup.ensemble
+        )
+        profiler.enforce_monotone()
+        table = profiler.utility_table()
+        for mask in iter_masks(3):
+            for k in mask_members(mask):
+                parent = mask & ~(1 << k)
+                assert np.all(table[:, mask] >= table[:, parent] - 1e-12)
+
+    def test_external_quality_matrix_used(self, tm_setup):
+        n = tm_setup.history_table.n_samples
+        quality = np.zeros((n, 8))
+        quality[:, 5] = 0.42
+        scores = np.zeros(n)
+        profiler = AccuracyProfiler(n_bins=2).fit(
+            tm_setup.history_table, scores, tm_setup.ensemble, quality=quality
+        )
+        np.testing.assert_allclose(profiler.utility_table()[:, 5], 0.42)
+
+    def test_quality_shape_validated(self, tm_setup):
+        with pytest.raises(ValueError, match="quality"):
+            AccuracyProfiler(n_bins=2).fit(
+                tm_setup.history_table,
+                np.zeros(tm_setup.history_table.n_samples),
+                tm_setup.ensemble,
+                quality=np.zeros((3, 8)),
+            )
+
+    def test_scores_length_validated(self, tm_setup):
+        with pytest.raises(ValueError, match="scores"):
+            AccuracyProfiler().fit(
+                tm_setup.history_table, np.zeros(3), tm_setup.ensemble
+            )
+
+    def test_uniform_strategy(self, tm_setup):
+        scores = tm_setup.schemble.true_scores(tm_setup.history_table)
+        profiler = AccuracyProfiler(n_bins=4, strategy="uniform").fit(
+            tm_setup.history_table, scores, tm_setup.ensemble
+        )
+        edges = profiler.bin_edges_
+        np.testing.assert_allclose(np.diff(edges), np.diff(edges)[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccuracyProfiler(n_bins=0)
+        with pytest.raises(ValueError):
+            AccuracyProfiler(strategy="log")
+
+
+class TestMarginalEstimation:
+    def test_exact_for_additive_utilities(self):
+        """When marginals are exactly the pairwise average and γ = 1,
+        Eq. 3 reproduces the modular (additive) utility exactly."""
+        m = 4
+        weights = np.array([0.4, 0.3, 0.2, 0.1])
+        small = {}
+        for mask in iter_masks(m):
+            if mask_size(mask) <= 2:
+                value = sum(weights[k] for k in mask_members(mask))
+                small[mask] = np.array([value])
+        estimates = estimate_marginal_utility(
+            small, m, model_order=[0, 1, 2, 3], gammas=[1.0, 1.0, 1.0]
+        )
+        for mask in iter_masks(m):
+            expected = sum(weights[k] for k in mask_members(mask))
+            assert estimates[mask][0] == pytest.approx(min(expected, 1.0))
+
+    def test_estimates_close_to_true_profile(self, fitted_profiler):
+        profiler, _ = fitted_profiler
+        table = profiler.utility_table()
+        order = list(
+            np.argsort([table[:, 1 << k].mean() for k in range(3)])[::-1]
+        )
+        gammas = fit_gammas(profiler, order)
+        small = {
+            mask: table[:, mask]
+            for mask in iter_masks(3)
+            if mask_size(mask) <= 2
+        }
+        estimates = estimate_marginal_utility(small, 3, order, gammas)
+        mse = np.mean((estimates[7] - table[:, 7]) ** 2)
+        assert mse < 0.02
+
+    def test_requires_all_small_masks(self):
+        with pytest.raises(ValueError, match="missing"):
+            estimate_marginal_utility({1: np.array([0.5])}, 2, [0, 1])
+
+    def test_order_must_be_permutation(self):
+        small = {m: np.array([0.5]) for m in iter_masks(2)}
+        with pytest.raises(ValueError, match="permutation"):
+            estimate_marginal_utility(small, 2, [0, 0])
+
+    def test_gamma_count_validated(self):
+        small = {m: np.array([0.5]) for m in iter_masks(3) if mask_size(m) <= 2}
+        with pytest.raises(ValueError, match="gammas"):
+            estimate_marginal_utility(small, 3, [0, 1, 2], gammas=[0.9])

@@ -1,0 +1,129 @@
+"""Aggregators and their missing-value strategies (Section VII)."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble.aggregation import MajorityVote, Stacking, WeightedAverage
+from repro.trees.gbdt import GradientBoostingClassifier
+
+
+@pytest.fixture()
+def prob_outputs():
+    a = np.array([[0.9, 0.1], [0.2, 0.8]])
+    b = np.array([[0.7, 0.3], [0.4, 0.6]])
+    c = np.array([[0.1, 0.9], [0.3, 0.7]])
+    return [a, b, c]
+
+
+class TestWeightedAverage:
+    def test_uniform_average(self, prob_outputs):
+        out = WeightedAverage().aggregate(prob_outputs)
+        np.testing.assert_allclose(out, np.mean(prob_outputs, axis=0))
+
+    def test_explicit_weights(self, prob_outputs):
+        out = WeightedAverage([1.0, 0.0, 1.0]).aggregate(prob_outputs)
+        np.testing.assert_allclose(
+            out, (prob_outputs[0] + prob_outputs[2]) / 2
+        )
+
+    def test_missing_members_reweighted(self, prob_outputs):
+        out = WeightedAverage().aggregate(
+            [prob_outputs[0], None, prob_outputs[2]]
+        )
+        np.testing.assert_allclose(
+            out, (prob_outputs[0] + prob_outputs[2]) / 2
+        )
+
+    def test_single_present_member_is_identity(self, prob_outputs):
+        out = WeightedAverage().aggregate([None, prob_outputs[1], None])
+        np.testing.assert_allclose(out, prob_outputs[1])
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            WeightedAverage().aggregate([None, None])
+
+    def test_zero_weight_on_only_member_rejected(self, prob_outputs):
+        with pytest.raises(ValueError, match="zero weight"):
+            WeightedAverage([0.0, 0.0, 0.0]).aggregate(prob_outputs)
+
+    def test_weight_count_mismatch(self, prob_outputs):
+        with pytest.raises(ValueError, match="weights"):
+            WeightedAverage([1.0]).aggregate(prob_outputs)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedAverage([-1.0, 2.0])
+
+    def test_shape_mismatch_rejected(self, prob_outputs):
+        bad = [prob_outputs[0], np.zeros((3, 2)), None]
+        with pytest.raises(ValueError, match="shape"):
+            WeightedAverage().aggregate(bad)
+
+
+class TestMajorityVote:
+    def test_majority_wins(self, prob_outputs):
+        out = MajorityVote().aggregate(prob_outputs)
+        # Sample 0: votes 0,0,1 -> class 0; sample 1: votes 1,1,1 -> 1.
+        np.testing.assert_array_equal(out.argmax(axis=1), [0, 1])
+
+    def test_missing_members_excluded_from_vote(self, prob_outputs):
+        out = MajorityVote().aggregate([None, None, prob_outputs[2]])
+        np.testing.assert_array_equal(out.argmax(axis=1), [1, 1])
+
+    def test_tie_broken_by_mean_probability(self):
+        a = np.array([[0.95, 0.05]])
+        b = np.array([[0.4, 0.6]])
+        out = MajorityVote().aggregate([a, b])
+        # One vote each; a is far more confident in class 0.
+        assert out.argmax(axis=1)[0] == 0
+
+    def test_weighted_votes(self, prob_outputs):
+        out = MajorityVote([3.0, 1.0, 1.0]).aggregate(prob_outputs)
+        # Model 0's triple-weight vote dominates sample 0.
+        assert out.argmax(axis=1)[0] == 0
+
+
+class TestStacking:
+    @pytest.fixture()
+    def fitted_stacking(self, rng):
+        n = 400
+        latent = rng.normal(size=(n, 1))
+        members = [
+            np.c_[1 - _sig(latent + 0.3 * rng.normal(size=(n, 1))),
+                  _sig(latent + 0.3 * rng.normal(size=(n, 1)))]
+            for _ in range(3)
+        ]
+        labels = (latent[:, 0] > 0).astype(int)
+        meta = GradientBoostingClassifier(n_estimators=5, max_depth=2)
+        stacker = Stacking(meta, task="classification", knn_k=5)
+        stacker.fit(members, labels)
+        return stacker, members, labels
+
+    def test_full_outputs_accuracy(self, fitted_stacking):
+        stacker, members, labels = fitted_stacking
+        out = stacker.aggregate(members)
+        assert (out.argmax(axis=1) == labels).mean() > 0.8
+
+    def test_missing_member_filled_and_usable(self, fitted_stacking):
+        stacker, members, labels = fitted_stacking
+        out = stacker.aggregate([members[0], None, members[2]])
+        assert out.shape == (len(labels), 2)
+        assert (out.argmax(axis=1) == labels).mean() > 0.7
+
+    def test_aggregate_before_fit_raises(self):
+        stacker = Stacking(GradientBoostingClassifier(), task="classification")
+        with pytest.raises(RuntimeError):
+            stacker.aggregate([np.ones((2, 2)) / 2])
+
+    def test_fit_rejects_missing_members(self):
+        stacker = Stacking(GradientBoostingClassifier(), task="classification")
+        with pytest.raises(ValueError, match="full"):
+            stacker.fit([np.ones((2, 2)), None], np.zeros(2, dtype=int))
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            Stacking(None, task="ranking")
+
+
+def _sig(x):
+    return 1.0 / (1.0 + np.exp(-x))

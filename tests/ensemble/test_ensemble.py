@@ -1,0 +1,93 @@
+"""DeepEnsemble container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble.aggregation import WeightedAverage
+from repro.ensemble.ensemble import DeepEnsemble
+from repro.models.base import TrainedModel
+from repro.models.profiles import ModelProfile
+from repro.nn.models import MLPClassifier
+
+
+@pytest.fixture(scope="module")
+def small_ensemble():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(200, 4))
+    y = (x[:, 0] > 0).astype(int)
+    models = []
+    for i, latency in enumerate([0.01, 0.03]):
+        clf = MLPClassifier(4, 2, hidden=(8,), epochs=5, seed=i)
+        clf.fit(x, y)
+        profile = ModelProfile(f"m{i}", latency=latency, memory=100.0 * (i + 1))
+        models.append(TrainedModel(profile, clf, "classification"))
+    return DeepEnsemble(models, WeightedAverage(), "classification"), x
+
+
+class TestDeepEnsemble:
+    def test_predict_equals_aggregated_members(self, small_ensemble):
+        ensemble, x = small_ensemble
+        member = ensemble.member_outputs(x[:20])
+        np.testing.assert_allclose(
+            ensemble.predict(x[:20]),
+            ensemble.aggregate(member),
+        )
+
+    def test_predict_subset_singleton_is_member(self, small_ensemble):
+        ensemble, x = small_ensemble
+        np.testing.assert_allclose(
+            ensemble.predict_subset(x[:10], [1]),
+            ensemble.models[1].predict(x[:10]),
+        )
+
+    def test_predict_subset_validation(self, small_ensemble):
+        ensemble, x = small_ensemble
+        with pytest.raises(ValueError, match="at least one"):
+            ensemble.predict_subset(x[:2], [])
+        with pytest.raises(ValueError, match="out of range"):
+            ensemble.predict_subset(x[:2], [5])
+
+    def test_labels_from_output_classification(self, small_ensemble):
+        ensemble, _ = small_ensemble
+        probs = np.array([[0.8, 0.2], [0.3, 0.7]])
+        np.testing.assert_array_equal(
+            ensemble.labels_from_output(probs), [0, 1]
+        )
+
+    def test_latency_is_slowest_member(self, small_ensemble):
+        ensemble, _ = small_ensemble
+        assert ensemble.total_latency() == 0.03
+
+    def test_memory_is_sum(self, small_ensemble):
+        ensemble, _ = small_ensemble
+        assert ensemble.total_memory() == 300.0
+
+    def test_duplicate_names_rejected(self, small_ensemble):
+        ensemble, _ = small_ensemble
+        with pytest.raises(ValueError, match="duplicate"):
+            DeepEnsemble(
+                [ensemble.models[0], ensemble.models[0]],
+                WeightedAverage(),
+                "classification",
+            )
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DeepEnsemble([], WeightedAverage(), "classification")
+
+    def test_unknown_task_rejected(self, small_ensemble):
+        ensemble, _ = small_ensemble
+        with pytest.raises(ValueError):
+            DeepEnsemble(ensemble.models, WeightedAverage(), "ranking")
+
+    def test_regression_labels_pass_through(self):
+        probs = np.array([[1.5], [2.5]])
+        models = []  # not needed for labels_from_output semantics
+
+        class _Stub(DeepEnsemble):
+            def __init__(self):
+                pass
+
+        stub = _Stub()
+        stub.task = "regression"
+        np.testing.assert_array_equal(stub.labels_from_output(probs), probs)

@@ -1,0 +1,59 @@
+"""Aggregation over regression/embedding outputs (VC and IR paths)."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble.aggregation import WeightedAverage
+from repro.ensemble.ensemble import DeepEnsemble
+from repro.models.base import TrainedModel
+from repro.models.profiles import ModelProfile
+from repro.nn.models import MLPRegressor
+
+
+@pytest.fixture(scope="module")
+def regression_ensemble():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(300, 5))
+    y = np.c_[x[:, 0] * 2.0, x[:, 1] - x[:, 2]]
+    models = []
+    for i in range(3):
+        reg = MLPRegressor(5, 2, hidden=(12,), lr=3e-3, epochs=15, seed=i)
+        reg.fit(x, y)
+        profile = ModelProfile(f"reg{i}", latency=0.02 * (i + 1), memory=50.0)
+        models.append(TrainedModel(profile, reg, "regression"))
+    ensemble = DeepEnsemble(models, WeightedAverage([1.0, 2.0, 1.0]), "regression")
+    return ensemble, x, y
+
+
+class TestRegressionAggregation:
+    def test_weighted_average_of_vectors(self, regression_ensemble):
+        ensemble, x, _ = regression_ensemble
+        members = ensemble.member_outputs(x[:10])
+        expected = (members[0] + 2 * members[1] + members[2]) / 4.0
+        np.testing.assert_allclose(ensemble.predict(x[:10]), expected)
+
+    def test_missing_member_renormalises(self, regression_ensemble):
+        ensemble, x, _ = regression_ensemble
+        members = ensemble.member_outputs(x[:10])
+        out = ensemble.aggregate([members[0], None, members[2]])
+        np.testing.assert_allclose(out, (members[0] + members[2]) / 2.0)
+
+    def test_subset_prediction_matches_manual(self, regression_ensemble):
+        ensemble, x, _ = regression_ensemble
+        subset = ensemble.predict_subset(x[:10], [1])
+        np.testing.assert_allclose(
+            subset, ensemble.models[1].predict(x[:10])
+        )
+
+    def test_ensemble_beats_or_matches_worst_member(self, regression_ensemble):
+        ensemble, x, y = regression_ensemble
+        ens_err = np.mean((ensemble.predict(x) - y) ** 2)
+        member_errs = [
+            np.mean((m.predict(x) - y) ** 2) for m in ensemble.models
+        ]
+        assert ens_err <= max(member_errs) + 1e-9
+
+    def test_labels_pass_through_for_regression(self, regression_ensemble):
+        ensemble, x, _ = regression_ensemble
+        out = ensemble.predict(x[:4])
+        np.testing.assert_array_equal(ensemble.labels_from_output(out), out)

@@ -1,0 +1,209 @@
+"""Smoke + shape tests for every experiment module (tiny configurations).
+
+These verify the harness end to end; the full-scale reproductions live
+in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.distribution import run_distribution_shift, target_pdf
+from repro.experiments.latency import run_forced_processing, tradeoff_windows
+from repro.experiments.motivation import (
+    fig1b_ensemble_vs_members,
+    fig4b_bin_accuracy,
+    redundancy_fractions,
+)
+from repro.experiments.overall import (
+    average_over_deadlines,
+    run_deadline_sweep,
+)
+from repro.experiments.overhead import measured_overhead, profiled_overhead
+from repro.experiments.profiling_knn import knn_robustness_study
+from repro.experiments.scheduler_ablation import (
+    run_delta_sweep,
+    run_scheduler_ablation,
+    scheduler_suite,
+)
+from repro.experiments.trace_segments import make_day_trace, run_day_trace
+
+
+class TestOverall:
+    @pytest.fixture(scope="class")
+    def sweep(self, tm_setup):
+        return run_deadline_sweep(
+            tm_setup, deadlines=[0.12, 0.25], duration=10.0, seed=3
+        )
+
+    def test_structure(self, sweep):
+        assert sweep["deadlines"] == [0.12, 0.25]
+        for name, series in sweep["methods"].items():
+            assert len(series["accuracy"]) == 2
+            assert len(series["dmr"]) == 2
+
+    def test_schemble_beats_original(self, sweep):
+        avg = average_over_deadlines(sweep)
+        assert avg["schemble"]["accuracy"] > avg["original"]["accuracy"]
+        assert avg["schemble"]["dmr"] < avg["original"]["dmr"]
+
+    def test_looser_deadline_never_hurts_original_much(self, sweep):
+        dmr = sweep["methods"]["original"]["dmr"]
+        assert dmr[1] <= dmr[0] + 0.05
+
+
+class TestLatency:
+    @pytest.fixture(scope="class")
+    def rows(self, tm_setup):
+        return run_forced_processing(tm_setup, duration=10.0, seed=3)
+
+    def test_original_scores_100_percent(self, rows):
+        assert rows["original"]["accuracy_rel"] == pytest.approx(1.0)
+
+    def test_schemble_orders_of_magnitude_faster(self, rows):
+        assert (
+            rows["schemble"]["latency_mean"]
+            < 0.1 * rows["original"]["latency_mean"]
+        )
+
+    def test_schemble_keeps_high_relative_accuracy(self, rows):
+        # The paper reports >97% at full scale; this 10-second small-
+        # preset run keeps a weaker but still-high floor.
+        assert rows["schemble"]["accuracy_rel"] > 0.8
+
+    def test_tradeoff_windows(self, rows):
+        windows = tradeoff_windows(rows)
+        assert set(windows) == set(rows)
+        # Someone must win at every weight.
+        total = sum(len(v) for v in windows.values())
+        assert total >= 60
+
+
+class TestTraceSegments:
+    def test_day_trace_overloads_burst(self, tm_setup):
+        trace = make_day_trace(tm_setup, duration=120.0, seed=3)
+        counts = trace.rate_per_bin(5.0)
+        assert counts.max() > 5 * max(counts[:8].mean(), 1.0)
+
+    def test_run_day_trace_metrics(self, tm_setup):
+        out = run_day_trace(
+            tm_setup,
+            baselines=("original", "schemble"),
+            deadline=0.12,
+            duration=60.0,
+            n_segments=6,
+            seed=3,
+        )
+        for name in ("original", "schemble"):
+            assert len(out[name]["dmr"]) == 6
+        assert out["schemble"]["overall_dmr"] < out["original"]["overall_dmr"]
+
+
+class TestDistribution:
+    def test_target_pdf_families(self):
+        for family in ("normal", "gamma", "uniform"):
+            pdf = target_pdf(family, 0.3)
+            assert pdf(np.array([0.3]))[0] >= 0
+        with pytest.raises(ValueError):
+            target_pdf("cauchy", 0.3)
+
+    def test_run_distribution_shift(self, tm_setup):
+        out = run_distribution_shift(
+            tm_setup,
+            family="normal",
+            means=[0.1, 0.5],
+            baselines=("original", "schemble_t", "schemble"),
+            duration=8.0,
+            seed=3,
+        )
+        assert out["means"] == [0.1, 0.5]
+        acc = out["methods"]["schemble"]["accuracy"]
+        assert len(acc) == 2
+        # Harder pools score lower for the difficulty-aware method.
+        assert acc[1] <= acc[0] + 0.05
+
+
+class TestSchedulerAblation:
+    def test_suite_contents(self):
+        suite = scheduler_suite(deltas=(0.1, 0.01))
+        assert set(suite) == {
+            "greedy+edf", "greedy+fifo", "greedy+sjf",
+            "dp(d=0.1)", "dp(d=0.01)",
+        }
+
+    def test_ablation_runs(self, tm_setup):
+        out = run_scheduler_ablation(
+            tm_setup, deadlines=[0.15], duration=8.0,
+            deltas=(0.05,), seed=3,
+        )
+        assert "dp(d=0.05)" in out["methods"]
+        for series in out["methods"].values():
+            assert len(series["accuracy"]) == 1
+
+    def test_delta_sweep_overhead_grows(self, tm_setup):
+        # Heavier overload grows the buffer; the DP table (and thus the
+        # per-invocation work) then scales with 1/delta.
+        rows = run_delta_sweep(
+            tm_setup,
+            deltas=(0.1, 0.005),
+            duration=8.0,
+            rate=3.0 * tm_setup.overload_rate,
+            seed=3,
+        )
+        assert (
+            rows[0.005]["work_per_invocation"]
+            > rows[0.1]["work_per_invocation"]
+        )
+
+
+class TestMotivation:
+    def test_fig1b_rows(self, tm_setup):
+        rows = fig1b_ensemble_vs_members(tm_setup)
+        assert "ensemble" in rows
+        ensemble = rows.pop("ensemble")
+        assert ensemble["quality"] >= max(r["quality"] for r in rows.values())
+        assert ensemble["latency"] == max(r["latency"] for r in rows.values())
+
+    def test_redundancy_matches_paper_shape(self, tm_setup):
+        fractions = redundancy_fractions(tm_setup)
+        # Paper: 78.3% solvable by any single model; <11% need all three.
+        assert fractions["any_single_correct"] > 0.6
+        assert fractions["needs_all_models"] < 0.2
+
+    def test_fig4b_structure(self, tm_setup):
+        out = fig4b_bin_accuracy(tm_setup)
+        table = out["utilities"]
+        assert table.shape[0] == len(out["bin_counts"])
+
+
+class TestOverhead:
+    def test_profiled_fractions(self, tm_setup):
+        out = profiled_overhead(tm_setup)
+        assert out["latency_fraction"] == pytest.approx(0.065)
+        assert out["memory_fraction"] == pytest.approx(0.015)
+
+    def test_measured_predictor_is_cheap(self, tm_setup):
+        out = measured_overhead(tm_setup, batch=64, repeats=1)
+        assert out["param_fraction"] < 1.0
+        assert out["predictor_time"] < out["ensemble_time"]
+
+    def test_measured_requires_predictor(self, tm_setup):
+        import repro.experiments.overhead as mod
+
+        class Stub:
+            schemble = tm_setup.schemble_t
+            pool = tm_setup.pool
+            ensemble = tm_setup.ensemble
+
+        with pytest.raises(ValueError, match="predictor"):
+            mod.measured_overhead(Stub())
+
+
+class TestKNNRobustness:
+    def test_accuracy_flat_in_k(self, tm_setup):
+        results = knn_robustness_study(tm_setup, k_values=(1, 10, 50))
+        values = list(results.values())
+        assert max(values) - min(values) < 0.15
+
+    def test_requires_stacking(self, vc_setup):
+        with pytest.raises(ValueError):
+            knn_robustness_study(vc_setup)

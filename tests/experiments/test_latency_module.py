@@ -1,0 +1,52 @@
+"""Unit-level tests for the forced-processing (Table II) module."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.latency import run_forced_processing, tradeoff_windows
+
+
+class TestForcedProcessing:
+    @pytest.fixture(scope="class")
+    def rows(self, tm_setup):
+        return run_forced_processing(
+            tm_setup, duration=8.0, baselines=("original", "schemble"),
+            seed=9,
+        )
+
+    def test_row_keys(self, rows):
+        for row in rows.values():
+            assert set(row) == {
+                "accuracy_rel", "accuracy_abs",
+                "latency_mean", "latency_p95", "latency_max",
+            }
+
+    def test_latency_percentiles_ordered(self, rows):
+        for row in rows.values():
+            assert row["latency_mean"] <= row["latency_max"] + 1e-12
+            assert row["latency_p95"] <= row["latency_max"] + 1e-12
+
+    def test_relative_accuracy_normalised_to_original(self, rows):
+        assert rows["original"]["accuracy_rel"] == pytest.approx(1.0)
+        assert 0.0 < rows["schemble"]["accuracy_rel"] <= 1.0 + 1e-9
+
+    def test_subset_of_baselines_respected(self, rows):
+        assert set(rows) == {"original", "schemble"}
+
+
+class TestTradeoffWindows:
+    def test_custom_weights(self):
+        rows = {
+            "fast": {"accuracy_rel": 0.9, "latency_mean": 0.1},
+            "accurate": {"accuracy_rel": 0.99, "latency_mean": 5.0},
+        }
+        windows = tradeoff_windows(rows, weights=[0.01, 100.0])
+        assert windows["accurate"] == [0.01]
+        assert windows["fast"] == [100.0]
+
+    def test_default_weight_grid_covers_everything(self):
+        rows = {
+            "only": {"accuracy_rel": 0.9, "latency_mean": 0.1},
+        }
+        windows = tradeoff_windows(rows)
+        assert len(windows["only"]) == 60

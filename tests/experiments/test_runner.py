@@ -1,0 +1,78 @@
+"""Workload construction and run helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data.traces import poisson_trace
+from repro.experiments.runner import make_workload, run_policy, summarize
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return poisson_trace(rate=5.0, duration=10.0, seed=0)
+
+
+class TestMakeWorkload:
+    def test_constant_deadlines(self, tm_setup, trace):
+        wl = make_workload(tm_setup, trace, deadline=0.2, seed=1)
+        assert wl.n_queries == len(trace)
+        np.testing.assert_allclose(wl.deadlines, 0.2)
+
+    def test_camera_deadlines_for_vehicle_counting(self, vc_setup, trace):
+        wl = make_workload(
+            vc_setup, trace, deadline=0.2, deadline_spread=0.05, seed=1
+        )
+        cameras = np.asarray(vc_setup.pool.metadata["camera"])[
+            wl.sample_indices
+        ]
+        # Same camera -> same deadline.
+        for camera in np.unique(cameras)[:5]:
+            values = wl.deadlines[cameras == camera]
+            assert np.allclose(values, values[0])
+        assert np.all((wl.deadlines >= 0.15) & (wl.deadlines <= 0.25))
+
+    def test_uniform_spread_for_other_tasks(self, tm_setup, trace):
+        wl = make_workload(
+            tm_setup, trace, deadline=0.2, deadline_spread=0.05, seed=1
+        )
+        assert wl.deadlines.std() > 0
+
+    def test_explicit_sample_indices(self, tm_setup, trace):
+        indices = np.zeros(len(trace), dtype=int)
+        wl = make_workload(
+            tm_setup, trace, deadline=0.2, sample_indices=indices
+        )
+        np.testing.assert_array_equal(wl.sample_indices, 0)
+
+    def test_sample_indices_length_checked(self, tm_setup, trace):
+        with pytest.raises(ValueError, match="length"):
+            make_workload(
+                tm_setup, trace, deadline=0.2,
+                sample_indices=np.zeros(3, dtype=int),
+            )
+
+
+class TestRunAndSummarize:
+    def test_summary_keys(self, tm_setup, trace):
+        wl = make_workload(tm_setup, trace, deadline=0.3, seed=2)
+        policy = tm_setup.policies()["original"]
+        result = run_policy(tm_setup, policy, wl, policy_name="original")
+        stats = summarize(result, tm_setup)
+        expected = {
+            "accuracy", "processed_accuracy", "dmr",
+            "latency_mean", "latency_p95", "latency_max",
+            "scheduler_invocations",
+        }
+        assert set(stats) == expected
+        assert 0.0 <= stats["dmr"] <= 1.0
+        assert 0.0 <= stats["accuracy"] <= 1.0
+
+    def test_static_gets_replica_workers(self, tm_setup, trace):
+        wl = make_workload(tm_setup, trace, deadline=0.3, seed=2)
+        result = run_policy(
+            tm_setup, tm_setup.static_plan.policy, wl, policy_name="static"
+        )
+        executed = result.executed_model_counts(tm_setup.n_models)
+        for k in range(tm_setup.n_models):
+            if not (tm_setup.static_plan.mask >> k) & 1:
+                assert executed[k] == 0

@@ -1,0 +1,55 @@
+"""Task setup construction."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.setups import DEADLINE_GRIDS, build_setup
+
+
+class TestBuildSetup:
+    def test_cache_returns_same_object(self, tm_setup):
+        again = build_setup("text_matching", "small", seed=0)
+        assert again is tm_setup
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError, match="task"):
+            build_setup("speech", "small")
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="preset"):
+            build_setup("text_matching", "huge")
+
+    @pytest.mark.parametrize(
+        "fixture", ["tm_setup", "vc_setup", "ir_setup"]
+    )
+    def test_structure(self, fixture, request):
+        setup = request.getfixturevalue(fixture)
+        n_masks = 1 << setup.n_models
+        assert setup.quality.shape == (len(setup.pool), n_masks)
+        assert setup.history_quality.shape == (len(setup.history), n_masks)
+        assert np.all(setup.quality[:, 0] == 0)
+        assert np.all((setup.quality >= 0) & (setup.quality <= 1))
+        assert setup.latencies.shape == (setup.n_models,)
+        assert len(setup.deadline_grid) == 5
+
+    def test_deadline_grids_exceed_slowest_model(self):
+        # The paper sets all deadlines above the slowest base model so
+        # misses only come from queue blocking.
+        for fixture_task, grid in DEADLINE_GRIDS.items():
+            setup = build_setup(fixture_task, "small", seed=0)
+            assert min(grid) > setup.latencies.max()
+
+    def test_policies_cover_all_baselines(self, tm_setup):
+        policies = tm_setup.policies()
+        assert set(policies) == {
+            "original", "static", "des", "gating", "schemble_ea", "schemble",
+        }
+
+    def test_static_workers_only_for_static(self, tm_setup):
+        assert tm_setup.workers_for("static") is not None
+        assert tm_setup.workers_for("original") is None
+
+    def test_quality_full_mask_is_best_on_average(self, tm_setup):
+        full = (1 << tm_setup.n_models) - 1
+        means = tm_setup.quality.mean(axis=0)
+        assert means[full] == means[1:].max()

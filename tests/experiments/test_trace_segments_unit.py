@@ -1,0 +1,77 @@
+"""Unit tests for per-segment metric computation (Figs. 1a/9/14 math)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.trace_segments import make_day_trace, segment_metrics
+from repro.serving.records import QueryRecord, ServingResult
+
+
+class _StubSetup:
+    quality = np.zeros((2, 4))
+    quality[:, 3] = 1.0
+    quality[:, 1] = 0.5
+
+
+def record(arrival, completion=None, mask=0, rejected=False, deadline_rel=1.0):
+    return QueryRecord(
+        query_id=0,
+        sample_index=0,
+        arrival=arrival,
+        deadline=arrival + deadline_rel,
+        executed_mask=mask,
+        completion=completion,
+        rejected=rejected,
+    )
+
+
+class TestSegmentMetrics:
+    def test_segments_partition_by_arrival(self):
+        result = ServingResult(
+            records=[
+                record(0.5, completion=0.6, mask=3),
+                record(1.5, rejected=True),
+                record(1.7, completion=1.9, mask=1),
+            ]
+        )
+        out = segment_metrics(result, _StubSetup(), duration=2.0, n_segments=2)
+        assert out["load"] == [1.0, 2.0]
+        assert out["dmr"] == [0.0, 0.5]
+        # Segment 1 accuracy: (0 for missed + 0.5 for mask 1) / 2.
+        assert out["accuracy"][1] == pytest.approx(0.25)
+
+    def test_latency_only_over_completed(self):
+        result = ServingResult(
+            records=[
+                record(0.0, completion=0.2, mask=3),
+                record(0.1, rejected=True),
+            ]
+        )
+        out = segment_metrics(result, _StubSetup(), duration=1.0, n_segments=1)
+        assert out["latency"][0] == pytest.approx(0.2)
+
+    def test_empty_segment_zeroes(self):
+        result = ServingResult(records=[record(0.1, completion=0.2, mask=3)])
+        out = segment_metrics(result, _StubSetup(), duration=2.0, n_segments=2)
+        assert out["load"][1] == 0.0
+        assert out["dmr"][1] == 0.0
+
+    def test_edges_cover_duration(self):
+        result = ServingResult(records=[])
+        out = segment_metrics(result, _StubSetup(), duration=10.0, n_segments=5)
+        assert out["segment_edges"][0] == 0.0
+        assert out["segment_edges"][-1] == 10.0
+
+
+class TestMakeDayTrace:
+    def test_default_base_rate_targets_burst_overload(self, tm_setup):
+        trace = make_day_trace(tm_setup, duration=120.0, seed=1)
+        counts = trace.rate_per_bin(5.0)  # 24 segments
+        capacity = 1.0 / float(tm_setup.latencies.max())
+        # Peak segment rate should exceed the full-ensemble capacity.
+        assert counts.max() / 5.0 > capacity
+
+    def test_custom_base_rate_respected(self, tm_setup):
+        small = make_day_trace(tm_setup, duration=60.0, base_rate=0.05, seed=1)
+        large = make_day_trace(tm_setup, duration=60.0, base_rate=0.5, seed=1)
+        assert len(large) > len(small)

@@ -1,0 +1,91 @@
+"""KNN missing-output filler (Section VII)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filling.knn import KNNFiller
+
+
+@pytest.fixture()
+def history(rng):
+    # Two output "modes": model outputs strongly correlated per record.
+    base = rng.choice([0.1, 0.9], size=(200, 1, 1))
+    return np.broadcast_to(base, (200, 3, 2)).copy() + rng.normal(
+        size=(200, 3, 2)
+    ) * 0.01
+
+
+class TestKNNFiller:
+    def test_exact_neighbour_recovered(self, history):
+        filler = KNNFiller(k=1).fit(history)
+        record = history[0]
+        filled = filler.fill(record, [True, False, True])
+        np.testing.assert_allclose(filled[1], record[1], atol=0.05)
+
+    def test_correlated_mode_respected(self, history):
+        filler = KNNFiller(k=5).fit(history)
+        partial = np.zeros((3, 2))
+        partial[0] = 0.9  # observed high mode
+        filled = filler.fill(partial, [True, False, False])
+        assert np.all(filled[1] > 0.5)
+        assert np.all(filled[2] > 0.5)
+
+    def test_present_rows_untouched(self, history):
+        filler = KNNFiller(k=3).fit(history)
+        record = history[7].copy()
+        filled = filler.fill(record, [True, True, False])
+        np.testing.assert_array_equal(filled[:2], record[:2])
+
+    def test_all_present_is_copy(self, history):
+        filler = KNNFiller(k=3).fit(history)
+        record = history[4]
+        filled = filler.fill(record, [True, True, True])
+        np.testing.assert_array_equal(filled, record)
+        assert filled is not record
+
+    def test_nothing_present_returns_history_mean(self, history):
+        filler = KNNFiller(k=3).fit(history)
+        filled = filler.fill(np.zeros((3, 2)), [False, False, False])
+        np.testing.assert_allclose(filled, history.mean(axis=0))
+
+    def test_k_larger_than_history_ok(self):
+        history = np.ones((4, 2, 1))
+        filler = KNNFiller(k=100).fit(history)
+        filled = filler.fill(np.ones((2, 1)), [True, False])
+        np.testing.assert_allclose(filled, 1.0)
+
+    def test_fill_batch(self, history):
+        filler = KNNFiller(k=3).fit(history)
+        partials = history[:5]
+        masks = np.tile([True, False, True], (5, 1))
+        filled = filler.fill_batch(partials, masks)
+        assert filled.shape == (5, 3, 2)
+
+    def test_validation(self, history):
+        with pytest.raises(ValueError):
+            KNNFiller(k=0)
+        filler = KNNFiller(k=3)
+        with pytest.raises(RuntimeError):
+            filler.fill(np.zeros((3, 2)), [True, True, True])
+        with pytest.raises(ValueError, match="shape"):
+            KNNFiller(k=1).fit(np.zeros((5, 2)))
+        fitted = KNNFiller(k=1).fit(history)
+        with pytest.raises(ValueError, match="shape"):
+            fitted.fill(np.zeros((2, 2)), [True, False])
+        with pytest.raises(ValueError, match="present_mask"):
+            fitted.fill(np.zeros((3, 2)), [True, False])
+
+    @given(st.integers(1, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_filled_values_within_history_hull(self, k):
+        rng = np.random.default_rng(k)
+        history = rng.uniform(0.2, 0.8, size=(50, 2, 2))
+        filler = KNNFiller(k=k).fit(history)
+        filled = filler.fill(
+            np.full((2, 2), 0.5), [True, False]
+        )
+        # Convex combination of history rows stays inside their range.
+        assert np.all(filled[1] >= history[:, 1].min(axis=0) - 1e-9)
+        assert np.all(filled[1] <= history[:, 1].max(axis=0) + 1e-9)

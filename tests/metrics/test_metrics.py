@@ -1,0 +1,66 @@
+"""Trade-off objective and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.tables import format_table
+from repro.metrics.tradeoff import best_method_windows, tradeoff_objective
+
+
+class TestTradeoffObjective:
+    def test_formula(self):
+        assert tradeoff_objective(0.9, 2.0, 10.0) == pytest.approx(70.0)
+
+    def test_zero_latency(self):
+        assert tradeoff_objective(1.0, 0.0, 100.0) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tradeoff_objective(1.5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            tradeoff_objective(0.5, -1.0, 1.0)
+
+
+class TestBestMethodWindows:
+    def test_accurate_slow_wins_at_low_weight(self):
+        methods = {
+            "accurate": (0.95, 10.0),
+            "fast": (0.80, 0.1),
+        }
+        windows = best_method_windows(methods, [0.01, 100.0])
+        assert 0.01 in windows["accurate"]
+        assert 100.0 in windows["fast"]
+
+    def test_dominant_method_wins_everywhere(self):
+        methods = {"good": (0.95, 0.1), "bad": (0.5, 10.0)}
+        windows = best_method_windows(methods, [0.1, 1.0, 10.0])
+        assert len(windows["good"]) == 3
+        assert windows["bad"] == []
+
+    def test_ties_shared(self):
+        methods = {"a": (0.9, 1.0), "b": (0.9, 1.0)}
+        windows = best_method_windows(methods, [1.0])
+        assert windows["a"] == windows["b"] == [1.0]
+
+    def test_empty_methods_rejected(self):
+        with pytest.raises(ValueError):
+            best_method_windows({}, [1.0])
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.23456], ["bb", 2.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in text
+        assert "bb" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text

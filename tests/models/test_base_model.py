@@ -1,0 +1,90 @@
+"""BaseModel wrappers, feature views and profiles."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import TrainedModel
+from repro.models.profiles import ModelProfile, TEXT_MATCHING_PROFILES
+from repro.nn.models import MLPClassifier, MLPRegressor
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return ModelProfile("toy", latency=0.02, memory=100.0)
+
+
+@pytest.fixture(scope="module")
+def classifier_model(profile):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(300, 6))
+    y = (x[:, 0] > 0).astype(int)
+    clf = MLPClassifier(4, 2, hidden=(8,), epochs=10, seed=1)
+    view = np.array([0, 1, 2, 3])
+    clf.fit(x[:, view], y)
+    return TrainedModel(profile, clf, "classification", feature_indices=view), x, y
+
+
+class TestModelProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelProfile("x", latency=0.0, memory=1.0)
+        with pytest.raises(ValueError):
+            ModelProfile("x", latency=1.0, memory=-1.0)
+
+    def test_paper_latency_ordering(self):
+        bilstm, roberta, bert = TEXT_MATCHING_PROFILES
+        assert bilstm.latency < roberta.latency < bert.latency
+
+
+class TestTrainedModel:
+    def test_view_selects_columns(self, classifier_model):
+        model, x, _ = classifier_model
+        viewed = model.view(x)
+        np.testing.assert_array_equal(viewed, x[:, :4])
+
+    def test_no_view_passthrough(self, profile):
+        clf = MLPClassifier(3, 2, epochs=1, seed=0)
+        model = TrainedModel(profile, clf, "classification")
+        x = np.zeros((2, 3))
+        np.testing.assert_array_equal(model.view(x), x)
+
+    def test_classification_outputs_probabilities(self, classifier_model):
+        model, x, _ = classifier_model
+        probs = model.predict(x)
+        assert probs.shape == (300, 2)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_regression_output_2d(self, profile, rng):
+        reg = MLPRegressor(3, 1, epochs=1, seed=0)
+        reg.fit(rng.normal(size=(50, 3)), rng.normal(size=(50, 1)))
+        model = TrainedModel(profile, reg, "regression")
+        assert model.predict(rng.normal(size=(7, 3))).shape == (7, 1)
+
+    def test_calibration_changes_outputs(self, classifier_model):
+        model, x, y = classifier_model
+        before = model.predict(x).copy()
+        model.fit_calibration(x, y)
+        after = model.predict(x)
+        assert model.calibration is not None
+        # Argmax is invariant; probabilities generally shift.
+        np.testing.assert_array_equal(
+            before.argmax(axis=1), after.argmax(axis=1)
+        )
+        model.calibration = None  # restore shared fixture state
+
+    def test_calibration_rejected_for_regression(self, profile, rng):
+        reg = MLPRegressor(3, 1, epochs=1, seed=0)
+        reg.fit(rng.normal(size=(20, 3)), rng.normal(size=(20, 1)))
+        model = TrainedModel(profile, reg, "regression")
+        with pytest.raises(ValueError, match="classification"):
+            model.fit_calibration(rng.normal(size=(10, 3)), np.zeros(10))
+
+    def test_unknown_task_rejected(self, profile):
+        with pytest.raises(ValueError):
+            TrainedModel(profile, None, "ranking")
+
+    def test_profile_properties_exposed(self, classifier_model):
+        model, _, _ = classifier_model
+        assert model.name == "toy"
+        assert model.latency == 0.02
+        assert model.memory == 100.0

@@ -1,0 +1,79 @@
+"""Temperature scaling tests."""
+
+import numpy as np
+import pytest
+
+from repro.models.calibration import TemperatureScaling, expected_calibration_error
+from repro.nn.functional import softmax
+
+
+def miscalibrated_probs(n=4000, temperature=0.3, seed=0):
+    """Overconfident 3-class predictions: true logits sharpened by 1/T."""
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(n, 3)) * 2.0
+    true_probs = softmax(logits)
+    labels = np.array([rng.choice(3, p=p) for p in true_probs])
+    overconfident = softmax(logits / temperature)
+    return overconfident, labels
+
+
+class TestTemperatureScaling:
+    def test_recovers_sharpening_temperature(self):
+        probs, labels = miscalibrated_probs(temperature=0.3)
+        ts = TemperatureScaling().fit(probs, labels)
+        # The fitted temperature should undo the 1/0.3 sharpening.
+        assert ts.temperature_ == pytest.approx(1.0 / 0.3, rel=0.35)
+
+    def test_reduces_ece(self):
+        probs, labels = miscalibrated_probs(temperature=0.3)
+        ts = TemperatureScaling().fit(probs, labels)
+        before = expected_calibration_error(probs, labels)
+        after = expected_calibration_error(ts.transform(probs), labels)
+        assert after < before
+
+    def test_transform_preserves_argmax(self):
+        probs, labels = miscalibrated_probs()
+        ts = TemperatureScaling().fit(probs, labels)
+        calibrated = ts.transform(probs)
+        np.testing.assert_array_equal(
+            calibrated.argmax(axis=1), probs.argmax(axis=1)
+        )
+
+    def test_transform_outputs_distributions(self):
+        probs, labels = miscalibrated_probs(n=200)
+        calibrated = TemperatureScaling().fit(probs, labels).transform(probs)
+        np.testing.assert_allclose(calibrated.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_calibrated_input_keeps_temperature_near_one(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(5000, 3)) * 2.0
+        probs = softmax(logits)
+        labels = np.array([rng.choice(3, p=p) for p in probs])
+        ts = TemperatureScaling().fit(probs, labels)
+        assert 0.7 < ts.temperature_ < 1.4
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TemperatureScaling().transform(np.ones((1, 2)) / 2)
+
+    def test_rejects_non_positive_grid(self):
+        with pytest.raises(ValueError):
+            TemperatureScaling(grid=np.array([0.0, 1.0]))
+
+    def test_rejects_1d_probs(self):
+        with pytest.raises(ValueError, match="2-d"):
+            TemperatureScaling().fit(np.ones(4) / 4, np.zeros(4, dtype=int))
+
+
+class TestECE:
+    def test_perfectly_calibrated_low_ece(self):
+        rng = np.random.default_rng(2)
+        probs = np.full((10000, 2), 0.5)
+        labels = rng.integers(2, size=10000)
+        assert expected_calibration_error(probs, labels) < 0.03
+
+    def test_overconfident_high_ece(self):
+        rng = np.random.default_rng(3)
+        probs = np.tile([0.99, 0.01], (1000, 1))
+        labels = rng.integers(2, size=1000)  # actual accuracy 50%
+        assert expected_calibration_error(probs, labels) > 0.3

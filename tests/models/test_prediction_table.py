@@ -1,0 +1,60 @@
+"""PredictionTable consistency and construction."""
+
+import numpy as np
+import pytest
+
+from repro.models.prediction_table import PredictionTable
+
+
+def make_table(n=10, k=2):
+    rng = np.random.default_rng(0)
+    outputs = {
+        "a": rng.random((n, k)),
+        "b": rng.random((n, k)),
+    }
+    ensemble = (outputs["a"] + outputs["b"]) / 2
+    return PredictionTable(["a", "b"], outputs, ensemble)
+
+
+class TestPredictionTable:
+    def test_basic_accessors(self):
+        table = make_table()
+        assert table.n_models == 2
+        assert table.n_samples == 10
+        assert table.model_output("a", 3).shape == (2,)
+
+    def test_stacked_shape_and_order(self):
+        table = make_table()
+        stacked = table.stacked()
+        assert stacked.shape == (2, 10, 2)
+        np.testing.assert_array_equal(stacked[0], table.outputs["a"])
+
+    def test_stacked_with_sample_subset(self):
+        table = make_table()
+        sub = table.stacked(np.array([1, 4]))
+        assert sub.shape == (2, 2, 2)
+        np.testing.assert_array_equal(sub[1][0], table.outputs["b"][1])
+
+    def test_missing_model_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            PredictionTable(["a", "b"], {"a": np.zeros((3, 1))}, np.zeros((3, 1)))
+
+    def test_inconsistent_sizes_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            PredictionTable(
+                ["a", "b"],
+                {"a": np.zeros((3, 1)), "b": np.zeros((4, 1))},
+                np.zeros((3, 1)),
+            )
+
+    def test_empty_model_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PredictionTable([], {}, np.zeros((1, 1)))
+
+    def test_from_models_runs_every_member(self, tm_setup):
+        table = tm_setup.history_table
+        assert set(table.model_names) == {m.name for m in tm_setup.ensemble.models}
+        assert table.n_samples == len(tm_setup.history)
+        np.testing.assert_allclose(
+            table.ensemble_output.sum(axis=1), 1.0, atol=1e-6
+        )

@@ -1,0 +1,69 @@
+"""Overconfidence sharpening on TrainedModel (DESIGN.md deviation)."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import TrainedModel
+from repro.models.profiles import ModelProfile
+from repro.nn.models import MLPClassifier
+
+
+@pytest.fixture(scope="module")
+def fitted_clf():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(300, 4))
+    y = (x[:, 0] > 0).astype(int)
+    return MLPClassifier(4, 2, hidden=(8,), epochs=10, seed=1).fit(x, y), x
+
+
+class TestSharpening:
+    def test_sharpen_raises_confidence(self, fitted_clf):
+        clf, x = fitted_clf
+        profile = ModelProfile("m", 0.01, 10.0)
+        soft = TrainedModel(profile, clf, "classification", sharpen=1.0)
+        sharp = TrainedModel(profile, clf, "classification", sharpen=0.3)
+        conf_soft = soft.predict(x).max(axis=1).mean()
+        conf_sharp = sharp.predict(x).max(axis=1).mean()
+        assert conf_sharp > conf_soft
+
+    def test_sharpen_preserves_argmax(self, fitted_clf):
+        clf, x = fitted_clf
+        profile = ModelProfile("m", 0.01, 10.0)
+        soft = TrainedModel(profile, clf, "classification", sharpen=1.0)
+        sharp = TrainedModel(profile, clf, "classification", sharpen=0.25)
+        np.testing.assert_array_equal(
+            soft.predict(x).argmax(axis=1), sharp.predict(x).argmax(axis=1)
+        )
+
+    def test_outputs_remain_distributions(self, fitted_clf):
+        clf, x = fitted_clf
+        profile = ModelProfile("m", 0.01, 10.0)
+        sharp = TrainedModel(profile, clf, "classification", sharpen=0.2)
+        probs = sharp.predict(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(probs >= 0)
+
+    def test_identity_at_one(self, fitted_clf):
+        clf, x = fitted_clf
+        profile = ModelProfile("m", 0.01, 10.0)
+        model = TrainedModel(profile, clf, "classification", sharpen=1.0)
+        np.testing.assert_allclose(
+            model.predict(x), clf.predict_proba(x), atol=1e-12
+        )
+
+    def test_calibration_tempers_sharpened_outputs(self, fitted_clf):
+        clf, x = fitted_clf
+        labels = (x[:, 0] > 0).astype(int)
+        profile = ModelProfile("m", 0.01, 10.0)
+        model = TrainedModel(profile, clf, "classification", sharpen=0.2)
+        before = model.predict(x).max(axis=1).mean()
+        model.fit_calibration(x, labels)
+        after = model.predict(x).max(axis=1).mean()
+        # Global temperature scaling softens the artificial confidence.
+        assert after < before
+
+    def test_validation(self, fitted_clf):
+        clf, _ = fitted_clf
+        profile = ModelProfile("m", 0.01, 10.0)
+        with pytest.raises(ValueError, match="sharpen"):
+            TrainedModel(profile, clf, "classification", sharpen=0.0)

@@ -1,0 +1,59 @@
+"""Model-zoo builders produce heterogeneous, working ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_cifar_like, make_text_matching
+from repro.models.zoo import build_cifar_like_models, build_text_matching_ensemble
+
+
+class TestTextMatchingEnsemble:
+    def test_ensemble_beats_weakest_member(self, tm_setup):
+        quality = tm_setup.quality
+        n = tm_setup.n_models
+        solo = [quality[:, 1 << k].mean() for k in range(n)]
+        full = quality[:, (1 << n) - 1].mean()
+        assert full >= max(solo) - 1e-9
+        assert min(solo) < full  # genuine heterogeneity
+
+    def test_latency_ordering_matches_profiles(self, tm_setup):
+        latencies = [m.latency for m in tm_setup.ensemble.models]
+        assert latencies == sorted(latencies)
+
+    def test_rejects_regression_dataset(self):
+        from repro.data import make_vehicle_counting
+
+        ds = make_vehicle_counting(n_samples=50, seed=0)
+        with pytest.raises(ValueError, match="classification"):
+            build_text_matching_ensemble(ds, epochs=1)
+
+    def test_aggregation_variants(self):
+        ds = make_text_matching(n_samples=300, seed=0)
+        train, _ = ds.split([0.8, 0.2], seed=1)
+        for aggregation in ("average", "vote"):
+            ensemble = build_text_matching_ensemble(
+                train, aggregation=aggregation, epochs=2, seed=0
+            )
+            probs = ensemble.predict(train.features[:10])
+            assert probs.shape == (10, 2)
+
+    def test_unknown_aggregation_rejected(self):
+        ds = make_text_matching(n_samples=200, seed=0)
+        with pytest.raises(ValueError, match="aggregation"):
+            build_text_matching_ensemble(ds, aggregation="mean", epochs=1)
+
+
+class TestCifarLikeModels:
+    def test_six_named_architectures(self):
+        ds = make_cifar_like(n_samples=400, seed=0)
+        ensemble = build_cifar_like_models(ds, epochs=2, seed=0)
+        assert ensemble.size == 6
+        assert "ResNet101" in ensemble.model_names
+
+    def test_different_seeds_give_different_models(self):
+        ds = make_cifar_like(n_samples=400, seed=0)
+        a = build_cifar_like_models(ds, epochs=2, seed=0)
+        b = build_cifar_like_models(ds, epochs=2, seed=1)
+        out_a = a.models[0].predict(ds.features[:20])
+        out_b = b.models[0].predict(ds.features[:20])
+        assert not np.allclose(out_a, out_b)

@@ -1,0 +1,90 @@
+"""Tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.functional import log_softmax, one_hot, sigmoid, softmax
+
+finite_rows = arrays(
+    np.float64,
+    (4, 5),
+    elements=st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        probs = softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_uniform_on_equal_logits(self):
+        probs = softmax(np.zeros((1, 4)))
+        np.testing.assert_allclose(probs, 0.25)
+
+    def test_invariant_to_shift(self):
+        logits = np.array([[1.0, 5.0, -2.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_extreme_logits_stable(self):
+        probs = softmax(np.array([[1000.0, 0.0], [-1000.0, 0.0]]))
+        assert np.all(np.isfinite(probs))
+        np.testing.assert_allclose(probs[0], [1.0, 0.0], atol=1e-12)
+
+    @given(finite_rows)
+    @settings(max_examples=25, deadline=None)
+    def test_valid_distribution_property(self, logits):
+        probs = softmax(logits)
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-9)
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self):
+        logits = np.array([[0.5, -1.0, 2.0]])
+        np.testing.assert_allclose(
+            log_softmax(logits), np.log(softmax(logits)), atol=1e-12
+        )
+
+    def test_stable_for_large_values(self):
+        out = log_softmax(np.array([[1e4, 0.0]]))
+        assert np.all(np.isfinite(out))
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        x = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), 1.0, atol=1e-12)
+
+    def test_extremes_do_not_overflow(self):
+        out = sigmoid(np.array([-1e4, 1e4]))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+
+class TestOneHot:
+    def test_basic_encoding(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="labels must be in"):
+            one_hot(np.array([0, 3]), 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="labels must be in"):
+            one_hot(np.array([-1]), 3)
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_empty_input(self):
+        assert one_hot(np.array([], dtype=int), 3).shape == (0, 3)

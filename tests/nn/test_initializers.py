@@ -1,0 +1,31 @@
+"""Weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import he_init, xavier_init
+
+
+class TestHeInit:
+    def test_shape(self):
+        assert he_init(10, 5, rng=0).shape == (10, 5)
+
+    def test_variance_scales_with_fan_in(self):
+        big = he_init(1000, 200, rng=0)
+        assert big.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_seeded_reproducible(self):
+        np.testing.assert_array_equal(he_init(4, 4, rng=7), he_init(4, 4, rng=7))
+
+
+class TestXavierInit:
+    def test_bounds(self):
+        weights = xavier_init(30, 20, rng=1)
+        limit = np.sqrt(6.0 / 50)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_spread_uses_full_range(self):
+        weights = xavier_init(500, 500, rng=2)
+        limit = np.sqrt(6.0 / 1000)
+        assert weights.max() > 0.9 * limit
+        assert weights.min() < -0.9 * limit

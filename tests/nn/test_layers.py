@@ -1,0 +1,170 @@
+"""Tests for layers: forward shapes and analytic-vs-numerical gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers import Dense, Dropout, Parameter
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f at x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        up = f()
+        x[idx] = orig - eps
+        down = f()
+        x[idx] = orig
+        grad[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        p = Parameter(np.ones((2, 2)))
+        p.grad += 5.0
+        p.zero_grad()
+        np.testing.assert_array_equal(p.grad, 0.0)
+
+    def test_size(self):
+        assert Parameter(np.ones((3, 4))).size == 12
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        out = layer.forward(rng.normal(size=(7, 5)))
+        assert out.shape == (7, 3)
+
+    def test_forward_is_affine(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        x = rng.normal(size=(3, 4))
+        expected = x @ layer.weight.value + layer.bias.value
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_rejects_wrong_width(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        with pytest.raises(ValueError, match="input width"):
+            layer.forward(np.zeros((3, 5)))
+
+    def test_rejects_1d_input(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        with pytest.raises(ValueError, match="2-d input"):
+            layer.forward(np.zeros(4))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError, match="positive"):
+            Dense(0, 3)
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_weight_gradient_matches_numerical(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(5, 3))
+
+        def loss():
+            return float((layer.forward(x, training=True) ** 2).sum())
+
+        layer.forward(x, training=True)
+        out = layer.forward(x, training=True)
+        layer.weight.zero_grad()
+        layer.bias.zero_grad()
+        layer.backward(2 * out)
+        num_w = numerical_gradient(loss, layer.weight.value)
+        num_b = numerical_gradient(loss, layer.bias.value)
+        np.testing.assert_allclose(layer.weight.grad, num_w, atol=1e-4)
+        np.testing.assert_allclose(layer.bias.grad, num_b, atol=1e-4)
+
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        out = layer.forward(x, training=True)
+        grad_in = layer.backward(2 * out)
+
+        def loss():
+            return float((layer.forward(x, training=True) ** 2).sum())
+
+        np.testing.assert_allclose(
+            grad_in, numerical_gradient(loss, x), atol=1e-4
+        )
+
+    def test_xavier_init_supported(self, rng):
+        layer = Dense(4, 4, init="xavier", rng=rng)
+        limit = np.sqrt(6.0 / 8.0)
+        assert np.all(np.abs(layer.weight.value) <= limit)
+
+    def test_unknown_init_rejected(self):
+        with pytest.raises(ValueError, match="init"):
+            Dense(2, 2, init="bogus")
+
+
+@pytest.mark.parametrize(
+    "layer_cls", [ReLU, Tanh, Sigmoid, LeakyReLU, Identity]
+)
+class TestActivationGradients:
+    def test_gradient_matches_numerical(self, layer_cls, rng):
+        layer = layer_cls()
+        x = rng.normal(size=(4, 3)) + 0.1  # avoid ReLU kink at exactly 0
+        out = layer.forward(x, training=True)
+        grad_in = layer.backward(2 * out)
+
+        def loss():
+            return float((layer.forward(x, training=True) ** 2).sum())
+
+        np.testing.assert_allclose(
+            grad_in, numerical_gradient(loss, x), atol=1e-4
+        )
+
+
+class TestActivations:
+    def test_relu_clips_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_leaky_relu_slope(self):
+        out = LeakyReLU(0.1).forward(np.array([[-10.0, 10.0]]))
+        np.testing.assert_allclose(out, [[-1.0, 10.0]])
+
+    def test_leaky_relu_rejects_negative_slope(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.5)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.zeros((1, 1)))
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = rng.normal(size=(10, 4))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_training_zeroes_and_scales(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = np.ones((2000, 1))
+        out = layer.forward(x, training=True)
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.35 < (out != 0).mean() < 0.65
+
+    def test_backward_masks_gradient(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = np.ones((50, 4))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal((grad != 0), (out != 0))
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)

@@ -1,0 +1,108 @@
+"""Loss values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import one_hot, softmax
+from repro.nn.losses import (
+    MeanSquaredError,
+    SigmoidBinaryCrossEntropy,
+    SoftmaxCrossEntropy,
+)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-6
+
+    def test_uniform_prediction_loss_is_log_k(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.zeros((3, 4)), np.array([0, 1, 2]))
+        assert value == pytest.approx(np.log(4))
+
+    def test_soft_targets_accepted(self):
+        loss = SoftmaxCrossEntropy()
+        target = np.array([[0.5, 0.5]])
+        value = loss.forward(np.zeros((1, 2)), target)
+        assert value == pytest.approx(np.log(2))
+
+    def test_gradient_formula(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[1.0, -2.0, 0.5]])
+        labels = np.array([2])
+        loss.forward(logits, labels)
+        expected = (softmax(logits) - one_hot(labels, 3)) / 1
+        np.testing.assert_allclose(loss.backward(), expected)
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 1, 2, 1])
+        loss.forward(logits, labels)
+        analytic = loss.backward()
+        eps = 1e-6
+        for i in range(4):
+            for j in range(3):
+                logits[i, j] += eps
+                up = loss.forward(logits.copy(), labels)
+                logits[i, j] -= 2 * eps
+                down = loss.forward(logits.copy(), labels)
+                logits[i, j] += eps
+                assert analytic[i, j] == pytest.approx(
+                    (up - down) / (2 * eps), abs=1e-4
+                )
+        loss.forward(logits, labels)
+
+    def test_shape_mismatch_rejected(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError, match="does not match"):
+            loss.forward(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+
+class TestMeanSquaredError:
+    def test_zero_on_exact(self):
+        loss = MeanSquaredError()
+        assert loss.forward(np.ones((3, 2)), np.ones((3, 2))) == 0.0
+
+    def test_value(self):
+        loss = MeanSquaredError()
+        assert loss.forward(np.array([[2.0]]), np.array([[0.0]])) == 4.0
+
+    def test_gradient(self):
+        loss = MeanSquaredError()
+        pred = np.array([[1.0, 3.0]])
+        loss.forward(pred, np.array([[0.0, 0.0]]))
+        np.testing.assert_allclose(loss.backward(), [[1.0, 3.0]])
+
+    def test_reshapes_flat_targets(self):
+        loss = MeanSquaredError()
+        value = loss.forward(np.zeros((3, 1)), np.array([1.0, 1.0, 1.0]))
+        assert value == pytest.approx(1.0)
+
+
+class TestSigmoidBCE:
+    def test_confident_correct_low_loss(self):
+        loss = SigmoidBinaryCrossEntropy()
+        assert loss.forward(np.array([[50.0]]), np.array([[1.0]])) < 1e-6
+
+    def test_uniform_is_log2(self):
+        loss = SigmoidBinaryCrossEntropy()
+        assert loss.forward(np.array([[0.0]]), np.array([[1.0]])) == pytest.approx(
+            np.log(2)
+        )
+
+    def test_extreme_logits_finite(self):
+        loss = SigmoidBinaryCrossEntropy()
+        value = loss.forward(np.array([[1e4], [-1e4]]), np.array([[0.0], [1.0]]))
+        assert np.isfinite(value)
+
+    def test_gradient_sign(self):
+        loss = SigmoidBinaryCrossEntropy()
+        loss.forward(np.array([[0.0]]), np.array([[1.0]]))
+        assert loss.backward()[0, 0] < 0  # pushing logit up reduces loss

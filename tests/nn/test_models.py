@@ -1,0 +1,182 @@
+"""End-to-end training of the nn model wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import MLPClassifier, MLPRegressor, MultiHeadMLP
+from repro.nn.network import Sequential
+from repro.nn.layers import Dense
+from repro.nn.activations import ReLU
+
+
+@pytest.fixture(scope="module")
+def linear_data():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(500, 6))
+    y = (x[:, 0] - 0.5 * x[:, 1] > 0).astype(int)
+    return x, y
+
+
+class TestSequential:
+    def test_parameters_collected_across_layers(self, rng):
+        net = Sequential([Dense(4, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)])
+        assert len(net.parameters()) == 4
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_add_returns_self(self, rng):
+        net = Sequential()
+        assert net.add(Dense(2, 2, rng=rng)) is net
+
+    def test_rejects_non_layer(self):
+        with pytest.raises(TypeError):
+            Sequential(["not a layer"])
+
+    def test_nested_sequential_backward(self, rng):
+        inner = Sequential([Dense(3, 3, rng=rng), ReLU()])
+        outer = Sequential([inner, Dense(3, 1, rng=rng)])
+        x = rng.normal(size=(5, 3))
+        out = outer.forward(x, training=True)
+        grad = outer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+
+class TestMLPClassifier:
+    def test_learns_linear_boundary(self, linear_data):
+        x, y = linear_data
+        clf = MLPClassifier(6, 2, hidden=(16,), epochs=25, seed=1).fit(x, y)
+        assert (clf.predict(x) == y).mean() > 0.9
+
+    def test_loss_history_decreases(self, linear_data):
+        x, y = linear_data
+        clf = MLPClassifier(6, 2, hidden=(16,), epochs=20, seed=1).fit(x, y)
+        assert clf.history[-1] < clf.history[0]
+
+    def test_predict_proba_valid(self, linear_data):
+        x, y = linear_data
+        clf = MLPClassifier(6, 2, epochs=3, seed=1).fit(x, y)
+        probs = clf.predict_proba(x[:10])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_seeded_training_is_deterministic(self, linear_data):
+        x, y = linear_data
+        a = MLPClassifier(6, 2, epochs=3, seed=7).fit(x, y)
+        b = MLPClassifier(6, 2, epochs=3, seed=7).fit(x, y)
+        np.testing.assert_array_equal(a.predict(x), b.predict(x))
+
+    def test_sample_count_mismatch_rejected(self):
+        clf = MLPClassifier(3, 2, epochs=1)
+        with pytest.raises(ValueError, match="sample count"):
+            clf.fit(np.zeros((4, 3)), np.zeros(5, dtype=int))
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(3, 1)
+
+
+class TestMLPRegressor:
+    def test_fits_linear_target(self, rng):
+        x = rng.normal(size=(400, 4))
+        y = 3.0 * x[:, :1] - x[:, 1:2]
+        reg = MLPRegressor(4, 1, hidden=(16,), lr=3e-3, epochs=40, seed=1)
+        reg.fit(x, y)
+        mse = float(np.mean((reg.predict(x) - y) ** 2))
+        assert mse < 0.5
+
+    def test_multi_output(self, rng):
+        x = rng.normal(size=(300, 4))
+        y = np.c_[x[:, 0], -x[:, 1]]
+        reg = MLPRegressor(4, 2, hidden=(16,), lr=3e-3, epochs=30, seed=1)
+        reg.fit(x, y)
+        assert reg.predict(x[:5]).shape == (5, 2)
+
+    def test_rejects_target_width_mismatch(self, rng):
+        reg = MLPRegressor(3, 2, epochs=1)
+        with pytest.raises(ValueError, match="targets"):
+            reg.fit(np.zeros((4, 3)), np.zeros((4, 3)))
+
+
+class TestMultiHeadMLP:
+    def test_learns_both_heads(self, rng):
+        x = rng.normal(size=(600, 5))
+        labels = (x[:, 0] > 0).astype(int)
+        disc = np.abs(x[:, 1]) / 3.0
+        net = MultiHeadMLP(5, 2, epochs=30, seed=2).fit(x, labels, disc)
+        pred_disc = net.predict_discrepancy(x)
+        assert np.corrcoef(pred_disc, disc)[0, 1] > 0.5
+        task = net.predict_task(x)
+        assert (task.argmax(axis=1) == labels).mean() > 0.8
+
+    def test_discrepancy_clipped_non_negative(self, rng):
+        x = rng.normal(size=(100, 5))
+        net = MultiHeadMLP(5, 2, epochs=1, seed=2)
+        net.fit(x, np.zeros(100, dtype=int), np.zeros(100))
+        assert np.all(net.predict_discrepancy(x) >= 0)
+
+    def test_regression_task_head(self, rng):
+        x = rng.normal(size=(300, 5))
+        targets = x[:, :3]
+        disc = np.abs(x[:, 3])
+        net = MultiHeadMLP(5, 3, task="regression", epochs=10, seed=3)
+        net.fit(x, targets, disc)
+        assert net.predict_task(x[:4]).shape == (4, 3)
+
+    def test_lambda_zero_still_trains_task(self, rng):
+        x = rng.normal(size=(200, 4))
+        labels = (x[:, 0] > 0).astype(int)
+        net = MultiHeadMLP(4, 2, lam=0.0, epochs=10, seed=4)
+        net.fit(x, labels, np.zeros(200))
+        assert net.history[-1]["task_loss"] < net.history[0]["task_loss"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiHeadMLP(4, 2, task="ranking")
+        with pytest.raises(ValueError):
+            MultiHeadMLP(4, 2, lam=-1.0)
+
+    def test_mismatched_lengths_rejected(self, rng):
+        net = MultiHeadMLP(4, 2, epochs=1)
+        with pytest.raises(ValueError, match="sample count"):
+            net.fit(np.zeros((5, 4)), np.zeros(5, dtype=int), np.zeros(4))
+
+
+class TestStateDict:
+    def test_roundtrip_preserves_outputs(self, rng):
+        x = rng.normal(size=(20, 4))
+        a = MLPClassifier(4, 2, hidden=(8,), epochs=2, seed=1)
+        a.fit(x, (x[:, 0] > 0).astype(int))
+        state = a.network.state_dict()
+
+        b = MLPClassifier(4, 2, hidden=(8,), epochs=0, seed=99)
+        b.network.load_state_dict(state)
+        np.testing.assert_allclose(
+            a.predict_proba(x), b.predict_proba(x), atol=1e-12
+        )
+
+    def test_state_dict_is_a_copy(self, rng):
+        net = MLPClassifier(3, 2, hidden=(4,), epochs=0, seed=0).network
+        state = net.state_dict()
+        state["param_0"][:] = 123.0
+        assert not np.allclose(net.parameters()[0].value, 123.0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        net = MLPClassifier(3, 2, hidden=(4,), epochs=0, seed=0).network
+        state = net.state_dict()
+        state["param_0"] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape"):
+            net.load_state_dict(state)
+
+    def test_missing_key_rejected(self):
+        net = MLPClassifier(3, 2, hidden=(4,), epochs=0, seed=0).network
+        state = net.state_dict()
+        del state["param_0"]
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_count_mismatch_rejected(self):
+        net = MLPClassifier(3, 2, hidden=(4,), epochs=0, seed=0).network
+        state = net.state_dict()
+        state.pop("param_0")
+        with pytest.raises(ValueError, match="tensors"):
+            net.load_state_dict(state)

@@ -1,0 +1,96 @@
+"""Optimizer behaviour on analytic objectives."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_step(param):
+    """Gradient of f(w) = ||w||^2 / 2."""
+    param.grad = param.value.copy()
+
+
+class TestSGD:
+    def test_plain_sgd_descends_quadratic(self):
+        param = Parameter(np.array([10.0, -6.0]))
+        opt = SGD([param], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_step(param)
+            opt.step()
+        np.testing.assert_allclose(param.value, 0.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.array([10.0]))
+        moment = Parameter(np.array([10.0]))
+        opt_plain = SGD([plain], lr=0.01)
+        opt_mom = SGD([moment], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for opt, p in [(opt_plain, plain), (opt_mom, moment)]:
+                opt.zero_grad()
+                quadratic_step(p)
+                opt.step()
+        assert abs(moment.value[0]) < abs(plain.value[0])
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([1.0]))
+        opt = SGD([param], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()  # zero task gradient; only decay acts
+        opt.step()
+        assert param.value[0] == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1, weight_decay=-1.0)
+
+    def test_zero_grad_clears_all(self):
+        params = [Parameter(np.ones(2)), Parameter(np.ones(3))]
+        opt = SGD(params, lr=0.1)
+        for p in params:
+            p.grad += 1.0
+        opt.zero_grad()
+        for p in params:
+            np.testing.assert_array_equal(p.grad, 0.0)
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([param], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_step(param)
+            opt.step()
+        np.testing.assert_allclose(param.value, 0.0, atol=1e-2)
+
+    def test_handles_sparse_scale_differences(self):
+        # Adam should make progress on both coordinates despite very
+        # different gradient magnitudes.
+        param = Parameter(np.array([1.0, 1.0]))
+        scales = np.array([100.0, 0.01])
+        opt = Adam([param], lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            param.grad = scales * param.value
+            opt.step()
+        np.testing.assert_allclose(param.value, 0.0, atol=0.05)
+
+    def test_first_step_size_is_lr(self):
+        param = Parameter(np.array([1.0]))
+        opt = Adam([param], lr=0.1)
+        param.grad = np.array([123.0])
+        opt.step()
+        # Bias correction makes the first step ~lr regardless of scale.
+        assert param.value[0] == pytest.approx(1.0 - 0.1, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1, beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1, eps=0.0)

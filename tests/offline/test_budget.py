@@ -1,0 +1,98 @@
+"""Offline budgeted selection (Fig. 16 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.offline.budget import (
+    budget_accuracy_curve,
+    budgeted_selection,
+    mask_costs,
+    random_selection,
+)
+
+
+LATENCIES = [0.02, 0.07, 0.09]
+
+
+def graded_utilities(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    difficulty = rng.uniform(0, 1, n)
+    u = np.zeros((n, 8))
+    for mask in range(1, 8):
+        size = bin(mask).count("1")
+        u[:, mask] = np.clip(1.0 - difficulty * (1.0 - size / 3.0), 0, 1)
+    return u, difficulty
+
+
+class TestMaskCosts:
+    def test_cumulative_runtime_is_sum(self):
+        costs = mask_costs(LATENCIES)
+        assert costs[0b001] == pytest.approx(0.02)
+        assert costs[0b011] == pytest.approx(0.09)
+        assert costs[0b111] == pytest.approx(0.18)
+        assert costs[0] == 0.0
+
+
+class TestBudgetedSelection:
+    def test_budget_respected(self):
+        u, _ = graded_utilities()
+        costs = mask_costs(LATENCIES)
+        budget = 0.05 * u.shape[0]
+        masks, spent = budgeted_selection(u, LATENCIES, budget)
+        assert spent <= budget * 1.02
+        assert costs[masks].sum() == pytest.approx(spent)
+
+    def test_large_budget_takes_everything(self):
+        u, _ = graded_utilities()
+        budget = 1.0 * u.shape[0]
+        masks, _ = budgeted_selection(u, LATENCIES, budget)
+        assert np.all(masks == 7)
+
+    def test_hard_samples_get_more_models(self):
+        u, difficulty = graded_utilities()
+        budget = 0.08 * u.shape[0]
+        masks, _ = budgeted_selection(u, LATENCIES, budget)
+        sizes = np.array([bin(m).count("1") for m in masks])
+        hard = difficulty > 0.7
+        easy = difficulty < 0.3
+        assert sizes[hard].mean() > sizes[easy].mean()
+
+    def test_utility_monotone_in_budget(self):
+        u, _ = graded_utilities()
+        quality = u
+        curve = budget_accuracy_curve(
+            u, quality, LATENCIES, budgets=[4.0, 10.0, 30.0]
+        )
+        values = list(curve.values())
+        assert values == sorted(values)
+
+    def test_validation(self):
+        u, _ = graded_utilities()
+        with pytest.raises(ValueError):
+            budgeted_selection(u, LATENCIES, 0.0)
+
+
+class TestRandomSelection:
+    def test_budget_respected(self):
+        costs = mask_costs(LATENCIES)
+        masks = random_selection(100, LATENCIES, budget=3.0, seed=0)
+        # Fallback to the cheapest model may slightly exceed the budget,
+        # but the bulk allocation respects it.
+        assert costs[masks].sum() <= 3.0 + 100 * 0.02
+
+    def test_every_sample_answered(self):
+        masks = random_selection(50, LATENCIES, budget=0.5, seed=1)
+        assert np.all(masks > 0)
+
+    def test_deterministic(self):
+        a = random_selection(30, LATENCIES, budget=1.0, seed=2)
+        b = random_selection(30, LATENCIES, budget=1.0, seed=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_oracle_beats_random(self):
+        u, _ = graded_utilities(seed=5)
+        budget = 0.06 * u.shape[0]
+        smart, _ = budgeted_selection(u, LATENCIES, budget)
+        rand = random_selection(u.shape[0], LATENCIES, budget, seed=5)
+        idx = np.arange(u.shape[0])
+        assert u[idx, smart].mean() > u[idx, rand].mean()

@@ -1,0 +1,74 @@
+"""Brute-force scheduler (test oracle) self-checks."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling.bruteforce import BruteForceScheduler
+from repro.scheduling.problem import (
+    QueryRequest,
+    SchedulingInstance,
+    evaluate_schedule,
+)
+
+
+def instance(n=2, deadline=0.5):
+    utilities = np.array([0.0, 0.5, 0.6, 0.9])
+    queries = [
+        QueryRequest(i, 0.0, deadline, utilities.copy()) for i in range(n)
+    ]
+    return SchedulingInstance(queries, np.array([0.1, 0.2]), np.zeros(2))
+
+
+class TestBruteForce:
+    def test_single_query_optimum(self):
+        inst = instance(n=1)
+        result = BruteForceScheduler().schedule(inst)
+        assert result.total_utility == pytest.approx(0.9)
+        assert result.mask_for(0) == 3
+
+    def test_reported_utility_is_achievable(self):
+        inst = instance(n=3, deadline=0.35)
+        result = BruteForceScheduler().schedule(inst)
+        achieved = evaluate_schedule(inst, result.decisions)
+        assert achieved == pytest.approx(result.total_utility)
+
+    def test_order_search_never_worse_than_edf_only(self):
+        rng = np.random.default_rng(0)
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            utilities = np.array([0.0, 0.5, 0.6, 0.9])
+            queries = [
+                QueryRequest(
+                    i,
+                    float(r.uniform(0, 0.05)),
+                    float(r.uniform(0.1, 0.4)),
+                    utilities.copy(),
+                )
+                for i in range(3)
+            ]
+            inst = SchedulingInstance(
+                queries, np.array([0.1, 0.2]), np.zeros(2)
+            )
+            edf_only = BruteForceScheduler(search_orders=False).schedule(inst)
+            full = BruteForceScheduler(search_orders=True).schedule(inst)
+            assert full.total_utility >= edf_only.total_utility - 1e-9
+
+    def test_refuses_large_instances(self):
+        inst = instance(n=3)
+        with pytest.raises(ValueError, match="limited"):
+            BruteForceScheduler(max_queries=2).schedule(inst)
+
+    def test_empty_instance(self):
+        inst = SchedulingInstance([], np.array([0.1]), np.zeros(1))
+        result = BruteForceScheduler().schedule(inst)
+        assert result.total_utility == 0.0
+
+    def test_infeasible_everything_gives_zero(self):
+        inst = instance(n=1, deadline=0.35)
+        # busy models make even the fast mask miss.
+        inst = SchedulingInstance(
+            inst.queries, inst.latencies, np.array([0.5, 0.5])
+        )
+        result = BruteForceScheduler().schedule(inst)
+        assert result.total_utility == 0.0
+        assert result.mask_for(0) == 0

@@ -1,0 +1,40 @@
+"""Execution orders."""
+
+import numpy as np
+
+from repro.scheduling.orders import ORDERS, edf_order, fifo_order, sjf_order
+from repro.scheduling.problem import QueryRequest
+
+
+def make_queries():
+    u = np.array([0.0, 1.0])
+    return [
+        QueryRequest(0, arrival=0.2, deadline=0.9, utilities=u, score=0.5),
+        QueryRequest(1, arrival=0.0, deadline=0.5, utilities=u, score=0.9),
+        QueryRequest(2, arrival=0.1, deadline=0.7, utilities=u, score=0.1),
+    ]
+
+
+class TestOrders:
+    def test_edf_sorts_by_deadline(self):
+        assert edf_order(make_queries()) == [1, 2, 0]
+
+    def test_fifo_sorts_by_arrival(self):
+        assert fifo_order(make_queries()) == [1, 2, 0]
+
+    def test_sjf_sorts_by_score(self):
+        assert sjf_order(make_queries()) == [2, 0, 1]
+
+    def test_ties_broken_by_index(self):
+        u = np.array([0.0, 1.0])
+        queries = [
+            QueryRequest(0, 0.0, 1.0, u),
+            QueryRequest(1, 0.0, 1.0, u),
+        ]
+        assert edf_order(queries) == [0, 1]
+
+    def test_registry_contains_all(self):
+        assert set(ORDERS) == {"edf", "fifo", "sjf"}
+
+    def test_empty(self):
+        assert edf_order([]) == []

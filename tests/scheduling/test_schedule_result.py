@@ -1,0 +1,56 @@
+"""ScheduleResult bookkeeping and cross-scheduler consistency."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling.dp import DPScheduler
+from repro.scheduling.greedy import GreedyScheduler
+from repro.scheduling.problem import QueryRequest, SchedulingInstance
+
+from tests.scheduling.test_dp import random_instance
+
+
+class TestResultBookkeeping:
+    @pytest.mark.parametrize("scheduler", [DPScheduler(), GreedyScheduler("edf")])
+    def test_total_matches_decision_utilities(self, scheduler):
+        inst = random_instance(5, 2, 42)
+        result = scheduler.schedule(inst)
+        by_id = {q.query_id: q for q in inst.queries}
+        manual = sum(
+            float(by_id[d.query_id].utilities[d.mask])
+            for d in result.decisions
+            if d.mask
+        )
+        assert result.total_utility == pytest.approx(manual)
+
+    @pytest.mark.parametrize("scheduler", [DPScheduler(), GreedyScheduler("edf")])
+    def test_work_units_positive(self, scheduler):
+        inst = random_instance(3, 2, 43)
+        assert scheduler.schedule(inst).work_units > 0
+
+    def test_greedy_never_schedules_past_deadline(self):
+        for seed in range(10):
+            inst = random_instance(5, 3, seed + 400, horizon=(0.05, 0.15))
+            result = GreedyScheduler("edf").schedule(inst)
+            times = inst.busy_until.copy()
+            for decision in result.decisions:
+                if decision.mask == 0:
+                    continue
+                query = next(
+                    q for q in inst.queries if q.query_id == decision.query_id
+                )
+                completion = 0.0
+                for k in range(inst.n_models):
+                    if decision.mask >> k & 1:
+                        times[k] += inst.latencies[k]
+                        completion = max(completion, times[k])
+                assert inst.now + completion <= query.deadline + 1e-9
+
+    def test_dp_and_greedy_agree_on_trivial_instance(self):
+        """A single query with slack: every scheduler picks max utility."""
+        u = np.array([0.0, 0.4, 0.6, 1.0])
+        q = QueryRequest(0, 0.0, 10.0, u)
+        inst = SchedulingInstance([q], np.array([0.1, 0.2]), np.zeros(2))
+        for scheduler in (DPScheduler(), GreedyScheduler("edf"),
+                          GreedyScheduler("fifo"), GreedyScheduler("sjf")):
+            assert scheduler.schedule(inst).mask_for(0) == 3

@@ -1,0 +1,65 @@
+"""Bitmask subset helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.subsets import (
+    iter_masks,
+    mask_contains,
+    mask_latency,
+    mask_members,
+    mask_size,
+)
+
+
+class TestIterMasks:
+    def test_counts(self):
+        assert len(list(iter_masks(3))) == 7
+        assert len(list(iter_masks(3, include_empty=True))) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(iter_masks(0))
+
+
+class TestMaskMembers:
+    def test_examples(self):
+        assert mask_members(0) == []
+        assert mask_members(0b101) == [0, 2]
+        assert mask_members(0b1000) == [3]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask_members(-1)
+
+    @given(st.integers(0, 2**10 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, mask):
+        members = mask_members(mask)
+        rebuilt = 0
+        for k in members:
+            rebuilt |= 1 << k
+        assert rebuilt == mask
+        assert len(members) == mask_size(mask)
+        for k in members:
+            assert mask_contains(mask, k)
+
+
+class TestMaskLatency:
+    def test_parallel_execution_takes_slowest(self):
+        assert mask_latency(0b011, [0.01, 0.05, 0.09]) == 0.05
+        assert mask_latency(0b111, [0.01, 0.05, 0.09]) == 0.09
+
+    def test_empty_mask_zero(self):
+        assert mask_latency(0, [0.01]) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            mask_latency(0b100, [0.01, 0.05])
+
+
+class TestMaskContains:
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            mask_contains(1, -1)

@@ -1,0 +1,92 @@
+"""Empirical checks of the paper's theorems on small instances."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling.bruteforce import BruteForceScheduler
+from repro.scheduling.dp import DPScheduler
+from repro.scheduling.orders import edf_order
+from repro.scheduling.problem import (
+    QueryRequest,
+    ScheduleDecision,
+    SchedulingInstance,
+    evaluate_schedule,
+)
+
+from tests.scheduling.test_dp import random_instance
+
+
+class TestTheorem1ConsistentOrder:
+    """A consistent query order across models never loses reward."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_orderless_optimum_matched_by_some_consistent_order(self, seed):
+        inst = random_instance(3, 2, seed)
+        # Optimum over consistent orders (brute force permutes orders
+        # but always processes queries consistently across models).
+        consistent = BruteForceScheduler(search_orders=True).schedule(inst)
+        # EDF-only optimum.
+        edf_only = BruteForceScheduler(search_orders=False).schedule(inst)
+        # Theorem 1+2 combined: EDF with the right masks is as good as
+        # any consistent-order schedule.
+        assert edf_only.total_utility == pytest.approx(
+            consistent.total_utility, abs=1e-9
+        )
+
+
+class TestTheorem2EDFOptimal:
+    """With tasks fixed and feasible, EDF is an optimal order."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_edf_at_least_matches_any_permutation(self, seed):
+        from itertools import permutations
+
+        inst = random_instance(4, 2, seed + 50, horizon=(0.15, 0.4))
+        # Fix masks via the DP plan (feasible by construction).
+        plan = DPScheduler(delta=0.01).schedule(inst)
+        masks = {d.query_id: d.mask for d in plan.decisions}
+        order_ids = [d.query_id for d in plan.decisions]  # EDF order
+        by_id = {q.query_id: q for q in inst.queries}
+
+        def reward(sequence):
+            decisions = [ScheduleDecision(qid, masks[qid]) for qid in sequence]
+            return evaluate_schedule(inst, decisions)
+
+        edf_reward = reward(order_ids)
+        for perm in permutations(order_ids):
+            assert edf_reward >= reward(list(perm)) - 1e-9
+
+
+class TestTheorem3Approximation:
+    """DP with step δ is a (1 - δN)-approximation of the local optimum."""
+
+    @pytest.mark.parametrize("delta", [0.1, 0.02, 0.005])
+    def test_quantisation_bound(self, delta):
+        violations = 0
+        for seed in range(6):
+            inst = random_instance(3, 3, seed + 200)
+            dp = DPScheduler(delta=delta).schedule(inst)
+            opt = BruteForceScheduler(search_orders=True).schedule(inst)
+            achieved = evaluate_schedule(inst, dp.decisions)
+            epsilon = delta * inst.n_queries
+            if achieved < (1 - epsilon) * opt.total_utility - 1e-9:
+                violations += 1
+        assert violations == 0
+
+
+class TestAssumption1:
+    """Profiled utilities satisfy diminishing marginal utility after the
+    monotone repair (the form the scheduler relies on)."""
+
+    def test_monotone_in_subset_inclusion(self, tm_setup):
+        table = tm_setup.schemble.profiler.utility_table()
+        m = tm_setup.n_models
+        for mask in range(1, 1 << m):
+            for k in range(m):
+                if mask >> k & 1:
+                    parent = mask & ~(1 << k)
+                    assert np.all(table[:, mask] >= table[:, parent] - 1e-9)
+
+    def test_utility_bounded_by_one(self, tm_setup):
+        table = tm_setup.schemble.profiler.utility_table()
+        assert table.max() <= 1.0 + 1e-9

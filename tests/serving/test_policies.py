@@ -1,0 +1,73 @@
+"""Policy objects."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling.dp import DPScheduler
+from repro.serving.policies import BufferedSchedulingPolicy, ImmediateMaskPolicy
+
+
+class TestImmediateMaskPolicy:
+    def test_constant_mask(self):
+        policy = ImmediateMaskPolicy("p", 0b101)
+        assert policy.mask_for(0) == 0b101
+        assert policy.mask_for(999) == 0b101
+
+    def test_per_sample_masks(self):
+        policy = ImmediateMaskPolicy("p", np.array([1, 2, 3]))
+        assert policy.mask_for(1) == 2
+        with pytest.raises(IndexError):
+            policy.mask_for(3)
+
+    def test_rejects_empty_masks(self):
+        with pytest.raises(ValueError):
+            ImmediateMaskPolicy("p", 0)
+        with pytest.raises(ValueError):
+            ImmediateMaskPolicy("p", np.array([1, 0]))
+
+    def test_rejects_2d_masks(self):
+        with pytest.raises(ValueError):
+            ImmediateMaskPolicy("p", np.ones((2, 2), dtype=int))
+
+    def test_not_buffered(self):
+        assert not ImmediateMaskPolicy("p", 1).buffered
+
+
+class TestBufferedSchedulingPolicy:
+    def _utilities(self, n=4, m=2):
+        u = np.full((n, 1 << m), 0.5)
+        u[:, 0] = 0.0
+        return u
+
+    def test_accessors(self):
+        scores = np.array([0.1, 0.2, 0.3, 0.4])
+        policy = BufferedSchedulingPolicy(
+            "s", DPScheduler(), self._utilities(), scores=scores,
+            entry_delay=0.01,
+        )
+        assert policy.buffered
+        assert policy.entry_delay == 0.01
+        assert policy.score_for(2) == pytest.approx(0.3)
+        np.testing.assert_array_equal(
+            policy.utilities_for(1), self._utilities()[1]
+        )
+
+    def test_default_scores_zero(self):
+        policy = BufferedSchedulingPolicy("s", DPScheduler(), self._utilities())
+        assert policy.score_for(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2-d"):
+            BufferedSchedulingPolicy("s", DPScheduler(), np.zeros(4))
+        bad = self._utilities()
+        bad[:, 0] = 0.5
+        with pytest.raises(ValueError, match="empty subset"):
+            BufferedSchedulingPolicy("s", DPScheduler(), bad)
+        with pytest.raises(ValueError, match="pool size"):
+            BufferedSchedulingPolicy(
+                "s", DPScheduler(), self._utilities(), scores=np.zeros(2)
+            )
+        with pytest.raises(ValueError, match="entry_delay"):
+            BufferedSchedulingPolicy(
+                "s", DPScheduler(), self._utilities(), entry_delay=-1.0
+            )

@@ -1,0 +1,97 @@
+"""QueryRecord / ServingResult metric semantics."""
+
+import numpy as np
+import pytest
+
+from repro.serving.records import QueryRecord, ServingResult
+
+
+def record(qid=0, arrival=0.0, deadline=1.0, completion=None, mask=0,
+           rejected=False, sample=0):
+    return QueryRecord(
+        query_id=qid,
+        sample_index=sample,
+        arrival=arrival,
+        deadline=deadline,
+        executed_mask=mask,
+        completion=completion,
+        rejected=rejected,
+    )
+
+
+@pytest.fixture()
+def quality():
+    q = np.zeros((3, 4))
+    q[:, 1] = 0.5
+    q[:, 3] = 1.0
+    return q
+
+
+class TestQueryRecord:
+    def test_missed_when_rejected(self):
+        assert record(rejected=True).missed
+
+    def test_missed_when_unfinished(self):
+        assert record(completion=None).missed
+
+    def test_missed_when_late(self):
+        assert record(completion=1.5, deadline=1.0).missed
+
+    def test_on_time(self):
+        r = record(completion=0.8, deadline=1.0)
+        assert not r.missed
+        assert r.processed
+
+    def test_latency(self):
+        assert record(arrival=0.5, completion=0.8).latency == pytest.approx(0.3)
+        assert record().latency is None
+
+
+class TestServingResult:
+    def test_dmr(self, quality):
+        result = ServingResult(
+            records=[
+                record(0, completion=0.5, mask=3),
+                record(1, rejected=True),
+            ]
+        )
+        assert result.deadline_miss_rate() == 0.5
+
+    def test_accuracy_counts_missed_as_zero(self, quality):
+        result = ServingResult(
+            records=[
+                record(0, completion=0.5, mask=3, sample=0),
+                record(1, rejected=True, sample=1),
+            ]
+        )
+        assert result.accuracy(quality) == pytest.approx(0.5)
+        assert result.processed_accuracy(quality) == pytest.approx(1.0)
+
+    def test_latency_stats(self, quality):
+        result = ServingResult(
+            records=[
+                record(0, arrival=0.0, completion=0.1, mask=1),
+                record(1, arrival=0.0, completion=0.3, mask=1),
+            ]
+        )
+        stats = result.latency_stats()
+        assert stats["mean"] == pytest.approx(0.2)
+        assert stats["max"] == pytest.approx(0.3)
+
+    def test_latency_stats_empty(self):
+        stats = ServingResult(records=[record(rejected=True)]).latency_stats()
+        assert np.isnan(stats["mean"])
+
+    def test_empty_result(self, quality):
+        result = ServingResult(records=[])
+        assert result.deadline_miss_rate() == 0.0
+        assert result.accuracy(quality) == 0.0
+        assert result.processed_accuracy(quality) == 0.0
+
+    def test_executed_model_counts(self):
+        result = ServingResult(
+            records=[record(0, mask=0b11), record(1, mask=0b10)]
+        )
+        np.testing.assert_array_equal(
+            result.executed_model_counts(2), [1, 2]
+        )

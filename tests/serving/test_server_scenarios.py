@@ -1,0 +1,139 @@
+"""Scenario-level serving tests: multi-policy behaviours end to end."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling.dp import DPScheduler
+from repro.scheduling.greedy import GreedyScheduler
+from repro.serving.policies import BufferedSchedulingPolicy, ImmediateMaskPolicy
+from repro.serving.server import EnsembleServer, WorkerSpec
+from repro.serving.workload import ServingWorkload
+
+
+def graded_utilities(n_pool, m):
+    utilities = np.zeros((n_pool, 1 << m))
+    for mask in range(1, 1 << m):
+        utilities[:, mask] = 0.5 + 0.15 * bin(mask).count("1")
+    return np.clip(utilities, 0, 1)
+
+
+def steady_workload(rate, duration, deadline, n_pool=8, m=2, seed=0):
+    rng = np.random.default_rng(seed)
+    n = int(rate * duration)
+    arrivals = np.sort(rng.uniform(0, duration, n))
+    quality = graded_utilities(n_pool, m)
+    quality[:, 0] = 0.0
+    return ServingWorkload(
+        arrivals=arrivals,
+        deadlines=np.full(n, deadline),
+        sample_indices=rng.integers(n_pool, size=n),
+        quality=quality,
+    )
+
+
+class TestOverloadBehaviour:
+    def test_original_sheds_exactly_the_overflow(self):
+        # One model at 10/s capacity, offered 20/s: about half rejected.
+        workload = steady_workload(20.0, 10.0, deadline=0.25, m=1, seed=1)
+        server = EnsembleServer([0.1], ImmediateMaskPolicy("orig", 1))
+        result = server.run(workload)
+        assert 0.35 < result.deadline_miss_rate() < 0.65
+
+    def test_accepted_queries_always_meet_deadline_with_rejection(self):
+        workload = steady_workload(20.0, 10.0, deadline=0.25, m=1, seed=2)
+        server = EnsembleServer([0.1], ImmediateMaskPolicy("orig", 1))
+        result = server.run(workload)
+        for record in result.records:
+            if not record.rejected:
+                assert record.completion <= record.deadline + 1e-9
+
+    def test_dp_policy_beats_capacity_blind_full_masks(self):
+        m = 2
+        workload = steady_workload(18.0, 10.0, deadline=0.3, m=m, seed=3)
+        latencies = [0.05, 0.12]
+
+        full = EnsembleServer(
+            latencies, ImmediateMaskPolicy("orig", 0b11)
+        ).run(workload)
+        policy = BufferedSchedulingPolicy(
+            "dp", DPScheduler(delta=0.01), workload.quality
+        )
+        scheduled = EnsembleServer(latencies, policy).run(workload)
+        assert (
+            scheduled.accuracy(workload.quality)
+            > full.accuracy(workload.quality)
+        )
+        assert (
+            scheduled.deadline_miss_rate() < full.deadline_miss_rate()
+        )
+
+
+class TestReplicaScenarios:
+    def test_static_with_replicas_outserves_static_without(self):
+        workload = steady_workload(25.0, 8.0, deadline=0.3, m=1, seed=4)
+
+        single = EnsembleServer(
+            [0.1], ImmediateMaskPolicy("static", 1)
+        ).run(workload)
+        doubled = EnsembleServer(
+            [0.1],
+            ImmediateMaskPolicy("static", 1),
+            workers=[WorkerSpec(0, 0.1), WorkerSpec(0, 0.1)],
+        ).run(workload)
+        assert doubled.deadline_miss_rate() < single.deadline_miss_rate()
+
+    def test_replicas_split_load_evenly_enough(self):
+        workload = steady_workload(15.0, 8.0, deadline=0.5, m=1, seed=5)
+        server = EnsembleServer(
+            [0.1],
+            ImmediateMaskPolicy("static", 1),
+            workers=[WorkerSpec(0, 0.1), WorkerSpec(0, 0.1)],
+        )
+        result = server.run(workload)
+        # All completions happen; executed mask is the single model.
+        assert result.deadline_miss_rate() < 0.1
+
+
+class TestSchedulerSwap:
+    @pytest.mark.parametrize("scheduler_cls", [DPScheduler, GreedyScheduler])
+    def test_any_scheduler_slots_into_the_policy(self, scheduler_cls):
+        workload = steady_workload(10.0, 5.0, deadline=0.3, m=2, seed=6)
+        scheduler = (
+            scheduler_cls() if scheduler_cls is DPScheduler
+            else scheduler_cls("edf")
+        )
+        policy = BufferedSchedulingPolicy(
+            "swap", scheduler, workload.quality
+        )
+        result = EnsembleServer([0.05, 0.12], policy).run(workload)
+        assert len(result) == workload.n_queries
+        assert result.deadline_miss_rate() < 0.5
+
+
+class TestForcedModeScenarios:
+    def test_forced_queues_grow_without_bound(self):
+        # 2x overload, no rejection: latency of late arrivals grows
+        # linearly with their index — the Table II "Original" blow-up.
+        workload = steady_workload(20.0, 10.0, deadline=0.2, m=1, seed=7)
+        server = EnsembleServer(
+            [0.1], ImmediateMaskPolicy("orig", 1), allow_rejection=False
+        )
+        result = server.run(workload)
+        latencies = result.latencies()
+        # Last-decile latency dwarfs first-decile latency.
+        k = max(1, len(latencies) // 10)
+        ordered = np.sort([r.arrival for r in result.records])
+        by_arrival = [r.latency for r in sorted(result.records, key=lambda r: r.arrival)]
+        assert np.mean(by_arrival[-k:]) > 5 * np.mean(by_arrival[:k])
+
+    def test_forced_schemble_bounded_latency(self):
+        workload = steady_workload(20.0, 10.0, deadline=0.2, m=2, seed=8)
+        policy = BufferedSchedulingPolicy(
+            "dp", DPScheduler(delta=0.01), workload.quality
+        )
+        server = EnsembleServer(
+            [0.04, 0.12], policy, allow_rejection=False
+        )
+        result = server.run(workload)
+        # Shedding to the fast model keeps the tail bounded.
+        assert result.latency_stats()["max"] < 2.0

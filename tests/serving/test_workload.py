@@ -1,0 +1,62 @@
+"""ServingWorkload validation."""
+
+import numpy as np
+import pytest
+
+from repro.serving.workload import ServingWorkload
+
+
+def quality_table(n_pool=5, m=2):
+    rng = np.random.default_rng(0)
+    q = rng.random((n_pool, 1 << m))
+    q[:, 0] = 0.0
+    return q
+
+
+def make_workload(**overrides):
+    defaults = dict(
+        arrivals=np.array([0.0, 1.0, 2.0]),
+        deadlines=np.array([0.5, 0.5, 0.5]),
+        sample_indices=np.array([0, 1, 2]),
+        quality=quality_table(),
+    )
+    defaults.update(overrides)
+    return ServingWorkload(**defaults)
+
+
+class TestServingWorkload:
+    def test_defaults_utilities_to_quality(self):
+        wl = make_workload()
+        np.testing.assert_array_equal(wl.utilities, wl.quality)
+
+    def test_properties(self):
+        wl = make_workload()
+        assert wl.n_queries == 3
+        assert wl.n_masks == 4
+        assert wl.n_models == 2
+
+    def test_unsorted_arrivals_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            make_workload(arrivals=np.array([1.0, 0.0, 2.0]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="share length"):
+            make_workload(deadlines=np.array([0.5, 0.5]))
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_workload(deadlines=np.array([0.5, 0.0, 0.5]))
+
+    def test_sample_index_out_of_range(self):
+        with pytest.raises(ValueError, match="beyond"):
+            make_workload(sample_indices=np.array([0, 1, 99]))
+
+    def test_nonzero_empty_mask_quality_rejected(self):
+        q = quality_table()
+        q[:, 0] = 0.5
+        with pytest.raises(ValueError, match="empty subset"):
+            make_workload(quality=q)
+
+    def test_utilities_shape_checked(self):
+        with pytest.raises(ValueError, match="share shape"):
+            make_workload(utilities=np.zeros((5, 2)))

@@ -1,0 +1,43 @@
+"""CLI surface tests (fast commands only; the heavy ones are smoke-run
+via the sweep command at tiny duration)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_task(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--task", "speech"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.task == "text_matching"
+        assert args.preset == "small"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "text_matching" in out
+        assert "table1" in out
+
+    def test_sweep_small(self, capsys, tm_setup):
+        # tm_setup fixture pre-warms the cached small setup, so the CLI
+        # reuses it and the run stays quick.
+        assert main(["sweep", "--duration", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "schemble" in out
+        assert "original" in out
+
+    def test_budget(self, capsys, vc_setup):
+        assert main(["budget", "--task", "vehicle_counting"]) == 0
+        out = capsys.readouterr().out
+        assert "schemble*" in out
+        assert "oracle" in out

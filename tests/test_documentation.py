@@ -1,0 +1,71 @@
+"""Documentation quality gates: every public surface is documented."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+MODULES = sorted(SRC.rglob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda p: str(p.relative_to(SRC))
+)
+def test_module_has_docstring(module):
+    tree = ast.parse(module.read_text())
+    if module.name == "__init__.py" and not tree.body:
+        return  # intentionally empty package marker
+    assert ast.get_docstring(tree), f"{module} lacks a module docstring"
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda p: str(p.relative_to(SRC))
+)
+def test_public_classes_documented(module):
+    tree = ast.parse(module.read_text())
+    undocumented = [
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+        and not node.name.startswith("_")
+        and not ast.get_docstring(node)
+    ]
+    assert not undocumented, f"{module}: classes missing docstrings: {undocumented}"
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda p: str(p.relative_to(SRC))
+)
+def test_public_module_functions_documented(module):
+    tree = ast.parse(module.read_text())
+    undocumented = [
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and not node.name.startswith("_")
+        and not ast.get_docstring(node)
+    ]
+    assert not undocumented, (
+        f"{module}: functions missing docstrings: {undocumented}"
+    )
+
+
+def test_required_documents_exist():
+    root = SRC.parent.parent
+    for name in ("README.md", "DESIGN.md"):
+        path = root / name
+        assert path.exists() and path.stat().st_size > 1000, name
+
+
+def test_design_links_every_bench():
+    """DESIGN.md's experiment index must reference existing bench files."""
+    root = SRC.parent.parent
+    design = (root / "DESIGN.md").read_text()
+    bench_dir = root / "benchmarks"
+    import re
+
+    referenced = set(re.findall(r"benchmarks/(test_\w+\.py)", design))
+    assert referenced, "DESIGN.md lists no bench targets"
+    for name in referenced:
+        assert (bench_dir / name).exists(), f"DESIGN.md references missing {name}"

@@ -1,0 +1,62 @@
+"""Examples stay importable and well-formed.
+
+Full example runs train models for minutes; these tests compile each
+script and check its structure so a broken API change is caught without
+paying the runtime (the quickstart path itself is executed end-to-end
+by tests/test_integration.py).
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+class TestExampleScripts:
+    def test_compiles(self, script):
+        source = script.read_text()
+        compile(source, str(script), "exec")
+
+    def test_has_main_guard(self, script):
+        tree = ast.parse(script.read_text())
+        has_main = any(
+            isinstance(node, ast.FunctionDef) and node.name == "main"
+            for node in tree.body
+        )
+        has_guard = any(
+            isinstance(node, ast.If)
+            and isinstance(node.test, ast.Compare)
+            and getattr(node.test.left, "id", "") == "__name__"
+            for node in tree.body
+        )
+        assert has_main and has_guard
+
+    def test_has_module_docstring(self, script):
+        assert ast.get_docstring(ast.parse(script.read_text()))
+
+    def test_imports_resolve(self, script):
+        """Every repro import the example uses must exist."""
+        import importlib
+
+        tree = ast.parse(script.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and (
+                node.module.startswith("repro")
+            ):
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{node.module}.{alias.name} missing "
+                        f"(used by {script.name})"
+                    )
+
+
+def test_expected_examples_present():
+    names = {p.name for p in SCRIPTS}
+    assert {"quickstart.py", "text_matching_day.py",
+            "vehicle_counting_cameras.py",
+            "image_retrieval_budget.py"}.issubset(names)

@@ -1,0 +1,129 @@
+"""Cross-module integration tests: the paper's headline claims at small
+scale, exercised through the public API only."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data.traces import poisson_trace
+from repro.experiments.runner import make_workload, run_policy, summarize
+
+
+class TestPublicQuickstart:
+    """The README quickstart must work verbatim-ish."""
+
+    def test_pipeline_from_scratch(self):
+        data = repro.make_text_matching(n_samples=900, seed=11)
+        train, cal, history, pool = data.split(
+            [0.4, 0.1, 0.25, 0.25], seed=12
+        )
+        ensemble = repro.build_text_matching_ensemble(
+            train, calibration=cal, epochs=4, seed=13
+        )
+        pipeline = repro.SchemblePipeline(
+            ensemble, predictor_epochs=5, seed=14
+        ).fit(history.features)
+        policy = pipeline.policy(pool.features)
+
+        trace = poisson_trace(rate=15.0, duration=8.0, seed=15)
+        rng = np.random.default_rng(16)
+        n_masks = 1 << ensemble.size
+        # Quality table: agreement with the full ensemble.
+        from repro.difficulty.profiling import subset_correctness
+        from repro.models.prediction_table import PredictionTable
+
+        table = PredictionTable.from_models(
+            ensemble.models, pool.features, ensemble
+        )
+        quality = subset_correctness(table, ensemble).astype(float)
+        workload = repro.ServingWorkload(
+            arrivals=trace.arrivals,
+            deadlines=np.full(len(trace), 0.15),
+            sample_indices=rng.integers(len(pool), size=len(trace)),
+            quality=quality,
+        )
+        server = repro.EnsembleServer(
+            [m.latency for m in ensemble.models], policy
+        )
+        result = server.run(workload)
+        assert 0.0 <= result.deadline_miss_rate() <= 1.0
+        assert result.accuracy(quality) > 0.5
+
+
+class TestHeadlineClaims:
+    """Paper's Table I ordering on the shared small setups."""
+
+    @pytest.fixture(scope="class")
+    def tm_results(self, tm_setup):
+        trace = poisson_trace(
+            rate=tm_setup.overload_rate, duration=25.0, seed=21
+        )
+        results = {}
+        for deadline in (0.125, 0.2):
+            workload = make_workload(tm_setup, trace, deadline=deadline, seed=22)
+            for name, policy in tm_setup.policies().items():
+                stats = summarize(
+                    run_policy(tm_setup, policy, workload, policy_name=name),
+                    tm_setup,
+                )
+                results.setdefault(name, []).append(stats)
+        return {
+            name: {
+                "accuracy": np.mean([r["accuracy"] for r in rows]),
+                "dmr": np.mean([r["dmr"] for r in rows]),
+            }
+            for name, rows in results.items()
+        }
+
+    def test_schemble_most_accurate(self, tm_results):
+        best_other = max(
+            row["accuracy"]
+            for name, row in tm_results.items()
+            if name not in ("schemble", "schemble_ea")
+        )
+        assert tm_results["schemble"]["accuracy"] > best_other
+
+    def test_schemble_beats_agreement_variant(self, tm_results):
+        assert (
+            tm_results["schemble"]["accuracy"]
+            >= tm_results["schemble_ea"]["accuracy"] - 0.02
+        )
+
+    def test_schemble_large_dmr_reduction_vs_original(self, tm_results):
+        assert (
+            tm_results["schemble"]["dmr"]
+            < 0.4 * tm_results["original"]["dmr"] + 1e-9
+        )
+
+    def test_original_suffers_under_overload(self, tm_results):
+        assert tm_results["original"]["dmr"] > 0.2
+
+
+class TestTwoModelEdgeCase:
+    def test_image_retrieval_schemble_second_lowest_dmr(self, ir_setup):
+        """Paper: with only two base models, static's single-model plan
+        achieves the DMR lower bound and Schemble is (near) second."""
+        trace = poisson_trace(
+            rate=ir_setup.overload_rate, duration=25.0, seed=31
+        )
+        workload = make_workload(
+            ir_setup, trace, deadline=ir_setup.deadline_grid[2], seed=32
+        )
+        dmrs = {}
+        accs = {}
+        for name, policy in ir_setup.policies().items():
+            stats = summarize(
+                run_policy(ir_setup, policy, workload, policy_name=name),
+                ir_setup,
+            )
+            dmrs[name] = stats["dmr"]
+            accs[name] = stats["accuracy"]
+        ordered = sorted(dmrs, key=dmrs.get)
+        # Schemble sits in the lowest-DMR group while winning mAP. (The
+        # paper's "static achieves the DMR lower bound" remark holds at
+        # the default scale — asserted by benchmarks/test_fig8 — but at
+        # this small preset static's greedy search keeps both models and
+        # degenerates to the Original pipeline.)
+        assert "schemble" in ordered[:3]
+        assert accs["schemble"] >= max(accs.values()) - 0.01
+        assert dmrs["schemble"] < 0.5 * dmrs["original"]

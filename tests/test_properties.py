@@ -1,0 +1,154 @@
+"""Hypothesis property tests on cross-module invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.dp import DPScheduler
+from repro.scheduling.greedy import GreedyScheduler
+from repro.scheduling.problem import (
+    QueryRequest,
+    SchedulingInstance,
+    evaluate_schedule,
+)
+from repro.serving.policies import BufferedSchedulingPolicy, ImmediateMaskPolicy
+from repro.serving.server import EnsembleServer
+from repro.serving.workload import ServingWorkload
+
+
+@st.composite
+def scheduling_instances(draw, max_queries=5, m=2):
+    n = draw(st.integers(1, max_queries))
+    latencies = np.array(
+        [draw(st.floats(0.01, 0.2)) for _ in range(m)]
+    )
+    queries = []
+    for i in range(n):
+        arrival = draw(st.floats(0.0, 0.1))
+        deadline = arrival + draw(st.floats(0.05, 0.5))
+        utilities = np.zeros(1 << m)
+        singles = sorted(draw(st.floats(0.1, 0.9)) for _ in range(m))
+        for mask in range(1, 1 << m):
+            members = [k for k in range(m) if mask >> k & 1]
+            utilities[mask] = min(
+                1.0,
+                max(singles[k] for k in members) + 0.05 * (len(members) - 1),
+            )
+        queries.append(
+            QueryRequest(i, arrival, deadline, utilities,
+                         score=draw(st.floats(0.0, 1.0)))
+        )
+    busy = np.array([draw(st.floats(0.0, 0.1)) for _ in range(m)])
+    return SchedulingInstance(queries, latencies, busy, now=0.0)
+
+
+class TestSchedulerProperties:
+    @given(scheduling_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_dp_plans_are_feasible(self, instance):
+        """Every non-empty DP decision meets its deadline when executed
+        in plan order — the reported utility is actually collectable."""
+        result = DPScheduler(delta=0.02).schedule(instance)
+        achieved = evaluate_schedule(instance, result.decisions)
+        assert achieved == pytest.approx(result.total_utility, abs=1e-9)
+
+    @given(scheduling_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_dp_dominates_greedy(self, instance):
+        dp = DPScheduler(delta=0.005).schedule(instance)
+        greedy = GreedyScheduler("edf").schedule(instance)
+        assert dp.total_utility >= greedy.total_utility - 1e-9
+
+    @given(scheduling_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_plans_are_feasible(self, instance):
+        result = GreedyScheduler("edf").schedule(instance)
+        achieved = evaluate_schedule(instance, result.decisions)
+        assert achieved == pytest.approx(result.total_utility, abs=1e-9)
+
+
+class TestServingProperties:
+    @given(
+        st.lists(st.floats(0.0, 5.0), min_size=1, max_size=30),
+        st.floats(0.05, 0.5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_conservation_every_query_accounted(self, raw_arrivals, deadline):
+        """Every arrival ends as exactly one of: completed or rejected;
+        completions never precede arrivals."""
+        arrivals = np.sort(np.asarray(raw_arrivals))
+        n = arrivals.shape[0]
+        quality = np.ones((4, 4))
+        quality[:, 0] = 0.0
+        workload = ServingWorkload(
+            arrivals=arrivals,
+            deadlines=np.full(n, deadline),
+            sample_indices=np.zeros(n, dtype=int),
+            quality=quality,
+        )
+        server = EnsembleServer([0.03, 0.08], ImmediateMaskPolicy("p", 0b11))
+        result = server.run(workload)
+        assert len(result) == n
+        for record in result.records:
+            assert record.rejected != (record.completion is not None)
+            if record.completion is not None:
+                assert record.completion >= record.arrival
+                assert record.executed_mask == 0b11
+
+    @given(
+        st.lists(st.floats(0.0, 3.0), min_size=1, max_size=20),
+        st.floats(0.1, 0.4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_buffered_server_terminates_and_accounts(self, raw_arrivals, deadline):
+        arrivals = np.sort(np.asarray(raw_arrivals))
+        n = arrivals.shape[0]
+        utilities = np.zeros((4, 4))
+        for mask in range(1, 4):
+            utilities[:, mask] = 0.5 + 0.1 * bin(mask).count("1")
+        quality = np.ones((4, 4))
+        quality[:, 0] = 0.0
+        workload = ServingWorkload(
+            arrivals=arrivals,
+            deadlines=np.full(n, deadline),
+            sample_indices=np.zeros(n, dtype=int),
+            quality=quality,
+        )
+        policy = BufferedSchedulingPolicy(
+            "s", DPScheduler(delta=0.02), utilities
+        )
+        server = EnsembleServer([0.03, 0.08], policy)
+        result = server.run(workload)
+        assert len(result) == n
+        for record in result.records:
+            if record.completion is not None:
+                assert record.executed_mask > 0
+                # Non-preemptive FIFO: completion comes after arrival by
+                # at least the fastest model's latency.
+                assert record.completion >= record.arrival + 0.03 - 1e-9
+
+    @given(st.floats(0.02, 0.3), st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_replicas_never_slow_things_down(self, latency, replicas):
+        from repro.serving.server import WorkerSpec
+
+        arrivals = np.linspace(0.0, 0.1, 6)
+        quality = np.ones((2, 2))
+        quality[:, 0] = 0.0
+        workload = ServingWorkload(
+            arrivals=arrivals,
+            deadlines=np.full(6, 10.0),
+            sample_indices=np.zeros(6, dtype=int),
+            quality=quality,
+        )
+
+        def mean_latency(n_workers):
+            workers = [WorkerSpec(0, latency) for _ in range(n_workers)]
+            server = EnsembleServer(
+                [latency], ImmediateMaskPolicy("p", 1), workers=workers
+            )
+            result = server.run(workload)
+            return result.latency_stats()["mean"]
+
+        assert mean_latency(replicas + 1) <= mean_latency(replicas) + 1e-9

@@ -1,0 +1,84 @@
+"""Hypothesis property tests on the model substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.kmeans import KMeans
+from repro.models.calibration import TemperatureScaling
+from repro.trees.decision_tree import DecisionTreeRegressor
+from repro.trees.gbdt import GradientBoostingClassifier
+
+
+@st.composite
+def small_dataset(draw, max_n=60, d=3):
+    n = draw(st.integers(10, max_n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    return x, rng
+
+
+class TestTreeProperties:
+    @given(small_dataset())
+    @settings(max_examples=20, deadline=None)
+    def test_predictions_within_target_range(self, data):
+        """A regression tree predicts leaf means, so outputs lie inside
+        the training-target range."""
+        x, rng = data
+        y = rng.uniform(-5, 5, size=x.shape[0])
+        tree = DecisionTreeRegressor(max_depth=4, min_samples_leaf=2).fit(x, y)
+        pred = tree.predict(x)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    @given(small_dataset())
+    @settings(max_examples=15, deadline=None)
+    def test_gbdt_probabilities_valid(self, data):
+        x, rng = data
+        y = rng.integers(2, size=x.shape[0])
+        if len(np.unique(y)) < 2:
+            y[0] = 1 - y[0]
+        model = GradientBoostingClassifier(n_estimators=3, max_depth=2)
+        model.fit(x, y)
+        probs = model.predict_proba(x)
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestKMeansProperties:
+    @given(small_dataset(), st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_labels_in_range_and_centers_finite(self, data, k):
+        x, _ = data
+        if x.shape[0] < k:
+            return
+        model = KMeans(n_clusters=k, seed=0).fit(x)
+        labels = model.predict(x)
+        assert labels.min() >= 0
+        assert labels.max() < k
+        assert np.all(np.isfinite(model.centers_))
+
+    @given(small_dataset())
+    @settings(max_examples=10, deadline=None)
+    def test_assignment_minimises_distance(self, data):
+        x, _ = data
+        model = KMeans(n_clusters=2, seed=0).fit(x)
+        labels = model.predict(x)
+        d = ((x[:, None, :] - model.centers_[None]) ** 2).sum(axis=2)
+        np.testing.assert_array_equal(labels, d.argmin(axis=1))
+
+
+class TestCalibrationProperties:
+    @given(st.integers(0, 2**31 - 1), st.floats(0.2, 5.0))
+    @settings(max_examples=15, deadline=None)
+    def test_transform_never_breaks_simplex(self, seed, temperature):
+        rng = np.random.default_rng(seed)
+        raw = rng.random((50, 3)) + 1e-3
+        probs = raw / raw.sum(axis=1, keepdims=True)
+        labels = rng.integers(3, size=50)
+        ts = TemperatureScaling(grid=np.array([temperature]))
+        out = ts.fit(probs, labels).transform(probs)
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-9)

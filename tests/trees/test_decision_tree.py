@@ -1,0 +1,68 @@
+"""Tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.trees.decision_tree import DecisionTreeRegressor
+
+
+class TestFitPredict:
+    def test_recovers_step_function(self, rng):
+        x = rng.uniform(-1, 1, size=(300, 1))
+        y = np.where(x[:, 0] > 0.0, 1.0, -1.0)
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        pred = tree.predict(x)
+        assert np.mean((pred - y) ** 2) < 0.05
+
+    def test_constant_target_single_leaf(self, rng):
+        x = rng.normal(size=(50, 3))
+        tree = DecisionTreeRegressor().fit(x, np.full(50, 3.5))
+        np.testing.assert_allclose(tree.predict(x), 3.5)
+        assert tree.depth() == 0
+
+    def test_depth_limit_respected(self, rng):
+        x = rng.normal(size=(500, 4))
+        y = rng.normal(size=500)
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_leaf=1).fit(x, y)
+        assert tree.depth() <= 3
+
+    def test_min_samples_leaf_blocks_tiny_splits(self):
+        x = np.arange(8, dtype=float)[:, None]
+        y = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=float)
+        tree = DecisionTreeRegressor(max_depth=5, min_samples_leaf=4).fit(x, y)
+        assert tree.depth() <= 1
+
+    def test_axis_aligned_interaction(self, rng):
+        x = rng.uniform(-1, 1, size=(800, 2))
+        y = np.where((x[:, 0] > 0) & (x[:, 1] > 0), 2.0, 0.0)
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_leaf=5).fit(x, y)
+        assert np.mean((tree.predict(x) - y) ** 2) < 0.1
+
+
+class TestValidation:
+    def test_rejects_bad_hyperparams(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="sample count"):
+            DecisionTreeRegressor().fit(np.zeros((4, 2)), np.zeros(5))
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError, match="2-d"):
+            DecisionTreeRegressor().fit(np.zeros(5), np.zeros(5))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_predict_wrong_width(self, rng):
+        tree = DecisionTreeRegressor().fit(rng.normal(size=(30, 2)), rng.normal(size=30))
+        with pytest.raises(ValueError, match="shape"):
+            tree.predict(np.zeros((2, 3)))

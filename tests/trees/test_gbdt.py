@@ -1,0 +1,82 @@
+"""Tests for gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.trees.gbdt import GradientBoostingClassifier, GradientBoostingRegressor
+
+
+class TestRegressor:
+    def test_fits_nonlinear_function(self, rng):
+        x = rng.uniform(-2, 2, size=(600, 2))
+        y = np.sin(x[:, 0]) + 0.5 * x[:, 1] ** 2
+        model = GradientBoostingRegressor(n_estimators=60, learning_rate=0.2)
+        model.fit(x, y)
+        mse = float(np.mean((model.predict(x) - y) ** 2))
+        assert mse < 0.05
+
+    def test_more_trees_reduce_train_error(self, rng):
+        x = rng.uniform(-2, 2, size=(300, 2))
+        y = x[:, 0] * x[:, 1]
+        small = GradientBoostingRegressor(n_estimators=5).fit(x, y)
+        large = GradientBoostingRegressor(n_estimators=50).fit(x, y)
+        err_small = np.mean((small.predict(x) - y) ** 2)
+        err_large = np.mean((large.predict(x) - y) ** 2)
+        assert err_large < err_small
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=1.5)
+
+
+class TestClassifier:
+    @pytest.fixture(scope="class")
+    def blobs(self):
+        rng = np.random.default_rng(3)
+        centers = np.array([[-2.0, 0.0], [2.0, 0.0], [0.0, 2.5]])
+        labels = rng.integers(3, size=450)
+        x = centers[labels] + rng.normal(size=(450, 2)) * 0.6
+        return x, labels
+
+    def test_multiclass_accuracy(self, blobs):
+        x, y = blobs
+        model = GradientBoostingClassifier(n_estimators=20).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_predict_proba_valid(self, blobs):
+        x, y = blobs
+        model = GradientBoostingClassifier(n_estimators=5).fit(x, y)
+        probs = model.predict_proba(x[:20])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(probs >= 0)
+
+    def test_binary_task(self, rng):
+        x = rng.normal(size=(300, 3))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = GradientBoostingClassifier(n_estimators=15).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.85
+
+    def test_num_classes_inferred(self, blobs):
+        x, y = blobs
+        model = GradientBoostingClassifier(n_estimators=2).fit(x, y)
+        assert model.num_classes_ == 3
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError, match="two classes"):
+            GradientBoostingClassifier(n_estimators=2).fit(
+                np.zeros((10, 2)), np.zeros(10, dtype=int)
+            )
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="sample count"):
+            GradientBoostingClassifier().fit(np.zeros((4, 2)), np.zeros(5, dtype=int))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingClassifier().predict(np.zeros((1, 2)))
