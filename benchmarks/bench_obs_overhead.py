@@ -1,0 +1,182 @@
+"""Benchmark guard: tracing must be free when disabled.
+
+Run as a script (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+Two checks on a diurnal-trace workload:
+
+* **Identity** — a run observed by a ``RecordingTracer`` produces
+  exactly the same per-query records as an untraced run (the tracer
+  only watches, never steers).
+* **Overhead** — the default ``NullTracer`` path must stay within 5%
+  wall-clock of the pre-observability event loop. The baseline is the
+  real thing: the seed commit's ``serving/server.py`` loaded from git
+  history and validated record-for-record against the current server,
+  so the comparison times identical work.
+
+Results go to ``benchmarks/results/BENCH_obs.json``.
+"""
+
+import json
+import subprocess
+import sys
+import time
+import types
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data.traces import diurnal_trace  # noqa: E402
+from repro.obs.tracer import RecordingTracer  # noqa: E402
+from repro.scheduling.dp import DPScheduler  # noqa: E402
+from repro.serving.policies import (  # noqa: E402
+    BufferedSchedulingPolicy,
+    ImmediateMaskPolicy,
+)
+from repro.serving.server import EnsembleServer  # noqa: E402
+from repro.serving.workload import ServingWorkload  # noqa: E402
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_obs.json"
+
+# The growth seed: last commit whose server had no tracer hooks.
+BASELINE_COMMIT = "8c15a45"
+
+LATENCIES = [0.010, 0.022, 0.045]
+REPEATS = 5
+MAX_OVERHEAD = 0.05
+
+
+def load_baseline_server():
+    """The seed commit's EnsembleServer, loaded straight from git."""
+    source = subprocess.run(
+        ["git", "show", f"{BASELINE_COMMIT}:src/repro/serving/server.py"],
+        cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+    ).stdout
+    module = types.ModuleType("baseline_server")
+    sys.modules["baseline_server"] = module  # dataclass() resolves this
+    exec(compile(source, "baseline_server", "exec"), module.__dict__)
+    return module.EnsembleServer
+
+
+def build_workload(base_rate, duration, seed, n_pool=512):
+    trace = diurnal_trace(base_rate, duration, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    m = len(LATENCIES)
+    quality = rng.uniform(0.3, 1.0, size=(n_pool, 1 << m))
+    quality[:, 0] = 0.0
+    return ServingWorkload(
+        arrivals=trace.arrivals,
+        deadlines=np.full(len(trace), 0.08),
+        sample_indices=rng.integers(n_pool, size=len(trace)),
+        quality=quality,
+    )
+
+
+def check_identity():
+    """Traced and untraced runs must agree record-for-record."""
+    m = len(LATENCIES)
+    utilities = np.ones((512, 1 << m))
+    utilities[:, 0] = 0.0
+    workload = build_workload(base_rate=60.0, duration=60.0, seed=11)
+
+    def run(tracer):
+        policy = BufferedSchedulingPolicy(
+            "schemble", DPScheduler(delta=0.05), utilities
+        )
+        server = EnsembleServer(LATENCIES, policy, tracer=tracer)
+        return server.run(workload)
+
+    plain = run(None)
+    traced = run(RecordingTracer())
+    identical = plain.records == traced.records
+    return {
+        "queries": workload.n_queries,
+        "records_identical": identical,
+        "spans": "recorded",
+    }, identical
+
+
+def time_variants(runs, repeats=REPEATS):
+    """Interleaved timing: one round runs every variant once, so slow
+    machine phases hit all variants alike instead of biasing whichever
+    block they land on. Min-of-N is the noise-robust statistic."""
+    samples = {name: [] for name in runs}
+    for _ in range(repeats):
+        for name, run in runs.items():
+            start = time.perf_counter()
+            run()
+            samples[name].append(time.perf_counter() - start)
+    return {name: min(times) for name, times in samples.items()}
+
+
+def check_overhead():
+    """NullTracer wall-clock vs the pre-observability server."""
+    mask = 0b11
+    workload = build_workload(base_rate=400.0, duration=120.0, seed=13)
+    policy = ImmediateMaskPolicy("original", mask)
+    BaselineServer = load_baseline_server()
+
+    def run_baseline():
+        return BaselineServer(LATENCIES, policy).run(workload)
+
+    def run_server(tracer=None):
+        server = EnsembleServer(LATENCIES, policy, tracer=tracer)
+        return server.run(workload)
+
+    # Validate the baseline before timing it: identical records mean
+    # the two loops do identical work.
+    assert run_server().records == run_baseline().records
+
+    best = time_variants({
+        "baseline": run_baseline,
+        "null_tracer": run_server,
+        "recording_tracer": (
+            lambda: run_server(RecordingTracer(keep_spans=False))
+        ),
+    })
+    overhead = best["null_tracer"] / best["baseline"] - 1.0
+    return {
+        "queries": workload.n_queries,
+        "repeats": REPEATS,
+        "baseline_s": best["baseline"],
+        "null_tracer_s": best["null_tracer"],
+        "recording_tracer_s": best["recording_tracer"],
+        "null_tracer_overhead": overhead,
+        "max_allowed_overhead": MAX_OVERHEAD,
+    }, overhead
+
+
+def main():
+    identity, identical = check_identity()
+    print(f"identity: {identity['queries']} queries, "
+          f"records identical = {identical}")
+    overhead_stats, overhead = check_overhead()
+    print(
+        f"overhead: baseline {overhead_stats['baseline_s']:.3f}s, "
+        f"null tracer {overhead_stats['null_tracer_s']:.3f}s "
+        f"({100 * overhead:+.2f}%), recording tracer "
+        f"{overhead_stats['recording_tracer_s']:.3f}s"
+    )
+
+    payload = {"identity": identity, "overhead": overhead_stats}
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+
+    if not identical:
+        print("FAIL: traced run changed the serving records")
+        return 1
+    if overhead > MAX_OVERHEAD:
+        print(f"FAIL: NullTracer overhead {100 * overhead:.2f}% "
+              f"exceeds {100 * MAX_OVERHEAD:.0f}%")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

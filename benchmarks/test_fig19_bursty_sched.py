@@ -5,10 +5,8 @@ advantage over greedy orders grows: with more queries in the queue, DP
 can trade subsets across queries while greedy grabs maximal subsets.
 """
 
-import numpy as np
 
 from benchmarks.conftest import save_result
-from repro.data.traces import diurnal_trace
 from repro.experiments.runner import make_workload, run_policy, summarize
 from repro.experiments.scheduler_ablation import scheduler_suite
 from repro.experiments.trace_segments import make_day_trace

@@ -5,7 +5,6 @@ scheduling delay) that grows as 1/δ; the sweet spot in the paper is
 δ = 0.01, with δ = 0.001 losing accuracy to its own overhead.
 """
 
-import numpy as np
 
 from benchmarks.conftest import save_result
 from repro.experiments.scheduler_ablation import run_delta_sweep

@@ -11,7 +11,6 @@ Schemble(ea)    87.6 /  6.8   73.3 / 16.3   75.0 / 14.5
 Schemble        91.2 /  6.1   80.4 / 15.4   78.4 / 14.3
 """
 
-import numpy as np
 
 from benchmarks.conftest import save_result
 from repro.experiments.overall import average_over_deadlines, run_deadline_sweep

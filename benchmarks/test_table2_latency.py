@@ -8,7 +8,6 @@ Original's (500x in the paper) at >97% relative accuracy, with the best
 P95/max among accurate baselines.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import save_result

@@ -14,8 +14,6 @@ the paper reports.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.nn.models import MLPRegressor

@@ -8,17 +8,22 @@ Usage::
     python -m repro day --task text_matching
     python -m repro schedulers --task text_matching
     python -m repro budget --task vehicle_counting
+    python -m repro trace --task text_matching [--policy schemble]
 
 Each command builds the task setup (training the models on first use),
 runs the corresponding experiment and prints its table. The commands are
 thin wrappers over :mod:`repro.experiments`, useful for exploring
-configurations without writing a script.
+configurations without writing a script. ``trace`` additionally runs an
+observed serving run and writes the span stream (JSONL), a Chrome
+``trace_event`` timeline (open in chrome://tracing or Perfetto) and a
+plain-text run report to ``--out``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments.overall import average_over_deadlines, run_deadline_sweep
@@ -28,7 +33,11 @@ from repro.experiments.setups import TASKS, build_setup
 from repro.experiments.trace_segments import run_day_trace
 from repro.metrics.tables import format_table
 
-COMMANDS = ("list", "table1", "sweep", "day", "schedulers", "budget")
+COMMANDS = ("list", "table1", "sweep", "day", "schedulers", "budget", "trace")
+
+TRACE_POLICIES = (
+    "original", "static", "des", "gating", "schemble_ea", "schemble"
+)
 
 
 def _add_common(parser: argparse.ArgumentParser, default_task: bool = True):
@@ -82,6 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
         "budget", help="Fig. 16: offline accuracy under runtime budgets"
     )
     _add_common(budget)
+
+    trace = sub.add_parser(
+        "trace",
+        help="traced serving run: spans (JSONL), Perfetto timeline, report",
+    )
+    _add_common(trace)
+    trace.add_argument(
+        "--policy", choices=TRACE_POLICIES, default="schemble",
+        help="serving policy to trace (default: schemble)",
+    )
+    trace.add_argument(
+        "--out", default="traces",
+        help="output directory for span/timeline/report files",
+    )
     return parser
 
 
@@ -169,6 +192,51 @@ def _cmd_schedulers(args) -> str:
     )
 
 
+def _cmd_trace(args) -> str:
+    from repro.experiments.runner import make_workload, run_policy
+    from repro.experiments.trace_segments import make_day_trace
+    from repro.obs import (
+        RecordingTracer,
+        render_report,
+        write_chrome_trace,
+        write_spans_jsonl,
+    )
+
+    setup = build_setup(args.task, args.preset, seed=args.seed)
+    day = make_day_trace(setup, duration=args.duration, seed=args.seed + 5)
+    workload = make_workload(
+        setup, day, deadline=min(setup.deadline_grid), seed=args.seed + 6
+    )
+    tracer = RecordingTracer()
+    result = run_policy(
+        setup,
+        setup.policies()[args.policy],
+        workload,
+        policy_name=args.policy,
+        tracer=tracer,
+    )
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{args.task}_{args.policy}"
+    spans_path = write_spans_jsonl(tracer.spans, out_dir / f"{stem}_spans.jsonl")
+    timeline_path = write_chrome_trace(
+        tracer.spans, out_dir / f"{stem}_timeline.json"
+    )
+    report = render_report(result, tracer, duration=args.duration)
+    report_path = out_dir / f"{stem}_report.txt"
+    report_path.write_text(report + "\n")
+
+    footer = "\n".join([
+        "",
+        f"wrote {spans_path}",
+        f"wrote {timeline_path}  (open in chrome://tracing or "
+        "https://ui.perfetto.dev)",
+        f"wrote {report_path}",
+    ])
+    return report + footer
+
+
 def _cmd_budget(args) -> str:
     setup = build_setup(args.task, args.preset, seed=args.seed)
     out = run_offline_budget(setup, seed=args.seed + 5)
@@ -193,6 +261,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "day": lambda: _cmd_day(args),
         "schedulers": lambda: _cmd_schedulers(args),
         "budget": lambda: _cmd_budget(args),
+        "trace": lambda: _cmd_trace(args),
     }
     print(handlers[args.command]())
     return 0

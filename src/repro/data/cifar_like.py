@@ -10,8 +10,6 @@ Gaussian-blob generator provides at numpy scale.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.data.base import Dataset
 from repro.utils.rng import SeedLike, as_rng
 

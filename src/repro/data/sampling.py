@@ -9,7 +9,7 @@ the requested target via importance resampling.
 
 from __future__ import annotations
 
-from typing import Callable, Union
+from typing import Callable
 
 import numpy as np
 

@@ -9,7 +9,7 @@ improves score prediction. Only the score head is used at serving time.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.data.sampling import (
     gamma_pdf,
     normal_pdf,

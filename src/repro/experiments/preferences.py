@@ -10,11 +10,10 @@ computed from independently seeded ensembles correlates strongly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.data.base import Dataset
 from repro.data.cifar_like import make_cifar_like
 from repro.difficulty.discrepancy import DiscrepancyScorer
 from repro.difficulty.divergence import js_divergence

@@ -72,8 +72,14 @@ def run_policy(
     policy_name: Optional[str] = None,
     allow_rejection: bool = True,
     max_buffer: int = 16,
+    tracer=None,
 ) -> ServingResult:
-    """Serve ``workload`` with ``policy`` on the task's deployment."""
+    """Serve ``workload`` with ``policy`` on the task's deployment.
+
+    Pass a :class:`~repro.obs.tracer.RecordingTracer` as ``tracer`` to
+    collect the run's span stream and metrics (the default NullTracer
+    keeps the run untouched).
+    """
     name = policy_name or policy.name
     server = EnsembleServer(
         latencies=setup.latencies,
@@ -81,19 +87,30 @@ def run_policy(
         workers=setup.workers_for(name),
         allow_rejection=allow_rejection,
         max_buffer=max_buffer,
+        tracer=tracer,
     )
     return server.run(workload)
 
 
 def summarize(result: ServingResult, setup: TaskSetup) -> Dict[str, float]:
-    """Standard per-run metrics (the columns of Tables I and II)."""
+    """Standard per-run metrics (the columns of Tables I and II).
+
+    Scheduler cost comes straight off the run: the server measures the
+    real wall-clock of every ``schedule()`` call (perf_counter), so no
+    consumer needs to re-clock the scheduler.
+    """
     stats = result.latency_stats()
+    slack = result.deadline_slack()
     return {
         "accuracy": result.accuracy(setup.quality),
         "processed_accuracy": result.processed_accuracy(setup.quality),
         "dmr": result.deadline_miss_rate(),
         "latency_mean": stats["mean"],
+        "latency_p50": stats["p50"],
         "latency_p95": stats["p95"],
+        "latency_p99": stats["p99"],
         "latency_max": stats["max"],
+        "slack_mean": float(slack.mean()) if slack.size else float("nan"),
         "scheduler_invocations": float(result.scheduler_invocations),
+        "scheduler_wall_time": result.scheduler_wall_time,
     }

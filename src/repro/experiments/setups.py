@@ -9,9 +9,9 @@ the static deployment. Setups are cached per (task, preset, seed).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

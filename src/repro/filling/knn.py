@@ -13,7 +13,6 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.utils.rng import SeedLike
 
 
 class KNNFiller:

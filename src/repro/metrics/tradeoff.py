@@ -9,8 +9,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
-
 from repro.utils.validation import check_positive
 
 

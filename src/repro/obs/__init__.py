@@ -1,0 +1,51 @@
+"""Observability for the serving stack: tracing, metrics, exporters.
+
+The serving simulator (and any future real scheduler) emits structured
+query-lifecycle spans through a :class:`Tracer`; the default
+:data:`NULL_TRACER` makes that free when disabled. A
+:class:`RecordingTracer` turns a run into (1) a span stream exportable
+as JSONL or a Chrome/Perfetto timeline, (2) a
+:class:`MetricsRegistry` of counters, time-keyed gauges and streaming
+histograms, and (3) a plain-text run report. See README.md
+"Observability" for the span schema and metric names.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+)
+from repro.obs.report import render_report, sparkline
+from repro.obs.spans import KINDS, Span, span_sequence, spans_of_kind
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "StreamingHistogram",
+    "Span",
+    "KINDS",
+    "span_sequence",
+    "spans_of_kind",
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "NULL_TRACER",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "render_report",
+    "sparkline",
+]

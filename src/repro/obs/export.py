@@ -1,0 +1,152 @@
+"""Span exporters: JSONL and Chrome ``trace_event`` timelines.
+
+The JSONL export is one span per line — greppable, streamable into
+pandas. The Chrome export follows the Trace Event Format (the JSON
+array flavour) and loads directly in ``chrome://tracing`` or Perfetto
+(https://ui.perfetto.dev): workers appear as one lane each with a box
+per executed task, the scheduler gets its own lane with a box per
+invocation (width = simulated overhead), query lifecycle points render
+as instant events, and buffer depth as a counter track.
+
+Simulated seconds are exported as microseconds (the format's unit), so
+timeline widths read directly as simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.obs.spans import (
+    ARRIVAL,
+    COMMIT,
+    COMPLETE,
+    DISPATCH,
+    ENTER_BUFFER,
+    FAST_PATH,
+    REJECT,
+    SCHEDULE,
+    Span,
+)
+
+_US = 1e6  # seconds -> trace_event microseconds
+_PID = 1
+
+
+def write_spans_jsonl(
+    spans: Iterable[Span], path: Union[str, Path]
+) -> Path:
+    """Write one JSON object per span; returns the written path."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.to_dict()))
+            handle.write("\n")
+    return path
+
+
+def chrome_trace_events(
+    spans: Sequence[Span],
+    worker_names: Optional[Dict[int, str]] = None,
+) -> List[dict]:
+    """Convert spans into a Chrome ``traceEvents`` list.
+
+    Args:
+        spans: The recorded span stream (any order; times are absolute).
+        worker_names: Optional ``{worker_id: label}`` for the worker
+            lanes; defaults to ``worker {id} (model {k})`` derived from
+            dispatch spans.
+    """
+    workers = sorted(
+        {int(s.attrs["worker"]) for s in spans if s.kind == DISPATCH}
+    )
+    sched_tid = (max(workers) + 1) if workers else 0
+    lifecycle_tid = sched_tid + 1
+
+    events: List[dict] = [
+        {
+            "ph": "M", "pid": _PID, "tid": 0, "name": "process_name",
+            "args": {"name": "EnsembleServer (simulated time)"},
+        }
+    ]
+    names = dict(worker_names or {})
+    models = {
+        int(s.attrs["worker"]): int(s.attrs["model"])
+        for s in spans if s.kind == DISPATCH
+    }
+    for worker in workers:
+        label = names.get(
+            worker, f"worker {worker} (model {models[worker]})"
+        )
+        events.append({
+            "ph": "M", "pid": _PID, "tid": worker, "name": "thread_name",
+            "args": {"name": label},
+        })
+    events.append({
+        "ph": "M", "pid": _PID, "tid": sched_tid, "name": "thread_name",
+        "args": {"name": "scheduler"},
+    })
+    events.append({
+        "ph": "M", "pid": _PID, "tid": lifecycle_tid, "name": "thread_name",
+        "args": {"name": "query lifecycle"},
+    })
+
+    for span in spans:
+        ts = span.time * _US
+        if span.kind == DISPATCH:
+            start = float(span.attrs["start"])
+            finish = float(span.attrs["finish"])
+            events.append({
+                "ph": "X", "pid": _PID,
+                "tid": int(span.attrs["worker"]),
+                "ts": start * _US,
+                "dur": max((finish - start) * _US, 1.0),
+                "name": f"q{span.query_id} m{span.attrs['model']}",
+                "cat": "task",
+                "args": {"query_id": span.query_id,
+                         "model": span.attrs["model"]},
+            })
+        elif span.kind == SCHEDULE:
+            events.append({
+                "ph": "X", "pid": _PID, "tid": sched_tid, "ts": ts,
+                "dur": max(float(span.attrs["overhead_sim_s"]) * _US, 1.0),
+                "name": f"schedule[{span.attrs['batch']}]",
+                "cat": "scheduler",
+                "args": dict(span.attrs),
+            })
+            events.append(_counter(ts, span.attrs["depth"]))
+        elif span.kind == ENTER_BUFFER:
+            events.append(_counter(ts, span.attrs["depth"]))
+        elif span.kind in (ARRIVAL, COMPLETE, REJECT, COMMIT, FAST_PATH):
+            events.append({
+                "ph": "i", "pid": _PID, "tid": lifecycle_tid, "ts": ts,
+                "s": "t",
+                "name": (f"{span.kind} q{span.query_id}"
+                         if span.query_id >= 0 else span.kind),
+                "cat": "lifecycle",
+                "args": dict(span.attrs),
+            })
+    return events
+
+
+def _counter(ts: float, depth) -> dict:
+    return {
+        "ph": "C", "pid": _PID, "ts": ts, "name": "buffer depth",
+        "args": {"depth": float(depth)},
+    }
+
+
+def write_chrome_trace(
+    spans: Sequence[Span],
+    path: Union[str, Path],
+    worker_names: Optional[Dict[int, str]] = None,
+) -> Path:
+    """Write a ``chrome://tracing`` / Perfetto-loadable timeline JSON."""
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(spans, worker_names),
+        "displayTimeUnit": "ms",
+    }
+    path.write_text(json.dumps(payload))
+    return path

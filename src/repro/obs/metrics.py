@@ -1,0 +1,214 @@
+"""Counters, time-keyed gauges and streaming histograms.
+
+The serving simulator samples these in *simulated* time (buffer depth,
+utilization) and in *real* time (scheduler invocation wall-clock). All
+metrics are bounded-memory: gauges store their samples (one per event,
+linear in trace size), histograms keep summary moments plus a
+deterministic reservoir so quantiles stay accurate without retaining
+every observation — the property that lets a 100k-query day trace run
+with tracing on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically increasing (float-valued) event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the running total."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def summary(self) -> Dict[str, float]:
+        """One-key summary used by the registry dump."""
+        return {"count": float(self.value)}
+
+
+class Gauge:
+    """A value sampled over (simulated) time: ``(t, value)`` pairs."""
+
+    __slots__ = ("name", "_times", "_values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def sample(self, t: float, value: float) -> None:
+        """Record ``value`` at time ``t`` (times need not be distinct)."""
+        self._times.append(float(t))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def last(self) -> Optional[float]:
+        """Most recently sampled value (None when never sampled)."""
+        return self._values[-1] if self._values else None
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` as float arrays, in sample order."""
+        return (
+            np.asarray(self._times, dtype=float),
+            np.asarray(self._values, dtype=float),
+        )
+
+    def binned_max(self, duration: float, n_bins: int) -> np.ndarray:
+        """Max sampled value per equal time bin over ``[0, duration]``.
+
+        Bins with no sample report 0 — for buffer depth that reads as
+        "empty", which is the quantity the report plots over time.
+        """
+        if duration <= 0 or n_bins < 1:
+            raise ValueError("duration must be > 0 and n_bins >= 1")
+        out = np.zeros(n_bins)
+        times, values = self.as_arrays()
+        if times.size == 0:
+            return out
+        bins = np.minimum(
+            (times / duration * n_bins).astype(int), n_bins - 1
+        )
+        np.maximum.at(out, bins, values)
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        """Mean / max / last over all samples (NaN when empty)."""
+        if not self._values:
+            return {"mean": float("nan"), "max": float("nan"),
+                    "last": float("nan"), "samples": 0.0}
+        values = np.asarray(self._values)
+        return {
+            "mean": float(values.mean()),
+            "max": float(values.max()),
+            "last": float(values[-1]),
+            "samples": float(values.size),
+        }
+
+
+class StreamingHistogram:
+    """Bounded-memory distribution sketch with reservoir quantiles.
+
+    Exact count/sum/min/max are maintained for every observation; a
+    fixed-size uniform reservoir (deterministic RNG, so traced runs stay
+    reproducible) backs the quantile estimates. While fewer than
+    ``capacity`` values have been seen the quantiles are exact.
+    """
+
+    def __init__(self, name: str, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._reservoir: List[float] = []
+        self._rng = np.random.default_rng(0xC0FFEE)
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the sketch."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if len(self._reservoir) < self.capacity:
+            self._reservoir.append(value)
+        else:
+            # Vitter's algorithm R: keep each of the n seen values with
+            # probability capacity / n.
+            slot = int(self._rng.integers(self.count))
+            if slot < self.capacity:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations (NaN when empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (exact below reservoir capacity)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return float("nan")
+        return float(np.quantile(np.asarray(self._reservoir), q))
+
+    def summary(self) -> Dict[str, float]:
+        """count / mean / p50 / p95 / p99 / min / max."""
+        if self.count == 0:
+            nan = float("nan")
+            return {"count": 0.0, "mean": nan, "p50": nan, "p95": nan,
+                    "p99": nan, "min": nan, "max": nan}
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named metric store with get-or-create accessors.
+
+    One registry collects everything a serving run observes; the
+    conventional metric names are documented in README.md's
+    Observability section.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, capacity: int = 4096) -> StreamingHistogram:
+        """Get or create the streaming histogram ``name``."""
+        return self._get(name, StreamingHistogram, capacity=capacity)
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Nested ``{metric: {stat: value}}`` dump of every metric."""
+        return {
+            name: self._metrics[name].summary() for name in self.names()
+        }

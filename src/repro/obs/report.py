@@ -1,0 +1,154 @@
+"""Plain-text run report for a traced serving run.
+
+``render_report`` turns a :class:`~repro.serving.records.ServingResult`
+plus the :class:`~repro.obs.tracer.RecordingTracer` that observed it
+into the report the ``python -m repro trace`` subcommand prints: query
+outcomes, latency and deadline-slack percentiles, buffer depth over
+simulated time (sparkline), per-worker utilization, and scheduler
+invocation cost in both simulated and real wall-clock terms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.metrics.tables import format_table
+from repro.obs.tracer import RecordingTracer
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray) -> str:
+    """Unicode block sparkline of ``values`` scaled to their max."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    peak = float(values.max())
+    if peak <= 0:
+        return _BLOCKS[0] * values.size
+    levels = np.minimum(
+        (values / peak * (len(_BLOCKS) - 1)).round().astype(int),
+        len(_BLOCKS) - 1,
+    )
+    return "".join(_BLOCKS[level] for level in levels)
+
+
+def _percentile_row(label: str, values: np.ndarray) -> List[object]:
+    if values.size == 0:
+        nan = float("nan")
+        return [label, 0, nan, nan, nan, nan, nan]
+    return [
+        label,
+        int(values.size),
+        float(values.mean()),
+        float(np.percentile(values, 50)),
+        float(np.percentile(values, 95)),
+        float(np.percentile(values, 99)),
+        float(values.max()),
+    ]
+
+
+def render_report(
+    result,
+    tracer: RecordingTracer,
+    duration: Optional[float] = None,
+    n_bins: int = 48,
+) -> str:
+    """Render the run report text.
+
+    Args:
+        result: The :class:`ServingResult` of the traced run.
+        tracer: The recording tracer that observed it.
+        duration: Trace duration in simulated seconds; defaults to the
+            tracer's last event time.
+        n_bins: Time bins for the buffer-depth timeline.
+    """
+    metrics = tracer.metrics
+    horizon = duration if duration is not None else tracer.end_time
+    horizon = max(float(horizon), 1e-9)
+
+    n = len(result)
+    processed = sum(r.processed for r in result.records)
+    rejected = sum(r.rejected for r in result.records)
+    lines = [
+        f"serving run report — policy={result.policy_name!r}",
+        f"  queries: {n}  processed: {processed}  rejected: {rejected}  "
+        f"deadline-miss rate: {result.deadline_miss_rate():.3f}",
+        f"  simulated duration: {horizon:.3f}s  "
+        f"spans: {len(tracer.spans)}",
+        "",
+    ]
+
+    stats = result.latency_stats()
+    slack = result.deadline_slack()
+    lines.append(format_table(
+        ["metric", "n", "mean", "p50", "p95", "p99", "max"],
+        [
+            ["latency (s)", int(result.latencies().size), stats["mean"],
+             stats["p50"], stats["p95"], stats["p99"], stats["max"]],
+            _percentile_row("deadline slack (s)", slack),
+        ],
+        title="latency & deadline slack (positive slack = met early)",
+    ))
+    lines.append("")
+
+    depth = metrics.gauge("buffer.depth")
+    binned = depth.binned_max(horizon, n_bins)
+    depth_summary = depth.summary()
+    lines.append(
+        f"buffer depth over time ({n_bins} bins of "
+        f"{horizon / n_bins:.3f}s, peak={binned.max():.0f}, "
+        f"mean sample={0.0 if depth_summary['samples'] == 0 else depth_summary['mean']:.2f})"
+    )
+    lines.append("  |" + sparkline(binned) + "|")
+    lines.append("")
+
+    utilization = tracer.utilization(horizon)
+    if utilization:
+        rows = [
+            [f"worker {worker}",
+             f"model {tracer.worker_model.get(worker, '?')}",
+             tracer.worker_busy[worker],
+             100.0 * frac]
+            for worker, frac in utilization.items()
+        ]
+        lines.append(format_table(
+            ["worker", "serves", "busy (s)", "utilization %"],
+            rows,
+            title="per-worker utilization (busy seconds / trace duration)",
+        ))
+    else:
+        lines.append("per-worker utilization: no tasks dispatched")
+    lines.append("")
+
+    invocations = int(metrics.counter("scheduler.invocations").value)
+    lines.append(
+        f"scheduler: {invocations} invocations, "
+        f"{result.scheduler_work_units} work units, "
+        f"total real wall-clock {result.scheduler_wall_time * 1e3:.2f}ms"
+    )
+    if invocations:
+        wall = metrics.histogram("scheduler.wall_s").summary()
+        sim = metrics.histogram("scheduler.overhead_sim_s").summary()
+        batch = metrics.histogram("scheduler.batch_size").summary()
+        plan = metrics.histogram("plan.size").summary()
+        lines.append(format_table(
+            ["per invocation", "mean", "p50", "p95", "p99", "max"],
+            [
+                ["real wall-clock (ms)"] + [
+                    wall[k] * 1e3 for k in ("mean", "p50", "p95", "p99", "max")
+                ],
+                ["simulated overhead (ms)"] + [
+                    sim[k] * 1e3 for k in ("mean", "p50", "p95", "p99", "max")
+                ],
+                ["batch size"] + [
+                    batch[k] for k in ("mean", "p50", "p95", "p99", "max")
+                ],
+                ["plan size (models/query)"] + [
+                    plan[k] for k in ("mean", "p50", "p95", "p99", "max")
+                ],
+            ],
+        ))
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Structured query-lifecycle spans emitted by the serving simulator.
+
+A span is one timestamped point (or interval, for task executions) in a
+query's journey through the server:
+
+    arrival -> enter_buffer -> schedule -> commit -> plan/dispatch
+            -> task_done -> complete | reject        (buffered policies)
+    arrival -> dispatch -> task_done -> complete | reject   (immediate)
+
+Span times are *simulated* seconds. Wall-clock measurements (e.g. real
+scheduler latency) travel in span attributes, never in ``time``. The
+kind constants double as the vocabulary of the exporters and of the
+span-sequence assertions in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+# --- span kinds (query lifecycle) ----------------------------------------
+ARRIVAL = "arrival"            # query entered the system
+ENTER_BUFFER = "enter_buffer"  # query joined the scheduling buffer
+SCHEDULE = "schedule"          # scheduler invoked over a buffer snapshot
+COMMIT = "commit"              # a scheduler plan committed (post-overhead)
+PLAN = "plan"                  # subset chosen for one query (size attr)
+DISPATCH = "dispatch"          # one model task handed to a worker
+TASK_DONE = "task_done"        # one model task finished
+COMPLETE = "complete"          # all of a query's tasks finished
+REJECT = "reject"              # query will never be served
+REQUEUE = "requeue"            # planned query returned to the buffer
+FAST_PATH = "fast_path"        # idle-system shortcut (Exp-5) taken
+
+KINDS = (
+    ARRIVAL, ENTER_BUFFER, SCHEDULE, COMMIT, PLAN, DISPATCH,
+    TASK_DONE, COMPLETE, REJECT, REQUEUE, FAST_PATH,
+)
+
+
+@dataclass
+class Span:
+    """One lifecycle event.
+
+    Attributes:
+        kind: One of the module's kind constants.
+        time: Simulated time (seconds) the event happened.
+        query_id: Query the span belongs to; ``-1`` for run-level spans
+            (e.g. ``schedule``/``commit``, which cover a whole batch).
+        attrs: Kind-specific payload (e.g. ``worker``/``start``/``finish``
+            on ``dispatch``, ``wall_s`` on ``schedule``, ``slack`` on
+            ``complete``).
+    """
+
+    kind: str
+    time: float
+    query_id: int = -1
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat JSON-friendly representation (for the JSONL exporter)."""
+        out: Dict[str, object] = {"kind": self.kind, "time": self.time}
+        if self.query_id >= 0:
+            out["query_id"] = self.query_id
+        out.update(self.attrs)
+        return out
+
+
+def spans_of_kind(spans: Iterable[Span], kind: str) -> List[Span]:
+    """Filter helper used by tests and exporters."""
+    return [span for span in spans if span.kind == kind]
+
+
+def span_sequence(spans: Iterable[Span], query_id: int) -> List[str]:
+    """The ordered kind sequence one query went through (test helper)."""
+    return [
+        span.kind for span in spans
+        if span.query_id == query_id and span.kind != SCHEDULE
+    ]

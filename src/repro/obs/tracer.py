@@ -1,0 +1,142 @@
+"""Query-lifecycle tracers for the serving simulator.
+
+``EnsembleServer`` holds exactly one tracer. The default
+:data:`NULL_TRACER` keeps tracing free when unused: the server reads
+``tracer.enabled`` once per run and guards every emit site with that
+boolean, so the disabled path costs one attribute access at setup and
+one branch per event — the benchmark guard in
+``benchmarks/bench_obs_overhead.py`` holds that under 5% wall-clock.
+
+:class:`RecordingTracer` collects the structured span stream *and*
+folds it into a :class:`~repro.obs.metrics.MetricsRegistry` as spans
+arrive (streaming, bounded memory): buffer depth over simulated time,
+per-worker busy seconds, scheduler invocation latency (simulated
+overhead and real wall-clock), plan sizes and deadline slack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import (
+    ARRIVAL,
+    COMPLETE,
+    DISPATCH,
+    ENTER_BUFFER,
+    FAST_PATH,
+    PLAN,
+    REJECT,
+    REQUEUE,
+    SCHEDULE,
+    Span,
+)
+
+
+class Tracer:
+    """No-op tracer interface; subclass and set ``enabled = True``."""
+
+    enabled: bool = False
+    metrics: Optional[MetricsRegistry] = None
+
+    def emit(self, kind: str, time: float, query_id: int = -1, **attrs):
+        """Record one lifecycle event (no-op here)."""
+
+    def finalize(self, end_time: float) -> None:
+        """Close the trace; ``end_time`` is the last simulated instant."""
+
+
+class NullTracer(Tracer):
+    """The zero-overhead default: every hook is a no-op."""
+
+
+#: Shared default instance — stateless, safe to reuse across servers.
+NULL_TRACER = NullTracer()
+
+
+class RecordingTracer(Tracer):
+    """Collects spans and streams them into a metrics registry.
+
+    Args:
+        keep_spans: Set False to keep only the metrics (constant memory
+            for arbitrarily long traces).
+        reservoir: Histogram reservoir capacity (quantile accuracy vs
+            memory).
+    """
+
+    enabled = True
+
+    def __init__(self, keep_spans: bool = True, reservoir: int = 4096):
+        self.keep_spans = keep_spans
+        self.spans: List[Span] = []
+        self.metrics = MetricsRegistry()
+        self.end_time = 0.0
+        # Per-worker committed busy seconds and worker -> model map,
+        # accumulated from dispatch spans.
+        self.worker_busy: Dict[int, float] = {}
+        self.worker_model: Dict[int, int] = {}
+        m = self.metrics
+        self._buffer_depth = m.gauge("buffer.depth")
+        self._sched_wall = m.histogram("scheduler.wall_s", reservoir)
+        self._sched_sim = m.histogram("scheduler.overhead_sim_s", reservoir)
+        self._sched_batch = m.histogram("scheduler.batch_size", reservoir)
+        self._plan_size = m.histogram("plan.size", reservoir)
+        self._slack = m.histogram("deadline.slack_s", reservoir)
+        self._latency = m.histogram("query.latency_s", reservoir)
+
+    def emit(self, kind: str, time: float, query_id: int = -1, **attrs):
+        """Record one lifecycle event and update the derived metrics."""
+        if self.keep_spans:
+            self.spans.append(Span(kind, time, query_id, attrs))
+        if time > self.end_time:
+            self.end_time = time
+        metrics = self.metrics
+        if kind == DISPATCH:
+            metrics.counter("tasks.dispatched").inc()
+            worker = int(attrs["worker"])
+            self.worker_busy[worker] = (
+                self.worker_busy.get(worker, 0.0)
+                + float(attrs["finish"]) - float(attrs["start"])
+            )
+            self.worker_model.setdefault(worker, int(attrs["model"]))
+        elif kind == ARRIVAL:
+            metrics.counter("queries.arrived").inc()
+        elif kind == ENTER_BUFFER:
+            self._buffer_depth.sample(time, attrs["depth"])
+        elif kind == SCHEDULE:
+            metrics.counter("scheduler.invocations").inc()
+            self._sched_wall.add(attrs["wall_s"])
+            self._sched_sim.add(attrs["overhead_sim_s"])
+            self._sched_batch.add(attrs["batch"])
+            self._buffer_depth.sample(time, attrs["depth"])
+        elif kind == PLAN:
+            self._plan_size.add(attrs["size"])
+        elif kind == COMPLETE:
+            metrics.counter("queries.completed").inc()
+            self._slack.add(attrs["slack"])
+            self._latency.add(attrs["latency"])
+        elif kind == REJECT:
+            metrics.counter("queries.rejected").inc()
+        elif kind == REQUEUE:
+            self._buffer_depth.sample(time, attrs["depth"])
+        elif kind == FAST_PATH:
+            metrics.counter("queries.fast_path").inc()
+
+    def finalize(self, end_time: float) -> None:
+        """Freeze the trace end; later ``utilization`` uses it."""
+        if end_time > self.end_time:
+            self.end_time = end_time
+
+    def utilization(self, duration: Optional[float] = None) -> Dict[int, float]:
+        """Per-worker busy fraction over the run (or ``duration``).
+
+        Committed work may extend past the last event (a task can still
+        be "executing" when the trace ends); fractions are clipped to 1.
+        """
+        horizon = duration if duration is not None else self.end_time
+        if not horizon or horizon <= 0:
+            return {w: 0.0 for w in self.worker_busy}
+        return {
+            worker: min(busy / horizon, 1.0)
+            for worker, busy in sorted(self.worker_busy.items())
+        }

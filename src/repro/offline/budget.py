@@ -11,7 +11,7 @@ independent choices and a single budget constraint, the Lagrangian
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

@@ -8,7 +8,7 @@ busy time. It returns a subset mask per query and the processing order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np

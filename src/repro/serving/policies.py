@@ -18,7 +18,6 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.utils.validation import check_positive
 
 
 class ServingPolicy:

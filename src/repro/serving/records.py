@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -46,15 +48,39 @@ class QueryRecord:
 
 @dataclass
 class ServingResult:
-    """All query records of one serving run plus scheduler stats."""
+    """All query records of one serving run plus scheduler stats.
+
+    ``scheduler_wall_time`` is the *real* (``time.perf_counter``)
+    seconds spent inside scheduler invocations, measured by the server
+    itself; ``metrics`` is the observability registry of the run when it
+    was traced (None under the default NullTracer).
+    """
 
     records: List[QueryRecord]
     policy_name: str = ""
     scheduler_invocations: int = 0
     scheduler_work_units: int = 0
+    scheduler_wall_time: float = 0.0
+    metrics: Optional[MetricsRegistry] = None
 
     def __len__(self) -> int:
         return len(self.records)
+
+    def _arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(sample_indices, executed_masks, missed)`` as flat arrays —
+        the vectorized base of the per-query metrics (hot for 100k-query
+        day traces, where per-record Python loops dominate)."""
+        n = len(self.records)
+        samples = np.fromiter(
+            (r.sample_index for r in self.records), dtype=np.intp, count=n
+        )
+        masks = np.fromiter(
+            (r.executed_mask for r in self.records), dtype=np.intp, count=n
+        )
+        missed = np.fromiter(
+            (r.missed for r in self.records), dtype=bool, count=n
+        )
+        return samples, masks, missed
 
     def deadline_miss_rate(self) -> float:
         """Fraction of queries that missed their deadline."""
@@ -64,10 +90,11 @@ class ServingResult:
 
     def qualities(self, quality_table: np.ndarray) -> np.ndarray:
         """Per-query result quality: table lookup, 0 for missed queries."""
-        values = np.zeros(len(self.records))
-        for i, record in enumerate(self.records):
-            if not record.missed:
-                values[i] = quality_table[record.sample_index, record.executed_mask]
+        if not self.records:
+            return np.zeros(0)
+        samples, masks, missed = self._arrays()
+        values = np.asarray(quality_table)[samples, masks].astype(float)
+        values[missed] = 0.0
         return values
 
     def accuracy(self, quality_table: np.ndarray) -> float:
@@ -79,14 +106,13 @@ class ServingResult:
 
     def processed_accuracy(self, quality_table: np.ndarray) -> float:
         """Mean quality over queries that met their deadline."""
-        processed = [
-            quality_table[r.sample_index, r.executed_mask]
-            for r in self.records
-            if not r.missed
-        ]
-        if not processed:
+        if not self.records:
             return 0.0
-        return float(np.mean(processed))
+        samples, masks, missed = self._arrays()
+        if missed.all():
+            return 0.0
+        values = np.asarray(quality_table)[samples[~missed], masks[~missed]]
+        return float(values.mean())
 
     def latencies(self) -> np.ndarray:
         """Latencies of completed queries (rejected ones excluded)."""
@@ -94,21 +120,37 @@ class ServingResult:
         return np.asarray(values, dtype=float)
 
     def latency_stats(self) -> Dict[str, float]:
-        """Mean / P95 / max latency over completed queries."""
+        """Mean / P50 / P95 / P99 / max latency over completed queries."""
         latencies = self.latencies()
         if latencies.size == 0:
-            return {"mean": float("nan"), "p95": float("nan"), "max": float("nan")}
+            nan = float("nan")
+            return {"mean": nan, "p50": nan, "p95": nan, "p99": nan,
+                    "max": nan}
+        p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
         return {
             "mean": float(latencies.mean()),
-            "p95": float(np.percentile(latencies, 95)),
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
             "max": float(latencies.max()),
         }
 
+    def deadline_slack(self) -> np.ndarray:
+        """Deadline slack of processed queries: ``deadline - completion``
+        seconds, positive when the query finished with margin. Rejected
+        and unfinished queries are excluded (their slack is undefined);
+        the metrics layer and the run report both consume this."""
+        values = [
+            r.deadline - r.completion
+            for r in self.records
+            if r.completion is not None and not r.rejected
+        ]
+        return np.asarray(values, dtype=float)
+
     def executed_model_counts(self, n_models: int) -> np.ndarray:
         """How many queries executed each base model (load analysis)."""
-        counts = np.zeros(n_models, dtype=int)
-        for record in self.records:
-            for k in range(n_models):
-                if (record.executed_mask >> k) & 1:
-                    counts[k] += 1
-        return counts
+        if not self.records:
+            return np.zeros(n_models, dtype=int)
+        _, masks, _ = self._arrays()
+        bits = (masks[:, None] >> np.arange(n_models)) & 1
+        return bits.sum(axis=0).astype(int)

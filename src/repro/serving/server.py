@@ -11,17 +11,29 @@ Buffered policies additionally model scheduling overhead: each scheduler
 invocation charges ``overhead_base + overhead_per_unit * work_units``
 of wall-clock time before its plan commits, so an over-fine quantisation
 step (δ = 0.001 in Exp-4) pays for its own table size.
+
+Every event-loop branch can emit a query-lifecycle span through the
+server's :class:`~repro.obs.tracer.Tracer`. The default ``NULL_TRACER``
+keeps this free: the tracer's ``enabled`` flag is read once per run and
+each emit site is guarded by that boolean. Real scheduler wall-clock
+(``time.perf_counter`` around each ``schedule()`` call) is measured
+unconditionally — two timer reads per invocation, negligible next to
+the scheduling work itself — and surfaces as
+``ServingResult.scheduler_wall_time``.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import spans as sp
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.scheduling.problem import QueryRequest, SchedulingInstance
 from repro.serving.policies import BufferedSchedulingPolicy, ServingPolicy
 from repro.serving.records import QueryRecord, ServingResult
@@ -47,11 +59,12 @@ class WorkerSpec:
 class _Worker:
     """Runtime worker state: a FIFO accumulator of committed tasks."""
 
-    __slots__ = ("spec", "free_time")
+    __slots__ = ("spec", "free_time", "wid")
 
-    def __init__(self, spec: WorkerSpec):
+    def __init__(self, spec: WorkerSpec, wid: int = 0):
         self.spec = spec
         self.free_time = 0.0
+        self.wid = wid
 
     def assign(self, now: float) -> float:
         """Append one task; returns its completion time."""
@@ -85,6 +98,9 @@ class EnsembleServer:
         max_buffer: Largest buffer slice handed to the scheduler at once.
         overhead_base: Fixed per-invocation scheduling delay (seconds).
         overhead_per_unit: Scheduling delay per scheduler work unit.
+        tracer: Observability hook; defaults to the zero-overhead
+            ``NULL_TRACER``. Pass a ``RecordingTracer`` to collect the
+            span stream and run metrics.
     """
 
     def __init__(
@@ -96,6 +112,7 @@ class EnsembleServer:
         max_buffer: int = 16,
         overhead_base: float = 2e-4,
         overhead_per_unit: float = 2e-8,
+        tracer: Optional[Tracer] = None,
     ):
         self.latencies = np.asarray(latencies, dtype=float)
         if self.latencies.ndim != 1 or np.any(self.latencies <= 0):
@@ -106,7 +123,10 @@ class EnsembleServer:
                 WorkerSpec(model_index=k, latency=float(t))
                 for k, t in enumerate(self.latencies)
             ]
-        self._workers = [_Worker(spec) for spec in workers]
+        self._workers = [_Worker(spec, wid) for wid, spec in enumerate(workers)]
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace = self.tracer.enabled
+        self._sched_wall = 0.0
         deployed = {w.spec.model_index for w in self._workers}
         if not deployed.issubset(range(self.latencies.shape[0])):
             raise ValueError("worker references an unknown model index")
@@ -134,6 +154,10 @@ class EnsembleServer:
             )
         for worker in self._workers:
             worker.free_time = 0.0
+
+        tracer = self.tracer
+        trace = self._trace = tracer.enabled
+        self._sched_wall = 0.0
 
         records: Dict[int, QueryRecord] = {}
         events: List = []
@@ -189,7 +213,10 @@ class EnsembleServer:
                 busy_until=busy_until,
                 now=now,
             )
+            wall_start = time.perf_counter()
             result = self.policy.scheduler.schedule(instance)
+            wall = time.perf_counter() - wall_start
+            self._sched_wall += wall
             invocations += 1
             total_work += result.work_units
             overhead = (
@@ -197,6 +224,15 @@ class EnsembleServer:
                 + self.overhead_per_unit * result.work_units
             )
             scheduling_busy = True
+            if trace:
+                tracer.emit(
+                    sp.SCHEDULE, now,
+                    batch=len(snapshot),
+                    depth=len(buffer),
+                    work_units=result.work_units,
+                    overhead_sim_s=overhead,
+                    wall_s=wall,
+                )
             heapq.heappush(
                 events,
                 (now + overhead, next(sequence), _COMMIT, result.decisions),
@@ -209,6 +245,8 @@ class EnsembleServer:
             their subsets (the paper's wait-for-idling-models rule)."""
             nonlocal scheduling_busy
             scheduling_busy = False
+            if trace:
+                tracer.emit(sp.COMMIT, now, decisions=len(decisions))
             for decision in decisions:
                 record = records[decision.query_id]
                 mask = decision.mask
@@ -218,9 +256,19 @@ class EnsembleServer:
                 if mask == 0:
                     # Deadlines only get closer; infeasible stays so.
                     record.rejected = True
+                    if trace:
+                        tracer.emit(
+                            sp.REJECT, now, decision.query_id,
+                            reason="infeasible",
+                        )
                     continue
                 if not any(w.free_time <= now + 1e-12 for w in self._workers):
                     buffer.append(decision.query_id)
+                    if trace:
+                        tracer.emit(
+                            sp.REQUEUE, now, decision.query_id,
+                            depth=len(buffer),
+                        )
                     continue
                 self._dispatch(record, mask, now, events, sequence)
 
@@ -231,14 +279,24 @@ class EnsembleServer:
                 estimate = self._estimate_completion(mask, now)
                 if estimate > record.deadline + 1e-12:
                     record.rejected = True
+                    if trace:
+                        tracer.emit(
+                            sp.REJECT, now, qid, reason="estimate",
+                        )
                     return
             self._dispatch(record, mask, now, events, sequence)
 
         fastest_mask = 1 << int(np.argmin(self.latencies))
 
+        now = 0.0
         while events:
             now, _, kind, payload = heapq.heappop(events)
             if kind == _ARRIVAL:
+                if trace:
+                    tracer.emit(
+                        sp.ARRIVAL, now, payload,
+                        deadline=records[payload].deadline,
+                    )
                 if buffered:
                     idle_system = (
                         getattr(self.policy, "fast_path", False)
@@ -249,6 +307,8 @@ class EnsembleServer:
                     if idle_system:
                         # Exp-5 fast path: skip prediction + scheduling
                         # entirely when the system is idle.
+                        if trace:
+                            tracer.emit(sp.FAST_PATH, now, payload)
                         self._dispatch(
                             records[payload], fastest_mask, now, events, sequence
                         )
@@ -262,6 +322,10 @@ class EnsembleServer:
                     dispatch_immediate(now, payload)
             elif kind == _ENTER_BUFFER:
                 buffer.append(payload)
+                if trace:
+                    tracer.emit(
+                        sp.ENTER_BUFFER, now, payload, depth=len(buffer)
+                    )
                 # Defer planning to a same-time _SCHEDULE event so every
                 # arrival in this instant is in the buffer first.
                 heapq.heappush(events, (now, next(sequence), _SCHEDULE, None))
@@ -275,20 +339,33 @@ class EnsembleServer:
                 record = records[qid]
                 record.executed_mask |= 1 << model_index
                 record.pending_tasks -= 1
+                if trace:
+                    tracer.emit(sp.TASK_DONE, now, qid, model=model_index)
                 if record.pending_tasks == 0:
                     record.completion = now
+                    if trace:
+                        tracer.emit(
+                            sp.COMPLETE, now, qid,
+                            latency=now - record.arrival,
+                            slack=record.deadline - now,
+                        )
                 if buffered:
                     try_schedule(now)
 
         # Anything still buffered never ran (trace ended): count as missed.
         for qid in buffer:
             records[qid].rejected = True
+            if trace:
+                tracer.emit(sp.REJECT, now, qid, reason="unserved")
+        tracer.finalize(now)
 
         return ServingResult(
             records=[records[i] for i in range(workload.n_queries)],
             policy_name=self.policy.name,
             scheduler_invocations=invocations,
             scheduler_work_units=total_work,
+            scheduler_wall_time=self._sched_wall,
+            metrics=tracer.metrics,
         )
 
     # ------------------------------------------------------------------
@@ -328,13 +405,23 @@ class EnsembleServer:
     def _dispatch(self, record, mask, now, events, sequence):
         record.scheduled_mask = mask
         count = 0
+        trace = self._trace
         for k in range(self.latencies.shape[0]):
             if (mask >> k) & 1:
                 worker = min(self._workers_for(k), key=lambda w: w.free_time)
                 finish = worker.assign(now)
+                if trace:
+                    # start = max(free_time, now) as of before assign().
+                    self.tracer.emit(
+                        sp.DISPATCH, now, record.query_id,
+                        model=k, worker=worker.wid,
+                        start=finish - worker.spec.latency, finish=finish,
+                    )
                 heapq.heappush(
                     events,
                     (finish, next(sequence), _TASK_DONE, (record.query_id, k)),
                 )
                 count += 1
         record.pending_tasks = count
+        if trace:
+            self.tracer.emit(sp.PLAN, now, record.query_id, size=count)

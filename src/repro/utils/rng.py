@@ -7,7 +7,7 @@ Centralising the conversion keeps experiments reproducible end to end.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

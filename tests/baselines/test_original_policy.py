@@ -1,6 +1,5 @@
 """Original policy + cross-baseline invariants (no training needed)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.original import original_policy

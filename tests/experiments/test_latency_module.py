@@ -1,6 +1,5 @@
 """Unit-level tests for the forced-processing (Table II) module."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.latency import run_forced_processing, tradeoff_windows

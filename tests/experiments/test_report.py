@@ -1,8 +1,6 @@
 """EXPERIMENTS.md report generator."""
 
-from pathlib import Path
 
-import pytest
 
 from repro.experiments.report import REGISTRY, main, render
 

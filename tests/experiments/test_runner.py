@@ -60,12 +60,15 @@ class TestRunAndSummarize:
         stats = summarize(result, tm_setup)
         expected = {
             "accuracy", "processed_accuracy", "dmr",
-            "latency_mean", "latency_p95", "latency_max",
-            "scheduler_invocations",
+            "latency_mean", "latency_p50", "latency_p95", "latency_p99",
+            "latency_max", "slack_mean", "scheduler_invocations",
+            "scheduler_wall_time",
         }
         assert set(stats) == expected
         assert 0.0 <= stats["dmr"] <= 1.0
         assert 0.0 <= stats["accuracy"] <= 1.0
+        assert stats["latency_p50"] <= stats["latency_p99"] <= stats["latency_max"]
+        assert stats["scheduler_wall_time"] >= 0.0
 
     def test_static_gets_replica_workers(self, tm_setup, trace):
         wl = make_workload(tm_setup, trace, deadline=0.3, seed=2)

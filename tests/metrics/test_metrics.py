@@ -1,6 +1,5 @@
 """Trade-off objective and table formatting."""
 
-import numpy as np
 import pytest
 
 from repro.metrics.tables import format_table

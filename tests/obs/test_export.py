@@ -1,0 +1,94 @@
+"""Exporters: JSONL span dump and Chrome trace_event timeline."""
+
+import json
+
+from repro.obs import spans as sp
+from repro.obs.export import (
+    chrome_trace_events,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.spans import Span
+
+
+def sample_spans():
+    return [
+        Span(sp.ARRIVAL, 0.0, 0, {"deadline": 1.0}),
+        Span(sp.ENTER_BUFFER, 0.0, 0, {"depth": 1}),
+        Span(sp.SCHEDULE, 0.0, -1, {
+            "batch": 1, "depth": 0, "work_units": 4,
+            "overhead_sim_s": 0.001, "wall_s": 0.0005,
+        }),
+        Span(sp.COMMIT, 0.001, -1, {"decisions": 1}),
+        Span(sp.DISPATCH, 0.001, 0, {
+            "model": 2, "worker": 5, "start": 0.001, "finish": 0.101,
+        }),
+        Span(sp.TASK_DONE, 0.101, 0, {"model": 2}),
+        Span(sp.COMPLETE, 0.101, 0, {"latency": 0.101, "slack": 0.899}),
+    ]
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = write_spans_jsonl(sample_spans(), tmp_path / "spans.jsonl")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 7
+        first = json.loads(lines[0])
+        assert first == {"kind": "arrival", "time": 0.0, "query_id": 0,
+                         "deadline": 1.0}
+        # Run-level spans omit the -1 query_id.
+        sched = json.loads(lines[2])
+        assert "query_id" not in sched
+        assert sched["wall_s"] == 0.0005
+
+
+class TestChromeTrace:
+    def test_task_boxes_on_worker_lanes(self):
+        events = chrome_trace_events(sample_spans())
+        tasks = [e for e in events if e["ph"] == "X" and e["cat"] == "task"]
+        assert len(tasks) == 1
+        task = tasks[0]
+        assert task["tid"] == 5
+        assert task["ts"] == 0.001 * 1e6
+        assert task["dur"] == (0.101 - 0.001) * 1e6
+        assert task["name"] == "q0 m2"
+
+    def test_scheduler_lane_and_counter(self):
+        events = chrome_trace_events(sample_spans())
+        sched = [e for e in events
+                 if e["ph"] == "X" and e["cat"] == "scheduler"]
+        assert len(sched) == 1
+        assert sched[0]["tid"] == 6  # one past the max worker id
+        counters = [e for e in events if e["ph"] == "C"]
+        assert [c["args"]["depth"] for c in counters] == [1.0, 0.0]
+
+    def test_thread_names(self):
+        events = chrome_trace_events(sample_spans())
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names[5] == "worker 5 (model 2)"
+        assert names[6] == "scheduler"
+        assert "lifecycle" in names[7]
+
+    def test_worker_name_override(self):
+        events = chrome_trace_events(
+            sample_spans(), worker_names={5: "gpu-0"}
+        )
+        names = [e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert "gpu-0" in names
+
+    def test_file_is_loadable_json(self, tmp_path):
+        path = write_chrome_trace(sample_spans(), tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        assert "traceEvents" in payload
+        assert payload["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_empty_spans(self):
+        events = chrome_trace_events([])
+        # Metadata only; no crash on traces with no dispatches.
+        assert all(e["ph"] == "M" for e in events)

@@ -1,0 +1,119 @@
+"""Counters, gauges and streaming histograms."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("n").inc(-1)
+
+
+class TestGauge:
+    def test_samples_and_arrays(self):
+        g = Gauge("depth")
+        g.sample(0.0, 1)
+        g.sample(0.5, 3)
+        times, values = g.as_arrays()
+        np.testing.assert_allclose(times, [0.0, 0.5])
+        np.testing.assert_allclose(values, [1.0, 3.0])
+        assert g.last == 3.0
+        assert len(g) == 2
+
+    def test_binned_max(self):
+        g = Gauge("depth")
+        g.sample(0.1, 2)
+        g.sample(0.15, 5)
+        g.sample(0.9, 1)
+        binned = g.binned_max(1.0, 4)
+        np.testing.assert_allclose(binned, [5.0, 0.0, 0.0, 1.0])
+
+    def test_binned_max_clips_end_of_range(self):
+        g = Gauge("depth")
+        g.sample(1.0, 7)  # exactly the duration -> last bin
+        np.testing.assert_allclose(g.binned_max(1.0, 2), [0.0, 7.0])
+
+    def test_empty_summary_is_nan(self):
+        summary = Gauge("depth").summary()
+        assert np.isnan(summary["mean"])
+        assert summary["samples"] == 0
+
+
+class TestStreamingHistogram:
+    def test_exact_under_capacity(self):
+        h = StreamingHistogram("lat", capacity=100)
+        for v in range(10):
+            h.add(v)
+        assert h.count == 10
+        assert h.mean == pytest.approx(4.5)
+        assert h.min == 0 and h.max == 9
+        assert h.quantile(0.5) == pytest.approx(4.5)
+
+    def test_reservoir_quantiles_stay_close(self):
+        h = StreamingHistogram("lat", capacity=512)
+        rng = np.random.default_rng(7)
+        values = rng.uniform(0, 1, size=20_000)
+        for v in values:
+            h.add(v)
+        assert h.count == 20_000
+        # Uniform[0,1]: reservoir p50 should sit near 0.5.
+        assert h.quantile(0.5) == pytest.approx(0.5, abs=0.06)
+        assert h.max == pytest.approx(values.max())
+
+    def test_deterministic(self):
+        def build():
+            h = StreamingHistogram("lat", capacity=16)
+            for v in range(1000):
+                h.add(float(v % 97))
+            return h.summary()
+
+        assert build() == build()
+
+    def test_empty_summary(self):
+        summary = StreamingHistogram("lat").summary()
+        assert summary["count"] == 0
+        assert np.isnan(summary["p99"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram("lat", capacity=0)
+        with pytest.raises(ValueError):
+            StreamingHistogram("lat").quantile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert reg.names() == ["a", "b", "c"]
+        assert "a" in reg and "z" not in reg
+
+    def test_type_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_summary_nested(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.histogram("c").add(1.0)
+        summary = reg.summary()
+        assert summary["a"]["count"] == 3
+        assert summary["c"]["mean"] == 1.0

@@ -1,0 +1,78 @@
+"""The plain-text run report."""
+
+import numpy as np
+import pytest
+
+from repro.obs.report import render_report, sparkline
+from repro.obs.tracer import RecordingTracer
+from repro.scheduling.dp import DPScheduler
+from repro.serving.policies import BufferedSchedulingPolicy
+from repro.serving.server import EnsembleServer
+from repro.serving.workload import ServingWorkload
+
+
+class TestSparkline:
+    def test_scales_to_peak(self):
+        line = sparkline(np.array([0.0, 1.0, 2.0, 4.0]))
+        assert len(line) == 4
+        assert line[0] == " "
+        assert line[-1] == "█"
+
+    def test_all_zero(self):
+        assert sparkline(np.zeros(3)) == "   "
+
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    utilities = np.zeros((4, 4))
+    for mask in range(1, 4):
+        utilities[:, mask] = 0.6 + 0.1 * bin(mask).count("1")
+    policy = BufferedSchedulingPolicy(
+        "schemble", DPScheduler(delta=0.01), utilities
+    )
+    tracer = RecordingTracer()
+    server = EnsembleServer([0.1, 0.2], policy, tracer=tracer)
+    arrivals = np.array([0.0, 0.0, 0.3, 0.6, 2.0])
+    workload = ServingWorkload(
+        arrivals=arrivals,
+        deadlines=np.full(5, 1.0),
+        sample_indices=np.zeros(5, dtype=int),
+        quality=utilities,
+    )
+    result = server.run(workload)
+    return result, tracer
+
+
+class TestRenderReport:
+    def test_contains_required_sections(self, traced_run):
+        result, tracer = traced_run
+        report = render_report(result, tracer, duration=3.0)
+        assert "policy='schemble'" in report
+        assert "buffer depth over time" in report
+        assert "per-worker utilization" in report
+        assert "deadline slack" in report
+        assert "real wall-clock (ms)" in report
+        assert "p99" in report
+        assert "scheduler:" in report
+
+    def test_counts_match_result(self, traced_run):
+        result, tracer = traced_run
+        report = render_report(result, tracer, duration=3.0)
+        assert f"queries: {len(result)}" in report
+        assert f"spans: {len(tracer.spans)}" in report
+
+    def test_default_duration_is_trace_end(self, traced_run):
+        result, tracer = traced_run
+        report = render_report(result, tracer)
+        assert f"simulated duration: {tracer.end_time:.3f}s" in report
+
+    def test_no_scheduler_section_without_invocations(self):
+        tracer = RecordingTracer()
+        from repro.serving.records import ServingResult
+
+        report = render_report(ServingResult(records=[]), tracer, duration=1.0)
+        assert "0 invocations" in report
+        assert "per invocation" not in report

@@ -1,0 +1,84 @@
+"""Tracer behaviour: null default, span capture, streaming metrics."""
+
+import pytest
+
+from repro.obs import spans as sp
+from repro.obs.tracer import NULL_TRACER, NullTracer, RecordingTracer
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.metrics is None
+        # No-ops, no state, no errors.
+        NULL_TRACER.emit(sp.ARRIVAL, 0.0, 1, deadline=1.0)
+        NULL_TRACER.finalize(10.0)
+
+    def test_fresh_instance_equivalent(self):
+        assert not NullTracer().enabled
+
+
+class TestRecordingTracer:
+    def _traced(self):
+        tr = RecordingTracer()
+        tr.emit(sp.ARRIVAL, 0.0, 0, deadline=1.0)
+        tr.emit(sp.ENTER_BUFFER, 0.0, 0, depth=1)
+        tr.emit(sp.SCHEDULE, 0.0, batch=1, depth=0, work_units=4,
+                overhead_sim_s=0.001, wall_s=0.0005)
+        tr.emit(sp.COMMIT, 0.001, decisions=1)
+        tr.emit(sp.DISPATCH, 0.001, 0, model=1, worker=1,
+                start=0.001, finish=0.101)
+        tr.emit(sp.PLAN, 0.001, 0, size=1)
+        tr.emit(sp.TASK_DONE, 0.101, 0, model=1)
+        tr.emit(sp.COMPLETE, 0.101, 0, latency=0.101, slack=0.899)
+        tr.finalize(0.101)
+        return tr
+
+    def test_span_stream_recorded(self):
+        tr = self._traced()
+        assert [s.kind for s in tr.spans] == [
+            sp.ARRIVAL, sp.ENTER_BUFFER, sp.SCHEDULE, sp.COMMIT,
+            sp.DISPATCH, sp.PLAN, sp.TASK_DONE, sp.COMPLETE,
+        ]
+        assert sp.span_sequence(tr.spans, 0) == [
+            sp.ARRIVAL, sp.ENTER_BUFFER, sp.DISPATCH, sp.PLAN,
+            sp.TASK_DONE, sp.COMPLETE,
+        ]
+
+    def test_metrics_streamed(self):
+        m = self._traced().metrics
+        assert m.counter("queries.arrived").value == 1
+        assert m.counter("queries.completed").value == 1
+        assert m.counter("scheduler.invocations").value == 1
+        assert m.counter("tasks.dispatched").value == 1
+        assert m.histogram("scheduler.wall_s").mean == pytest.approx(5e-4)
+        assert m.histogram("deadline.slack_s").mean == pytest.approx(0.899)
+        assert m.histogram("plan.size").mean == 1.0
+        assert m.gauge("buffer.depth").last == 0.0
+
+    def test_worker_accounting(self):
+        tr = self._traced()
+        assert tr.worker_busy == {1: pytest.approx(0.1)}
+        assert tr.worker_model == {1: 1}
+        util = tr.utilization(1.0)
+        assert util[1] == pytest.approx(0.1)
+        # Default horizon = trace end (0.101s).
+        assert tr.utilization()[1] == pytest.approx(0.1 / 0.101)
+
+    def test_keep_spans_false_keeps_metrics_only(self):
+        tr = RecordingTracer(keep_spans=False)
+        tr.emit(sp.ARRIVAL, 0.0, 0)
+        assert tr.spans == []
+        assert tr.metrics.counter("queries.arrived").value == 1
+
+    def test_reject_counts(self):
+        tr = RecordingTracer()
+        tr.emit(sp.REJECT, 1.0, 3, reason="unserved")
+        assert tr.metrics.counter("queries.rejected").value == 1
+        assert tr.spans[0].attrs["reason"] == "unserved"
+
+    def test_finalize_keeps_latest_end(self):
+        tr = RecordingTracer()
+        tr.emit(sp.ARRIVAL, 5.0, 0)
+        tr.finalize(2.0)  # earlier than last span: ignored
+        assert tr.end_time == 5.0

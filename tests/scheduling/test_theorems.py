@@ -5,11 +5,8 @@ import pytest
 
 from repro.scheduling.bruteforce import BruteForceScheduler
 from repro.scheduling.dp import DPScheduler
-from repro.scheduling.orders import edf_order
 from repro.scheduling.problem import (
-    QueryRequest,
     ScheduleDecision,
-    SchedulingInstance,
     evaluate_schedule,
 )
 

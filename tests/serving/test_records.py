@@ -78,9 +78,39 @@ class TestServingResult:
         assert stats["mean"] == pytest.approx(0.2)
         assert stats["max"] == pytest.approx(0.3)
 
+    def test_latency_stats_tail_percentiles(self):
+        latencies = np.linspace(0.01, 1.0, 100)
+        result = ServingResult(
+            records=[
+                record(i, arrival=0.0, completion=float(lat), mask=1,
+                       deadline=2.0)
+                for i, lat in enumerate(latencies)
+            ]
+        )
+        stats = result.latency_stats()
+        assert stats["p50"] == pytest.approx(np.percentile(latencies, 50))
+        assert stats["p99"] == pytest.approx(np.percentile(latencies, 99))
+        assert stats["p50"] < stats["p95"] < stats["p99"] <= stats["max"]
+
     def test_latency_stats_empty(self):
         stats = ServingResult(records=[record(rejected=True)]).latency_stats()
         assert np.isnan(stats["mean"])
+        assert np.isnan(stats["p99"])
+
+    def test_deadline_slack(self):
+        result = ServingResult(
+            records=[
+                record(0, deadline=1.0, completion=0.4, mask=1),
+                record(1, deadline=1.0, completion=1.2, mask=1),  # late
+                record(2, rejected=True),  # excluded: slack undefined
+                record(3),  # unfinished: excluded too
+            ]
+        )
+        slack = result.deadline_slack()
+        np.testing.assert_allclose(slack, [0.6, -0.2])
+
+    def test_deadline_slack_empty(self):
+        assert ServingResult(records=[]).deadline_slack().size == 0
 
     def test_empty_result(self, quality):
         result = ServingResult(records=[])
@@ -94,4 +124,38 @@ class TestServingResult:
         )
         np.testing.assert_array_equal(
             result.executed_model_counts(2), [1, 2]
+        )
+
+    def test_vectorized_metrics_match_per_record_loop(self):
+        # The vectorized paths (fancy indexing + bit expansion) must
+        # agree with the obvious per-record Python loop.
+        rng = np.random.default_rng(3)
+        n_models, n_pool = 3, 50
+        quality = rng.uniform(size=(n_pool, 1 << n_models))
+        quality[:, 0] = 0.0
+        records = [
+            record(
+                i,
+                sample=int(rng.integers(n_pool)),
+                mask=int(rng.integers(1, 1 << n_models)),
+                completion=float(rng.uniform(0.1, 2.0)),
+                deadline=1.0,
+                rejected=bool(rng.random() < 0.2),
+            )
+            for i in range(200)
+        ]
+        result = ServingResult(records=records)
+
+        expected_quality = np.array([
+            0.0 if r.missed else quality[r.sample_index, r.executed_mask]
+            for r in records
+        ])
+        np.testing.assert_allclose(result.qualities(quality), expected_quality)
+
+        expected_counts = [
+            sum((r.executed_mask >> k) & 1 for r in records)
+            for k in range(n_models)
+        ]
+        np.testing.assert_array_equal(
+            result.executed_model_counts(n_models), expected_counts
         )

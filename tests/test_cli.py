@@ -1,6 +1,8 @@
 """CLI surface tests (fast commands only; the heavy ones are smoke-run
 via the sweep command at tiny duration)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -41,3 +43,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "schemble*" in out
         assert "oracle" in out
+
+    def test_trace(self, capsys, tm_setup, tmp_path):
+        assert main([
+            "trace", "--duration", "5", "--out", str(tmp_path)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "buffer depth over time" in out
+        assert "per-worker utilization" in out
+        stem = tmp_path / "text_matching_schemble"
+        spans = stem.with_name(stem.name + "_spans.jsonl")
+        timeline = stem.with_name(stem.name + "_timeline.json")
+        report = stem.with_name(stem.name + "_report.txt")
+        assert spans.exists() and timeline.exists() and report.exists()
+        assert f"wrote {spans}" in out
+        first = json.loads(spans.read_text().splitlines()[0])
+        assert first["kind"] == "arrival"
+        payload = json.loads(timeline.read_text())
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])

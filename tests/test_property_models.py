@@ -1,7 +1,6 @@
 """Hypothesis property tests on the model substrates."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
