@@ -44,11 +44,13 @@ from repro.models.zoo import (
     build_text_matching_ensemble,
     build_vehicle_counting_ensemble,
 )
+from repro.faults import DowntimeWindow, FaultPlan
 from repro.scheduling import DPScheduler, GreedyScheduler
 from repro.serving import (
     BufferedSchedulingPolicy,
     EnsembleServer,
     ImmediateMaskPolicy,
+    ServerConfig,
     ServingWorkload,
 )
 
@@ -76,6 +78,9 @@ __all__ = [
     "DPScheduler",
     "GreedyScheduler",
     "EnsembleServer",
+    "ServerConfig",
+    "FaultPlan",
+    "DowntimeWindow",
     "ServingWorkload",
     "ImmediateMaskPolicy",
     "BufferedSchedulingPolicy",

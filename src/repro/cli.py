@@ -9,6 +9,7 @@ Usage::
     python -m repro schedulers --task text_matching
     python -m repro budget --task vehicle_counting
     python -m repro trace --task text_matching [--policy schemble]
+    python -m repro faults --task text_matching [--rates 0,0.05,0.15,0.3]
 
 Each command builds the task setup (training the models on first use),
 runs the corresponding experiment and prints its table. The commands are
@@ -16,7 +17,16 @@ thin wrappers over :mod:`repro.experiments`, useful for exploring
 configurations without writing a script. ``trace`` additionally runs an
 observed serving run and writes the span stream (JSONL), a Chrome
 ``trace_event`` timeline (open in chrome://tracing or Perfetto) and a
-plain-text run report to ``--out``.
+plain-text run report to ``--out``; its ``--failure-rate`` / ``--jitter``
+/ ``--crash-rate`` flags inject a :class:`~repro.faults.FaultPlan` so the
+fault lifecycle (task_failed/retry/worker_down/degraded_answer spans)
+shows up in the timeline and report. ``faults`` sweeps transient failure
+rates and compares graceful degradation against drop-on-failure.
+
+Serving-side behaviour for ``trace``/``faults`` is described by a single
+:class:`~repro.serving.config.ServerConfig` inside a
+:class:`~repro.experiments.runner.RunSpec` — commands build one spec
+instead of plumbing individual ``allow_rejection``/``max_buffer`` knobs.
 """
 
 from __future__ import annotations
@@ -33,7 +43,10 @@ from repro.experiments.setups import TASKS, build_setup
 from repro.experiments.trace_segments import run_day_trace
 from repro.metrics.tables import format_table
 
-COMMANDS = ("list", "table1", "sweep", "day", "schedulers", "budget", "trace")
+COMMANDS = (
+    "list", "table1", "sweep", "day", "schedulers", "budget", "trace",
+    "faults",
+)
 
 TRACE_POLICIES = (
     "original", "static", "des", "gating", "schemble_ea", "schemble"
@@ -54,6 +67,30 @@ def _add_common(parser: argparse.ArgumentParser, default_task: bool = True):
     parser.add_argument(
         "--duration", type=float, default=30.0,
         help="simulated trace length in seconds",
+    )
+
+
+def _add_fault_args(parser: argparse.ArgumentParser):
+    """Fault-injection knobs shared by ``trace`` and ``faults``."""
+    parser.add_argument(
+        "--jitter", type=float, default=0.0,
+        help="lognormal sigma on worker service times (default: 0)",
+    )
+    parser.add_argument(
+        "--straggler-prob", type=float, default=0.0,
+        help="probability a task runs straggler-slow (default: 0)",
+    )
+    parser.add_argument(
+        "--crash-rate", type=float, default=0.0,
+        help="worker crashes per worker-second (default: 0)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task timeout in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="retry budget per task (default: 2)",
     )
 
 
@@ -105,6 +142,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="traces",
         help="output directory for span/timeline/report files",
     )
+    _add_fault_args(trace)
+    trace.add_argument(
+        "--failure-rate", type=float, default=0.0,
+        help="transient per-task failure probability (default: 0)",
+    )
+    trace.add_argument(
+        "--no-degraded", action="store_true",
+        help="drop partially-failed queries instead of answering "
+        "from the executed subset",
+    )
+    trace.add_argument(
+        "--fault-seed", type=int, default=17,
+        help="seed of the fault plan RNG (default: 17)",
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="resilience sweep: degraded-mode vs drop-on-failure "
+        "accuracy across task-failure rates",
+    )
+    _add_common(faults)
+    faults.add_argument(
+        "--policy", choices=TRACE_POLICIES, default="schemble",
+        help="serving policy to stress (default: schemble)",
+    )
+    faults.add_argument(
+        "--rates", default="0,0.05,0.15,0.3",
+        help="comma-separated task-failure rates to sweep",
+    )
+    _add_fault_args(faults)
     return parser
 
 
@@ -192,29 +259,57 @@ def _cmd_schedulers(args) -> str:
     )
 
 
+def _fault_plan(args, n_workers: int, duration: float):
+    """Build the FaultPlan the ``trace`` fault flags describe (or None)."""
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        latency_jitter=args.jitter,
+        straggler_prob=args.straggler_prob,
+        task_failure_rate=args.failure_rate,
+    )
+    if args.crash_rate > 0:
+        plan = plan.with_random_crashes(
+            n_workers=n_workers,
+            duration=duration,
+            crash_rate=args.crash_rate,
+            mean_downtime=2.0,
+            seed=args.fault_seed + 1,
+        )
+    return None if plan.is_null else plan
+
+
 def _cmd_trace(args) -> str:
-    from repro.experiments.runner import make_workload, run_policy
-    from repro.experiments.trace_segments import make_day_trace
+    from repro.experiments.runner import RunSpec, run_spec
     from repro.obs import (
         RecordingTracer,
         render_report,
         write_chrome_trace,
         write_spans_jsonl,
     )
+    from repro.serving.config import ServerConfig
 
     setup = build_setup(args.task, args.preset, seed=args.seed)
-    day = make_day_trace(setup, duration=args.duration, seed=args.seed + 5)
-    workload = make_workload(
-        setup, day, deadline=min(setup.deadline_grid), seed=args.seed + 6
+    workers = setup.workers_for(args.policy)
+    n_workers = len(workers) if workers is not None else setup.n_models
+    plan = _fault_plan(
+        args, n_workers=n_workers,
+        duration=args.duration,
+    )
+    spec = RunSpec(
+        policy=args.policy,
+        config=ServerConfig(
+            faults=plan,
+            task_timeout=args.timeout,
+            max_retries=args.retries,
+            degraded_answers=not args.no_degraded,
+        ),
+        duration=args.duration,
+        seed=args.seed + 5,
     )
     tracer = RecordingTracer()
-    result = run_policy(
-        setup,
-        setup.policies()[args.policy],
-        workload,
-        policy_name=args.policy,
-        tracer=tracer,
-    )
+    result = run_spec(setup, spec, tracer=tracer)
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -235,6 +330,49 @@ def _cmd_trace(args) -> str:
         f"wrote {report_path}",
     ])
     return report + footer
+
+
+def _cmd_faults(args) -> str:
+    from repro.experiments.resilience import run_resilience_sweep
+
+    setup = build_setup(args.task, args.preset, seed=args.seed)
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    out = run_resilience_sweep(
+        setup,
+        failure_rates=rates,
+        policy=args.policy,
+        duration=args.duration,
+        max_retries=args.retries,
+        latency_jitter=args.jitter,
+        straggler_prob=args.straggler_prob,
+        task_timeout=args.timeout,
+        crash_rate=args.crash_rate,
+        seed=args.seed + 5,
+    )
+    rows = []
+    for mode in ("degraded", "drop"):
+        series = out["modes"][mode]
+        rows.append(
+            [mode]
+            + [
+                f"{a:.3f}/{d:.3f}"
+                for a, d in zip(series["accuracy"], series["dmr"])
+            ]
+        )
+    degraded_pct = [
+        f"{100 * v:.1f}%" for v in out["modes"]["degraded"]["degraded_rate"]
+    ]
+    retries = [f"{int(v)}" for v in out["modes"]["degraded"]["retries"]]
+    rows.append(["degraded answers"] + degraded_pct)
+    rows.append(["retries"] + retries)
+    return format_table(
+        ["mode (acc/dmr)"] + [f"fail={r}" for r in out["failure_rates"]],
+        rows,
+        title=(
+            f"resilience sweep — {args.task} / {out['policy']} "
+            "(degraded-mode vs drop-on-failure)"
+        ),
+    )
 
 
 def _cmd_budget(args) -> str:
@@ -262,6 +400,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "schedulers": lambda: _cmd_schedulers(args),
         "budget": lambda: _cmd_budget(args),
         "trace": lambda: _cmd_trace(args),
+        "faults": lambda: _cmd_faults(args),
     }
     print(handlers[args.command]())
     return 0

@@ -129,6 +129,15 @@ class Stacking(Aggregator):
     :class:`repro.trees.GradientBoostingClassifier` plays the role of the
     paper's XGBoost aggregator. Missing member outputs are imputed by a
     :class:`KNNFiller` fit on historical full inference results.
+
+    This is also the substrate of degraded-mode serving: when fault
+    injection leaves a query with only a subset of its planned tasks
+    executed, the profiler's quality tables — built with this aggregator
+    over every partial subset — already score the answer the filler +
+    meta-model would produce, so a degraded answer earns its (positive)
+    subset quality instead of the 0 a dropped query scores. At least one
+    member output must be present; the filler refuses an all-missing
+    record (see :meth:`KNNFiller.fill`).
     """
 
     def __init__(self, meta_model, task: str = "classification", knn_k: int = 10):

@@ -7,16 +7,22 @@ phase exactly the way the paper's system shares its deployed models.
 """
 
 from repro.experiments.setups import TaskSetup, build_setup
+from repro.experiments.resilience import run_resilience_sweep
 from repro.experiments.runner import (
+    RunSpec,
     make_workload,
     run_policy,
+    run_spec,
     summarize,
 )
 
 __all__ = [
     "TaskSetup",
     "build_setup",
+    "RunSpec",
     "make_workload",
     "run_policy",
+    "run_resilience_sweep",
+    "run_spec",
     "summarize",
 ]

@@ -17,6 +17,7 @@ from repro.experiments.runner import make_workload, run_policy
 from repro.experiments.setups import TaskSetup
 from repro.experiments.overall import DEFAULT_BASELINES
 from repro.metrics.tradeoff import best_method_windows
+from repro.serving.config import ServerConfig
 
 
 def run_forced_processing(
@@ -53,7 +54,7 @@ def run_forced_processing(
             policies[name],
             workload,
             policy_name=name,
-            allow_rejection=False,
+            config=ServerConfig(allow_rejection=False),
         )
         stats = result.latency_stats()
         qualities = np.array(

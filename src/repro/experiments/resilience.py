@@ -1,0 +1,116 @@
+"""Resilience study: accuracy under fault injection.
+
+The study the ``python -m repro faults`` command runs: the same bursty
+workload is served repeatedly while the transient task-failure rate is
+swept, once with graceful degradation enabled (partially-failed queries
+are still answered from the executed subset — quality comes from the
+profiler's KNNFiller-backed stacking tables) and once in drop-on-failure
+mode (a query with any permanently failed task is rejected outright).
+
+The headline claim this reproduces is the degraded-mode contract of
+Pochelu & Petiton (arXiv:2208.14049): at every non-trivial failure rate,
+answering from the surviving subset strictly beats dropping, because a
+partial-ensemble answer scores its (positive) subset quality while a
+dropped query scores 0.
+
+``run_resilience_sweep`` can additionally inject worker crash/recover
+windows (``crash_rate``) so the sweep also exercises failover
+re-planning, and reports retry volume and degraded-answer rates
+alongside accuracy/DMR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.runner import RunSpec, run_spec, summarize
+from repro.experiments.setups import TaskSetup
+from repro.faults import FaultPlan
+from repro.serving.config import ServerConfig
+
+DEFAULT_FAILURE_RATES = (0.0, 0.05, 0.15, 0.3)
+
+
+def run_resilience_sweep(
+    setup: TaskSetup,
+    failure_rates: Sequence[float] = DEFAULT_FAILURE_RATES,
+    policy: str = "schemble",
+    deadline: Optional[float] = None,
+    duration: float = 20.0,
+    max_retries: int = 1,
+    latency_jitter: float = 0.05,
+    straggler_prob: float = 0.0,
+    task_timeout: Optional[float] = None,
+    crash_rate: float = 0.0,
+    mean_downtime: float = 2.0,
+    seed: int = 0,
+) -> Dict:
+    """Sweep transient failure rates; degraded vs drop-on-failure.
+
+    Args:
+        setup: Task setup (deployment, quality tables, policies).
+        failure_rates: Per-task transient failure probabilities.
+        policy: Serving policy name (key into ``setup.policies()``).
+        deadline: Relative deadline; ``None`` = tightest grid deadline.
+        duration: Simulated trace seconds per run.
+        max_retries: Retry budget per task (small, so high rates leave
+            permanent failures for degraded mode to absorb).
+        latency_jitter: Lognormal sigma on service times.
+        straggler_prob: Probability a task runs straggler-slow.
+        task_timeout: Per-task timeout in seconds (None = none).
+        crash_rate: Poisson crashes per worker per second (0 = none).
+        mean_downtime: Mean crash outage in seconds.
+        seed: Base seed; the workload is identical across all cells so
+            only the fault response differs.
+
+    Returns:
+        ``{"failure_rates": [...], "task": ..., "policy": ...,
+        "modes": {"degraded" | "drop": {metric: [per-rate values]}}}``.
+    """
+    workers = setup.workers_for(policy)
+    n_workers = len(workers) if workers is not None else setup.n_models
+    modes: Dict[str, Dict[str, list]] = {
+        "degraded": {}, "drop": {},
+    }
+    for rate in failure_rates:
+        plan = FaultPlan(
+            seed=seed + 17,
+            latency_jitter=latency_jitter,
+            straggler_prob=straggler_prob,
+            task_failure_rate=float(rate),
+        )
+        if crash_rate > 0:
+            plan = plan.with_random_crashes(
+                n_workers=n_workers,
+                duration=duration,
+                crash_rate=crash_rate,
+                mean_downtime=mean_downtime,
+                seed=seed + 23,
+            )
+        for mode in ("degraded", "drop"):
+            spec = RunSpec(
+                policy=policy,
+                config=ServerConfig(
+                    faults=plan,
+                    task_timeout=task_timeout,
+                    max_retries=max_retries,
+                    degraded_answers=(mode == "degraded"),
+                ),
+                deadline=deadline,
+                duration=duration,
+                seed=seed,
+            )
+            result = run_spec(setup, spec)
+            stats = summarize(result, setup)
+            row = modes[mode]
+            for key in (
+                "accuracy", "dmr", "degraded_rate", "retries",
+                "latency_p95",
+            ):
+                row.setdefault(key, []).append(stats[key])
+    return {
+        "failure_rates": [float(r) for r in failure_rates],
+        "task": setup.task,
+        "policy": policy,
+        "modes": modes,
+    }

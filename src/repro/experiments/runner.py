@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro.data.traces import ArrivalTrace, camera_deadlines, constant_deadlines
 from repro.experiments.setups import TaskSetup
+from repro.serving.config import ServerConfig
 from repro.serving.records import ServingResult
 from repro.serving.server import EnsembleServer
 from repro.serving.workload import ServingWorkload
@@ -65,28 +69,124 @@ def make_workload(
     )
 
 
+@dataclass(frozen=True)
+class RunSpec:
+    """A complete serving-run description, minus the task setup.
+
+    Where :class:`~repro.serving.config.ServerConfig` captures server
+    behaviour, ``RunSpec`` adds everything else a run needs — the policy
+    to serve with and the workload shape — so experiments and CLI
+    commands share one value instead of re-plumbing ``allow_rejection``
+    / ``max_buffer`` / fault knobs through every signature.
+
+    Attributes:
+        policy: Key into ``setup.policies()`` (e.g. ``"schemble"``).
+        config: Server configuration, including any fault plan.
+        deadline: Relative deadline in seconds; ``None`` picks the
+            task's tightest grid deadline.
+        deadline_spread: Half-width of per-query deadline jitter.
+        duration: Simulated trace length in seconds.
+        seed: Base seed; the trace uses ``seed`` and the workload
+            attachment (samples, deadline jitter) uses ``seed + 1``.
+    """
+
+    policy: str = "schemble"
+    config: ServerConfig = field(default_factory=ServerConfig)
+    deadline: Optional[float] = None
+    deadline_spread: float = 0.0
+    duration: float = 30.0
+    seed: int = 0
+
+    def replace(self, **changes) -> "RunSpec":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+
+def run_spec(
+    setup: TaskSetup,
+    spec: RunSpec,
+    trace: Optional[ArrivalTrace] = None,
+    tracer=None,
+) -> ServingResult:
+    """Run one :class:`RunSpec` on ``setup`` and return its result.
+
+    Builds the task's bursty day trace when ``trace`` is not supplied,
+    attaches deadlines/samples with ``make_workload``, and serves with
+    the spec's policy under the spec's :class:`ServerConfig`.
+    """
+    # Local import: trace_segments itself builds on this module.
+    from repro.experiments.trace_segments import make_day_trace
+
+    if trace is None:
+        trace = make_day_trace(setup, duration=spec.duration, seed=spec.seed)
+    deadline = (
+        spec.deadline if spec.deadline is not None
+        else min(setup.deadline_grid)
+    )
+    workload = make_workload(
+        setup,
+        trace,
+        deadline=deadline,
+        deadline_spread=spec.deadline_spread,
+        seed=spec.seed + 1,
+    )
+    return run_policy(
+        setup,
+        setup.policies()[spec.policy],
+        workload,
+        policy_name=spec.policy,
+        config=spec.config,
+        tracer=tracer,
+    )
+
+
 def run_policy(
     setup: TaskSetup,
     policy,
     workload: ServingWorkload,
     policy_name: Optional[str] = None,
-    allow_rejection: bool = True,
-    max_buffer: int = 16,
+    *,
+    config: Optional[ServerConfig] = None,
     tracer=None,
+    allow_rejection: Optional[bool] = None,
+    max_buffer: Optional[int] = None,
 ) -> ServingResult:
     """Serve ``workload`` with ``policy`` on the task's deployment.
+
+    Server behaviour (buffering, rejection, fault injection, timeouts)
+    comes from ``config``; the bare ``allow_rejection``/``max_buffer``
+    keywords are a deprecated shim for the pre-config call shape.
 
     Pass a :class:`~repro.obs.tracer.RecordingTracer` as ``tracer`` to
     collect the run's span stream and metrics (the default NullTracer
     keeps the run untouched).
     """
+    if allow_rejection is not None or max_buffer is not None:
+        if config is not None:
+            raise TypeError(
+                "pass either config= or the deprecated "
+                "allow_rejection=/max_buffer= keywords, not both"
+            )
+        warnings.warn(
+            "run_policy(allow_rejection=..., max_buffer=...) is "
+            "deprecated; pass config=ServerConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config = ServerConfig(
+            allow_rejection=(
+                True if allow_rejection is None else allow_rejection
+            ),
+            max_buffer=16 if max_buffer is None else max_buffer,
+        )
+    if config is None:
+        config = ServerConfig()
     name = policy_name or policy.name
-    server = EnsembleServer(
-        latencies=setup.latencies,
-        policy=policy,
+    server = EnsembleServer.from_config(
+        setup.latencies,
+        policy,
+        config,
         workers=setup.workers_for(name),
-        allow_rejection=allow_rejection,
-        max_buffer=max_buffer,
         tracer=tracer,
     )
     return server.run(workload)
@@ -113,4 +213,6 @@ def summarize(result: ServingResult, setup: TaskSetup) -> Dict[str, float]:
         "slack_mean": float(slack.mean()) if slack.size else float("nan"),
         "scheduler_invocations": float(result.scheduler_invocations),
         "scheduler_wall_time": result.scheduler_wall_time,
+        "degraded_rate": result.degraded_rate(),
+        "retries": float(result.total_retries()),
     }

@@ -14,6 +14,7 @@ import numpy as np
 from repro.data.traces import diurnal_trace
 from repro.experiments.runner import make_workload, run_policy
 from repro.experiments.setups import TaskSetup
+from repro.serving.config import ServerConfig
 from repro.serving.records import ServingResult
 
 
@@ -104,7 +105,7 @@ def run_day_trace(
             policies[name],
             workload,
             policy_name=name,
-            allow_rejection=allow_rejection,
+            config=ServerConfig(allow_rejection=allow_rejection),
         )
         out[name] = segment_metrics(result, setup, duration, n_segments)
         out[name]["overall_dmr"] = result.deadline_miss_rate()

@@ -1,0 +1,19 @@
+"""Fault injection and degraded-mode serving support.
+
+A :class:`FaultPlan` is a frozen, seedable description of worker
+misbehaviour (latency jitter, stragglers, transient task failures and
+crash/recover windows); the serving simulator turns it into a
+:class:`FaultInjector` at run start and reacts with timeouts, bounded
+retries, failover re-planning and degraded answers. See DESIGN.md,
+"Fault model & degraded mode".
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import DowntimeWindow, FaultPlan, crash_windows
+
+__all__ = [
+    "DowntimeWindow",
+    "FaultPlan",
+    "FaultInjector",
+    "crash_windows",
+]

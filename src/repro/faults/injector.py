@@ -1,0 +1,83 @@
+"""Runtime fault injection driven by a :class:`FaultPlan`.
+
+The injector is the mutable per-run counterpart of the frozen plan:
+it owns the fault RNG and answers the three questions the event loop
+asks at task start — how long will this execution take, does it fail,
+and when is this worker down. Draws are consumed in event order, and
+the discrete-event loop is itself deterministic, so a (plan, workload,
+config) triple always yields the same run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import DowntimeWindow, FaultPlan
+
+
+class FaultInjector:
+    """Per-run fault source; construct one per ``EnsembleServer.run``."""
+
+    def __init__(self, plan: FaultPlan, n_workers: int):
+        self.plan = plan
+        self.n_workers = int(n_workers)
+        self._rng = np.random.default_rng(plan.seed)
+        self._windows: Dict[int, Tuple[DowntimeWindow, ...]] = {
+            wid: plan.windows_for(wid) for wid in range(self.n_workers)
+        }
+        for window in plan.downtime:
+            if window.worker >= self.n_workers:
+                raise ValueError(
+                    f"downtime window references worker {window.worker}, "
+                    f"server deploys {self.n_workers}"
+                )
+
+    # ------------------------------------------------------------------
+    # Per-task draws (consumed in event order)
+    # ------------------------------------------------------------------
+
+    def service_time(self, worker: int, base_latency: float) -> float:
+        """Actual execution time of one task on ``worker``."""
+        plan = self.plan
+        time = float(base_latency)
+        if plan.latency_jitter > 0.0:
+            # Median-1 lognormal: jitter skews slow, never negative.
+            time *= float(np.exp(
+                plan.latency_jitter * self._rng.standard_normal()
+            ))
+        if plan.straggler_prob > 0.0 and (
+            self._rng.random() < plan.straggler_prob
+        ):
+            time *= plan.straggler_factor
+        return time
+
+    def task_fails(self, worker: int) -> bool:
+        """Whether this execution fails transiently (decided at start)."""
+        rate = self.plan.task_failure_rate
+        return rate > 0.0 and self._rng.random() < rate
+
+    # ------------------------------------------------------------------
+    # Downtime queries (pure functions of the plan)
+    # ------------------------------------------------------------------
+
+    def windows_for(self, worker: int) -> Tuple[DowntimeWindow, ...]:
+        """The worker's crash windows, sorted by start."""
+        return self._windows.get(worker, ())
+
+    def downtime_at(self, worker: int, now: float) -> Optional[DowntimeWindow]:
+        """The window covering ``now`` for this worker, if any."""
+        for window in self._windows.get(worker, ()):
+            if window.start <= now < window.end:
+                return window
+            if window.start > now:
+                break
+        return None
+
+    def total_downtime(self, worker: int, horizon: float) -> float:
+        """Seconds of downtime within ``[0, horizon]`` (report metric)."""
+        total = 0.0
+        for window in self._windows.get(worker, ()):
+            total += max(0.0, min(window.end, horizon) - window.start)
+        return total

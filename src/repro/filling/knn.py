@@ -73,8 +73,15 @@ class KNNFiller:
         if mask.all():
             return partial.copy()
         if not mask.any():
-            # Nothing observed: fall back to the historical mean output.
-            return self._history.mean(axis=0)
+            # Nothing observed: there is no anchor for a neighbour
+            # search, and silently inventing an answer (e.g. the history
+            # mean) would hide a fully-failed query. Degraded serving
+            # must never reach this point — a query with every task
+            # failed is rejected, not filled.
+            raise ValueError(
+                "cannot fill a record with no observed model outputs: "
+                "present_mask is all False"
+            )
 
         observed = self._history[:, mask, :].reshape(self.history_size, -1)
         target = partial[mask].ravel()

@@ -22,11 +22,15 @@ from repro.obs.spans import (
     ARRIVAL,
     COMMIT,
     COMPLETE,
+    DEGRADED,
     DISPATCH,
     ENTER_BUFFER,
     FAST_PATH,
     REJECT,
+    RETRY,
     SCHEDULE,
+    TASK_FAILED,
+    WORKER_DOWN,
     Span,
 )
 
@@ -60,6 +64,7 @@ def chrome_trace_events(
     """
     workers = sorted(
         {int(s.attrs["worker"]) for s in spans if s.kind == DISPATCH}
+        | {int(s.attrs["worker"]) for s in spans if s.kind == WORKER_DOWN}
     )
     sched_tid = (max(workers) + 1) if workers else 0
     lifecycle_tid = sched_tid + 1
@@ -77,7 +82,9 @@ def chrome_trace_events(
     }
     for worker in workers:
         label = names.get(
-            worker, f"worker {worker} (model {models[worker]})"
+            worker,
+            f"worker {worker} (model {models[worker]})"
+            if worker in models else f"worker {worker}",
         )
         events.append({
             "ph": "M", "pid": _PID, "tid": worker, "name": "thread_name",
@@ -118,7 +125,20 @@ def chrome_trace_events(
             events.append(_counter(ts, span.attrs["depth"]))
         elif span.kind == ENTER_BUFFER:
             events.append(_counter(ts, span.attrs["depth"]))
-        elif span.kind in (ARRIVAL, COMPLETE, REJECT, COMMIT, FAST_PATH):
+        elif span.kind == WORKER_DOWN:
+            # A "DOWN" box on the worker's own lane, spanning the outage.
+            until = float(span.attrs["until"])
+            events.append({
+                "ph": "X", "pid": _PID,
+                "tid": int(span.attrs["worker"]),
+                "ts": ts,
+                "dur": max((until - span.time) * _US, 1.0),
+                "name": "DOWN",
+                "cat": "fault",
+                "args": dict(span.attrs),
+            })
+        elif span.kind in (ARRIVAL, COMPLETE, REJECT, COMMIT, FAST_PATH,
+                           TASK_FAILED, RETRY, DEGRADED):
             events.append({
                 "ph": "i", "pid": _PID, "tid": lifecycle_tid, "ts": ts,
                 "s": "t",

@@ -50,6 +50,38 @@ def _percentile_row(label: str, values: np.ndarray) -> List[object]:
     ]
 
 
+def _fault_lines(result, tracer: RecordingTracer) -> List[str]:
+    """Fault & degraded-mode section — empty for fault-free runs."""
+    metrics = tracer.metrics
+    failed = int(metrics.counter("tasks.failed").value)
+    retried = int(metrics.counter("tasks.retried").value)
+    crashes = int(metrics.counter("workers.crashes").value)
+    degraded = int(metrics.counter("queries.degraded").value)
+    if not (failed or retried or crashes or degraded):
+        return []
+    lines = [
+        "fault injection & degraded mode:",
+        f"  task failures: {failed}  retries: {retried}  "
+        f"worker crashes: {crashes}  degraded answers: {degraded} "
+        f"({100.0 * result.degraded_rate():.1f}% of queries)",
+    ]
+    by_reason = []
+    for reason in ("fault", "timeout", "crash"):
+        count = int(metrics.counter(f"tasks.failed.{reason}").value)
+        if count:
+            by_reason.append(f"{reason}={count}")
+    if by_reason:
+        lines.append("  failure reasons: " + "  ".join(by_reason))
+    if tracer.worker_downtime:
+        downtime = "  ".join(
+            f"w{worker}={seconds:.2f}s"
+            for worker, seconds in sorted(tracer.worker_downtime.items())
+        )
+        lines.append(f"  worker downtime: {downtime}")
+    lines.append("")
+    return lines
+
+
 def render_report(
     result,
     tracer: RecordingTracer,
@@ -80,6 +112,7 @@ def render_report(
         f"spans: {len(tracer.spans)}",
         "",
     ]
+    lines.extend(_fault_lines(result, tracer))
 
     stats = result.latency_stats()
     slack = result.deadline_slack()

@@ -7,6 +7,12 @@ query's journey through the server:
             -> task_done -> complete | reject        (buffered policies)
     arrival -> dispatch -> task_done -> complete | reject   (immediate)
 
+Under an active :class:`~repro.faults.plan.FaultPlan` a task may also
+go ``dispatch -> task_failed -> retry -> dispatch -> ...``, workers
+emit ``worker_down``/``worker_up`` around crash windows, and a query
+whose tasks partially failed ends in ``degraded_answer`` +
+``complete`` instead of being dropped.
+
 Span times are *simulated* seconds. Wall-clock measurements (e.g. real
 scheduler latency) travel in span attributes, never in ``time``. The
 kind constants double as the vocabulary of the exporters and of the
@@ -31,9 +37,18 @@ REJECT = "reject"              # query will never be served
 REQUEUE = "requeue"            # planned query returned to the buffer
 FAST_PATH = "fast_path"        # idle-system shortcut (Exp-5) taken
 
+# --- fault lifecycle (repro.faults) --------------------------------------
+TASK_FAILED = "task_failed"    # one execution failed (reason attr:
+                               # "fault" | "timeout" | "crash")
+RETRY = "retry"                # failed/revoked task re-dispatched
+WORKER_DOWN = "worker_down"    # worker entered a downtime window
+WORKER_UP = "worker_up"        # worker recovered
+DEGRADED = "degraded_answer"   # query answered from a partial subset
+
 KINDS = (
     ARRIVAL, ENTER_BUFFER, SCHEDULE, COMMIT, PLAN, DISPATCH,
     TASK_DONE, COMPLETE, REJECT, REQUEUE, FAST_PATH,
+    TASK_FAILED, RETRY, WORKER_DOWN, WORKER_UP, DEGRADED,
 )
 
 

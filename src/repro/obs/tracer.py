@@ -22,13 +22,17 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import (
     ARRIVAL,
     COMPLETE,
+    DEGRADED,
     DISPATCH,
     ENTER_BUFFER,
     FAST_PATH,
     PLAN,
     REJECT,
     REQUEUE,
+    RETRY,
     SCHEDULE,
+    TASK_FAILED,
+    WORKER_DOWN,
     Span,
 )
 
@@ -71,10 +75,11 @@ class RecordingTracer(Tracer):
         self.spans: List[Span] = []
         self.metrics = MetricsRegistry()
         self.end_time = 0.0
-        # Per-worker committed busy seconds and worker -> model map,
-        # accumulated from dispatch spans.
+        # Per-worker committed busy seconds, downtime seconds and
+        # worker -> model map, accumulated from dispatch/down spans.
         self.worker_busy: Dict[int, float] = {}
         self.worker_model: Dict[int, int] = {}
+        self.worker_downtime: Dict[int, float] = {}
         m = self.metrics
         self._buffer_depth = m.gauge("buffer.depth")
         self._sched_wall = m.histogram("scheduler.wall_s", reservoir)
@@ -121,6 +126,20 @@ class RecordingTracer(Tracer):
             self._buffer_depth.sample(time, attrs["depth"])
         elif kind == FAST_PATH:
             metrics.counter("queries.fast_path").inc()
+        elif kind == TASK_FAILED:
+            metrics.counter("tasks.failed").inc()
+            metrics.counter(f"tasks.failed.{attrs.get('reason', '?')}").inc()
+        elif kind == RETRY:
+            metrics.counter("tasks.retried").inc()
+        elif kind == WORKER_DOWN:
+            metrics.counter("workers.crashes").inc()
+            worker = int(attrs["worker"])
+            self.worker_downtime[worker] = (
+                self.worker_downtime.get(worker, 0.0)
+                + float(attrs["until"]) - time
+            )
+        elif kind == DEGRADED:
+            metrics.counter("queries.degraded").inc()
 
     def finalize(self, end_time: float) -> None:
         """Freeze the trace end; later ``utilization`` uses it."""

@@ -89,7 +89,12 @@ class SchedulingInstance:
         queries: Pending queries (any order; schedulers sort internally).
         latencies: Per-model inference times ``T_k``.
         busy_until: Per-model remaining execution time ``t_k^(0)``
-            measured from ``now`` (0 for idle models).
+            measured from ``now`` (0 for idle models). Under fault
+            injection this is an *estimate* that may shrink between
+            invocations (a crash revokes commitments) or be ``inf``
+            (every worker for the model is down/undeployed) — schedulers
+            must treat an ``inf`` entry as "no feasible subset uses this
+            model", never as an error.
         now: Current absolute time.
     """
 
@@ -110,6 +115,8 @@ class SchedulingInstance:
                 f"busy_until shape {self.busy_until.shape} must match "
                 f"latencies shape {self.latencies.shape}"
             )
+        if np.any(np.isnan(self.busy_until)):
+            raise ValueError("busy_until entries must not be NaN")
         if np.any(self.busy_until < 0):
             raise ValueError("busy_until entries must be non-negative")
         n_masks = 1 << self.n_models

@@ -1,6 +1,7 @@
 """Discrete-event simulation of the ensemble serving system (Section IV)."""
 
 from repro.serving.workload import ServingWorkload
+from repro.serving.config import ServerConfig
 from repro.serving.records import QueryRecord, ServingResult
 from repro.serving.policies import (
     BufferedSchedulingPolicy,
@@ -11,6 +12,7 @@ from repro.serving.server import EnsembleServer, WorkerSpec
 
 __all__ = [
     "ServingWorkload",
+    "ServerConfig",
     "QueryRecord",
     "ServingResult",
     "ServingPolicy",

@@ -21,11 +21,16 @@ import numpy as np
 
 
 class ServingPolicy:
-    """Common policy surface consumed by :class:`EnsembleServer`."""
+    """Common policy surface consumed by :class:`EnsembleServer`.
+
+    ``fast_path`` lives on the base class so the server's event loop can
+    read it unconditionally (immediate policies simply never enable it).
+    """
 
     name: str = "policy"
     buffered: bool = False
     entry_delay: float = 0.0
+    fast_path: bool = False
 
 
 class ImmediateMaskPolicy(ServingPolicy):

@@ -15,7 +15,10 @@ class QueryRecord:
     """Outcome of one served query.
 
     ``completion`` is None while tasks are in flight and for rejected
-    queries; ``executed_mask`` accumulates the models that actually ran.
+    queries; ``executed_mask`` accumulates the models that actually ran
+    (successfully — under fault injection, ``failed_mask`` holds the
+    models whose tasks failed permanently, and ``degraded`` marks a
+    query answered from the executed subset only).
     """
 
     query_id: int
@@ -27,21 +30,37 @@ class QueryRecord:
     completion: Optional[float] = None
     rejected: bool = False
     pending_tasks: int = 0
+    failed_mask: int = 0
+    degraded: bool = False
+    retries: int = 0
 
     @property
     def processed(self) -> bool:
+        """Answered (fully or degraded) — rejected queries are not."""
         return self.completion is not None and not self.rejected
 
     @property
     def missed(self) -> bool:
-        """Deadline miss: rejected, unfinished, or finished too late."""
+        """Deadline miss: rejected, unfinished, or finished too late.
+
+        A degraded answer delivered before the deadline is *not* a
+        miss — the whole point of degraded mode is that a partial
+        answer in time beats no answer at all.
+        """
         if self.rejected or self.completion is None:
             return True
         return self.completion > self.deadline + 1e-12
 
     @property
     def latency(self) -> Optional[float]:
-        if self.completion is None:
+        """Arrival-to-answer seconds; ``None`` when there is no answer.
+
+        Rejected and unfinished queries have no latency (``None``, not
+        0 or the deadline): they must not contribute to p50/p99 tails.
+        Degraded queries answered from a partial subset do have a real
+        latency and are included.
+        """
+        if self.completion is None or self.rejected:
             return None
         return self.completion - self.arrival
 
@@ -114,8 +133,29 @@ class ServingResult:
         values = np.asarray(quality_table)[samples[~missed], masks[~missed]]
         return float(values.mean())
 
+    def n_degraded(self) -> int:
+        """Queries answered from a partial subset after task failures."""
+        return sum(r.degraded for r in self.records)
+
+    def degraded_rate(self) -> float:
+        """Fraction of queries answered in degraded mode."""
+        if not self.records:
+            return 0.0
+        return self.n_degraded() / len(self.records)
+
+    def total_retries(self) -> int:
+        """Task re-dispatches across the whole run (fault recovery)."""
+        return sum(r.retries for r in self.records)
+
     def latencies(self) -> np.ndarray:
-        """Latencies of completed queries (rejected ones excluded)."""
+        """Latencies of answered queries.
+
+        Rejected and unfinished queries contribute *nothing* here (their
+        ``latency`` is ``None``) — including them as 0 or as the
+        deadline would silently skew p50/p99. Degraded answers are
+        real answers and are included. An all-rejected run therefore
+        yields an empty array and NaN percentile stats.
+        """
         values = [r.latency for r in self.records if r.latency is not None]
         return np.asarray(values, dtype=float)
 
@@ -138,8 +178,10 @@ class ServingResult:
     def deadline_slack(self) -> np.ndarray:
         """Deadline slack of processed queries: ``deadline - completion``
         seconds, positive when the query finished with margin. Rejected
-        and unfinished queries are excluded (their slack is undefined);
-        the metrics layer and the run report both consume this."""
+        and unfinished queries are excluded (their slack is undefined —
+        ``None``/NaN semantics, never 0); degraded answers count with
+        their real completion time. The metrics layer and the run
+        report both consume this."""
         values = [
             r.deadline - r.completion
             for r in self.records

@@ -12,6 +12,21 @@ invocation charges ``overhead_base + overhead_per_unit * work_units``
 of wall-clock time before its plan commits, so an over-fine quantisation
 step (δ = 0.001 in Exp-4) pays for its own table size.
 
+Construction goes through a frozen :class:`ServerConfig` (see
+``serving/config.py``); the old per-knob keyword arguments still work
+behind a :class:`DeprecationWarning` shim.
+
+Fault injection breaks the paper's reliability assumption on purpose:
+with an active :class:`~repro.faults.plan.FaultPlan` the event loop
+switches to queue-tracking workers and reacts to injected jitter,
+transient failures, timeouts and crash windows with bounded retries,
+failover re-planning (revoked commitments re-dispatched onto live
+siblings) and graceful degradation — a query whose tasks partially
+failed is still answered from the executed subset (KNN filling +
+stacking make the partial answer meaningful) instead of being dropped.
+With a null plan the fault machinery is bypassed entirely and the loop
+is event-for-event identical to the reliable server.
+
 Every event-loop branch can emit a query-lifecycle span through the
 server's :class:`~repro.obs.tracer.Tracer`. The default ``NULL_TRACER``
 keeps this free: the tracer's ``enabled`` flag is read once per run and
@@ -27,14 +42,18 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
+import warnings
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.faults.injector import FaultInjector
 from repro.obs import spans as sp
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.scheduling.problem import QueryRequest, SchedulingInstance
+from repro.serving.config import ServerConfig
 from repro.serving.policies import BufferedSchedulingPolicy, ServingPolicy
 from repro.serving.records import QueryRecord, ServingResult
 from repro.serving.workload import ServingWorkload
@@ -57,7 +76,11 @@ class WorkerSpec:
 
 
 class _Worker:
-    """Runtime worker state: a FIFO accumulator of committed tasks."""
+    """Reliable-path worker state: a FIFO accumulator of committed work.
+
+    Only used when the config is fault-free; its single ``free_time``
+    float is what makes availability exactly predictable.
+    """
 
     __slots__ = ("spec", "free_time", "wid")
 
@@ -73,6 +96,53 @@ class _Worker:
         return self.free_time
 
 
+class _Task:
+    """One model execution attempt under fault injection."""
+
+    __slots__ = (
+        "query_id", "model_index", "attempt", "worker",
+        "start", "finish", "fails", "state",
+    )
+
+    def __init__(self, query_id: int, model_index: int, attempt: int = 0):
+        self.query_id = query_id
+        self.model_index = model_index
+        self.attempt = attempt
+        self.worker = -1
+        self.start = 0.0
+        self.finish = 0.0
+        self.fails = False
+        self.state = "queued"  # queued | running | done | abandoned | killed
+
+
+class _FaultWorker:
+    """Fault-path worker state: an explicit task queue so commitments
+    can be revoked when the worker crashes mid-buffer."""
+
+    __slots__ = ("spec", "wid", "queue", "current", "down", "resume_at")
+
+    def __init__(self, spec: WorkerSpec, wid: int):
+        self.spec = spec
+        self.wid = wid
+        self.queue: deque = deque()
+        self.current: Optional[_Task] = None
+        self.down = False
+        self.resume_at = 0.0
+
+    def idle(self) -> bool:
+        return not self.down and self.current is None and not self.queue
+
+    def available_at(self, now: float) -> float:
+        """Expected time this worker could finish one more task's start:
+        recovery + in-flight remainder + queued base latencies. Under
+        jitter this is an *estimate* — exactly the uncertainty the
+        paper's model excludes."""
+        t = max(now, self.resume_at) if self.down else now
+        if self.current is not None:
+            t = max(t, self.current.finish)
+        return t + self.spec.latency * len(self.queue)
+
+
 # Event kinds, ordered so ties at equal time resolve sensibly:
 # completions release capacity before new work is planned, and the
 # scheduler only runs after every same-instant arrival has joined the
@@ -82,6 +152,12 @@ _COMMIT = 1
 _ARRIVAL = 2
 _ENTER_BUFFER = 3
 _SCHEDULE = 4
+# Fault-path events (never scheduled under a null plan).
+_WORKER_DOWN = 5
+_WORKER_UP = 6
+_TASK_END = 7
+_TASK_TIMEOUT = 8
+_RETRY = 9
 
 
 class EnsembleServer:
@@ -92,28 +168,38 @@ class EnsembleServer:
         policy: The serving policy under test.
         workers: Explicit deployment (for static selection with
             replicas); defaults to one worker per base model.
-        allow_rejection: Skip queries whose estimated completion exceeds
-            their deadline (the paper's Exp-1 setting). When False every
-            query is processed (Exp-2 / Table II).
-        max_buffer: Largest buffer slice handed to the scheduler at once.
-        overhead_base: Fixed per-invocation scheduling delay (seconds).
-        overhead_per_unit: Scheduling delay per scheduler work unit.
+        config: Frozen :class:`ServerConfig` bundling every serving-loop
+            knob (rejection, buffering, scheduling overhead, fault plan,
+            retry policy, degraded answers). Defaults to
+            ``ServerConfig()``.
         tracer: Observability hook; defaults to the zero-overhead
             ``NULL_TRACER``. Pass a ``RecordingTracer`` to collect the
             span stream and run metrics.
+
+    The old per-knob call shape
+    (``EnsembleServer(lat, policy, workers, allow_rejection=...,
+    max_buffer=..., overhead_base=..., overhead_per_unit=...)``) still
+    works but emits a :class:`DeprecationWarning`; new code should build
+    a :class:`ServerConfig` and use :meth:`from_config` or the
+    ``config=`` keyword.
     """
+
+    _LEGACY_KNOBS = (
+        "allow_rejection", "max_buffer", "overhead_base", "overhead_per_unit"
+    )
 
     def __init__(
         self,
         latencies: Sequence[float],
         policy: ServingPolicy,
         workers: Optional[Sequence[WorkerSpec]] = None,
-        allow_rejection: bool = True,
-        max_buffer: int = 16,
-        overhead_base: float = 2e-4,
-        overhead_per_unit: float = 2e-8,
+        *legacy_args,
+        config: Optional[ServerConfig] = None,
         tracer: Optional[Tracer] = None,
+        **legacy_kwargs,
     ):
+        config = self._resolve_config(config, legacy_args, legacy_kwargs)
+        self.config = config
         self.latencies = np.asarray(latencies, dtype=float)
         if self.latencies.ndim != 1 or np.any(self.latencies <= 0):
             raise ValueError("latencies must be a 1-d array of positives")
@@ -123,23 +209,96 @@ class EnsembleServer:
                 WorkerSpec(model_index=k, latency=float(t))
                 for k, t in enumerate(self.latencies)
             ]
-        self._workers = [_Worker(spec, wid) for wid, spec in enumerate(workers)]
+        self._worker_specs = list(workers)
+        self._workers = [
+            _Worker(spec, wid) for wid, spec in enumerate(self._worker_specs)
+        ]
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._trace = self.tracer.enabled
         self._sched_wall = 0.0
-        deployed = {w.spec.model_index for w in self._workers}
+        deployed = {w.model_index for w in self._worker_specs}
         if not deployed.issubset(range(self.latencies.shape[0])):
             raise ValueError("worker references an unknown model index")
-        self.allow_rejection = allow_rejection
-        if max_buffer < 1:
-            raise ValueError(f"max_buffer must be >= 1, got {max_buffer}")
-        self.max_buffer = max_buffer
-        self.overhead_base = check_positive(
-            "overhead_base", overhead_base, allow_zero=True
+        self._faulty = not config.fault_free
+        if config.faults is not None:
+            for window in config.faults.downtime:
+                if window.worker >= len(self._worker_specs):
+                    raise ValueError(
+                        f"fault plan references worker {window.worker}, "
+                        f"deployment has {len(self._worker_specs)}"
+                    )
+        # Per-run fault state (populated by run() in fault mode).
+        self._injector: Optional[FaultInjector] = None
+        self._fworkers: List[_FaultWorker] = []
+        self._fworkers_by_model: Dict[int, List[_FaultWorker]] = {}
+
+    @classmethod
+    def from_config(
+        cls,
+        latencies: Sequence[float],
+        policy: ServingPolicy,
+        config: ServerConfig,
+        *,
+        workers: Optional[Sequence[WorkerSpec]] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> "EnsembleServer":
+        """Build a server from a validated :class:`ServerConfig`."""
+        return cls(latencies, policy, workers, config=config, tracer=tracer)
+
+    @classmethod
+    def _resolve_config(cls, config, legacy_args, legacy_kwargs) -> ServerConfig:
+        """Fold the deprecated per-knob call shape into a ServerConfig."""
+        legacy = {}
+        if legacy_args:
+            if len(legacy_args) > len(cls._LEGACY_KNOBS):
+                raise TypeError(
+                    f"too many positional arguments "
+                    f"({len(legacy_args)} beyond workers)"
+                )
+            legacy.update(zip(cls._LEGACY_KNOBS, legacy_args))
+        for key in list(legacy_kwargs):
+            if key not in cls._LEGACY_KNOBS:
+                raise TypeError(
+                    f"unexpected keyword argument {key!r} "
+                    f"(serving knobs moved into ServerConfig)"
+                )
+            if key in legacy:
+                raise TypeError(f"duplicate argument {key!r}")
+            legacy[key] = legacy_kwargs[key]
+        if not legacy:
+            return config if config is not None else ServerConfig()
+        if config is not None:
+            raise TypeError(
+                "pass either config= or the legacy per-knob arguments, "
+                "not both"
+            )
+        warnings.warn(
+            "per-knob EnsembleServer arguments "
+            f"({', '.join(sorted(legacy))}) are deprecated; build a "
+            "ServerConfig and use EnsembleServer.from_config(...) or "
+            "config=...",
+            DeprecationWarning,
+            stacklevel=3,
         )
-        self.overhead_per_unit = check_positive(
-            "overhead_per_unit", overhead_per_unit, allow_zero=True
-        )
+        return ServerConfig(**legacy)
+
+    # Read-only views kept for call sites that inspected the old
+    # attributes; the config is the source of truth.
+    @property
+    def allow_rejection(self) -> bool:
+        return self.config.allow_rejection
+
+    @property
+    def max_buffer(self) -> int:
+        return self.config.max_buffer
+
+    @property
+    def overhead_base(self) -> float:
+        return self.config.overhead_base
+
+    @property
+    def overhead_per_unit(self) -> float:
+        return self.config.overhead_per_unit
 
     # ------------------------------------------------------------------
     # Public API
@@ -158,10 +317,15 @@ class EnsembleServer:
         tracer = self.tracer
         trace = self._trace = tracer.enabled
         self._sched_wall = 0.0
+        faulty = self._faulty
+        config = self.config
 
         records: Dict[int, QueryRecord] = {}
         events: List = []
         sequence = itertools.count()
+
+        if faulty:
+            self._setup_fault_run(events, sequence)
 
         for i in range(workload.n_queries):
             heapq.heappush(
@@ -174,6 +338,9 @@ class EnsembleServer:
                 arrival=float(workload.arrivals[i]),
                 deadline=float(workload.arrivals[i] + workload.deadlines[i]),
             )
+        self._records = records
+        self._events = events
+        self._sequence = sequence
 
         buffer: List[int] = []
         scheduling_busy = False
@@ -182,15 +349,25 @@ class EnsembleServer:
 
         buffered = isinstance(self.policy, BufferedSchedulingPolicy)
 
+        def any_idle(now: float) -> bool:
+            if faulty:
+                return any(w.idle() for w in self._fworkers)
+            return any(w.free_time <= now + 1e-12 for w in self._workers)
+
+        def all_idle(now: float) -> bool:
+            if faulty:
+                return all(w.idle() for w in self._fworkers)
+            return all(w.free_time <= now + 1e-12 for w in self._workers)
+
         def try_schedule(now: float):
             nonlocal scheduling_busy, invocations, total_work
             if scheduling_busy or not buffer:
                 return
-            if not any(w.free_time <= now + 1e-12 for w in self._workers):
+            if not any_idle(now):
                 return
             # Snapshot the earliest-deadline slice of the buffer.
             buffer.sort(key=lambda qid: records[qid].deadline)
-            snapshot = buffer[: self.max_buffer]
+            snapshot = buffer[: config.max_buffer]
             del buffer[: len(snapshot)]
 
             queries = [
@@ -220,8 +397,8 @@ class EnsembleServer:
             invocations += 1
             total_work += result.work_units
             overhead = (
-                self.overhead_base
-                + self.overhead_per_unit * result.work_units
+                config.overhead_base
+                + config.overhead_per_unit * result.work_units
             )
             scheduling_busy = True
             if trace:
@@ -250,7 +427,7 @@ class EnsembleServer:
             for decision in decisions:
                 record = records[decision.query_id]
                 mask = decision.mask
-                if mask == 0 and not self.allow_rejection:
+                if mask == 0 and not config.allow_rejection:
                     # Forced processing: fall back to the fastest model.
                     mask = 1 << int(np.argmin(self.latencies))
                 if mask == 0:
@@ -262,7 +439,7 @@ class EnsembleServer:
                             reason="infeasible",
                         )
                     continue
-                if not any(w.free_time <= now + 1e-12 for w in self._workers):
+                if not any_idle(now):
                     buffer.append(decision.query_id)
                     if trace:
                         tracer.emit(
@@ -275,7 +452,7 @@ class EnsembleServer:
         def dispatch_immediate(now: float, qid: int):
             record = records[qid]
             mask = self.policy.mask_for(record.sample_index)
-            if self.allow_rejection:
+            if config.allow_rejection:
                 estimate = self._estimate_completion(mask, now)
                 if estimate > record.deadline + 1e-12:
                     record.rejected = True
@@ -299,10 +476,10 @@ class EnsembleServer:
                     )
                 if buffered:
                     idle_system = (
-                        getattr(self.policy, "fast_path", False)
+                        self.policy.fast_path
                         and not buffer
                         and not scheduling_busy
-                        and all(w.free_time <= now + 1e-12 for w in self._workers)
+                        and all_idle(now)
                     )
                     if idle_system:
                         # Exp-5 fast path: skip prediction + scheduling
@@ -351,6 +528,20 @@ class EnsembleServer:
                         )
                 if buffered:
                     try_schedule(now)
+            elif kind == _TASK_END:
+                self._f_task_end(payload, now)
+                if buffered:
+                    try_schedule(now)
+            elif kind == _TASK_TIMEOUT:
+                self._f_task_timeout(payload, now)
+            elif kind == _RETRY:
+                self._f_enqueue(payload, now)
+            elif kind == _WORKER_DOWN:
+                self._f_worker_down(payload, now)
+            elif kind == _WORKER_UP:
+                self._f_worker_up(payload, now)
+                if buffered:
+                    try_schedule(now)
 
         # Anything still buffered never ran (trace ended): count as missed.
         for qid in buffer:
@@ -369,7 +560,7 @@ class EnsembleServer:
         )
 
     # ------------------------------------------------------------------
-    # Internals
+    # Shared internals (branch once on fault mode)
     # ------------------------------------------------------------------
 
     def _workers_for(self, model_index: int) -> List[_Worker]:
@@ -381,8 +572,22 @@ class EnsembleServer:
         return chosen
 
     def _busy_per_model(self, now: float) -> np.ndarray:
-        """Remaining committed work per base model (min across replicas)."""
+        """Remaining committed work per base model (min across replicas).
+
+        In fault mode "committed" is an estimate from queue contents and
+        recovery times — commitments can be revoked by a crash, so
+        successive busy vectors may shrink as well as grow; the
+        schedulers tolerate both (and ``inf`` for models whose workers
+        are all gone)."""
         busy = np.zeros(self.latencies.shape[0])
+        if self._faulty:
+            for k in range(busy.shape[0]):
+                candidates = [
+                    max(0.0, w.available_at(now) - now)
+                    for w in self._fworkers_by_model.get(k, [])
+                ]
+                busy[k] = min(candidates) if candidates else np.inf
+            return busy
         for k in range(busy.shape[0]):
             candidates = [
                 max(0.0, w.free_time - now)
@@ -397,12 +602,25 @@ class EnsembleServer:
         estimate = now
         for k in range(self.latencies.shape[0]):
             if (mask >> k) & 1:
-                worker = min(self._workers_for(k), key=lambda w: w.free_time)
-                finish = max(worker.free_time, now) + worker.spec.latency
+                if self._faulty:
+                    candidates = self._fworkers_by_model.get(k)
+                    if not candidates:
+                        return np.inf
+                    finish = min(
+                        w.available_at(now) for w in candidates
+                    ) + self.latencies[k]
+                else:
+                    worker = min(
+                        self._workers_for(k), key=lambda w: w.free_time
+                    )
+                    finish = max(worker.free_time, now) + worker.spec.latency
                 estimate = max(estimate, finish)
         return estimate
 
     def _dispatch(self, record, mask, now, events, sequence):
+        if self._faulty:
+            self._dispatch_faulty(record, mask, now)
+            return
         record.scheduled_mask = mask
         count = 0
         trace = self._trace
@@ -425,3 +643,251 @@ class EnsembleServer:
         record.pending_tasks = count
         if trace:
             self.tracer.emit(sp.PLAN, now, record.query_id, size=count)
+
+    # ------------------------------------------------------------------
+    # Fault-path internals
+    # ------------------------------------------------------------------
+
+    def _setup_fault_run(self, events, sequence):
+        """Fresh per-run fault state + downtime events (pushed before
+        arrivals so a crash at t ties ahead of an arrival at t)."""
+        plan = self.config.faults
+        self._fworkers = [
+            _FaultWorker(spec, wid)
+            for wid, spec in enumerate(self._worker_specs)
+        ]
+        self._fworkers_by_model = {}
+        for w in self._fworkers:
+            self._fworkers_by_model.setdefault(w.spec.model_index, []).append(w)
+        self._injector = (
+            FaultInjector(plan, len(self._fworkers))
+            if plan is not None
+            else None
+        )
+        if self._injector is not None:
+            for w in self._fworkers:
+                for window in self._injector.windows_for(w.wid):
+                    heapq.heappush(
+                        events,
+                        (window.start, next(sequence), _WORKER_DOWN, window),
+                    )
+
+    def _push(self, at: float, kind: int, payload):
+        heapq.heappush(
+            self._events, (at, next(self._sequence), kind, payload)
+        )
+
+    def _dispatch_faulty(self, record, mask, now):
+        record.scheduled_mask = mask
+        count = 0
+        for k in range(self.latencies.shape[0]):
+            if (mask >> k) & 1:
+                self._f_enqueue(_Task(record.query_id, k), now)
+                count += 1
+        record.pending_tasks = count
+        if self._trace:
+            self.tracer.emit(sp.PLAN, now, record.query_id, size=count)
+
+    def _f_enqueue(self, task: _Task, now: float):
+        """Queue one task attempt on the least-loaded worker for its
+        model (same or sibling — this is the failover choice)."""
+        candidates = self._fworkers_by_model.get(task.model_index)
+        if not candidates:
+            raise ValueError(
+                f"no deployed worker serves model {task.model_index}"
+            )
+        worker = min(candidates, key=lambda w: w.available_at(now))
+        task.state = "queued"
+        task.worker = worker.wid
+        worker.queue.append(task)
+        self._f_start_next(worker, now)
+
+    def _f_start_next(self, worker: _FaultWorker, now: float):
+        """Start the worker's next queued task if it is idle and up."""
+        if worker.down or worker.current is not None or not worker.queue:
+            return
+        task = worker.queue.popleft()
+        injector = self._injector
+        if injector is not None:
+            service = injector.service_time(worker.wid, worker.spec.latency)
+            task.fails = injector.task_fails(worker.wid)
+        else:
+            service = worker.spec.latency
+            task.fails = False
+        task.state = "running"
+        task.worker = worker.wid
+        task.start = now
+        task.finish = now + service
+        worker.current = task
+        if self._trace:
+            self.tracer.emit(
+                sp.DISPATCH, now, task.query_id,
+                model=task.model_index, worker=worker.wid,
+                start=now, finish=task.finish, attempt=task.attempt,
+            )
+        self._push(task.finish, _TASK_END, task)
+        timeout = self.config.task_timeout
+        if timeout is not None and service > timeout:
+            self._push(now + timeout, _TASK_TIMEOUT, task)
+
+    def _f_task_end(self, task: _Task, now: float):
+        """The worker finished executing ``task`` (whatever its fate)."""
+        worker = self._fworkers[task.worker]
+        if worker.current is task:
+            worker.current = None
+            self._f_start_next(worker, now)
+        if task.state != "running":
+            # Abandoned by the watchdog or killed by a crash: the
+            # outcome was already handled, this event only freed the
+            # worker (non-preemptive executions run to the end).
+            return
+        task.state = "done"
+        record = self._records[task.query_id]
+        if task.fails:
+            if self._trace:
+                self.tracer.emit(
+                    sp.TASK_FAILED, now, task.query_id,
+                    model=task.model_index, worker=task.worker,
+                    attempt=task.attempt, reason="fault",
+                )
+            self._f_handle_failure(record, task, now)
+            return
+        record.executed_mask |= 1 << task.model_index
+        record.pending_tasks -= 1
+        if self._trace:
+            self.tracer.emit(
+                sp.TASK_DONE, now, task.query_id, model=task.model_index
+            )
+        if record.pending_tasks == 0:
+            self._f_finalize(record, now)
+
+    def _f_task_timeout(self, task: _Task, now: float):
+        """Watchdog: stop waiting for a straggling execution."""
+        if task.state != "running":
+            return
+        task.state = "abandoned"
+        if self._trace:
+            self.tracer.emit(
+                sp.TASK_FAILED, now, task.query_id,
+                model=task.model_index, worker=task.worker,
+                attempt=task.attempt, reason="timeout",
+            )
+        self._f_handle_failure(record=self._records[task.query_id],
+                               task=task, now=now)
+
+    def _f_handle_failure(self, record, task: _Task, now: float):
+        """Bounded retry with backoff; exhausted tasks fail permanently
+        and the query degrades (or drops) once nothing is pending."""
+        config = self.config
+        backoff = config.retry_backoff
+        feasible = (
+            now + backoff + float(self.latencies[task.model_index])
+            <= record.deadline + 1e-12
+        )
+        if task.attempt < config.max_retries and (
+            feasible or not config.allow_rejection
+        ):
+            record.retries += 1
+            retry = _Task(
+                task.query_id, task.model_index, attempt=task.attempt + 1
+            )
+            if self._trace:
+                self.tracer.emit(
+                    sp.RETRY, now, task.query_id,
+                    model=task.model_index, attempt=retry.attempt,
+                    backoff=backoff, reason="failure",
+                )
+            if backoff > 0.0:
+                self._push(now + backoff, _RETRY, retry)
+            else:
+                self._f_enqueue(retry, now)
+            return
+        record.failed_mask |= 1 << task.model_index
+        record.pending_tasks -= 1
+        if record.pending_tasks == 0:
+            self._f_finalize(record, now)
+
+    def _f_finalize(self, record, now: float):
+        """All of a query's tasks resolved (success or permanent
+        failure): complete, degrade, or drop."""
+        trace = self._trace
+        if not record.failed_mask:
+            record.completion = now
+            if trace:
+                self.tracer.emit(
+                    sp.COMPLETE, now, record.query_id,
+                    latency=now - record.arrival,
+                    slack=record.deadline - now,
+                )
+            return
+        if self.config.degraded_answers and record.executed_mask:
+            # Answer from the executed subset: stacking's KNN filler
+            # reconstructs the missing coordinates, so the partial
+            # result is still a real answer (scored by its mask).
+            record.degraded = True
+            record.completion = now
+            if trace:
+                self.tracer.emit(
+                    sp.DEGRADED, now, record.query_id,
+                    executed_mask=record.executed_mask,
+                    failed_mask=record.failed_mask,
+                )
+                self.tracer.emit(
+                    sp.COMPLETE, now, record.query_id,
+                    latency=now - record.arrival,
+                    slack=record.deadline - now,
+                    degraded=True,
+                )
+            return
+        record.rejected = True
+        if trace:
+            self.tracer.emit(
+                sp.REJECT, now, record.query_id, reason="faulted",
+            )
+
+    def _f_worker_down(self, window, now: float):
+        """Crash: kill the in-flight task, revoke queued commitments and
+        fail them over onto live siblings (or back onto this worker
+        post-recovery, whichever is expected sooner)."""
+        worker = self._fworkers[window.worker]
+        worker.down = True
+        worker.resume_at = max(worker.resume_at, window.end)
+        if self._trace:
+            self.tracer.emit(
+                sp.WORKER_DOWN, now, worker=worker.wid, until=window.end,
+            )
+        self._push(window.end, _WORKER_UP, worker.wid)
+        current = worker.current
+        if current is not None:
+            worker.current = None
+            current.state = "killed"
+            if self._trace:
+                self.tracer.emit(
+                    sp.TASK_FAILED, now, current.query_id,
+                    model=current.model_index, worker=worker.wid,
+                    attempt=current.attempt, reason="crash",
+                )
+            self._f_handle_failure(
+                self._records[current.query_id], current, now
+            )
+        if worker.queue:
+            revoked = list(worker.queue)
+            worker.queue.clear()
+            for task in revoked:
+                if self._trace:
+                    self.tracer.emit(
+                        sp.RETRY, now, task.query_id,
+                        model=task.model_index, attempt=task.attempt,
+                        backoff=0.0, reason="failover",
+                    )
+                self._f_enqueue(task, now)
+
+    def _f_worker_up(self, wid: int, now: float):
+        worker = self._fworkers[wid]
+        if now < worker.resume_at - 1e-12:
+            # A later overlapping window extended the outage.
+            return
+        worker.down = False
+        if self._trace:
+            self.tracer.emit(sp.WORKER_UP, now, worker=wid)
+        self._f_start_next(worker, now)

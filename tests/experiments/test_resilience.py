@@ -1,0 +1,51 @@
+"""Resilience study: degraded answers beat drop-on-failure under faults."""
+
+import pytest
+
+from repro.experiments.resilience import (
+    DEFAULT_FAILURE_RATES,
+    run_resilience_sweep,
+)
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(scope="module")
+def sweep(tm_setup):
+    return run_resilience_sweep(
+        tm_setup,
+        failure_rates=(0.25, 0.5),
+        policy="schemble",
+        duration=6.0,
+        max_retries=0,
+        seed=0,
+    )
+
+
+class TestResilienceSweep:
+    def test_shape(self, sweep):
+        assert sweep["failure_rates"] == [0.25, 0.5]
+        assert set(sweep["modes"]) == {"degraded", "drop"}
+        for mode in sweep["modes"].values():
+            assert len(mode["accuracy"]) == 2
+            assert len(mode["dmr"]) == 2
+
+    def test_degraded_beats_drop_at_every_rate(self, sweep):
+        degraded = sweep["modes"]["degraded"]["accuracy"]
+        drop = sweep["modes"]["drop"]["accuracy"]
+        for d, p in zip(degraded, drop):
+            assert d > p
+
+    def test_degraded_rate_positive_under_faults(self, sweep):
+        assert all(r > 0 for r in sweep["modes"]["degraded"]["degraded_rate"])
+        # Drop mode never emits degraded answers.
+        assert all(r == 0 for r in sweep["modes"]["drop"]["degraded_rate"])
+
+    def test_degraded_miss_rate_no_worse(self, sweep):
+        degraded = sweep["modes"]["degraded"]["dmr"]
+        drop = sweep["modes"]["drop"]["dmr"]
+        for d, p in zip(degraded, drop):
+            assert d <= p + 1e-12
+
+    def test_default_rates_start_fault_free(self):
+        assert DEFAULT_FAILURE_RATES[0] == 0.0

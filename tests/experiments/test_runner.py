@@ -1,10 +1,19 @@
 """Workload construction and run helpers."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.data.traces import poisson_trace
-from repro.experiments.runner import make_workload, run_policy, summarize
+from repro.experiments.runner import (
+    RunSpec,
+    make_workload,
+    run_policy,
+    run_spec,
+    summarize,
+)
+from repro.serving.config import ServerConfig
 
 
 @pytest.fixture(scope="module")
@@ -62,13 +71,53 @@ class TestRunAndSummarize:
             "accuracy", "processed_accuracy", "dmr",
             "latency_mean", "latency_p50", "latency_p95", "latency_p99",
             "latency_max", "slack_mean", "scheduler_invocations",
-            "scheduler_wall_time",
+            "scheduler_wall_time", "degraded_rate", "retries",
         }
         assert set(stats) == expected
         assert 0.0 <= stats["dmr"] <= 1.0
         assert 0.0 <= stats["accuracy"] <= 1.0
         assert stats["latency_p50"] <= stats["latency_p99"] <= stats["latency_max"]
         assert stats["scheduler_wall_time"] >= 0.0
+
+    def test_legacy_knob_kwargs_deprecated(self, tm_setup, trace):
+        wl = make_workload(tm_setup, trace, deadline=0.3, seed=2)
+        policy = tm_setup.policies()["original"]
+        with pytest.warns(DeprecationWarning, match="ServerConfig"):
+            legacy = run_policy(
+                tm_setup, policy, wl, policy_name="original",
+                allow_rejection=False,
+            )
+        modern = run_policy(
+            tm_setup, policy, wl, policy_name="original",
+            config=ServerConfig(allow_rejection=False),
+        )
+        assert legacy.records == modern.records
+
+    def test_legacy_and_config_conflict(self, tm_setup, trace):
+        wl = make_workload(tm_setup, trace, deadline=0.3, seed=2)
+        policy = tm_setup.policies()["original"]
+        with pytest.raises(TypeError, match="not both"):
+            run_policy(
+                tm_setup, policy, wl, policy_name="original",
+                config=ServerConfig(), max_buffer=4,
+            )
+
+    def test_run_spec_end_to_end(self, tm_setup):
+        spec = RunSpec(policy="original", duration=5.0, seed=3)
+        result = run_spec(tm_setup, spec)
+        assert len(result) > 0
+        assert result.policy_name == "original"
+        # Same spec, same output: the spec pins every seed.
+        again = run_spec(tm_setup, spec)
+        assert result.records == again.records
+
+    def test_run_spec_replace(self):
+        spec = RunSpec()
+        faster = spec.replace(duration=5.0)
+        assert faster.duration == 5.0
+        assert faster.policy == spec.policy
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.duration = 1.0
 
     def test_static_gets_replica_workers(self, tm_setup, trace):
         wl = make_workload(tm_setup, trace, deadline=0.3, seed=2)

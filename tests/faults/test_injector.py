@@ -1,0 +1,95 @@
+"""FaultInjector: deterministic draws, downtime queries, validation."""
+
+import numpy as np
+import pytest
+
+from repro.faults import DowntimeWindow, FaultPlan, FaultInjector
+
+
+class TestServiceTime:
+    def test_no_jitter_is_exact(self):
+        injector = FaultInjector(FaultPlan(), n_workers=2)
+        assert injector.service_time(0, 0.25) == 0.25
+
+    def test_jitter_is_positive_and_varies(self):
+        injector = FaultInjector(
+            FaultPlan(seed=1, latency_jitter=0.5), n_workers=1
+        )
+        draws = [injector.service_time(0, 0.1) for _ in range(200)]
+        assert all(d > 0 for d in draws)
+        assert np.std(draws) > 0
+
+    def test_jitter_median_near_base(self):
+        injector = FaultInjector(
+            FaultPlan(seed=2, latency_jitter=0.3), n_workers=1
+        )
+        draws = [injector.service_time(0, 1.0) for _ in range(2000)]
+        assert 0.9 < float(np.median(draws)) < 1.1
+
+    def test_straggler_multiplies(self):
+        injector = FaultInjector(
+            FaultPlan(seed=0, straggler_prob=1.0, straggler_factor=5.0),
+            n_workers=1,
+        )
+        assert injector.service_time(0, 0.2) == pytest.approx(1.0)
+
+    def test_deterministic_across_instances(self):
+        plan = FaultPlan(seed=42, latency_jitter=0.2, straggler_prob=0.3)
+        a = FaultInjector(plan, n_workers=2)
+        b = FaultInjector(plan, n_workers=2)
+        seq_a = [a.service_time(0, 0.1) for _ in range(50)]
+        seq_b = [b.service_time(0, 0.1) for _ in range(50)]
+        assert seq_a == seq_b
+
+
+class TestTaskFails:
+    def test_zero_rate_never_fails(self):
+        injector = FaultInjector(FaultPlan(), n_workers=1)
+        assert not any(injector.task_fails(0) for _ in range(100))
+
+    def test_unit_rate_always_fails(self):
+        injector = FaultInjector(
+            FaultPlan(task_failure_rate=1.0), n_workers=1
+        )
+        assert all(injector.task_fails(0) for _ in range(100))
+
+    def test_rate_respected_roughly(self):
+        injector = FaultInjector(
+            FaultPlan(seed=5, task_failure_rate=0.3), n_workers=1
+        )
+        rate = np.mean([injector.task_fails(0) for _ in range(3000)])
+        assert 0.25 < rate < 0.35
+
+
+class TestDowntime:
+    def plan(self):
+        return FaultPlan(downtime=(
+            DowntimeWindow(0, 1.0, 2.0),
+            DowntimeWindow(0, 4.0, 5.0),
+            DowntimeWindow(1, 0.5, 0.75),
+        ))
+
+    def test_downtime_at(self):
+        injector = FaultInjector(self.plan(), n_workers=2)
+        assert injector.downtime_at(0, 1.5).end == 2.0
+        assert injector.downtime_at(0, 3.0) is None
+        assert injector.downtime_at(0, 2.0) is None  # [start, end)
+        assert injector.downtime_at(1, 0.6).worker == 1
+
+    def test_total_downtime_clips_to_horizon(self):
+        injector = FaultInjector(self.plan(), n_workers=2)
+        assert injector.total_downtime(0, 10.0) == pytest.approx(2.0)
+        assert injector.total_downtime(0, 4.5) == pytest.approx(1.5)
+        assert injector.total_downtime(1, 10.0) == pytest.approx(0.25)
+
+    def test_windows_for_sorted(self):
+        injector = FaultInjector(self.plan(), n_workers=2)
+        starts = [w.start for w in injector.windows_for(0)]
+        assert starts == sorted(starts)
+
+    def test_unknown_worker_rejected(self):
+        with pytest.raises(ValueError, match="worker 5"):
+            FaultInjector(
+                FaultPlan(downtime=(DowntimeWindow(5, 0.0, 1.0),)),
+                n_workers=2,
+            )

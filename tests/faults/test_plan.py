@@ -1,0 +1,129 @@
+"""FaultPlan / DowntimeWindow: validation, null plans, crash windows."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import DowntimeWindow, FaultPlan, crash_windows
+
+
+class TestDowntimeWindow:
+    def test_valid(self):
+        w = DowntimeWindow(worker=1, start=0.5, end=2.0)
+        assert w.worker == 1
+
+    def test_rejects_negative_worker(self):
+        with pytest.raises(ValueError, match="worker"):
+            DowntimeWindow(worker=-1, start=0.0, end=1.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match="start"):
+            DowntimeWindow(worker=0, start=-0.1, end=1.0)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError, match="end"):
+            DowntimeWindow(worker=0, start=1.0, end=1.0)
+
+
+class TestFaultPlan:
+    def test_default_plan_is_null(self):
+        assert FaultPlan().is_null
+
+    @pytest.mark.parametrize("changes", [
+        {"latency_jitter": 0.1},
+        {"straggler_prob": 0.05},
+        {"task_failure_rate": 0.01},
+        {"downtime": (DowntimeWindow(0, 1.0, 2.0),)},
+    ])
+    def test_any_knob_makes_plan_non_null(self, changes):
+        assert not dataclasses.replace(FaultPlan(), **changes).is_null
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FaultPlan().seed = 3
+
+    @pytest.mark.parametrize("bad", [
+        {"latency_jitter": -0.1},
+        {"straggler_prob": 1.5},
+        {"straggler_factor": 0.5},
+        {"task_failure_rate": -0.01},
+        {"task_failure_rate": 1.01},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan(**bad)
+
+    def test_downtime_type_checked(self):
+        with pytest.raises(TypeError, match="DowntimeWindow"):
+            FaultPlan(downtime=((0, 1.0, 2.0),))
+
+    def test_windows_for_filters_and_sorts(self):
+        plan = FaultPlan(downtime=crash_windows(
+            [1, 0, 1], [5.0, 0.0, 1.0], [6.0, 0.5, 2.0]
+        ))
+        windows = plan.windows_for(1)
+        assert [w.start for w in windows] == [1.0, 5.0]
+        assert plan.windows_for(2) == ()
+
+
+class TestRandomCrashes:
+    def test_deterministic(self):
+        a = FaultPlan().with_random_crashes(
+            n_workers=3, duration=50.0, crash_rate=0.1,
+            mean_downtime=2.0, seed=7,
+        )
+        b = FaultPlan().with_random_crashes(
+            n_workers=3, duration=50.0, crash_rate=0.1,
+            mean_downtime=2.0, seed=7,
+        )
+        assert a.downtime == b.downtime
+        assert len(a.downtime) > 0
+
+    def test_seed_changes_windows(self):
+        kwargs = dict(n_workers=3, duration=50.0, crash_rate=0.1,
+                      mean_downtime=2.0)
+        a = FaultPlan().with_random_crashes(seed=1, **kwargs)
+        b = FaultPlan().with_random_crashes(seed=2, **kwargs)
+        assert a.downtime != b.downtime
+
+    def test_windows_do_not_overlap_per_worker(self):
+        plan = FaultPlan().with_random_crashes(
+            n_workers=4, duration=30.0, crash_rate=0.3,
+            mean_downtime=1.0, seed=3,
+        )
+        assert len(plan.downtime) > 0
+        for worker in range(4):
+            windows = plan.windows_for(worker)
+            for w in windows:
+                assert w.end > w.start
+            for prev, nxt in zip(windows, windows[1:]):
+                assert nxt.start >= prev.end - 1e-12
+
+    def test_zero_rate_adds_nothing(self):
+        plan = FaultPlan().with_random_crashes(
+            n_workers=2, duration=10.0, crash_rate=0.0,
+            mean_downtime=1.0, seed=0,
+        )
+        assert plan.downtime == ()
+        assert plan.is_null
+
+    def test_preserves_other_knobs(self):
+        base = FaultPlan(seed=9, task_failure_rate=0.2)
+        plan = base.with_random_crashes(
+            n_workers=1, duration=20.0, crash_rate=0.2,
+            mean_downtime=1.0, seed=0,
+        )
+        assert plan.seed == 9
+        assert plan.task_failure_rate == 0.2
+
+
+class TestCrashWindowsHelper:
+    def test_builds_windows(self):
+        windows = crash_windows([0, 1], [1.0, 2.0], [1.5, 3.0])
+        assert windows == (
+            DowntimeWindow(0, 1.0, 1.5), DowntimeWindow(1, 2.0, 3.0)
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            crash_windows([0], [1.0, 2.0], [1.5])

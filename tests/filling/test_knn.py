@@ -45,16 +45,63 @@ class TestKNNFiller:
         np.testing.assert_array_equal(filled, record)
         assert filled is not record
 
-    def test_nothing_present_returns_history_mean(self, history):
+    def test_nothing_present_raises_clear_error(self, history):
+        # An all-failed query has no anchor for the neighbour search;
+        # degraded serving rejects it instead of filling (see
+        # EnsembleServer's fault handling), so fill() must refuse
+        # loudly rather than invent an answer.
         filler = KNNFiller(k=3).fit(history)
-        filled = filler.fill(np.zeros((3, 2)), [False, False, False])
-        np.testing.assert_allclose(filled, history.mean(axis=0))
+        with pytest.raises(ValueError, match="no observed model outputs"):
+            filler.fill(np.zeros((3, 2)), [False, False, False])
 
     def test_k_larger_than_history_ok(self):
         history = np.ones((4, 2, 1))
         filler = KNNFiller(k=100).fit(history)
         filled = filler.fill(np.ones((2, 1)), [True, False])
         np.testing.assert_allclose(filled, 1.0)
+
+    def test_k_larger_than_history_uses_all_records(self):
+        # k caps at the history size: with 3 records and k=50 every
+        # record participates, weighted by inverse distance.
+        history = np.array([
+            [[0.0], [0.0]],
+            [[0.1], [1.0]],
+            [[5.0], [9.0]],
+        ])
+        filler = KNNFiller(k=50).fit(history)
+        filled = filler.fill(np.array([[0.05], [0.0]]), [True, False])
+        lo = history[:, 1, 0].min()
+        hi = history[:, 1, 0].max()
+        assert lo <= filled[1, 0] <= hi
+        # The two near records dominate the far one.
+        assert filled[1, 0] < 5.0
+
+    def test_zero_distance_duplicate_neighbours(self):
+        # Several history records exactly equal to the query on the
+        # observed coordinates: inverse-distance weights must not
+        # produce NaN/inf, and the fill is the duplicates' average.
+        history = np.array([
+            [[1.0], [0.2]],
+            [[1.0], [0.4]],
+            [[1.0], [0.6]],
+            [[9.0], [9.0]],
+        ])
+        filler = KNNFiller(k=3).fit(history)
+        filled = filler.fill(np.array([[1.0], [0.0]]), [True, False])
+        assert np.all(np.isfinite(filled))
+        np.testing.assert_allclose(filled[1, 0], 0.4, atol=1e-6)
+
+    def test_single_zero_distance_neighbour_dominates(self):
+        # One exact duplicate among non-zero-distance records: the
+        # duplicate's output wins by inverse-distance weighting.
+        history = np.array([
+            [[1.0], [0.7]],
+            [[2.0], [0.1]],
+            [[3.0], [0.2]],
+        ])
+        filler = KNNFiller(k=3).fit(history)
+        filled = filler.fill(np.array([[1.0], [0.0]]), [True, False])
+        np.testing.assert_allclose(filled[1, 0], 0.7, atol=1e-6)
 
     def test_fill_batch(self, history):
         filler = KNNFiller(k=3).fit(history)

@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.scheduling.dp import DPScheduler
+from repro.serving.config import ServerConfig
 from repro.serving.policies import BufferedSchedulingPolicy
 from repro.serving.server import EnsembleServer
 from repro.serving.workload import ServingWorkload
@@ -85,7 +86,8 @@ def test_online_dp_within_competitive_bound(seed):
         "online-dp", DPScheduler(delta=0.01), utilities
     )
     server = EnsembleServer(
-        latencies, policy, overhead_base=0.0, overhead_per_unit=0.0
+        latencies, policy,
+        config=ServerConfig(overhead_base=0.0, overhead_per_unit=0.0),
     )
     result = server.run(workload)
     online = sum(

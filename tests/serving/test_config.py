@@ -1,0 +1,164 @@
+"""ServerConfig: validation, from_config, and the deprecation shim."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.faults import DowntimeWindow, FaultPlan
+from repro.serving.config import ServerConfig
+from repro.serving.policies import ImmediateMaskPolicy
+from repro.serving.server import EnsembleServer
+from repro.serving.workload import ServingWorkload
+
+
+def policy():
+    return ImmediateMaskPolicy("p", 0b1)
+
+
+def tiny_workload(n=2, deadline=1.0):
+    quality = np.ones((4, 2))
+    quality[:, 0] = 0.0
+    return ServingWorkload(
+        arrivals=np.zeros(n),
+        deadlines=np.full(n, deadline),
+        sample_indices=np.zeros(n, dtype=int),
+        quality=quality,
+    )
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = ServerConfig()
+        assert config.allow_rejection
+        assert config.max_buffer == 16
+        assert config.faults is None
+        assert config.degraded_answers
+
+    @pytest.mark.parametrize("bad", [
+        {"max_buffer": 0},
+        {"overhead_base": -1e-3},
+        {"overhead_per_unit": -1e-9},
+        {"task_timeout": 0.0},
+        {"task_timeout": -1.0},
+        {"max_retries": -1},
+        {"retry_backoff": -0.1},
+    ])
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(ValueError):
+            ServerConfig(**bad)
+
+    def test_rejects_non_plan_faults(self):
+        with pytest.raises(TypeError, match="FaultPlan"):
+            ServerConfig(faults={"task_failure_rate": 0.1})
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ServerConfig().max_buffer = 4
+
+    def test_replace_revalidates(self):
+        config = ServerConfig()
+        assert config.replace(max_buffer=8).max_buffer == 8
+        with pytest.raises(ValueError):
+            config.replace(max_buffer=0)
+
+
+class TestFaultFree:
+    def test_default_is_fault_free(self):
+        assert ServerConfig().fault_free
+
+    def test_null_plan_is_fault_free(self):
+        assert ServerConfig(faults=FaultPlan()).fault_free
+
+    def test_active_plan_is_not(self):
+        assert not ServerConfig(
+            faults=FaultPlan(task_failure_rate=0.1)
+        ).fault_free
+
+    def test_timeout_alone_engages_fault_path(self):
+        assert not ServerConfig(task_timeout=0.5).fault_free
+
+
+class TestFromConfig:
+    def test_builds_server_with_config(self):
+        config = ServerConfig(allow_rejection=False, max_buffer=4)
+        server = EnsembleServer.from_config([0.1], policy(), config)
+        assert server.config is config
+        # Legacy read-only views mirror the config.
+        assert server.allow_rejection is False
+        assert server.max_buffer == 4
+
+    def test_config_keyword(self):
+        server = EnsembleServer(
+            [0.1], policy(), config=ServerConfig(max_buffer=2)
+        )
+        assert server.config.max_buffer == 2
+
+    def test_plan_worker_bounds_checked(self):
+        config = ServerConfig(
+            faults=FaultPlan(downtime=(DowntimeWindow(3, 0.0, 1.0),))
+        )
+        with pytest.raises(ValueError, match="worker 3"):
+            EnsembleServer.from_config([0.1], policy(), config)
+
+    def test_runs(self):
+        config = ServerConfig()
+        server = EnsembleServer.from_config([0.1], policy(), config)
+        result = server.run(tiny_workload())
+        assert len(result) == 2
+
+
+class TestDeprecationShim:
+    def test_legacy_keywords_warn_and_map(self):
+        with pytest.warns(DeprecationWarning, match="ServerConfig"):
+            server = EnsembleServer(
+                [0.1], policy(), allow_rejection=False, max_buffer=3
+            )
+        assert server.config.allow_rejection is False
+        assert server.config.max_buffer == 3
+
+    def test_legacy_positionals_warn_and_map(self):
+        with pytest.warns(DeprecationWarning):
+            server = EnsembleServer([0.1], policy(), None, False, 5)
+        assert server.config.allow_rejection is False
+        assert server.config.max_buffer == 5
+
+    def test_legacy_overheads(self):
+        with pytest.warns(DeprecationWarning):
+            server = EnsembleServer(
+                [0.1], policy(), overhead_base=0.0, overhead_per_unit=0.0
+            )
+        assert server.config.overhead_base == 0.0
+
+    def test_legacy_and_config_conflict(self):
+        with pytest.raises(TypeError, match="not both"):
+            EnsembleServer(
+                [0.1], policy(),
+                config=ServerConfig(), max_buffer=3,
+            )
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(TypeError, match="ServerConfig"):
+            EnsembleServer([0.1], policy(), retry_limit=3)
+
+    def test_duplicate_argument_rejected(self):
+        with pytest.raises(TypeError, match="duplicate"):
+            EnsembleServer(
+                [0.1], policy(), None, False, allow_rejection=True
+            )
+
+    def test_legacy_validation_still_applies(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                EnsembleServer([0.1], policy(), max_buffer=0)
+
+    def test_legacy_behaviour_matches_config(self):
+        workload = tiny_workload(n=3, deadline=0.15)
+        with pytest.warns(DeprecationWarning):
+            legacy = EnsembleServer(
+                [0.1], policy(), allow_rejection=False
+            ).run(workload)
+        modern = EnsembleServer.from_config(
+            [0.1], policy(), ServerConfig(allow_rejection=False)
+        ).run(workload)
+        assert legacy.records == modern.records

@@ -46,6 +46,26 @@ class TestQueryRecord:
         assert record(arrival=0.5, completion=0.8).latency == pytest.approx(0.3)
         assert record().latency is None
 
+    def test_rejected_latency_is_none_even_with_completion(self):
+        # A rejected query never has a latency, even if some bookkeeping
+        # left a completion time on it — it must not feed the tails.
+        r = record(completion=0.8, rejected=True)
+        assert r.latency is None
+        assert r.missed
+
+    def test_degraded_answer_in_time_is_not_missed(self):
+        r = record(completion=0.8, deadline=1.0, mask=0b01)
+        r.degraded = True
+        r.failed_mask = 0b10
+        assert not r.missed
+        assert r.processed
+        assert r.latency == pytest.approx(0.8)
+
+    def test_degraded_answer_late_is_still_missed(self):
+        r = record(completion=1.5, deadline=1.0, mask=0b01)
+        r.degraded = True
+        assert r.missed
+
 
 class TestServingResult:
     def test_dmr(self, quality):
@@ -111,6 +131,42 @@ class TestServingResult:
 
     def test_deadline_slack_empty(self):
         assert ServingResult(records=[]).deadline_slack().size == 0
+
+    def test_degraded_counters(self):
+        a = record(0, completion=0.5, mask=0b01)
+        a.degraded = True
+        a.failed_mask = 0b10
+        a.retries = 2
+        b = record(1, completion=0.4, mask=0b11)
+        b.retries = 1
+        c = record(2, rejected=True)
+        result = ServingResult(records=[a, b, c])
+        assert result.n_degraded() == 1
+        assert result.degraded_rate() == pytest.approx(1 / 3)
+        assert result.total_retries() == 3
+
+    def test_degraded_counters_empty(self):
+        result = ServingResult(records=[])
+        assert result.n_degraded() == 0
+        assert result.degraded_rate() == 0.0
+        assert result.total_retries() == 0
+
+    def test_degraded_answer_scores_subset_quality(self, quality):
+        # quality: mask 0b01 -> 0.5, 0b11 -> 1.0.  The degraded answer
+        # earns its executed subset's quality; the dropped twin earns 0.
+        degraded = record(0, completion=0.5, mask=0b01)
+        degraded.degraded = True
+        degraded.failed_mask = 0b10
+        dropped = record(1, rejected=True)
+        result = ServingResult(records=[degraded, dropped])
+        np.testing.assert_allclose(result.qualities(quality), [0.5, 0.0])
+        assert result.accuracy(quality) == pytest.approx(0.25)
+
+    def test_degraded_latency_feeds_stats(self):
+        r = record(0, arrival=0.0, completion=0.3, mask=0b01)
+        r.degraded = True
+        result = ServingResult(records=[r, record(1, rejected=True)])
+        np.testing.assert_allclose(result.latencies(), [0.3])
 
     def test_empty_result(self, quality):
         result = ServingResult(records=[])

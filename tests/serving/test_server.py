@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.scheduling.dp import DPScheduler
+from repro.serving.config import ServerConfig
 from repro.serving.policies import BufferedSchedulingPolicy, ImmediateMaskPolicy
 from repro.serving.server import EnsembleServer, WorkerSpec
 from repro.serving.workload import ServingWorkload
@@ -47,7 +48,8 @@ class TestImmediateTiming:
 
     def test_forced_mode_processes_everything(self):
         server = EnsembleServer(
-            [0.1], ImmediateMaskPolicy("p", 0b1), allow_rejection=False
+            [0.1], ImmediateMaskPolicy("p", 0b1),
+            config=ServerConfig(allow_rejection=False),
         )
         result = server.run(workload([0.0, 0.0, 0.0], deadline=0.15, m=1))
         assert all(r.completion is not None for r in result.records)
@@ -85,10 +87,12 @@ class TestBufferedPolicy:
         )
 
     @staticmethod
-    def _server(latencies, policy, **kwargs):
-        kwargs.setdefault("overhead_base", 0.0)
-        kwargs.setdefault("overhead_per_unit", 0.0)
-        return EnsembleServer(latencies, policy, **kwargs)
+    def _server(latencies, policy, **knobs):
+        knobs.setdefault("overhead_base", 0.0)
+        knobs.setdefault("overhead_per_unit", 0.0)
+        return EnsembleServer.from_config(
+            latencies, policy, ServerConfig(**knobs)
+        )
 
     def test_single_query_served(self):
         server = self._server([0.1, 0.2], self._policy())
@@ -176,8 +180,9 @@ class TestServerValidation:
             )
 
     def test_rejects_bad_buffer(self):
+        # Validation lives in the config object now.
         with pytest.raises(ValueError):
-            EnsembleServer([0.1], ImmediateMaskPolicy("p", 1), max_buffer=0)
+            ServerConfig(max_buffer=0)
 
     def test_worker_spec_validation(self):
         with pytest.raises(ValueError):
@@ -201,7 +206,7 @@ class TestFastPath:
     def test_idle_arrival_skips_prediction_delay(self):
         server = EnsembleServer(
             [0.02, 0.1], self._policy(True),
-            overhead_base=0.0, overhead_per_unit=0.0,
+            config=ServerConfig(overhead_base=0.0, overhead_per_unit=0.0),
         )
         result = server.run(workload([0.0], deadline=1.0))
         record = result.records[0]
@@ -213,7 +218,7 @@ class TestFastPath:
     def test_busy_system_uses_normal_path(self):
         server = EnsembleServer(
             [0.02, 0.1], self._policy(True),
-            overhead_base=0.0, overhead_per_unit=0.0,
+            config=ServerConfig(overhead_base=0.0, overhead_per_unit=0.0),
         )
         result = server.run(workload([0.0, 0.005], deadline=1.0))
         # The second query arrives while model 0 is busy: it must go
@@ -224,7 +229,7 @@ class TestFastPath:
         policy = self._policy(False)
         server = EnsembleServer(
             [0.02, 0.1], policy,
-            overhead_base=0.0, overhead_per_unit=0.0,
+            config=ServerConfig(overhead_base=0.0, overhead_per_unit=0.0),
         )
         result = server.run(workload([0.0], deadline=1.0))
         # Prediction delay applies: completion includes the 50ms.

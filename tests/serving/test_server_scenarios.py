@@ -5,6 +5,7 @@ import pytest
 
 from repro.scheduling.dp import DPScheduler
 from repro.scheduling.greedy import GreedyScheduler
+from repro.serving.config import ServerConfig
 from repro.serving.policies import BufferedSchedulingPolicy, ImmediateMaskPolicy
 from repro.serving.server import EnsembleServer, WorkerSpec
 from repro.serving.workload import ServingWorkload
@@ -116,7 +117,8 @@ class TestForcedModeScenarios:
         # linearly with their index — the Table II "Original" blow-up.
         workload = steady_workload(20.0, 10.0, deadline=0.2, m=1, seed=7)
         server = EnsembleServer(
-            [0.1], ImmediateMaskPolicy("orig", 1), allow_rejection=False
+            [0.1], ImmediateMaskPolicy("orig", 1),
+            config=ServerConfig(allow_rejection=False),
         )
         result = server.run(workload)
         latencies = result.latencies()
@@ -132,7 +134,8 @@ class TestForcedModeScenarios:
             "dp", DPScheduler(delta=0.01), workload.quality
         )
         server = EnsembleServer(
-            [0.04, 0.12], policy, allow_rejection=False
+            [0.04, 0.12], policy,
+            config=ServerConfig(allow_rejection=False),
         )
         result = server.run(workload)
         # Shedding to the fast model keeps the tail bounded.

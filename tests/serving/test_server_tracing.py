@@ -16,6 +16,7 @@ from repro.obs import spans as sp
 from repro.obs.tracer import RecordingTracer
 from repro.scheduling.dp import DPScheduler
 from repro.serving import server as server_module
+from repro.serving.config import ServerConfig
 from repro.serving.policies import BufferedSchedulingPolicy
 from repro.serving.server import EnsembleServer
 from repro.serving.workload import ServingWorkload
@@ -42,9 +43,11 @@ def workload(arrivals, deadline, m=1, n_pool=4):
     )
 
 
-def traced_server(latencies, policy, **kwargs):
+def traced_server(latencies, policy, **knobs):
     tracer = RecordingTracer()
-    server = EnsembleServer(latencies, policy, tracer=tracer, **kwargs)
+    server = EnsembleServer.from_config(
+        latencies, policy, ServerConfig(**knobs), tracer=tracer
+    )
     return server, tracer
 
 

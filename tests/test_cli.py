@@ -22,6 +22,26 @@ class TestParser:
         assert args.task == "text_matching"
         assert args.preset == "small"
 
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.rates == "0,0.05,0.15,0.3"
+        assert args.policy == "schemble"
+        assert args.retries == 2
+        assert args.jitter == 0.0
+        assert args.crash_rate == 0.0
+        assert args.timeout is None
+
+    def test_trace_fault_flags(self):
+        args = build_parser().parse_args([
+            "trace", "--failure-rate", "0.2", "--jitter", "0.1",
+            "--no-degraded", "--fault-seed", "3", "--timeout", "0.5",
+        ])
+        assert args.failure_rate == 0.2
+        assert args.jitter == 0.1
+        assert args.no_degraded
+        assert args.fault_seed == 3
+        assert args.timeout == 0.5
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -61,3 +81,31 @@ class TestCommands:
         assert first["kind"] == "arrival"
         payload = json.loads(timeline.read_text())
         assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+    @pytest.mark.faults
+    def test_trace_with_faults(self, capsys, tm_setup, tmp_path):
+        assert main([
+            "trace", "--duration", "4", "--out", str(tmp_path),
+            "--failure-rate", "0.3", "--jitter", "0.05", "--retries", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault injection & degraded mode:" in out
+        assert "task failures" in out
+        spans = tmp_path / "text_matching_schemble_spans.jsonl"
+        kinds = {
+            json.loads(line)["kind"]
+            for line in spans.read_text().splitlines()
+        }
+        assert "task_failed" in kinds
+
+    @pytest.mark.faults
+    def test_faults_command(self, capsys, tm_setup):
+        assert main([
+            "faults", "--duration", "4", "--rates", "0,0.3",
+            "--retries", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resilience sweep" in out
+        assert "degraded" in out
+        assert "drop" in out
+        assert "fail=0.3" in out
