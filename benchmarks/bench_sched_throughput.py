@@ -1,0 +1,283 @@
+"""Benchmark guard: the vectorized DP scheduler must be fast *and*
+bit-exact.
+
+Run as a script (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_sched_throughput.py [--quick]
+
+Three checks:
+
+* **Parity** — on randomized instances (mixed buffer sizes, ensemble
+  sizes, latency profiles, downed models and quantisation steps) the
+  vectorized :class:`DPScheduler` must return exactly the same
+  decisions, total utility and work units as the pure-Python
+  :class:`DPReferenceScheduler`. Not "close": equal.
+* **Speedup** — min-of-N interleaved timing over a buffer-size grid;
+  the vectorized path must beat the reference by ``MIN_SPEEDUP`` at
+  every grid point at or above 16 queries / 4 models (full mode only —
+  CI runners are too noisy for an absolute floor).
+* **Regression** — current speedups are compared against the committed
+  ``benchmarks/results/BENCH_sched.json`` (read *before* it is
+  overwritten): any grid point falling below half its committed
+  speedup fails the run. This is the check CI's perf-smoke job
+  enforces on every push.
+
+``--quick`` shrinks the parity set and timing grid for CI.
+Results go to ``benchmarks/results/BENCH_sched.json``.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scheduling.dp import DPScheduler  # noqa: E402
+from repro.scheduling.dp_reference import DPReferenceScheduler  # noqa: E402
+from repro.scheduling.problem import (  # noqa: E402
+    QueryRequest,
+    SchedulingInstance,
+)
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_sched.json"
+TABLE_PATH = Path(__file__).parent / "results" / "sched_throughput.txt"
+
+PARITY_INSTANCES = 220
+PARITY_INSTANCES_QUICK = 60
+PARITY_DELTAS = (0.01, 0.05, 0.25, None)
+
+# (n_queries, n_models) timing grid; quick mode drops the largest point.
+GRID = ((4, 2), (8, 3), (16, 4), (32, 4))
+GRID_QUICK = ((4, 2), (8, 3), (16, 4))
+TIMING_DELTA = 0.05
+INSTANCES_PER_POINT = 4
+REPEATS = 3
+INSTANCES_PER_POINT_QUICK = 2
+REPEATS_QUICK = 2
+
+# Required vectorized-over-reference speedup at grid points with
+# >= 16 queries and 4 models (the serving sweet spot ISSUE targets).
+MIN_SPEEDUP = 3.0
+MIN_SPEEDUP_QUERIES = 16
+MIN_SPEEDUP_MODELS = 4
+# Regression tolerance vs the committed baseline speedups.
+REGRESSION_FACTOR = 2.0
+
+
+def make_instance(rng, n_queries, n_models, equal_latencies=False,
+                  downed_model=False, tight_deadlines=False):
+    """One randomized scheduling instance.
+
+    ``equal_latencies`` forces bit-identical finish-time collisions
+    (any two plans running each model equally often tie exactly);
+    ``downed_model`` puts one model's busy time at +inf, the degraded
+    state fault-mode serving feeds the scheduler.
+    """
+    if equal_latencies:
+        latencies = np.full(n_models, 0.05)
+    else:
+        latencies = rng.uniform(0.01, 0.2, size=n_models)
+    busy = rng.uniform(0.0, 0.1, size=n_models)
+    if downed_model and n_models > 1:
+        busy[int(rng.integers(0, n_models))] = np.inf
+    deadline_range = (0.05, 0.3) if tight_deadlines else (0.1, 1.0)
+    n_masks = 1 << n_models
+    queries = []
+    for qid in range(n_queries):
+        utilities = np.zeros(n_masks)
+        # Two-decimal rewards make quantised ties common — the case the
+        # canonical ordering and unquantised tie-break exist for.
+        utilities[1:] = np.round(rng.uniform(0.0, 1.0, size=n_masks - 1), 2)
+        queries.append(QueryRequest(
+            query_id=qid,
+            arrival=0.0,
+            deadline=float(rng.uniform(*deadline_range)),
+            utilities=utilities,
+        ))
+    return SchedulingInstance(
+        queries=queries, latencies=latencies, busy_until=busy, now=0.0,
+    )
+
+
+def check_parity(n_instances):
+    """Decision-for-decision equality on randomized instances."""
+    rng = np.random.default_rng(2023)
+    mismatches = []
+    for i in range(n_instances):
+        instance = make_instance(
+            rng,
+            n_queries=int(rng.integers(1, 9)),
+            n_models=int(rng.integers(1, 5)),
+            equal_latencies=bool(i % 3 == 0),
+            downed_model=bool(i % 5 == 0),
+            tight_deadlines=bool(i % 4 == 0),
+        )
+        delta = PARITY_DELTAS[i % len(PARITY_DELTAS)]
+        vec = DPScheduler(delta=delta).schedule(instance)
+        ref = DPReferenceScheduler(delta=delta).schedule(instance)
+        same = (
+            [(d.query_id, d.mask) for d in vec.decisions]
+            == [(d.query_id, d.mask) for d in ref.decisions]
+            and vec.total_utility == ref.total_utility
+            and vec.work_units == ref.work_units
+        )
+        if not same:
+            mismatches.append({
+                "instance": i,
+                "delta": delta,
+                "vectorized": [d.mask for d in vec.decisions],
+                "reference": [d.mask for d in ref.decisions],
+            })
+    return {
+        "instances": n_instances,
+        "deltas": list(PARITY_DELTAS),
+        "mismatches": mismatches,
+    }, not mismatches
+
+
+def time_grid(grid, instances_per_point, repeats):
+    """Min-of-N interleaved timing of both schedulers per grid point."""
+    results = []
+    for n_queries, n_models in grid:
+        rng = np.random.default_rng(7 * n_queries + n_models)
+        instances = [
+            make_instance(rng, n_queries, n_models)
+            for _ in range(instances_per_point)
+        ]
+        vec = DPScheduler(delta=TIMING_DELTA)
+        ref = DPReferenceScheduler(delta=TIMING_DELTA)
+        # Warm the per-instance mask/quantisation caches so the timed
+        # region measures scheduling, not one-off table construction.
+        for scheduler in (vec, ref):
+            scheduler.schedule(instances[0])
+        best = {"vectorized": float("inf"), "reference": float("inf")}
+        for _ in range(repeats):
+            for name, scheduler in (("vectorized", vec), ("reference", ref)):
+                start = time.perf_counter()
+                for instance in instances:
+                    scheduler.schedule(instance)
+                best[name] = min(best[name], time.perf_counter() - start)
+        results.append({
+            "n_queries": n_queries,
+            "n_models": n_models,
+            "delta": TIMING_DELTA,
+            "instances": instances_per_point,
+            "repeats": repeats,
+            "vectorized_s": best["vectorized"],
+            "reference_s": best["reference"],
+            "speedup": best["reference"] / best["vectorized"],
+        })
+    return results
+
+
+def check_regression(timing, committed):
+    """Fail any grid point whose speedup halved vs the committed run."""
+    if not committed:
+        return [], True
+    baseline = {
+        (point["n_queries"], point["n_models"]): point["speedup"]
+        for point in committed.get("timing", [])
+    }
+    failures = []
+    for point in timing:
+        key = (point["n_queries"], point["n_models"])
+        if key not in baseline:
+            continue
+        floor = baseline[key] / REGRESSION_FACTOR
+        if point["speedup"] < floor:
+            failures.append({
+                "n_queries": key[0],
+                "n_models": key[1],
+                "speedup": point["speedup"],
+                "committed_speedup": baseline[key],
+                "floor": floor,
+            })
+    return failures, not failures
+
+
+def main(argv=None):
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    # The committed baseline must be read before this run overwrites it.
+    committed = None
+    if RESULTS_PATH.exists():
+        committed = json.loads(RESULTS_PATH.read_text())
+
+    n_parity = PARITY_INSTANCES_QUICK if quick else PARITY_INSTANCES
+    parity, parity_ok = check_parity(n_parity)
+    print(f"parity: {n_parity} instances, "
+          f"{len(parity['mismatches'])} mismatches")
+
+    grid = GRID_QUICK if quick else GRID
+    timing = time_grid(
+        grid,
+        INSTANCES_PER_POINT_QUICK if quick else INSTANCES_PER_POINT,
+        REPEATS_QUICK if quick else REPEATS,
+    )
+    for point in timing:
+        print(f"  n={point['n_queries']:3d} m={point['n_models']}: "
+              f"vectorized {point['vectorized_s'] * 1e3:8.2f} ms, "
+              f"reference {point['reference_s'] * 1e3:8.2f} ms, "
+              f"speedup {point['speedup']:.2f}x")
+
+    regressions, regression_ok = check_regression(timing, committed)
+
+    speedup_ok = True
+    if not quick:
+        for point in timing:
+            if (point["n_queries"] >= MIN_SPEEDUP_QUERIES
+                    and point["n_models"] >= MIN_SPEEDUP_MODELS
+                    and point["speedup"] < MIN_SPEEDUP):
+                speedup_ok = False
+                print(f"FAIL: speedup {point['speedup']:.2f}x at "
+                      f"n={point['n_queries']} m={point['n_models']} "
+                      f"below required {MIN_SPEEDUP:.1f}x")
+
+    payload = {
+        "quick": quick,
+        "parity": parity,
+        "timing": timing,
+        "regressions": regressions,
+        "min_speedup": MIN_SPEEDUP,
+        "regression_factor": REGRESSION_FACTOR,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+
+    lines = [
+        "DP scheduler throughput — vectorized kernel vs pure-Python "
+        "reference (bit-exact plans)",
+        f"parity: {n_parity} randomized instances, "
+        f"{len(parity['mismatches'])} mismatches "
+        f"(deltas {PARITY_DELTAS})",
+        "buffer  models  vectorized  reference  speedup",
+        "------  ------  ----------  ---------  -------",
+    ]
+    for point in timing:
+        lines.append(
+            f"{point['n_queries']:<6d}  {point['n_models']:<6d}  "
+            f"{point['vectorized_s'] * 1e3:7.1f} ms  "
+            f"{point['reference_s'] * 1e3:6.1f} ms  "
+            f"{point['speedup']:.2f}x"
+        )
+    TABLE_PATH.write_text("\n".join(lines) + "\n")
+
+    if not parity_ok:
+        print("FAIL: vectorized DP diverged from the reference")
+        return 1
+    for failure in regressions:
+        print(f"FAIL: speedup {failure['speedup']:.2f}x at "
+              f"n={failure['n_queries']} m={failure['n_models']} fell "
+              f"below half the committed {failure['committed_speedup']:.2f}x")
+    if not regression_ok or not speedup_ok:
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

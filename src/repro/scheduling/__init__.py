@@ -1,26 +1,32 @@
 """Task scheduling: the DP algorithm of Section VI and its baselines."""
 
 from repro.scheduling.subsets import (
+    MaskTables,
     iter_masks,
     mask_latency,
     mask_members,
     mask_size,
+    mask_tables,
 )
 from repro.scheduling.problem import QueryRequest, ScheduleDecision, SchedulingInstance
 from repro.scheduling.dp import DPScheduler
+from repro.scheduling.dp_reference import DPReferenceScheduler
 from repro.scheduling.greedy import GreedyScheduler
 from repro.scheduling.orders import edf_order, fifo_order, sjf_order
 from repro.scheduling.bruteforce import BruteForceScheduler
 
 __all__ = [
+    "MaskTables",
     "iter_masks",
     "mask_members",
     "mask_size",
     "mask_latency",
+    "mask_tables",
     "QueryRequest",
     "ScheduleDecision",
     "SchedulingInstance",
     "DPScheduler",
+    "DPReferenceScheduler",
     "GreedyScheduler",
     "BruteForceScheduler",
     "edf_order",

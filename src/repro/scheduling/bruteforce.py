@@ -4,6 +4,12 @@ Used only by tests and theory benches: it searches every subset
 assignment (and optionally every processing order) to establish the true
 optimum that Theorem 2 (EDF optimality) and Theorem 3 ((1 − ε)
 approximation) are verified against.
+
+Feasibility walks the instance's shared per-mask member tables, and
+``work_units`` follows the unified accounting rule (one unit per
+non-empty candidate subset evaluated — here, per non-empty mask in each
+enumerated assignment), so brute-force overhead is charged on the same
+scale as DP and greedy.
 """
 
 from __future__ import annotations
@@ -57,7 +63,7 @@ class BruteForceScheduler:
         for order in orders:
             ordered = [instance.queries[i] for i in order]
             for assignment in product(range(n_masks), repeat=n):
-                work_units += 1
+                work_units += sum(1 for mask in assignment if mask)
                 decisions = [
                     ScheduleDecision(query_id=q.query_id, mask=mask)
                     for q, mask in zip(ordered, assignment)
@@ -78,16 +84,17 @@ class BruteForceScheduler:
 
     @staticmethod
     def _feasible(instance, ordered, assignment) -> bool:
+        members = instance.masks.members
+        latencies = instance.latencies
         times = list(float(t) for t in instance.busy_until)
         for query, mask in zip(ordered, assignment):
             if mask == 0:
                 continue
             completion = 0.0
-            for k in range(instance.n_models):
-                if (mask >> k) & 1:
-                    times[k] += instance.latencies[k]
-                    if times[k] > completion:
-                        completion = times[k]
+            for k in members[mask]:
+                times[k] += latencies[k]
+                if times[k] > completion:
+                    completion = times[k]
             if instance.now + completion > query.deadline + 1e-12:
                 return False
         return True

@@ -1,19 +1,49 @@
-"""Dynamic-programming scheduling (Algorithm 1, Section VI-B).
+"""Dynamic-programming scheduling (Algorithm 1, Section VI-B) —
+vectorized hot path.
 
 Queries in the buffer are indexed in EDF order (Theorem 2). The DP table
-is keyed by (query index, quantised cumulative reward); each cell keeps
-the Pareto frontier of per-model finish-time vectors achieving exactly
-that reward, pruning dominated vectors every step. The best plan is the
-non-empty cell with the largest reward after the last query.
-
+is keyed by quantised cumulative reward; each cell keeps the Pareto
+frontier of per-model finish-time vectors achieving exactly that reward.
 Quantising rewards to multiples of δ bounds the table size; Theorem 3
 shows the result is a (1 − ε) approximation of the optimal local plan
 for δ = ε/N.
+
+This module is the numpy kernel form of the algorithm. The whole DP
+table lives in flat, cell-contiguous arrays (finish times, quantised
+reward, and parent pointers for plan reconstruction). Per query it:
+
+1. extends all ``S × 2**m`` candidates in a single broadcast add
+   against the instance's shared per-mask increment table;
+2. computes completion times and deadline feasibility for the whole
+   frontier × mask grid at once;
+3. buckets the surviving candidates into their target cells with one
+   ``lexsort`` on ``(cell, sum, finish_times, parent_rank, mask)`` —
+   the candidate's flat parent-row index and mask double as the
+   canonical tie-break keys, so bit-identical finish-time vectors
+   (common: any two plans running each model the same number of times
+   collide) cost nothing extra to order;
+4. Pareto-prunes every bucket simultaneously: each sweep keeps each
+   bucket's first surviving candidate and eliminates its victims
+   bucket-wide, at most ``max_solutions_per_cell`` sweeps total.
+
+The chosen plan is reconstructed by walking the parent pointers — the
+per-candidate choice matrices the loop implementation carried (and
+re-copied every step) never exist.
+
+The output is **bit-exact** with the pure-Python
+:class:`~repro.scheduling.dp_reference.DPReferenceScheduler`: identical
+decisions, total utility, and work units on every instance (randomized
+parity is enforced by ``benchmarks/bench_sched_throughput.py`` and
+``tests/scheduling/test_dp_vectorized.py``). Both share the canonical
+ordering, the unified work-unit accounting (one unit per non-empty
+candidate subset per frontier entry; skips are free) and the
+unquantised-reward tie-break for the final plan — see
+``dp_reference.py`` for the rationale. Keep the two in lockstep.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -25,29 +55,74 @@ from repro.scheduling.problem import (
 )
 from repro.utils.validation import check_positive
 
-# A table cell holds Pareto-minimal (finish-times, choices) pairs.
-_Solution = Tuple[Tuple[float, ...], Tuple[int, ...]]
+_EPS = 1e-12
 
 
-def _prune(solutions: List[_Solution]) -> List[_Solution]:
-    """Drop solutions whose finish-time vector is dominated by another.
+def _left_to_right_sum(matrix: np.ndarray) -> np.ndarray:
+    """Row sums accumulated column-by-column, matching Python's built-in
+    ``sum(tuple)`` rounding so canonical-order ties resolve identically
+    in the reference and vectorized paths."""
+    total = np.zeros(matrix.shape[0])
+    for k in range(matrix.shape[1]):
+        total = total + matrix[:, k]
+    return total
 
-    Vector A dominates B when A is componentwise <= B: any continuation
-    feasible from B is feasible from A at equal reward.
+
+def _prune_buckets(
+    times: np.ndarray, bucket_starts: np.ndarray, cap: int
+) -> np.ndarray:
+    """Pareto-prune every cell's candidate bucket simultaneously.
+
+    ``times`` holds all candidates, bucket-contiguous and in canonical
+    (sum, finish_times, choices) order within each bucket;
+    ``bucket_starts`` are the bucket boundaries (ending with ``len``).
+    Returns a keep-mask with at most ``cap`` survivors per bucket.
+
+    A vector is dominated when some kept vector in its bucket is
+    componentwise ``<= + eps``; canonical order guarantees dominators
+    precede their victims. Sweep ``k`` keeps each bucket's first
+    still-alive candidate (its ``k``-th frontier entry) and eliminates
+    that entry's victims bucket-wide — one ``reduceat`` + one
+    broadcast comparison per sweep, at most ``cap`` sweeps, no
+    per-bucket Python. This reproduces the reference's sequential
+    greedy prune exactly: after sweep ``k`` every alive candidate has
+    been tested against its bucket's first ``k`` kept entries.
     """
-    if len(solutions) <= 1:
-        return solutions
-    solutions = sorted(solutions, key=lambda s: (sum(s[0]), s[0]))
-    kept: List[_Solution] = []
-    for times, choices in solutions:
-        dominated = False
-        for kept_times, _ in kept:
-            if all(kt <= t + 1e-12 for kt, t in zip(kept_times, times)):
-                dominated = True
-                break
-        if not dominated:
-            kept.append((times, choices))
+    total = times.shape[0]
+    starts = bucket_starts[:-1]
+    sizes = np.diff(bucket_starts)
+    positions = np.arange(total)
+    # Sentinel row: +inf never dominates, so dead buckets sweep nothing.
+    times_ext = np.concatenate([times, np.full((1, times.shape[1]), np.inf)])
+    alive = np.ones(total, dtype=bool)
+    kept = np.zeros(total, dtype=bool)
+    for _ in range(cap):
+        heads = np.minimum.reduceat(
+            np.where(alive, positions, total), starts
+        )
+        live = heads[heads < total]
+        if live.size == 0:
+            break
+        kept[live] = True
+        dominator = np.repeat(heads, sizes)
+        dominated = np.all(
+            times_ext[dominator] <= times + _EPS, axis=1
+        )
+        alive &= ~dominated
     return kept
+
+
+def _backtrack(
+    parents: List[np.ndarray], masks: List[np.ndarray], row: int, level: int
+) -> Tuple[int, ...]:
+    """The mask choices of entry ``row`` at table level ``level``
+    (levels index ``parents``/``masks``; level -1 is the empty plan)."""
+    choices: List[int] = []
+    while level >= 0:
+        choices.append(int(masks[level][row]))
+        row = int(parents[level][row])
+        level -= 1
+    return tuple(reversed(choices))
 
 
 class DPScheduler:
@@ -61,7 +136,7 @@ class DPScheduler:
             buffer size instead of only at one.
         epsilon: Approximation target used when ``delta`` is None.
         max_solutions_per_cell: Safety cap on a cell's Pareto frontier;
-            cells are pruned to the fastest vectors beyond it.
+            the first entries in canonical order are kept.
     """
 
     name = "dp"
@@ -89,68 +164,90 @@ class DPScheduler:
 
     def schedule(self, instance: SchedulingInstance) -> ScheduleResult:
         """Solve the local subproblem; decisions come back in EDF order."""
-        if instance.n_queries == 0:
+        n = instance.n_queries
+        if n == 0:
             return ScheduleResult(decisions=[], total_utility=0.0, work_units=0)
 
-        step = self.step_for(instance.n_queries)
+        step = self.step_for(n)
         order = edf_order(instance.queries)
         queries = [instance.queries[i] for i in order]
-        latencies = instance.latencies
         n_models = instance.n_models
         n_masks = 1 << n_models
-        start = tuple(float(t) for t in instance.busy_until)
+        membership = instance.mask_membership  # (n_masks, m) bool
+        increments = instance.mask_increments  # (n_masks, m) float
+        quantised = instance.quantised_utilities(step)[np.asarray(order)]
+        cap = self.max_solutions_per_cell
 
-        # Precompute quantised rewards and per-mask latency increments.
-        member_lists = [
-            [k for k in range(n_models) if (mask >> k) & 1]
-            for mask in range(n_masks)
-        ]
-
-        table: Dict[int, List[_Solution]] = {0: [(start, ())]}
+        frontier = instance.busy_until.astype(float, copy=True)[None, :]
+        cell_u = np.zeros(1, dtype=np.int64)
+        parents: List[np.ndarray] = []
+        masks: List[np.ndarray] = []
         work_units = 0
-        for query in queries:
+        for qi, query in enumerate(queries):
             relative_deadline = query.deadline - instance.now
-            rewards = query.utilities
-            quantised = np.floor(rewards / step).astype(int)
-            new_table: Dict[int, List[_Solution]] = {}
-            for u, solutions in table.items():
-                for mask in range(n_masks):
-                    members = member_lists[mask]
-                    du = int(quantised[mask]) if mask else 0
-                    for times, choices in solutions:
-                        work_units += 1
-                        if mask == 0:
-                            candidate = (times, choices + (0,))
-                        else:
-                            new_times = list(times)
-                            completion = 0.0
-                            for k in members:
-                                new_times[k] += latencies[k]
-                                if new_times[k] > completion:
-                                    completion = new_times[k]
-                            if completion > relative_deadline + 1e-12:
-                                continue
-                            candidate = (tuple(new_times), choices + (mask,))
-                        new_table.setdefault(u + du, []).append(candidate)
-            table = {}
-            for u, solutions in new_table.items():
-                pruned = _prune(solutions)
-                if len(pruned) > self.max_solutions_per_cell:
-                    pruned = sorted(pruned, key=lambda s: sum(s[0]))[
-                        : self.max_solutions_per_cell
-                    ]
-                table[u] = pruned
+            du = quantised[qi]  # (n_masks,) int64
+            work_units += frontier.shape[0] * (n_masks - 1)
 
-        best_u = max(table)
-        choices = table[best_u][0][1]
+            # Extend every frontier entry by every mask in one shot.
+            # Increment row 0 is all zeros, so the skip continuation
+            # keeps its parent's finish times bit-identically.
+            cand = frontier[:, None, :] + increments[None, :, :]
+            completion = np.where(
+                membership[None, :, :], cand, -np.inf
+            ).max(axis=2)
+            feasible = completion <= relative_deadline + _EPS
+            feasible[:, 0] = True  # skipping is always allowed
+
+            sol_idx, mask_idx = np.nonzero(feasible)
+            cand_times = cand[sol_idx, mask_idx, :]
+            target_u = cell_u[sol_idx] + du[mask_idx]
+            sums = _left_to_right_sum(cand_times)
+
+            # One sort: primary target cell, then the full canonical
+            # (sum, finish_times, parent_rank, mask) order within it
+            # (np.lexsort's last key is the most significant). The
+            # frontier rows are already in ascending-cell canonical
+            # order, so ``sol_idx`` *is* the parent rank.
+            by_cell = np.lexsort(
+                [mask_idx, sol_idx]
+                + [cand_times[:, k] for k in range(n_models - 1, -1, -1)]
+                + [sums, target_u]
+            )
+            sol_s = sol_idx[by_cell]
+            mask_s = mask_idx[by_cell]
+            times_s = cand_times[by_cell]
+            u_s = target_u[by_cell]
+            bucket_starts = np.concatenate(
+                [[0], np.nonzero(np.diff(u_s))[0] + 1, [u_s.shape[0]]]
+            )
+            kept = _prune_buckets(times_s, bucket_starts, cap)
+            frontier = times_s[kept]
+            cell_u = u_s[kept]
+            parents.append(sol_s[kept])
+            masks.append(mask_s[kept])
+
+        # Quantised ties hide unquantised differences: among the best
+        # cell's frontier, maximise the true reward, then prefer the
+        # smaller finish-time sum, then the canonical-first entry.
+        rows = np.nonzero(cell_u == cell_u.max())[0]
+        spans = _left_to_right_sum(frontier[rows])
+        best_plan = None
+        best_reward = best_span = 0.0
+        for row, span in zip(rows, spans):
+            plan = _backtrack(parents, masks, int(row), n - 1)
+            reward = sum(
+                float(q.utilities[mask]) for q, mask in zip(queries, plan)
+            )
+            if best_plan is None or reward > best_reward or (
+                reward == best_reward and span < best_span
+            ):
+                best_plan, best_reward, best_span = plan, reward, span
         decisions = [
             ScheduleDecision(query_id=query.query_id, mask=mask)
-            for query, mask in zip(queries, choices)
+            for query, mask in zip(queries, best_plan)
         ]
-        # Report the unquantised reward of the chosen plan.
-        total = sum(
-            float(q.utilities[mask]) for q, mask in zip(queries, choices)
-        )
         return ScheduleResult(
-            decisions=decisions, total_utility=total, work_units=work_units
+            decisions=decisions,
+            total_utility=best_reward,
+            work_units=work_units,
         )

@@ -3,9 +3,18 @@
 Processes queries in a chosen order (EDF/FIFO/SJF) and, for each query,
 picks the feasible subset with the highest reward — ignoring the queries
 still behind it, which is exactly the myopia the DP algorithm fixes.
+
+The per-query subset search is vectorized over the whole mask grid using
+the instance's shared membership/increment tables, and the selection is
+fully deterministic: highest reward, then earliest completion, then
+lowest mask. (The loop form's tie-break depended on mask enumeration
+order when an equal-reward, equal-completion subset appeared later —
+the plan could differ between otherwise identical runs of the search.)
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.scheduling.orders import ORDERS
 from repro.scheduling.problem import (
@@ -13,6 +22,8 @@ from repro.scheduling.problem import (
     ScheduleResult,
     SchedulingInstance,
 )
+
+_EPS = 1e-12
 
 
 class GreedyScheduler:
@@ -37,44 +48,39 @@ class GreedyScheduler:
 
         order = ORDERS[self.order](instance.queries)
         queries = [instance.queries[i] for i in order]
-        latencies = instance.latencies
-        n_models = instance.n_models
-        n_masks = 1 << n_models
-        times = list(float(t) for t in instance.busy_until)
+        n_masks = 1 << instance.n_models
+        membership = instance.mask_membership  # (n_masks, m) bool
+        increments = instance.mask_increments  # (n_masks, m) float
+        masks = np.arange(n_masks)
+        times = instance.busy_until.astype(float, copy=True)
 
         decisions = []
         total = 0.0
-        work_units = 0
+        # Unified accounting: one unit per non-empty subset evaluated.
+        work_units = instance.n_queries * (n_masks - 1)
         for query in queries:
             relative_deadline = query.deadline - instance.now
+            completion = np.where(
+                membership, times[None, :] + increments, -np.inf
+            ).max(axis=1)  # (n_masks,); mask 0 -> -inf
+            rewards = query.utilities
+            eligible = (
+                (masks > 0)
+                & (completion <= relative_deadline + _EPS)
+                & (rewards > _EPS)
+            )
             best_mask = 0
-            best_reward = 0.0
-            best_span = 0.0
-            for mask in range(1, n_masks):
-                work_units += 1
-                completion = 0.0
-                for k in range(n_models):
-                    if (mask >> k) & 1:
-                        finish = times[k] + latencies[k]
-                        if finish > completion:
-                            completion = finish
-                if completion > relative_deadline + 1e-12:
-                    continue
-                reward = float(query.utilities[mask])
-                # Prefer higher reward; break ties toward faster subsets.
-                if reward > best_reward + 1e-12 or (
-                    abs(reward - best_reward) <= 1e-12
-                    and best_mask
-                    and completion < best_span
-                ):
-                    best_mask = mask
-                    best_reward = reward
-                    best_span = completion
+            if np.any(eligible):
+                # Deterministic tie-break: reward (within eps), then
+                # completion (within eps), then lowest mask.
+                contenders = rewards >= rewards[eligible].max() - _EPS
+                contenders &= eligible
+                fastest = completion[contenders].min()
+                contenders &= completion <= fastest + _EPS
+                best_mask = int(masks[contenders][0])
             if best_mask:
-                for k in range(n_models):
-                    if (best_mask >> k) & 1:
-                        times[k] += latencies[k]
-                total += best_reward
+                times = times + increments[best_mask]
+                total += float(rewards[best_mask])
             decisions.append(
                 ScheduleDecision(query_id=query.query_id, mask=best_mask)
             )

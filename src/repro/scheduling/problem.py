@@ -8,10 +8,12 @@ busy time. It returns a subset mask per query and the processing order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
+
+from repro.scheduling.subsets import MaskTables, mask_tables
 
 
 @dataclass
@@ -34,6 +36,9 @@ class QueryRequest:
     utilities: np.ndarray
     score: float = 0.0
     sample_index: int = -1
+    _quantised: Dict[float, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self):
         self.utilities = np.asarray(self.utilities, dtype=float)
@@ -47,6 +52,22 @@ class QueryRequest:
             )
         if abs(float(self.utilities[0])) > 1e-9:
             raise ValueError("utility of the empty subset must be 0")
+
+    def quantised_utilities(self, step: float) -> np.ndarray:
+        """``floor(utilities / step)`` memoised per step.
+
+        A buffered policy re-plans the same queries many times while they
+        wait (every idle tick re-floors the same reward rows); the cache
+        lives on the request so overlapping buffers pay once per query,
+        not once per ``schedule()`` call. The returned array is shared —
+        callers must not mutate it.
+        """
+        key = float(step)
+        cached = self._quantised.get(key)
+        if cached is None:
+            cached = np.floor(self.utilities / key).astype(np.int64)
+            self._quantised[key] = cached
+        return cached
 
 
 @dataclass
@@ -65,9 +86,27 @@ class ScheduleDecision:
 class ScheduleResult:
     """Scheduler output: decisions in processing order plus run stats.
 
-    ``work_units`` counts inner-loop iterations; the serving simulator
-    converts it into scheduling overhead time so that very small δ
-    (huge DP tables) pays its cost, as in Exp-4/Fig. 21.
+    ``work_units`` measures how much work the scheduler did; the serving
+    simulator converts it into scheduling overhead time
+    (``overhead_base + overhead_per_unit * work_units``) so that very
+    small δ (huge DP tables) pays its cost, as in Exp-4/Fig. 21.
+
+    **Unified accounting rule** (shared by every scheduler so the same
+    plan is charged the same overhead regardless of policy): one work
+    unit is one *non-empty* candidate subset evaluated for
+    feasibility/reward against one partial plan.
+
+    * Greedy evaluates ``2**m - 1`` subsets per query.
+    * The DP evaluates ``2**m - 1`` subsets per Pareto-frontier entry
+      per table cell per query. The ``mask == 0`` (skip) continuation is
+      free — it performs no feasibility work, exactly like greedy's
+      implicit "reject" default.
+    * Brute force charges each non-empty mask appearing in each
+      enumerated assignment.
+
+    (Historically the DP also charged the skip continuation, so DP-based
+    policies paid ``2**m / (2**m - 1)``× more simulated overhead than
+    greedy for identical candidate evaluations.)
     """
 
     decisions: List[ScheduleDecision]
@@ -126,6 +165,7 @@ class SchedulingInstance:
                     f"query {query.query_id} has {query.utilities.shape[0]} "
                     f"utilities, expected {n_masks}"
                 )
+        self._increments: Optional[np.ndarray] = None
 
     @property
     def n_models(self) -> int:
@@ -134,6 +174,36 @@ class SchedulingInstance:
     @property
     def n_queries(self) -> int:
         return len(self.queries)
+
+    @property
+    def masks(self) -> MaskTables:
+        """Shared per-mask member tables (cached per ensemble size)."""
+        return mask_tables(self.n_models)
+
+    @property
+    def mask_membership(self) -> np.ndarray:
+        """Bool incidence matrix ``(2**m, m)``: mask j contains model k."""
+        return self.masks.membership
+
+    @property
+    def mask_increments(self) -> np.ndarray:
+        """Float ``(2**m, m)``: per-mask finish-time increments
+        (``latencies[k]`` for members, exactly 0.0 otherwise), computed
+        once per instance and shared by every scheduler that runs on it."""
+        if self._increments is None:
+            self._increments = self.masks.increments(self.latencies)
+        return self._increments
+
+    def quantised_utilities(self, step: float) -> np.ndarray:
+        """Stacked ``floor(utilities / step)`` rows, shape
+        ``(n_queries, 2**m)``, in ``self.queries`` order. Rows come from
+        each request's memoised :meth:`QueryRequest.quantised_utilities`,
+        so queries that survive across buffer ticks are floored once."""
+        if not self.queries:
+            return np.zeros((0, 1 << self.n_models), dtype=np.int64)
+        return np.stack(
+            [q.quantised_utilities(step) for q in self.queries]
+        )
 
 
 def evaluate_schedule(

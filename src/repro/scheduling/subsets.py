@@ -9,7 +9,66 @@ table, the serving policies — shares this encoding.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MaskTables:
+    """Precomputed per-mask structure shared by every scheduler.
+
+    The DP, greedy and brute-force schedulers all need "which models does
+    mask ``j`` contain" in bulk; deriving it privately per call was both
+    a hot-path cost and three chances to diverge. ``membership`` is the
+    canonical boolean incidence matrix; ``members`` keeps the classic
+    index-list view for code that walks one mask at a time.
+
+    Attributes:
+        n_models: Ensemble size ``m``.
+        membership: Bool array ``(2**m, n_models)``; ``membership[j, k]``
+            iff model ``k`` is in mask ``j``.
+        members: Tuple of per-mask model-index tuples (row ``j`` lists
+            the set bits of ``j`` in ascending order).
+        sizes: Int array ``(2**m,)`` of popcounts.
+    """
+
+    n_models: int
+    membership: np.ndarray
+    members: Tuple[Tuple[int, ...], ...]
+    sizes: np.ndarray
+
+    @property
+    def n_masks(self) -> int:
+        return 1 << self.n_models
+
+    def increments(self, latencies: np.ndarray) -> np.ndarray:
+        """Per-mask finish-time increments, shape ``(2**m, n_models)``:
+        ``latencies[k]`` where model ``k`` is a member, else exactly 0.0
+        (so adding a row to a busy vector leaves non-members bit-identical)."""
+        return np.where(self.membership, np.asarray(latencies, dtype=float), 0.0)
+
+
+@lru_cache(maxsize=None)
+def mask_tables(n_models: int) -> MaskTables:
+    """The (cached) :class:`MaskTables` for an ``n_models`` ensemble."""
+    if n_models < 1:
+        raise ValueError(f"n_models must be >= 1, got {n_models}")
+    n_masks = 1 << n_models
+    masks = np.arange(n_masks, dtype=np.int64)
+    membership = ((masks[:, None] >> np.arange(n_models)[None, :]) & 1) == 1
+    membership.setflags(write=False)
+    members = tuple(
+        tuple(int(k) for k in np.nonzero(membership[j])[0])
+        for j in range(n_masks)
+    )
+    sizes = membership.sum(axis=1)
+    sizes.setflags(write=False)
+    return MaskTables(
+        n_models=n_models, membership=membership, members=members, sizes=sizes
+    )
 
 
 def iter_masks(n_models: int, include_empty: bool = False) -> Iterator[int]:

@@ -18,6 +18,8 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.scheduling.problem import QueryRequest
+
 
 
 class ServingPolicy:
@@ -129,3 +131,28 @@ class BufferedSchedulingPolicy(ServingPolicy):
 
     def score_for(self, sample_index: int) -> float:
         return float(self.scores[sample_index])
+
+    def make_request(
+        self,
+        query_id: int,
+        arrival: float,
+        deadline: float,
+        sample_index: int,
+    ) -> QueryRequest:
+        """Build the scheduler-facing request for one buffered query.
+
+        The server builds each query's request once per run and reuses
+        it across scheduler invocations: a query that stays buffered
+        through several ticks keeps its
+        :meth:`~repro.scheduling.problem.QueryRequest.quantised_utilities`
+        cache, so overlapping buffers never re-quantise the same reward
+        row.
+        """
+        return QueryRequest(
+            query_id=query_id,
+            arrival=arrival,
+            deadline=deadline,
+            utilities=self.utilities_for(sample_index),
+            score=self.score_for(sample_index),
+            sample_index=sample_index,
+        )

@@ -346,6 +346,11 @@ class EnsembleServer:
         scheduling_busy = False
         invocations = 0
         total_work = 0
+        # One QueryRequest per query per run, built lazily and reused
+        # across scheduler invocations: a query that survives several
+        # buffer ticks keeps its quantised-utility cache, so repeated
+        # schedule() calls on overlapping buffers never re-quantise.
+        request_cache: Dict[int, QueryRequest] = {}
 
         buffered = isinstance(self.policy, BufferedSchedulingPolicy)
 
@@ -370,19 +375,19 @@ class EnsembleServer:
             snapshot = buffer[: config.max_buffer]
             del buffer[: len(snapshot)]
 
-            queries = [
-                QueryRequest(
-                    query_id=qid,
-                    arrival=records[qid].arrival,
-                    deadline=records[qid].deadline,
-                    utilities=self.policy.utilities_for(
-                        records[qid].sample_index
-                    ),
-                    score=self.policy.score_for(records[qid].sample_index),
-                    sample_index=records[qid].sample_index,
-                )
-                for qid in snapshot
-            ]
+            queries = []
+            for qid in snapshot:
+                request = request_cache.get(qid)
+                if request is None:
+                    record = records[qid]
+                    request = self.policy.make_request(
+                        qid,
+                        record.arrival,
+                        record.deadline,
+                        record.sample_index,
+                    )
+                    request_cache[qid] = request
+                queries.append(request)
             busy_until = self._busy_per_model(now)
             instance = SchedulingInstance(
                 queries=queries,

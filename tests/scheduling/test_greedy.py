@@ -77,6 +77,45 @@ class TestGreedyScheduler:
         assert edf.total_utility == pytest.approx(2.0)
         assert fifo.total_utility == pytest.approx(1.0)
 
+    def test_full_tie_resolves_to_lowest_mask(self):
+        """Equal reward AND equal completion: the lowest mask wins (the
+        loop form's pick depended on enumeration order here)."""
+        u = np.array([0.0, 0.7, 0.7, 0.7])
+        q = QueryRequest(0, 0.0, 0.07, u)
+        inst = SchedulingInstance([q], np.array([0.05, 0.05]), np.zeros(2))
+        result = GreedyScheduler("edf").schedule(inst)
+        # Masks 1, 2 and 3 all complete at 0.05 with reward 0.7.
+        assert result.mask_for(0) == 1
+
+    def test_busy_model_shifts_the_tie(self):
+        """Same rewards, but model 0 starts busy: mask 2 now completes
+        first and must win over the lower mask."""
+        u = np.array([0.0, 0.7, 0.7, 0.7])
+        q = QueryRequest(0, 0.0, 0.07, u)
+        inst = SchedulingInstance(
+            [q], np.array([0.05, 0.05]), np.array([0.01, 0.0]),
+        )
+        result = GreedyScheduler("edf").schedule(inst)
+        assert result.mask_for(0) == 2
+
+    def test_selection_is_deterministic_across_runs(self):
+        rng = np.random.default_rng(9)
+        queries = [
+            QueryRequest(
+                i, 0.0, float(rng.uniform(0.1, 0.3)),
+                np.round(rng.uniform(0, 1, 8) * np.array([0, 1, 1, 1, 1, 1, 1, 1]), 1),
+            )
+            for i in range(5)
+        ]
+        inst = SchedulingInstance(
+            queries, np.array([0.05, 0.05, 0.05]), np.zeros(3),
+        )
+        plans = {
+            tuple(d.mask for d in GreedyScheduler("edf").schedule(inst).decisions)
+            for _ in range(5)
+        }
+        assert len(plans) == 1
+
     def test_unknown_order_rejected(self):
         with pytest.raises(ValueError):
             GreedyScheduler("lifo")

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.scheduling.bruteforce import BruteForceScheduler
 from repro.scheduling.dp import DPScheduler
 from repro.scheduling.greedy import GreedyScheduler
 from repro.scheduling.problem import QueryRequest, SchedulingInstance
@@ -45,6 +46,41 @@ class TestResultBookkeeping:
                         times[k] += inst.latencies[k]
                         completion = max(completion, times[k])
                 assert inst.now + completion <= query.deadline + 1e-9
+
+    def test_unified_work_units_across_schedulers(self):
+        """One unit per non-empty candidate subset per partial plan —
+        the same scale for every scheduler. A coarse δ collapses the DP
+        table to a single frontier entry per step (the skip continuation
+        dominates every extension), so its charge must equal greedy's
+        exactly: N × (2**m − 1). (The DP used to charge 2**m per entry,
+        billing the free skip — Fig. 13-style overhead comparisons
+        silently favoured greedy.)"""
+        inst = random_instance(4, 3, 77)
+        n_subsets = (1 << inst.n_models) - 1
+        greedy = GreedyScheduler("edf").schedule(inst)
+        assert greedy.work_units == inst.n_queries * n_subsets
+        dp = DPScheduler(delta=100.0).schedule(inst)
+        assert dp.work_units == greedy.work_units
+
+    def test_dp_charges_per_frontier_entry(self):
+        """At a fine δ the DP explores more partial plans and must be
+        charged more than greedy on the same instance."""
+        inst = random_instance(4, 3, 78)
+        fine = DPScheduler(delta=0.01).schedule(inst)
+        coarse = DPScheduler(delta=100.0).schedule(inst)
+        assert fine.work_units > coarse.work_units
+
+    def test_bruteforce_charges_nonempty_masks_only(self):
+        u = np.array([0.0, 0.5, 0.6, 0.9])
+        queries = [QueryRequest(i, 0.0, 5.0, u) for i in range(2)]
+        inst = SchedulingInstance(queries, np.array([0.02, 0.03]), np.zeros(2))
+        result = BruteForceScheduler().schedule(inst)
+        n_masks = 1 << inst.n_models
+        # Sum over all 4**2 assignments of their non-empty mask count.
+        expected = inst.n_queries * n_masks ** (inst.n_queries - 1) * (
+            n_masks - 1
+        )
+        assert result.work_units == expected
 
     def test_dp_and_greedy_agree_on_trivial_instance(self):
         """A single query with slack: every scheduler picks max utility."""
