@@ -2,19 +2,29 @@
 
 Run as a script (not collected by pytest)::
 
-    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--quick]
 
-Two checks on a diurnal-trace workload:
+Three checks on a diurnal-trace workload:
 
-* **Identity** — a run observed by a ``RecordingTracer`` produces
-  exactly the same per-query records as an untraced run (the tracer
-  only watches, never steers).
-* **Overhead** — the default ``NullTracer`` path must stay within 5%
-  wall-clock of the pre-observability event loop. The baseline is the
-  real thing: the seed commit's ``serving/server.py`` loaded from git
-  history and validated record-for-record against the current server,
-  so the comparison times identical work.
+* **Identity** — a run observed by a ``RecordingTracer`` (with an
+  attached ``SLOMonitor``) produces exactly the same per-query records
+  as an untraced run, and an explained run (``DecisionLog``) does too:
+  observability only watches, never steers. The decision log's chosen
+  masks are additionally checked against the served records.
+* **Overhead** — the default ``NullTracer`` / explain-off path must
+  stay within 5% wall-clock of the pre-observability event loop. The
+  baseline is the real thing: the seed commit's ``serving/server.py``
+  loaded from git history and validated record-for-record against the
+  current server, so the comparison times identical work.
+* **Regression** — the measured overhead is compared against the
+  committed ``benchmarks/results/BENCH_obs.json`` (read *before* it is
+  overwritten, the ``BENCH_sched.json`` pattern): the run fails if the
+  NullTracer overhead exceeds both an absolute noise floor and
+  ``REGRESSION_FACTOR`` times the committed figure, or if the
+  RecordingTracer slowdown doubles. CI's perf-smoke job enforces this
+  on every push.
 
+``--quick`` shrinks the timed workload and repeat count for CI.
 Results go to ``benchmarks/results/BENCH_obs.json``.
 """
 
@@ -31,6 +41,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.data.traces import diurnal_trace  # noqa: E402
+from repro.obs.explain import DecisionLog  # noqa: E402
+from repro.obs.slo import SLOMonitor  # noqa: E402
 from repro.obs.tracer import RecordingTracer  # noqa: E402
 from repro.scheduling.dp import DPScheduler  # noqa: E402
 from repro.serving.policies import (  # noqa: E402
@@ -47,7 +59,15 @@ BASELINE_COMMIT = "8c15a45"
 
 LATENCIES = [0.010, 0.022, 0.045]
 REPEATS = 5
+REPEATS_QUICK = 2
+OVERHEAD_DURATION = 120.0
+OVERHEAD_DURATION_QUICK = 40.0
 MAX_OVERHEAD = 0.05
+# Regression gate vs the committed BENCH_obs.json: fail only when the
+# overhead is both above the absolute noise floor and more than
+# REGRESSION_FACTOR times the committed figure.
+REGRESSION_FACTOR = 2.0
+NOISE_FLOOR = 0.025
 
 
 def load_baseline_server():
@@ -77,27 +97,43 @@ def build_workload(base_rate, duration, seed, n_pool=512):
 
 
 def check_identity():
-    """Traced and untraced runs must agree record-for-record."""
+    """Traced/monitored/explained runs must agree record-for-record."""
     m = len(LATENCIES)
     utilities = np.ones((512, 1 << m))
     utilities[:, 0] = 0.0
     workload = build_workload(base_rate=60.0, duration=60.0, seed=11)
 
-    def run(tracer):
+    def run(tracer, explain=None):
         policy = BufferedSchedulingPolicy(
             "schemble", DPScheduler(delta=0.05), utilities
         )
-        server = EnsembleServer(LATENCIES, policy, tracer=tracer)
+        server = EnsembleServer(
+            LATENCIES, policy, tracer=tracer, explain=explain
+        )
         return server.run(workload)
 
     plain = run(None)
-    traced = run(RecordingTracer())
-    identical = plain.records == traced.records
+    traced = run(RecordingTracer(slo=SLOMonitor()))
+    log = DecisionLog()
+    explained = run(RecordingTracer(), explain=log)
+    identical = (
+        plain.records == traced.records
+        and plain.records == explained.records
+    )
+    # The log must tell the truth: each served query's final decision
+    # carries the mask the server actually committed.
+    masks_match = all(
+        (log.for_query(r.query_id)[-1].chosen_mask == r.scheduled_mask)
+        for r in explained.records
+        if log.for_query(r.query_id)
+    )
     return {
         "queries": workload.n_queries,
         "records_identical": identical,
+        "decisions": len(log),
+        "decision_masks_match": masks_match,
         "spans": "recorded",
-    }, identical
+    }, identical and masks_match
 
 
 def time_variants(runs, repeats=REPEATS):
@@ -113,10 +149,12 @@ def time_variants(runs, repeats=REPEATS):
     return {name: min(times) for name, times in samples.items()}
 
 
-def check_overhead():
+def check_overhead(quick=False):
     """NullTracer wall-clock vs the pre-observability server."""
     mask = 0b11
-    workload = build_workload(base_rate=400.0, duration=120.0, seed=13)
+    duration = OVERHEAD_DURATION_QUICK if quick else OVERHEAD_DURATION
+    repeats = REPEATS_QUICK if quick else REPEATS
+    workload = build_workload(base_rate=400.0, duration=duration, seed=13)
     policy = ImmediateMaskPolicy("original", mask)
     BaselineServer = load_baseline_server()
 
@@ -137,42 +175,101 @@ def check_overhead():
         "recording_tracer": (
             lambda: run_server(RecordingTracer(keep_spans=False))
         ),
-    })
+    }, repeats=repeats)
     overhead = best["null_tracer"] / best["baseline"] - 1.0
     return {
         "queries": workload.n_queries,
-        "repeats": REPEATS,
+        "repeats": repeats,
+        "quick": quick,
         "baseline_s": best["baseline"],
         "null_tracer_s": best["null_tracer"],
         "recording_tracer_s": best["recording_tracer"],
         "null_tracer_overhead": overhead,
+        "recording_tracer_ratio": best["recording_tracer"] / best["baseline"],
         "max_allowed_overhead": MAX_OVERHEAD,
     }, overhead
 
 
-def main():
+def check_regression(stats, committed):
+    """Overhead-regression gate vs the committed ``BENCH_obs.json``."""
+    failures = []
+    if not committed or "overhead" not in committed:
+        return failures, True
+    baseline = committed["overhead"]
+    overhead = stats["null_tracer_overhead"]
+    committed_overhead = baseline.get("null_tracer_overhead")
+    if committed_overhead is not None:
+        # Sub-noise-floor overheads never fail: with a committed figure
+        # near zero, 2x of almost-nothing is still almost nothing.
+        allowed = max(
+            NOISE_FLOOR, REGRESSION_FACTOR * committed_overhead
+        )
+        if overhead > allowed:
+            failures.append({
+                "metric": "null_tracer_overhead",
+                "value": overhead,
+                "committed": committed_overhead,
+                "allowed": allowed,
+            })
+    ratio = stats["recording_tracer_ratio"]
+    committed_ratio = baseline.get("recording_tracer_ratio")
+    if committed_ratio is not None:
+        allowed = REGRESSION_FACTOR * committed_ratio
+        if ratio > allowed:
+            failures.append({
+                "metric": "recording_tracer_ratio",
+                "value": ratio,
+                "committed": committed_ratio,
+                "allowed": allowed,
+            })
+    return failures, not failures
+
+
+def main(argv=None):
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    # The committed baseline must be read before this run overwrites it.
+    committed = None
+    if RESULTS_PATH.exists():
+        committed = json.loads(RESULTS_PATH.read_text())
+
     identity, identical = check_identity()
     print(f"identity: {identity['queries']} queries, "
-          f"records identical = {identical}")
-    overhead_stats, overhead = check_overhead()
+          f"records identical = {identity['records_identical']}, "
+          f"{identity['decisions']} decisions, "
+          f"masks match = {identity['decision_masks_match']}")
+    overhead_stats, overhead = check_overhead(quick=quick)
     print(
         f"overhead: baseline {overhead_stats['baseline_s']:.3f}s, "
         f"null tracer {overhead_stats['null_tracer_s']:.3f}s "
         f"({100 * overhead:+.2f}%), recording tracer "
-        f"{overhead_stats['recording_tracer_s']:.3f}s"
+        f"{overhead_stats['recording_tracer_s']:.3f}s "
+        f"({overhead_stats['recording_tracer_ratio']:.2f}x)"
     )
+    regressions, regression_ok = check_regression(overhead_stats, committed)
 
-    payload = {"identity": identity, "overhead": overhead_stats}
+    payload = {
+        "identity": identity,
+        "overhead": overhead_stats,
+        "regressions": regressions,
+        "regression_factor": REGRESSION_FACTOR,
+        "noise_floor": NOISE_FLOOR,
+    }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {RESULTS_PATH}")
 
     if not identical:
-        print("FAIL: traced run changed the serving records")
+        print("FAIL: observability changed the serving records")
         return 1
     if overhead > MAX_OVERHEAD:
         print(f"FAIL: NullTracer overhead {100 * overhead:.2f}% "
               f"exceeds {100 * MAX_OVERHEAD:.0f}%")
+        return 1
+    for failure in regressions:
+        print(f"FAIL: {failure['metric']} {failure['value']:.4f} exceeds "
+              f"allowed {failure['allowed']:.4f} "
+              f"(committed {failure['committed']:.4f})")
+    if not regression_ok:
         return 1
     print("PASS")
     return 0

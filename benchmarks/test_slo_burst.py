@@ -1,0 +1,106 @@
+"""SLO burst detection — online overload episodes (this repo).
+
+Not a paper artefact: an engineering guard for the online SLO monitor.
+A profiled arrival trace with a 10x burst in its middle third must be
+overloading enough to blow the deadline-miss budget, and the monitor
+watching the live span stream must localise it: exactly one overload
+episode, opening within one alert window of the burst start and closing
+within one window of its end.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.data.traces import diurnal_trace
+from repro.metrics.tables import format_table
+from repro.obs.slo import SLOConfig, SLOMonitor
+from repro.obs.tracer import RecordingTracer
+from repro.scheduling.dp import DPScheduler
+from repro.serving.policies import BufferedSchedulingPolicy
+from repro.serving.server import EnsembleServer
+from repro.serving.workload import ServingWorkload
+
+WINDOW = 5.0
+DURATION = 60.0
+BURST_START = DURATION / 3.0
+BURST_END = 2.0 * DURATION / 3.0
+
+
+def run_burst(seed=0):
+    profile = [1.0, 1.0, 10.0, 10.0, 1.0, 1.0]
+    trace = diurnal_trace(2.0, DURATION, profile=profile, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    n_pool = 16
+    quality = np.ones((n_pool, 2))
+    quality[:, 0] = 0.0
+    workload = ServingWorkload(
+        arrivals=trace.arrivals,
+        deadlines=np.full(len(trace), 0.4),
+        sample_indices=rng.integers(n_pool, size=len(trace)),
+        quality=quality,
+    )
+    utilities = np.ones((n_pool, 2))
+    utilities[:, 0] = 0.0
+    policy = BufferedSchedulingPolicy(
+        "schemble", DPScheduler(delta=0.05), utilities
+    )
+    monitor = SLOMonitor(SLOConfig(
+        miss_target=0.1,
+        windows=(WINDOW, 15.0, DURATION),
+        alert_window=WINDOW,
+        min_events=10,
+    ))
+    tracer = RecordingTracer(slo=monitor)
+    server = EnsembleServer([0.1], policy, tracer=tracer)
+    result = server.run(workload)
+    return result, tracer, monitor
+
+
+def test_slo_burst_detection(benchmark):
+    result, tracer, monitor = benchmark.pedantic(
+        run_burst, rounds=1, iterations=1
+    )
+
+    rows = []
+    for i, episode in enumerate(monitor.episodes):
+        rows.append([
+            f"#{i + 1}",
+            f"{episode.start:.2f}s",
+            "open" if episode.end is None else f"{episode.end:.2f}s",
+            f"{episode.peak_burn:.2f}x",
+        ])
+    text = format_table(
+        ["episode", "start", "end", "peak burn"],
+        rows,
+        title=(
+            "SLO burst detection — 10x arrival burst over "
+            f"t=[{BURST_START:.0f}s, {BURST_END:.0f}s], "
+            f"{WINDOW:.0f}s alert window, 10% miss budget"
+        ),
+    )
+    stats = monitor.window_stats()
+    text += (
+        f"\n\nqueries: {len(result)}  "
+        f"overall DMR: {result.deadline_miss_rate():.3f}  "
+        f"budget: {monitor.config.miss_target:.2f}"
+    )
+    for length in sorted(stats):
+        text += (
+            f"\nwindow {length:g}s at trace end: "
+            f"burn {stats[length]['burn_rate']:.2f}x"
+        )
+    save_result("slo_burst", text, monitor.summary())
+    print(text)
+
+    # Shape assertions: the burst overloads the run, and the detector
+    # localises it to one episode bracketing the burst.
+    assert result.deadline_miss_rate() > monitor.config.miss_target
+    assert len(monitor.episodes) == 1
+    episode = monitor.episodes[0]
+    assert BURST_START <= episode.start <= BURST_START + WINDOW
+    assert episode.end is not None
+    assert BURST_END <= episode.end <= BURST_END + WINDOW
+    assert episode.peak_burn > monitor.config.breach_burn
+    # Span stream and monitor agree.
+    breaches = tracer.metrics.counter("slo.breaches").value
+    assert breaches == len(monitor.episodes)

@@ -10,6 +10,8 @@ Usage::
     python -m repro budget --task vehicle_counting
     python -m repro trace --task text_matching [--policy schemble]
     python -m repro faults --task text_matching [--rates 0,0.05,0.15,0.3]
+    python -m repro explain QUERY_ID --decisions traces/..._decisions.jsonl
+    python -m repro slo --spans traces/..._spans.jsonl [--slo-target 0.05]
 
 Each command builds the task setup (training the models on first use),
 runs the corresponding experiment and prints its table. The commands are
@@ -22,6 +24,14 @@ plain-text run report to ``--out``; its ``--failure-rate`` / ``--jitter``
 fault lifecycle (task_failed/retry/worker_down/degraded_answer spans)
 shows up in the timeline and report. ``faults`` sweeps transient failure
 rates and compares graceful degradation against drop-on-failure.
+
+``trace`` also writes per-query scheduler decision records
+(``*_decisions.jsonl``) and a Prometheus text scrape of the run's
+metrics (``*_metrics.prom``); with ``--slo-target`` it attaches an
+online :class:`~repro.obs.slo.SLOMonitor` so burn rates and overload
+episodes appear in the report. ``explain`` pretty-prints the decision
+records of one query id; ``slo`` replays a recorded span stream through
+the monitor offline.
 
 Serving-side behaviour for ``trace``/``faults`` is described by a single
 :class:`~repro.serving.config.ServerConfig` inside a
@@ -45,7 +55,7 @@ from repro.metrics.tables import format_table
 
 COMMANDS = (
     "list", "table1", "sweep", "day", "schedulers", "budget", "trace",
-    "faults",
+    "faults", "explain", "slo",
 )
 
 TRACE_POLICIES = (
@@ -91,6 +101,19 @@ def _add_fault_args(parser: argparse.ArgumentParser):
     parser.add_argument(
         "--retries", type=int, default=2,
         help="retry budget per task (default: 2)",
+    )
+
+
+def _add_slo_args(parser: argparse.ArgumentParser):
+    """SLO monitoring knobs shared by ``trace``, ``faults`` and ``slo``."""
+    parser.add_argument(
+        "--slo-target", type=float, default=None,
+        help="deadline-miss error budget (fraction, e.g. 0.05); "
+        "enables online SLO monitoring",
+    )
+    parser.add_argument(
+        "--slo-window", type=float, default=10.0,
+        help="alert window in simulated seconds (default: 10)",
     )
 
 
@@ -156,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=17,
         help="seed of the fault plan RNG (default: 17)",
     )
+    _add_slo_args(trace)
 
     faults = sub.add_parser(
         "faults",
@@ -172,6 +196,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated task-failure rates to sweep",
     )
     _add_fault_args(faults)
+    _add_slo_args(faults)
+
+    explain = sub.add_parser(
+        "explain",
+        help="pretty-print the scheduler decision records of one query",
+    )
+    explain.add_argument(
+        "query_id", type=int, help="query id to explain",
+    )
+    explain.add_argument(
+        "--decisions", required=True,
+        help="decision JSONL written by `trace` (*_decisions.jsonl)",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="replay a recorded span stream through the SLO monitor",
+    )
+    slo.add_argument(
+        "--spans", required=True,
+        help="span JSONL written by `trace` (*_spans.jsonl)",
+    )
+    _add_slo_args(slo)
+    slo.add_argument(
+        "--min-events", type=int, default=20,
+        help="events required in the alert window before the detector "
+        "may fire (default: 20)",
+    )
     return parser
 
 
@@ -280,12 +332,29 @@ def _fault_plan(args, n_workers: int, duration: float):
     return None if plan.is_null else plan
 
 
+def _slo_monitor(args):
+    """Build the SLOMonitor ``--slo-target`` asks for (or None)."""
+    if getattr(args, "slo_target", None) is None:
+        return None
+    from repro.obs import SLOConfig, SLOMonitor
+
+    window = args.slo_window
+    return SLOMonitor(SLOConfig(
+        miss_target=args.slo_target,
+        windows=(window, 10.0 * window, 60.0 * window),
+        alert_window=window,
+        min_events=getattr(args, "min_events", 20),
+    ))
+
+
 def _cmd_trace(args) -> str:
     from repro.experiments.runner import RunSpec, run_spec
     from repro.obs import (
+        DecisionLog,
         RecordingTracer,
         render_report,
         write_chrome_trace,
+        write_prometheus,
         write_spans_jsonl,
     )
     from repro.serving.config import ServerConfig
@@ -308,8 +377,9 @@ def _cmd_trace(args) -> str:
         duration=args.duration,
         seed=args.seed + 5,
     )
-    tracer = RecordingTracer()
-    result = run_spec(setup, spec, tracer=tracer)
+    tracer = RecordingTracer(slo=_slo_monitor(args))
+    explain_log = DecisionLog()
+    result = run_spec(setup, spec, tracer=tracer, explain=explain_log)
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -317,6 +387,12 @@ def _cmd_trace(args) -> str:
     spans_path = write_spans_jsonl(tracer.spans, out_dir / f"{stem}_spans.jsonl")
     timeline_path = write_chrome_trace(
         tracer.spans, out_dir / f"{stem}_timeline.json"
+    )
+    decisions_path = explain_log.write_jsonl(
+        out_dir / f"{stem}_decisions.jsonl"
+    )
+    prom_path = write_prometheus(
+        tracer.metrics, out_dir / f"{stem}_metrics.prom"
     )
     report = render_report(result, tracer, duration=args.duration)
     report_path = out_dir / f"{stem}_report.txt"
@@ -327,6 +403,9 @@ def _cmd_trace(args) -> str:
         f"wrote {spans_path}",
         f"wrote {timeline_path}  (open in chrome://tracing or "
         "https://ui.perfetto.dev)",
+        f"wrote {decisions_path}  (inspect with `python -m repro explain "
+        f"QUERY_ID --decisions {decisions_path}`)",
+        f"wrote {prom_path}",
         f"wrote {report_path}",
     ])
     return report + footer
@@ -365,6 +444,16 @@ def _cmd_faults(args) -> str:
     retries = [f"{int(v)}" for v in out["modes"]["degraded"]["retries"]]
     rows.append(["degraded answers"] + degraded_pct)
     rows.append(["retries"] + retries)
+    if args.slo_target is not None:
+        for mode in ("degraded", "drop"):
+            rows.append(
+                [f"slo burn ({mode})"]
+                + [
+                    f"{d / args.slo_target:.2f}x"
+                    + (" BREACH" if d >= args.slo_target else "")
+                    for d in out["modes"][mode]["dmr"]
+                ]
+            )
     return format_table(
         ["mode (acc/dmr)"] + [f"fail={r}" for r in out["failure_rates"]],
         rows,
@@ -373,6 +462,56 @@ def _cmd_faults(args) -> str:
             "(degraded-mode vs drop-on-failure)"
         ),
     )
+
+
+def _cmd_explain(args) -> str:
+    from repro.obs import DecisionLog, format_decision
+
+    path = Path(args.decisions)
+    if not path.exists():
+        raise SystemExit(f"no decision log at {path}")
+    log = DecisionLog.read_jsonl(path)
+    records = log.for_query(args.query_id)
+    if not records:
+        raise SystemExit(
+            f"query {args.query_id} has no decision records in {path} "
+            f"({len(log)} records total)"
+        )
+    n_models = max(
+        (mask.bit_length()
+         for r in records
+         for mask in [r.chosen_mask, *r.candidate_masks]),
+        default=0,
+    )
+    blocks = [format_decision(r, n_models=n_models) for r in records]
+    if len(blocks) > 1:
+        blocks.insert(0, f"{len(blocks)} planning rounds for query "
+                         f"{args.query_id} (last one stuck):")
+    return "\n\n".join(blocks)
+
+
+def _cmd_slo(args) -> str:
+    from repro.obs import SLOConfig, read_spans_jsonl, render_slo, replay_spans
+
+    path = Path(args.spans)
+    if not path.exists():
+        raise SystemExit(f"no span dump at {path}")
+    window = args.slo_window
+    config = SLOConfig(
+        miss_target=(
+            args.slo_target if args.slo_target is not None else 0.05
+        ),
+        windows=(window, 10.0 * window, 60.0 * window),
+        alert_window=window,
+        min_events=args.min_events,
+    )
+    spans = read_spans_jsonl(path)
+    monitor = replay_spans(spans, config)
+    header = (
+        f"slo replay — {path} ({len(spans)} spans, "
+        f"{monitor.events} resolved queries)"
+    )
+    return header + "\n" + render_slo(monitor)
 
 
 def _cmd_budget(args) -> str:
@@ -401,6 +540,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "budget": lambda: _cmd_budget(args),
         "trace": lambda: _cmd_trace(args),
         "faults": lambda: _cmd_faults(args),
+        "explain": lambda: _cmd_explain(args),
+        "slo": lambda: _cmd_slo(args),
     }
     print(handlers[args.command]())
     return 0

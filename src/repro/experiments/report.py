@@ -191,6 +191,20 @@ REGISTRY: List[ExperimentEntry] = [
         "perf-smoke job fails any grid point whose speedup halves).",
     ),
     ExperimentEntry(
+        "SLO burst detection — online overload episodes (this repo)",
+        ["slo_burst"],
+        "— (not in the paper; validates the online SLO monitor the "
+        "serving loop can optionally stream spans into).",
+        "A diurnal trace with a 10x arrival burst over its middle third "
+        "overloads a single worker; the burn-rate monitor watching the "
+        "live span stream localises the overload to exactly one episode "
+        "whose start and end both land within one 5s alert window of "
+        "the true burst boundaries. Re-run with `PYTHONPATH=src:. "
+        "python -m pytest benchmarks/test_slo_burst.py`; the same "
+        "detector is replayable offline from any exported span file "
+        "via `python -m repro slo --spans <spans.jsonl>`.",
+    ),
+    ExperimentEntry(
         "Design-choice ablations (this repo)",
         ["ablation_distance", "ablation_monotone", "ablation_fast_path"],
         "— (not in the paper; quantifies DESIGN.md's substrate "

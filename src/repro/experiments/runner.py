@@ -107,12 +107,15 @@ def run_spec(
     spec: RunSpec,
     trace: Optional[ArrivalTrace] = None,
     tracer=None,
+    explain=None,
 ) -> ServingResult:
     """Run one :class:`RunSpec` on ``setup`` and return its result.
 
     Builds the task's bursty day trace when ``trace`` is not supplied,
     attaches deadlines/samples with ``make_workload``, and serves with
-    the spec's policy under the spec's :class:`ServerConfig`.
+    the spec's policy under the spec's :class:`ServerConfig`. Pass a
+    :class:`~repro.obs.explain.DecisionLog` as ``explain`` to capture
+    per-query scheduler decision records.
     """
     # Local import: trace_segments itself builds on this module.
     from repro.experiments.trace_segments import make_day_trace
@@ -137,6 +140,7 @@ def run_spec(
         policy_name=spec.policy,
         config=spec.config,
         tracer=tracer,
+        explain=explain,
     )
 
 
@@ -148,6 +152,7 @@ def run_policy(
     *,
     config: Optional[ServerConfig] = None,
     tracer=None,
+    explain=None,
     allow_rejection: Optional[bool] = None,
     max_buffer: Optional[int] = None,
 ) -> ServingResult:
@@ -158,8 +163,10 @@ def run_policy(
     keywords are a deprecated shim for the pre-config call shape.
 
     Pass a :class:`~repro.obs.tracer.RecordingTracer` as ``tracer`` to
-    collect the run's span stream and metrics (the default NullTracer
-    keeps the run untouched).
+    collect the run's span stream and metrics, and/or a
+    :class:`~repro.obs.explain.DecisionLog` as ``explain`` to capture
+    per-query scheduler decision records (the default NullTracer keeps
+    the run untouched).
     """
     if allow_rejection is not None or max_buffer is not None:
         if config is not None:
@@ -188,6 +195,7 @@ def run_policy(
         config,
         workers=setup.workers_for(name),
         tracer=tracer,
+        explain=explain,
     )
     return server.run(workload)
 

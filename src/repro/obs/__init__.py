@@ -6,17 +6,24 @@ query-lifecycle spans through a :class:`Tracer`; the default
 :class:`RecordingTracer` turns a run into (1) a span stream exportable
 as JSONL or a Chrome/Perfetto timeline, (2) a
 :class:`MetricsRegistry` of counters, time-keyed gauges and streaming
-histograms, and (3) a plain-text run report. See README.md
-"Observability" for the span schema and metric names.
+histograms backed by mergeable :class:`QuantileDigest` sketches, and
+(3) a plain-text run report. An :class:`SLOMonitor` watches the span
+stream online (rolling-window burn rates, overload episodes), and an
+opt-in :class:`DecisionLog` captures per-query scheduler decision
+records. See README.md "Observability" for the span schema and metric
+names.
 """
 
+from repro.obs.digest import QuantileDigest
+from repro.obs.explain import DecisionLog, DecisionRecord, format_decision
 from repro.obs.metrics import (
     Counter,
     Gauge,
     MetricsRegistry,
     StreamingHistogram,
 )
-from repro.obs.report import render_report, sparkline
+from repro.obs.report import render_report, render_slo, sparkline
+from repro.obs.slo import Episode, SLOConfig, SLOMonitor, replay_spans
 from repro.obs.spans import KINDS, Span, span_sequence, spans_of_kind
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -26,7 +33,10 @@ from repro.obs.tracer import (
 )
 from repro.obs.export import (
     chrome_trace_events,
+    prometheus_text,
+    read_spans_jsonl,
     write_chrome_trace,
+    write_prometheus,
     write_spans_jsonl,
 )
 
@@ -35,6 +45,7 @@ __all__ = [
     "Gauge",
     "MetricsRegistry",
     "StreamingHistogram",
+    "QuantileDigest",
     "Span",
     "KINDS",
     "span_sequence",
@@ -43,9 +54,20 @@ __all__ = [
     "NullTracer",
     "RecordingTracer",
     "NULL_TRACER",
+    "SLOConfig",
+    "SLOMonitor",
+    "Episode",
+    "replay_spans",
+    "DecisionLog",
+    "DecisionRecord",
+    "format_decision",
     "chrome_trace_events",
+    "prometheus_text",
+    "read_spans_jsonl",
     "write_chrome_trace",
+    "write_prometheus",
     "write_spans_jsonl",
     "render_report",
+    "render_slo",
     "sparkline",
 ]

@@ -18,10 +18,17 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+)
 from repro.obs.spans import (
     ARRIVAL,
     COMMIT,
     COMPLETE,
+    DECISION,
     DEGRADED,
     DISPATCH,
     ENTER_BUFFER,
@@ -29,6 +36,8 @@ from repro.obs.spans import (
     REJECT,
     RETRY,
     SCHEDULE,
+    SLO_BREACH,
+    SLO_RECOVERED,
     TASK_FAILED,
     WORKER_DOWN,
     Span,
@@ -43,11 +52,32 @@ def write_spans_jsonl(
 ) -> Path:
     """Write one JSON object per span; returns the written path."""
     path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w") as handle:
         for span in spans:
             handle.write(json.dumps(span.to_dict()))
             handle.write("\n")
     return path
+
+
+def read_spans_jsonl(path: Union[str, Path]) -> List[Span]:
+    """Parse a JSONL span dump back into :class:`Span` objects.
+
+    Inverse of :meth:`Span.to_dict` / :func:`write_spans_jsonl`: the
+    flat payload keys become ``attrs`` again and a missing ``query_id``
+    restores the run-level ``-1``. Round-trip equality is locked by
+    ``tests/obs/test_export.py``.
+    """
+    spans: List[Span] = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        kind = payload.pop("kind")
+        time = float(payload.pop("time"))
+        query_id = int(payload.pop("query_id", -1))
+        spans.append(Span(kind, time, query_id, payload))
+    return spans
 
 
 def chrome_trace_events(
@@ -138,7 +168,8 @@ def chrome_trace_events(
                 "args": dict(span.attrs),
             })
         elif span.kind in (ARRIVAL, COMPLETE, REJECT, COMMIT, FAST_PATH,
-                           TASK_FAILED, RETRY, DEGRADED):
+                           TASK_FAILED, RETRY, DEGRADED,
+                           SLO_BREACH, SLO_RECOVERED, DECISION):
             events.append({
                 "ph": "i", "pid": _PID, "tid": lifecycle_tid, "ts": ts,
                 "s": "t",
@@ -164,9 +195,72 @@ def write_chrome_trace(
 ) -> Path:
     """Write a ``chrome://tracing`` / Perfetto-loadable timeline JSON."""
     path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "traceEvents": chrome_trace_events(spans, worker_names),
         "displayTimeUnit": "ms",
     }
     path.write_text(json.dumps(payload))
+    return path
+
+
+def _prom_name(name: str) -> str:
+    """Metric name in Prometheus exposition syntax, ``repro_`` prefixed."""
+    return "repro_" + "".join(
+        c if c.isalnum() or c == "_" else "_" for c in name
+    )
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters map to ``counter`` samples, gauges to their last sampled
+    value, histograms to ``summary`` families (quantile series plus
+    ``_sum``/``_count``). One final scrape of a finished simulated run
+    — for dashboards that speak Prometheus, and for diffing two runs
+    with standard tooling.
+    """
+    lines: List[str] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        prom = _prom_name(name)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_prom_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {prom} gauge")
+            last = metric.last
+            lines.append(
+                f"{prom} "
+                f"{_prom_value(last if last is not None else float('nan'))}"
+            )
+        elif isinstance(metric, StreamingHistogram):
+            lines.append(f"# TYPE {prom} summary")
+            for q in (0.5, 0.95, 0.99):
+                lines.append(
+                    f'{prom}{{quantile="{q}"}} '
+                    f"{_prom_value(metric.quantile(q))}"
+                )
+            lines.append(f"{prom}_sum {_prom_value(metric.total)}")
+            lines.append(f"{prom}_count {metric.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> Path:
+    """Write :func:`prometheus_text` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(registry))
     return path

@@ -82,6 +82,77 @@ def _fault_lines(result, tracer: RecordingTracer) -> List[str]:
     return lines
 
 
+def _digest_lines(metrics) -> List[str]:
+    """Online-percentile section: what the bounded-memory digests saw.
+
+    These are the *streaming* estimates (t-digest-backed histograms fed
+    span by span), printed next to the exact post-hoc table above so
+    the two can be eyeballed against each other.
+    """
+    lines = ["streaming digests (online estimates, bounded memory):"]
+    for name in ("query.latency_s", "deadline.slack_s"):
+        if name not in metrics:
+            continue
+        hist = metrics.get(name)
+        if hist.count == 0:
+            lines.append(f"  {name}: no observations")
+            continue
+        lines.append(
+            f"  {name}: n={hist.count}  retained={hist.n_retained()}  "
+            f"p50={hist.quantile(0.5):.4f}  p95={hist.quantile(0.95):.4f}  "
+            f"p99={hist.quantile(0.99):.4f}"
+        )
+    lines.append("")
+    return lines
+
+
+def _slo_lines(monitor) -> List[str]:
+    """SLO section — rolling windows, burn rates, detected episodes."""
+    config = monitor.config
+    summary = monitor.summary()
+    lines = [
+        f"slo (miss budget {100.0 * config.miss_target:.1f}%, "
+        f"alert window {config.alert_window:g}s, "
+        f"breach at burn >= {config.breach_burn:g}x):",
+        f"  run total: {summary['events']} events  "
+        f"miss rate {100.0 * summary['miss_rate']:.1f}%"
+        if summary["events"]
+        else "  run total: no resolved queries",
+    ]
+    for length, stats in sorted(summary["windows"].items()):
+        if stats["events"]:
+            lines.append(
+                f"  window {length:g}s: events={int(stats['events'])}  "
+                f"miss={100.0 * stats['miss_rate']:.1f}%  "
+                f"burn={stats['burn_rate']:.2f}x"
+            )
+        else:
+            lines.append(f"  window {length:g}s: empty")
+    episodes = monitor.episodes
+    if episodes:
+        lines.append(f"  overload episodes: {len(episodes)}")
+        for i, episode in enumerate(episodes):
+            end = (
+                f"{episode.end:.2f}s" if episode.end is not None
+                else "open at trace end"
+            )
+            lines.append(
+                f"    #{i + 1}: t={episode.start:.2f}s -> {end} "
+                f"(peak burn {episode.peak_burn:.2f}x)"
+            )
+    else:
+        lines.append("  overload episodes: none detected")
+    lines.append("")
+    return lines
+
+
+def render_slo(monitor) -> str:
+    """Standalone SLO section text — the ``python -m repro slo`` output
+    (the same section ``render_report`` embeds for live-monitored runs).
+    """
+    return "\n".join(_slo_lines(monitor)).rstrip("\n")
+
+
 def render_report(
     result,
     tracer: RecordingTracer,
@@ -126,6 +197,11 @@ def render_report(
         title="latency & deadline slack (positive slack = met early)",
     ))
     lines.append("")
+
+    lines.extend(_digest_lines(metrics))
+    slo = getattr(tracer, "slo", None)
+    if slo is not None:
+        lines.extend(_slo_lines(slo))
 
     depth = metrics.gauge("buffer.depth")
     binned = depth.binned_max(horizon, n_bins)

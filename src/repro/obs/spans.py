@@ -45,10 +45,19 @@ WORKER_DOWN = "worker_down"    # worker entered a downtime window
 WORKER_UP = "worker_up"        # worker recovered
 DEGRADED = "degraded_answer"   # query answered from a partial subset
 
+# --- SLO / explainability (repro.obs.slo, repro.obs.explain) -------------
+SLO_BREACH = "slo_breach"      # alert-window burn rate crossed the
+                               # breach threshold (overload episode opens)
+SLO_RECOVERED = "slo_recovered"  # burn rate fell back under the
+                               # recovery threshold (episode closes)
+DECISION = "decision"          # one explained scheduling decision
+                               # (mirrors a DecisionRecord)
+
 KINDS = (
     ARRIVAL, ENTER_BUFFER, SCHEDULE, COMMIT, PLAN, DISPATCH,
     TASK_DONE, COMPLETE, REJECT, REQUEUE, FAST_PATH,
     TASK_FAILED, RETRY, WORKER_DOWN, WORKER_UP, DEGRADED,
+    SLO_BREACH, SLO_RECOVERED, DECISION,
 )
 
 

@@ -16,7 +16,7 @@ overhead and real wall-clock), plan sizes and deadline slack.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import (
@@ -31,10 +31,15 @@ from repro.obs.spans import (
     REQUEUE,
     RETRY,
     SCHEDULE,
+    SLO_BREACH,
+    SLO_RECOVERED,
     TASK_FAILED,
     WORKER_DOWN,
     Span,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import
+    from repro.obs.slo import SLOMonitor
 
 
 class Tracer:
@@ -64,14 +69,23 @@ class RecordingTracer(Tracer):
     Args:
         keep_spans: Set False to keep only the metrics (constant memory
             for arbitrarily long traces).
-        reservoir: Histogram reservoir capacity (quantile accuracy vs
-            memory).
+        compression: Histogram digest compression δ (quantile accuracy
+            vs memory; see :class:`~repro.obs.digest.QuantileDigest`).
+        slo: Optional :class:`~repro.obs.slo.SLOMonitor` fed from the
+            span stream; breach/recovery events come back out as spans
+            and counters through this tracer.
     """
 
     enabled = True
 
-    def __init__(self, keep_spans: bool = True, reservoir: int = 4096):
+    def __init__(
+        self,
+        keep_spans: bool = True,
+        compression: int = 128,
+        slo: Optional["SLOMonitor"] = None,
+    ):
         self.keep_spans = keep_spans
+        self.slo = slo
         self.spans: List[Span] = []
         self.metrics = MetricsRegistry()
         self.end_time = 0.0
@@ -82,12 +96,16 @@ class RecordingTracer(Tracer):
         self.worker_downtime: Dict[int, float] = {}
         m = self.metrics
         self._buffer_depth = m.gauge("buffer.depth")
-        self._sched_wall = m.histogram("scheduler.wall_s", reservoir)
-        self._sched_sim = m.histogram("scheduler.overhead_sim_s", reservoir)
-        self._sched_batch = m.histogram("scheduler.batch_size", reservoir)
-        self._plan_size = m.histogram("plan.size", reservoir)
-        self._slack = m.histogram("deadline.slack_s", reservoir)
-        self._latency = m.histogram("query.latency_s", reservoir)
+        self._sched_wall = m.histogram("scheduler.wall_s", compression)
+        self._sched_sim = m.histogram(
+            "scheduler.overhead_sim_s", compression
+        )
+        self._sched_batch = m.histogram("scheduler.batch_size", compression)
+        self._plan_size = m.histogram("plan.size", compression)
+        self._slack = m.histogram("deadline.slack_s", compression)
+        self._latency = m.histogram("query.latency_s", compression)
+        if slo is not None:
+            slo.bind(self)
 
     def emit(self, kind: str, time: float, query_id: int = -1, **attrs):
         """Record one lifecycle event and update the derived metrics."""
@@ -120,8 +138,16 @@ class RecordingTracer(Tracer):
             metrics.counter("queries.completed").inc()
             self._slack.add(attrs["slack"])
             self._latency.add(attrs["latency"])
+            if self.slo is not None:
+                self.slo.observe(
+                    time,
+                    missed=float(attrs["slack"]) < 0.0,
+                    degraded=bool(attrs.get("degraded", False)),
+                )
         elif kind == REJECT:
             metrics.counter("queries.rejected").inc()
+            if self.slo is not None:
+                self.slo.observe(time, missed=True)
         elif kind == REQUEUE:
             self._buffer_depth.sample(time, attrs["depth"])
         elif kind == FAST_PATH:
@@ -140,11 +166,17 @@ class RecordingTracer(Tracer):
             )
         elif kind == DEGRADED:
             metrics.counter("queries.degraded").inc()
+        elif kind == SLO_BREACH:
+            metrics.counter("slo.breaches").inc()
+        elif kind == SLO_RECOVERED:
+            metrics.counter("slo.recoveries").inc()
 
     def finalize(self, end_time: float) -> None:
         """Freeze the trace end; later ``utilization`` uses it."""
         if end_time > self.end_time:
             self.end_time = end_time
+        if self.slo is not None:
+            self.slo.finalize(end_time)
 
     def utilization(self, duration: Optional[float] = None) -> Dict[int, float]:
         """Per-worker busy fraction over the run (or ``duration``).

@@ -43,6 +43,7 @@ unquantised-reward tie-break for the final plan — see
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -125,6 +126,28 @@ def _backtrack(
     return tuple(reversed(choices))
 
 
+@dataclass
+class ScheduleStats:
+    """Explainability snapshot of one ``schedule()`` call.
+
+    Populated only when :attr:`DPScheduler.collect_stats` is True (the
+    decision-explain path); the default scheduling path never builds it.
+
+    Attributes:
+        frontier_sizes: Pareto-frontier entries after each DP level —
+            one value per query, in EDF order (the order decisions are
+            returned in).
+        n_cells: Distinct quantised-reward cells in the final frontier.
+        candidate_masks: Per query (EDF order), the masks that were
+            deadline-feasible from at least one frontier entry. Mask 0
+            (skip) is always a candidate.
+    """
+
+    frontier_sizes: List[int] = field(default_factory=list)
+    n_cells: int = 0
+    candidate_masks: List[List[int]] = field(default_factory=list)
+
+
 class DPScheduler:
     """Near-optimal local scheduler with quantisation step δ.
 
@@ -137,6 +160,12 @@ class DPScheduler:
         epsilon: Approximation target used when ``delta`` is None.
         max_solutions_per_cell: Safety cap on a cell's Pareto frontier;
             the first entries in canonical order are kept.
+
+    Setting :attr:`collect_stats` makes each ``schedule()`` call leave
+    a :class:`ScheduleStats` in :attr:`last_stats` (frontier sizes,
+    reward cells, per-query candidate masks). The flag is checked once
+    per call plus once per query, so the disabled path — the default —
+    costs two predictable branches and stays bit-identical.
     """
 
     name = "dp"
@@ -155,6 +184,8 @@ class DPScheduler:
                 f"{max_solutions_per_cell}"
             )
         self.max_solutions_per_cell = max_solutions_per_cell
+        self.collect_stats = False
+        self.last_stats: Optional[ScheduleStats] = None
 
     def step_for(self, n_queries: int) -> float:
         """The quantisation step used for a buffer of ``n_queries``."""
@@ -165,6 +196,9 @@ class DPScheduler:
     def schedule(self, instance: SchedulingInstance) -> ScheduleResult:
         """Solve the local subproblem; decisions come back in EDF order."""
         n = instance.n_queries
+        collect = self.collect_stats
+        if collect:
+            self.last_stats = ScheduleStats()
         if n == 0:
             return ScheduleResult(decisions=[], total_utility=0.0, work_units=0)
 
@@ -197,6 +231,10 @@ class DPScheduler:
             ).max(axis=2)
             feasible = completion <= relative_deadline + _EPS
             feasible[:, 0] = True  # skipping is always allowed
+            if collect:
+                self.last_stats.candidate_masks.append(
+                    np.nonzero(feasible.any(axis=0))[0].tolist()
+                )
 
             sol_idx, mask_idx = np.nonzero(feasible)
             cand_times = cand[sol_idx, mask_idx, :]
@@ -225,6 +263,10 @@ class DPScheduler:
             cell_u = u_s[kept]
             parents.append(sol_s[kept])
             masks.append(mask_s[kept])
+            if collect:
+                self.last_stats.frontier_sizes.append(
+                    int(frontier.shape[0])
+                )
 
         # Quantised ties hide unquantised differences: among the best
         # cell's frontier, maximise the true reward, then prefer the
@@ -242,6 +284,8 @@ class DPScheduler:
                 reward == best_reward and span < best_span
             ):
                 best_plan, best_reward, best_span = plan, reward, span
+        if collect:
+            self.last_stats.n_cells = int(np.unique(cell_u).size)
         decisions = [
             ScheduleDecision(query_id=query.query_id, mask=mask)
             for query, mask in zip(queries, best_plan)

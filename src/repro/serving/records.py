@@ -133,6 +133,18 @@ class ServingResult:
         values = np.asarray(quality_table)[samples[~missed], masks[~missed]]
         return float(values.mean())
 
+    def n_rejected(self) -> int:
+        """Queries that were never answered (``latency is None`` —
+        excluded from every latency/slack percentile, counted here and
+        in the ``queries.rejected`` metric instead)."""
+        return sum(r.rejected for r in self.records)
+
+    def rejection_rate(self) -> float:
+        """Fraction of queries rejected (0.0 for an empty run)."""
+        if not self.records:
+            return 0.0
+        return self.n_rejected() / len(self.records)
+
     def n_degraded(self) -> int:
         """Queries answered from a partial subset after task failures."""
         return sum(r.degraded for r in self.records)

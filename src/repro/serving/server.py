@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.faults.injector import FaultInjector
 from repro.obs import spans as sp
+from repro.obs.explain import DecisionLog, DecisionRecord
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.scheduling.problem import QueryRequest, SchedulingInstance
 from repro.serving.config import ServerConfig
@@ -175,6 +176,13 @@ class EnsembleServer:
         tracer: Observability hook; defaults to the zero-overhead
             ``NULL_TRACER``. Pass a ``RecordingTracer`` to collect the
             span stream and run metrics.
+        explain: Opt-in :class:`~repro.obs.explain.DecisionLog`; when
+            set, every scheduling decision is captured as a
+            :class:`~repro.obs.explain.DecisionRecord` (inputs the
+            scheduler saw, DP frontier stats, chosen mask, predicted vs
+            realized finish). ``None`` (the default) keeps the serving
+            loop on the unexplained path: results stay bit-identical
+            and no capture code runs.
 
     The old per-knob call shape
     (``EnsembleServer(lat, policy, workers, allow_rejection=...,
@@ -196,10 +204,12 @@ class EnsembleServer:
         *legacy_args,
         config: Optional[ServerConfig] = None,
         tracer: Optional[Tracer] = None,
+        explain: Optional[DecisionLog] = None,
         **legacy_kwargs,
     ):
         config = self._resolve_config(config, legacy_args, legacy_kwargs)
         self.config = config
+        self.explain = explain
         self.latencies = np.asarray(latencies, dtype=float)
         if self.latencies.ndim != 1 or np.any(self.latencies <= 0):
             raise ValueError("latencies must be a 1-d array of positives")
@@ -241,9 +251,13 @@ class EnsembleServer:
         *,
         workers: Optional[Sequence[WorkerSpec]] = None,
         tracer: Optional[Tracer] = None,
+        explain: Optional[DecisionLog] = None,
     ) -> "EnsembleServer":
         """Build a server from a validated :class:`ServerConfig`."""
-        return cls(latencies, policy, workers, config=config, tracer=tracer)
+        return cls(
+            latencies, policy, workers,
+            config=config, tracer=tracer, explain=explain,
+        )
 
     @classmethod
     def _resolve_config(cls, config, legacy_args, legacy_kwargs) -> ServerConfig:
@@ -319,6 +333,19 @@ class EnsembleServer:
         self._sched_wall = 0.0
         faulty = self._faulty
         config = self.config
+
+        # Opt-in decision explainability. When off (the default) every
+        # capture site below is a single falsy check and the DP's
+        # frontier-stats hook stays disabled, so the serving loop is
+        # bit-identical to the unexplained path.
+        explain = self.explain
+        explain_sched = None
+        if explain is not None:
+            scheduler = getattr(self.policy, "scheduler", None)
+            if scheduler is not None and hasattr(scheduler, "collect_stats"):
+                explain_sched = scheduler
+                explain_sched.collect_stats = True
+        self._pending_explain = None
 
         records: Dict[int, QueryRecord] = {}
         events: List = []
@@ -415,6 +442,14 @@ class EnsembleServer:
                     overhead_sim_s=overhead,
                     wall_s=wall,
                 )
+            if explain is not None:
+                # scheduling_busy serializes invocations, so exactly one
+                # schedule context is pending until its plan commits.
+                self._pending_explain = (
+                    now, len(snapshot), len(buffer), busy_until,
+                    explain_sched.last_stats
+                    if explain_sched is not None else None,
+                )
             heapq.heappush(
                 events,
                 (now + overhead, next(sequence), _COMMIT, result.decisions),
@@ -429,15 +464,25 @@ class EnsembleServer:
             scheduling_busy = False
             if trace:
                 tracer.emit(sp.COMMIT, now, decisions=len(decisions))
-            for decision in decisions:
+            ctx = None
+            if explain is not None:
+                ctx = self._pending_explain
+                self._pending_explain = None
+            for di, decision in enumerate(decisions):
                 record = records[decision.query_id]
                 mask = decision.mask
+                fallback = False
                 if mask == 0 and not config.allow_rejection:
                     # Forced processing: fall back to the fastest model.
                     mask = 1 << int(np.argmin(self.latencies))
+                    fallback = True
                 if mask == 0:
                     # Deadlines only get closer; infeasible stays so.
                     record.rejected = True
+                    if explain is not None:
+                        explain.add(self._explain_record(
+                            record, ctx, di, now, "reject", 0, None,
+                        ))
                     if trace:
                         tracer.emit(
                             sp.REJECT, now, decision.query_id,
@@ -446,12 +491,22 @@ class EnsembleServer:
                     continue
                 if not any_idle(now):
                     buffer.append(decision.query_id)
+                    if explain is not None:
+                        explain.add(self._explain_record(
+                            record, ctx, di, now, "requeue", mask, None,
+                        ))
                     if trace:
                         tracer.emit(
                             sp.REQUEUE, now, decision.query_id,
                             depth=len(buffer),
                         )
                     continue
+                if explain is not None:
+                    explain.add(self._explain_record(
+                        record, ctx, di, now,
+                        "fallback" if fallback else "dispatch", mask,
+                        self._estimate_completion(mask, now),
+                    ))
                 self._dispatch(record, mask, now, events, sequence)
 
         def dispatch_immediate(now: float, qid: int):
@@ -461,11 +516,20 @@ class EnsembleServer:
                 estimate = self._estimate_completion(mask, now)
                 if estimate > record.deadline + 1e-12:
                     record.rejected = True
+                    if explain is not None:
+                        explain.add(self._explain_record(
+                            record, None, 0, now, "reject", mask, estimate,
+                        ))
                     if trace:
                         tracer.emit(
                             sp.REJECT, now, qid, reason="estimate",
                         )
                     return
+            if explain is not None:
+                explain.add(self._explain_record(
+                    record, None, 0, now, "immediate", mask,
+                    self._estimate_completion(mask, now),
+                ))
             self._dispatch(record, mask, now, events, sequence)
 
         fastest_mask = 1 << int(np.argmin(self.latencies))
@@ -491,6 +555,12 @@ class EnsembleServer:
                         # entirely when the system is idle.
                         if trace:
                             tracer.emit(sp.FAST_PATH, now, payload)
+                        if explain is not None:
+                            explain.add(self._explain_record(
+                                records[payload], None, 0, now,
+                                "fast_path", fastest_mask,
+                                self._estimate_completion(fastest_mask, now),
+                            ))
                         self._dispatch(
                             records[payload], fastest_mask, now, events, sequence
                         )
@@ -525,6 +595,8 @@ class EnsembleServer:
                     tracer.emit(sp.TASK_DONE, now, qid, model=model_index)
                 if record.pending_tasks == 0:
                     record.completion = now
+                    if explain is not None:
+                        explain.realize(qid, now, record.deadline - now)
                     if trace:
                         tracer.emit(
                             sp.COMPLETE, now, qid,
@@ -554,6 +626,8 @@ class EnsembleServer:
             if trace:
                 tracer.emit(sp.REJECT, now, qid, reason="unserved")
         tracer.finalize(now)
+        if explain_sched is not None:
+            explain_sched.collect_stats = False
 
         return ServingResult(
             records=[records[i] for i in range(workload.n_queries)],
@@ -601,6 +675,57 @@ class EnsembleServer:
             ]
             busy[k] = min(candidates) if candidates else np.inf
         return busy
+
+    def _explain_record(
+        self, record, ctx, index, now, action, mask, predicted,
+    ) -> DecisionRecord:
+        """Build one :class:`DecisionRecord` at a capture site.
+
+        ``ctx`` is the pending schedule-time context captured by
+        ``try_schedule`` (None for immediate/fast-path decisions, which
+        have no buffer snapshot), ``index`` the decision's position in
+        the committed plan — the DP's per-query stats are EDF-ordered
+        exactly like the plan, so the index lines them up.
+        """
+        if ctx is not None:
+            decided_at, batch, depth, busy_until, stats = ctx
+        else:
+            decided_at, batch, depth, stats = now, 0, 0, None
+            busy_until = self._busy_per_model(now)
+        frontier_size = frontier_cells = 0
+        candidates: List[int] = []
+        if stats is not None and index < len(stats.candidate_masks):
+            candidates = list(stats.candidate_masks[index])
+            frontier_cells = stats.n_cells
+            if index < len(stats.frontier_sizes):
+                frontier_size = stats.frontier_sizes[index]
+        score_for = getattr(self.policy, "score_for", None)
+        score = (
+            float(score_for(record.sample_index))
+            if score_for is not None else float("nan")
+        )
+        return DecisionRecord(
+            query_id=record.query_id,
+            decided_at=decided_at,
+            committed_at=now,
+            action=action,
+            chosen_mask=mask,
+            score=score,
+            deadline=record.deadline,
+            batch_size=batch,
+            buffer_depth=depth,
+            busy_until=[float(b) for b in busy_until],
+            frontier_size=frontier_size,
+            frontier_cells=frontier_cells,
+            candidate_masks=candidates,
+            predicted_finish=(
+                float(predicted) if predicted is not None else None
+            ),
+            predicted_slack=(
+                record.deadline - float(predicted)
+                if predicted is not None else None
+            ),
+        )
 
     def _estimate_completion(self, mask: int, now: float) -> float:
         """Estimated completion time of ``mask`` dispatched right now."""
@@ -818,6 +943,10 @@ class EnsembleServer:
         trace = self._trace
         if not record.failed_mask:
             record.completion = now
+            if self.explain is not None:
+                self.explain.realize(
+                    record.query_id, now, record.deadline - now
+                )
             if trace:
                 self.tracer.emit(
                     sp.COMPLETE, now, record.query_id,
@@ -831,6 +960,10 @@ class EnsembleServer:
             # result is still a real answer (scored by its mask).
             record.degraded = True
             record.completion = now
+            if self.explain is not None:
+                self.explain.realize(
+                    record.query_id, now, record.deadline - now
+                )
             if trace:
                 self.tracer.emit(
                     sp.DEGRADED, now, record.query_id,

@@ -1,0 +1,197 @@
+"""Streaming quantile digest: accuracy, memory bound, mergeability.
+
+The headline acceptance test runs the real buffered Schemble policy on a
+>10k-query diurnal trace and checks the digest's report percentiles stay
+within 1% relative error of exact quantiles while retaining >= 100x
+fewer values than exact computation would.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.traces import diurnal_trace
+from repro.obs.digest import QuantileDigest
+from repro.scheduling.dp import DPScheduler
+from repro.serving.policies import BufferedSchedulingPolicy
+from repro.serving.server import EnsembleServer
+from repro.serving.workload import ServingWorkload
+
+REPORT_QS = (0.5, 0.9, 0.95, 0.99)
+
+
+def fill(values, compression=128):
+    digest = QuantileDigest(compression=compression)
+    for v in values:
+        digest.add(v)
+    return digest
+
+
+def rel_error(digest, values, q):
+    exact = float(np.quantile(values, q))
+    denom = abs(exact) if abs(exact) > 1e-9 else 1.0
+    return abs(digest.quantile(q) - exact) / denom
+
+
+class TestBasics:
+    def test_small_inputs_near_exact(self):
+        digest = fill(range(10))
+        assert digest.count == 10
+        assert digest.mean == pytest.approx(4.5)
+        assert digest.quantile(0.0) == 0.0
+        assert digest.quantile(1.0) == 9.0
+        assert digest.quantile(0.5) == pytest.approx(4.5)
+
+    def test_single_value(self):
+        digest = fill([3.25])
+        assert digest.quantile(0.5) == 3.25
+        assert digest.min == digest.max == 3.25
+
+    def test_empty_quantile_is_nan(self):
+        assert np.isnan(QuantileDigest().quantile(0.5))
+        assert np.isnan(QuantileDigest().mean)
+
+    def test_min_max_exact_on_long_streams(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, 3, 25_000)
+        digest = fill(values)
+        assert digest.quantile(0.0) == values.min()
+        assert digest.quantile(1.0) == values.max()
+        assert digest.count == 25_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantileDigest(compression=4)
+        with pytest.raises(ValueError):
+            QuantileDigest().quantile(1.5)
+        with pytest.raises(ValueError):
+            QuantileDigest().quantile(-0.1)
+
+
+class TestAccuracySynthetic:
+    """Distribution-level bounds at compression 128. The diurnal-trace
+    acceptance test below locks the tighter 1% production claim; these
+    guard against regressions across distribution shapes (heavy tails
+    get a looser bound — interpolation across convex tail gaps is the
+    known t-digest error mode)."""
+
+    @pytest.mark.parametrize("gen,bound", [
+        (lambda r: r.uniform(0, 1, 40_000), 0.01),
+        (lambda r: r.normal(5, 1, 40_000), 0.01),
+        (lambda r: r.exponential(1.0, 40_000), 0.015),
+        (lambda r: r.lognormal(0, 1.5, 40_000), 0.025),
+    ])
+    def test_report_percentiles(self, gen, bound):
+        values = gen(np.random.default_rng(7))
+        digest = fill(values)
+        for q in REPORT_QS:
+            assert rel_error(digest, values, q) <= bound, f"q={q}"
+
+    def test_memory_bound_independent_of_stream_length(self):
+        rng = np.random.default_rng(1)
+        digest = QuantileDigest(compression=128)
+        sizes = []
+        for _ in range(10):
+            for v in rng.lognormal(0, 1, 10_000):
+                digest.add(v)
+            digest.quantile(0.5)  # forces a compress
+            sizes.append(digest.n_centroids())
+        assert digest.count == 100_000
+        assert max(sizes) <= 2 * 128
+        # Memory plateaus: the last pass holds no more than the first + slack.
+        assert sizes[-1] <= sizes[0] + 32
+
+
+class TestDeterminismAndMerge:
+    def test_deterministic(self):
+        def build():
+            return fill(float(v % 97) * 1.5 for v in range(5000)).to_dict()
+
+        assert build() == build()
+
+    def test_merge_matches_single_digest_accuracy(self):
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(0, 1, 30_000)
+        parts = np.array_split(values, 7)
+        merged = fill(parts[0])
+        for part in parts[1:]:
+            merged.merge(fill(part))
+        assert merged.count == 30_000
+        assert merged.quantile(0.0) == values.min()
+        assert merged.quantile(1.0) == values.max()
+        for q in REPORT_QS:
+            assert rel_error(merged, values, q) <= 0.02, f"q={q}"
+
+    def test_merge_empty_is_noop(self):
+        digest = fill([1.0, 2.0])
+        state = digest.to_dict()
+        digest.merge(QuantileDigest())
+        assert digest.to_dict() == state
+
+    def test_merge_leaves_other_valid(self):
+        a, b = fill([1.0, 2.0]), fill([3.0, 4.0])
+        a.merge(b)
+        assert b.count == 2
+        assert b.quantile(1.0) == 4.0
+        assert a.count == 4
+
+
+class TestSerialization:
+    def test_round_trip_through_json(self):
+        rng = np.random.default_rng(5)
+        values = rng.exponential(2.0, 8_000)
+        digest = fill(values)
+        state = json.loads(json.dumps(digest.to_dict()))
+        clone = QuantileDigest.from_dict(state)
+        assert clone.count == digest.count
+        assert clone.mean == pytest.approx(digest.mean)
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert clone.quantile(q) == digest.quantile(q)
+
+    def test_empty_round_trip(self):
+        clone = QuantileDigest.from_dict(QuantileDigest().to_dict())
+        assert clone.count == 0
+        assert np.isnan(clone.quantile(0.5))
+
+
+@pytest.fixture(scope="module")
+def diurnal_run():
+    """Buffered Schemble policy on a >10k-served-query diurnal trace."""
+    latencies = [0.010, 0.022, 0.045]
+    trace = diurnal_trace(18.0, 140.0, seed=11)
+    rng = np.random.default_rng(12)
+    n_pool, n_subsets = 512, 1 << len(latencies)
+    quality = rng.uniform(0.3, 1.0, size=(n_pool, n_subsets))
+    quality[:, 0] = 0.0
+    workload = ServingWorkload(
+        arrivals=trace.arrivals,
+        deadlines=np.full(len(trace), 0.08),
+        sample_indices=rng.integers(n_pool, size=len(trace)),
+        quality=quality,
+    )
+    utilities = np.ones((n_pool, n_subsets))
+    utilities[:, 0] = 0.0
+    policy = BufferedSchedulingPolicy(
+        "schemble", DPScheduler(delta=0.05), utilities
+    )
+    return EnsembleServer(latencies, policy).run(workload)
+
+
+class TestDiurnalAcceptance:
+    """ISSUE 5 acceptance: <= 1% relative error at the report
+    percentiles on a 10k-sample diurnal run, holding >= 100x fewer
+    values than exact quantile computation retains."""
+
+    @pytest.mark.parametrize("series", ["latency", "slack"])
+    def test_within_one_percent_of_exact(self, diurnal_run, series):
+        values = (
+            diurnal_run.latencies() if series == "latency"
+            else diurnal_run.deadline_slack()
+        )
+        assert values.shape[0] >= 10_000
+        digest = fill(values)
+        digest.quantile(0.5)  # compress before measuring memory
+        assert digest.n_centroids() * 100 <= values.shape[0]
+        for q in REPORT_QS:
+            assert rel_error(digest, values, q) <= 0.01, f"q={q}"

@@ -1,0 +1,253 @@
+"""Scheduler decision explainability: records, log, server capture."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.explain import DecisionLog, DecisionRecord, format_decision
+from repro.obs.tracer import RecordingTracer
+from repro.scheduling.dp import DPScheduler
+from repro.scheduling.problem import QueryRequest, SchedulingInstance
+from repro.serving.policies import BufferedSchedulingPolicy
+from repro.serving.server import EnsembleServer
+from repro.serving.workload import ServingWorkload
+
+
+def record(**overrides):
+    base = dict(
+        query_id=7,
+        decided_at=1.0,
+        committed_at=1.001,
+        action="dispatch",
+        chosen_mask=3,
+        score=0.4,
+        deadline=1.5,
+        batch_size=2,
+        buffer_depth=1,
+        busy_until=[0.0, 0.2],
+        frontier_size=4,
+        frontier_cells=3,
+        candidate_masks=[0, 1, 2, 3],
+        predicted_finish=1.3,
+        predicted_slack=0.2,
+    )
+    base.update(overrides)
+    return DecisionRecord(**base)
+
+
+def buffered_policy(m=2, n_pool=4):
+    utilities = np.ones((n_pool, 1 << m))
+    utilities[:, 0] = 0.0
+    return BufferedSchedulingPolicy(
+        "schemble", DPScheduler(delta=0.05), utilities
+    )
+
+
+def workload(arrivals, deadline, m=2, n_pool=4):
+    arrivals = np.asarray(arrivals, dtype=float)
+    n = arrivals.shape[0]
+    quality = np.ones((n_pool, 1 << m))
+    quality[:, 0] = 0.0
+    return ServingWorkload(
+        arrivals=arrivals,
+        deadlines=np.full(n, deadline),
+        sample_indices=np.zeros(n, dtype=int),
+        quality=quality,
+    )
+
+
+class TestDecisionRecord:
+    def test_roundtrip(self):
+        r = record()
+        assert DecisionRecord.from_dict(r.to_dict()) == r
+
+    def test_prediction_error(self):
+        r = record(realized_finish=1.35, realized_slack=0.15)
+        assert r.prediction_error == pytest.approx(0.05)
+        assert record().prediction_error is None
+
+    def test_format_names_models(self):
+        text = format_decision(record(), n_models=2)
+        assert "query 7: dispatch mask=3 {m0,m1}" in text
+        assert "dp frontier: 4 entries" in text
+        assert "(never completed)" in text
+
+    def test_format_without_model_count(self):
+        assert "0b11" in format_decision(record())
+
+
+class TestDecisionLog:
+    def test_realize_backfills_latest_round(self):
+        log = DecisionLog()
+        log.add(record(action="requeue", chosen_mask=0))
+        log.add(record())
+        log.realize(7, finish=1.4, slack=0.1)
+        rounds = log.for_query(7)
+        assert len(rounds) == 2
+        assert rounds[0].realized_finish is None
+        assert rounds[1].realized_finish == 1.4
+        assert rounds[1].realized_slack == 0.1
+
+    def test_realize_unknown_query_is_noop(self):
+        DecisionLog().realize(99, finish=1.0, slack=0.0)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        log = DecisionLog()
+        log.add(record(query_id=1))
+        log.add(record(query_id=2, action="reject", chosen_mask=0,
+                       predicted_finish=None, predicted_slack=None))
+        log.realize(1, finish=1.4, slack=0.1)
+        path = log.write_jsonl(tmp_path / "nested" / "decisions.jsonl")
+        assert path.exists()
+        loaded = DecisionLog.read_jsonl(path)
+        assert [r.to_dict() for r in loaded.records] == [
+            r.to_dict() for r in log.records
+        ]
+        assert loaded.for_query(2)[0].action == "reject"
+
+
+class TestScheduleStatsHook:
+    def instance(self, n_queries=3, n_models=2):
+        rng = np.random.default_rng(5)
+        queries = [
+            QueryRequest(
+                query_id=q,
+                arrival=0.0,
+                deadline=float(rng.uniform(0.2, 0.6)),
+                utilities=np.concatenate(
+                    ([0.0], rng.uniform(0.2, 1.0, size=(1 << n_models) - 1))
+                ),
+            )
+            for q in range(n_queries)
+        ]
+        return SchedulingInstance(
+            queries=queries,
+            latencies=np.full(n_models, 0.05),
+            busy_until=np.zeros(n_models),
+            now=0.0,
+        )
+
+    def test_off_by_default(self):
+        scheduler = DPScheduler(delta=0.05)
+        scheduler.schedule(self.instance())
+        assert scheduler.collect_stats is False
+        assert scheduler.last_stats is None
+
+    def test_stats_shape_matches_batch(self):
+        scheduler = DPScheduler(delta=0.05)
+        scheduler.collect_stats = True
+        instance = self.instance(n_queries=3)
+        scheduler.schedule(instance)
+        stats = scheduler.last_stats
+        assert len(stats.frontier_sizes) == 3
+        assert len(stats.candidate_masks) == 3
+        assert all(size >= 1 for size in stats.frontier_sizes)
+        assert stats.n_cells >= 1
+        # The skip mask is always feasible for every query.
+        assert all(0 in masks for masks in stats.candidate_masks)
+
+    def test_stats_do_not_change_plan(self):
+        instance = self.instance(n_queries=4)
+        plain = DPScheduler(delta=0.05).schedule(instance)
+        traced_scheduler = DPScheduler(delta=0.05)
+        traced_scheduler.collect_stats = True
+        traced = traced_scheduler.schedule(instance)
+        assert [(d.query_id, d.mask) for d in plain.decisions] == [
+            (d.query_id, d.mask) for d in traced.decisions
+        ]
+        assert plain.total_utility == traced.total_utility
+        assert plain.work_units == traced.work_units
+
+
+class TestServerCapture:
+    def run_explained(self, arrivals=(0.0, 0.0, 0.3, 0.35, 0.9),
+                      deadline=0.6, **config):
+        log = DecisionLog()
+        server = EnsembleServer(
+            [0.1, 0.25], buffered_policy(), tracer=RecordingTracer(),
+            explain=log, **config,
+        )
+        result = server.run(workload(list(arrivals), deadline=deadline))
+        return result, log
+
+    def test_chosen_masks_match_served_records(self):
+        result, log = self.run_explained()
+        assert len(log) >= len(result.records)
+        for r in result.records:
+            rounds = log.for_query(r.query_id)
+            assert rounds, f"query {r.query_id} has no decision records"
+            final = rounds[-1]
+            if r.rejected:
+                assert final.action == "reject"
+                assert final.chosen_mask == 0
+            else:
+                assert final.chosen_mask == r.scheduled_mask
+                assert final.realized_finish == pytest.approx(r.completion)
+                assert final.realized_slack == pytest.approx(
+                    r.deadline - r.completion
+                )
+
+    def test_dispatch_records_capture_dp_context(self):
+        _, log = self.run_explained()
+        dispatches = [r for r in log.records if r.action == "dispatch"]
+        assert dispatches
+        for r in dispatches:
+            assert r.frontier_size >= 1
+            assert r.chosen_mask in r.candidate_masks
+            assert len(r.busy_until) == 2
+            assert not math.isnan(r.score)
+            assert r.predicted_finish is not None
+            assert r.predicted_slack == pytest.approx(
+                r.deadline - r.predicted_finish
+            )
+            assert r.committed_at >= r.decided_at
+
+    def test_predictions_match_outcomes_without_faults(self):
+        _, log = self.run_explained()
+        realized = [
+            r for r in log.records
+            if r.action == "dispatch" and r.realized_finish is not None
+        ]
+        assert realized
+        for r in realized:
+            assert r.prediction_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_collect_stats_reset_after_run(self):
+        policy = buffered_policy()
+        log = DecisionLog()
+        server = EnsembleServer([0.1, 0.25], policy, explain=log)
+        server.run(workload([0.0, 0.2], deadline=0.6))
+        assert policy.scheduler.collect_stats is False
+
+    def test_rejection_records_under_pressure(self):
+        # One slow worker, a burst, and no buffering slack: some queries
+        # must be rejected, and each rejection is explained.
+        log = DecisionLog()
+        server = EnsembleServer(
+            [0.4], buffered_policy(m=1), explain=log,
+        )
+        result = server.run(
+            workload([0.0] * 6, deadline=0.5, m=1)
+        )
+        rejected = [r for r in result.records if r.rejected]
+        assert rejected
+        for r in rejected:
+            assert log.for_query(r.query_id)[-1].action == "reject"
+
+
+class TestExplainOffIdentity:
+    def test_records_identical_with_and_without_explain(self):
+        arrivals = [0.0, 0.0, 0.3, 0.35, 0.9]
+
+        def run(explain):
+            server = EnsembleServer(
+                [0.1, 0.25], buffered_policy(), explain=explain
+            )
+            return server.run(workload(arrivals, deadline=0.6))
+
+        plain = run(None)
+        explained = run(DecisionLog())
+        assert plain.records == explained.records
+        assert plain.scheduler_invocations == explained.scheduler_invocations
+        assert plain.scheduler_work_units == explained.scheduler_work_units

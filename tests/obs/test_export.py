@@ -1,13 +1,20 @@
-"""Exporters: JSONL span dump and Chrome trace_event timeline."""
+"""Exporters: JSONL span dump, Chrome trace_event timeline, Prometheus."""
 
 import json
+import math
+
+import pytest
 
 from repro.obs import spans as sp
 from repro.obs.export import (
     chrome_trace_events,
+    prometheus_text,
+    read_spans_jsonl,
     write_chrome_trace,
+    write_prometheus,
     write_spans_jsonl,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Span
 
 
@@ -28,6 +35,22 @@ def sample_spans():
     ]
 
 
+def fault_mode_spans():
+    """Spans a fault-injected, SLO-monitored, explained run adds."""
+    return sample_spans() + [
+        Span(sp.WORKER_DOWN, 0.05, -1, {"worker": 5, "until": 0.25}),
+        Span(sp.TASK_FAILED, 0.06, 0, {"model": 2, "reason": "crash"}),
+        Span(sp.RETRY, 0.06, 0, {"model": 2, "attempt": 1}),
+        Span(sp.SLO_BREACH, 0.07, -1, {
+            "window": 5.0, "burn_rate": 2.0, "miss_rate": 0.1,
+        }),
+        Span(sp.SLO_RECOVERED, 0.3, -1, {
+            "window": 5.0, "burn_rate": 0.5, "miss_rate": 0.02,
+            "duration": 0.23,
+        }),
+    ]
+
+
 class TestJsonl:
     def test_roundtrip(self, tmp_path):
         path = write_spans_jsonl(sample_spans(), tmp_path / "spans.jsonl")
@@ -40,6 +63,22 @@ class TestJsonl:
         sched = json.loads(lines[2])
         assert "query_id" not in sched
         assert sched["wall_s"] == 0.0005
+
+    def test_read_back_equality(self, tmp_path):
+        spans = fault_mode_spans()
+        path = write_spans_jsonl(spans, tmp_path / "spans.jsonl")
+        assert read_spans_jsonl(path) == spans
+
+    def test_read_back_skips_blank_lines(self, tmp_path):
+        path = write_spans_jsonl(sample_spans(), tmp_path / "spans.jsonl")
+        path.write_text(path.read_text() + "\n\n")
+        assert read_spans_jsonl(path) == sample_spans()
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = write_spans_jsonl(
+            sample_spans(), tmp_path / "a" / "b" / "spans.jsonl"
+        )
+        assert path.exists()
 
 
 class TestChromeTrace:
@@ -92,3 +131,99 @@ class TestChromeTrace:
         events = chrome_trace_events([])
         # Metadata only; no crash on traces with no dispatches.
         assert all(e["ph"] == "M" for e in events)
+
+    def test_worker_down_box(self):
+        events = chrome_trace_events(fault_mode_spans())
+        down = [e for e in events
+                if e["ph"] == "X" and e["cat"] == "fault"]
+        assert len(down) == 1
+        box = down[0]
+        assert box["name"] == "DOWN"
+        assert box["tid"] == 5  # the downed worker's own lane
+        assert box["ts"] == pytest.approx(0.05 * 1e6)
+        assert box["dur"] == pytest.approx((0.25 - 0.05) * 1e6)
+
+    def test_slo_events_render_as_instants(self):
+        events = chrome_trace_events(fault_mode_spans())
+        instants = {e["name"] for e in events if e["ph"] == "i"}
+        assert sp.SLO_BREACH in instants
+        assert sp.SLO_RECOVERED in instants
+
+    def test_trace_event_schema_invariants(self):
+        # The subset of the trace_event format the viewers require:
+        # every event names its phase/pid, duration events carry a
+        # non-negative dur, instants carry a scope, counters carry
+        # numeric args. Violations render as a blank Perfetto track.
+        events = chrome_trace_events(fault_mode_spans())
+        assert events, "no events generated"
+        for event in events:
+            assert event["ph"] in {"M", "X", "i", "C"}
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["name"], str) and event["name"]
+            if event["ph"] in {"X", "i", "C"}:
+                assert event["ts"] >= 0.0
+            if event["ph"] == "X":
+                assert event["dur"] > 0.0
+                assert isinstance(event["tid"], int)
+            if event["ph"] == "i":
+                assert event["s"] in {"g", "p", "t"}
+            if event["ph"] == "C":
+                assert all(
+                    isinstance(v, (int, float))
+                    for v in event["args"].values()
+                )
+        assert json.dumps(events)  # the payload must be serializable
+
+
+class TestPrometheus:
+    def registry(self):
+        reg = MetricsRegistry()
+        reg.counter("queries.completed").inc(12)
+        reg.gauge("buffer.depth").sample(0.5, 3)
+        hist = reg.histogram("query.latency_s")
+        for v in range(100):
+            hist.add(v / 100.0)
+        return reg
+
+    def test_families_and_types(self):
+        text = prometheus_text(self.registry())
+        assert "# TYPE repro_queries_completed counter" in text
+        assert "repro_queries_completed 12.0" in text
+        assert "# TYPE repro_buffer_depth gauge" in text
+        assert "repro_buffer_depth 3.0" in text
+        assert "# TYPE repro_query_latency_s summary" in text
+        assert 'repro_query_latency_s{quantile="0.5"}' in text
+        assert "repro_query_latency_s_count 100" in text
+        assert text.endswith("\n")
+
+    def test_names_are_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks.failed.crash").inc()
+        text = prometheus_text(reg)
+        assert "repro_tasks_failed_crash 1.0" in text
+        # Exposition names: [a-zA-Z_][a-zA-Z0-9_]* — no dots survive.
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            assert "." not in name and name.startswith("repro_")
+
+    def test_empty_histogram_is_nan(self):
+        reg = MetricsRegistry()
+        reg.histogram("query.latency_s")
+        text = prometheus_text(reg)
+        assert 'quantile="0.5"} NaN' in text
+        assert "repro_query_latency_s_count 0" in text
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = write_prometheus(
+            self.registry(), tmp_path / "out" / "metrics.prom"
+        )
+        content = path.read_text()
+        assert "repro_queries_completed" in content
+        quantile_line = next(
+            line for line in content.splitlines()
+            if 'quantile="0.99"' in line
+        )
+        value = float(quantile_line.rsplit(" ", 1)[1])
+        assert math.isclose(value, 0.99, abs_tol=0.05)

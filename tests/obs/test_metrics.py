@@ -54,8 +54,8 @@ class TestGauge:
 
 
 class TestStreamingHistogram:
-    def test_exact_under_capacity(self):
-        h = StreamingHistogram("lat", capacity=100)
+    def test_exact_on_small_inputs(self):
+        h = StreamingHistogram("lat")
         for v in range(10):
             h.add(v)
         assert h.count == 10
@@ -63,25 +63,41 @@ class TestStreamingHistogram:
         assert h.min == 0 and h.max == 9
         assert h.quantile(0.5) == pytest.approx(4.5)
 
-    def test_reservoir_quantiles_stay_close(self):
-        h = StreamingHistogram("lat", capacity=512)
+    def test_digest_quantiles_stay_close(self):
+        h = StreamingHistogram("lat")
         rng = np.random.default_rng(7)
         values = rng.uniform(0, 1, size=20_000)
         for v in values:
             h.add(v)
         assert h.count == 20_000
-        # Uniform[0,1]: reservoir p50 should sit near 0.5.
-        assert h.quantile(0.5) == pytest.approx(0.5, abs=0.06)
+        assert h.quantile(0.5) == pytest.approx(0.5, abs=0.01)
+        assert h.quantile(0.99) == pytest.approx(
+            np.quantile(values, 0.99), rel=0.01
+        )
         assert h.max == pytest.approx(values.max())
+        # The digest's memory bound: far fewer values than the stream.
+        assert h.n_retained() * 100 <= h.count
 
     def test_deterministic(self):
         def build():
-            h = StreamingHistogram("lat", capacity=16)
+            h = StreamingHistogram("lat", compression=16)
             for v in range(1000):
                 h.add(float(v % 97))
             return h.summary()
 
         assert build() == build()
+
+    def test_merge(self):
+        a = StreamingHistogram("lat")
+        b = StreamingHistogram("lat")
+        for v in range(0, 100):
+            a.add(v)
+        for v in range(100, 200):
+            b.add(v)
+        a.merge(b)
+        assert a.count == 200
+        assert a.max == 199
+        assert a.quantile(0.5) == pytest.approx(99.5, rel=0.02)
 
     def test_empty_summary(self):
         summary = StreamingHistogram("lat").summary()
@@ -90,7 +106,7 @@ class TestStreamingHistogram:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            StreamingHistogram("lat", capacity=0)
+            StreamingHistogram("lat", compression=0)
         with pytest.raises(ValueError):
             StreamingHistogram("lat").quantile(1.5)
 

@@ -1,0 +1,44 @@
+"""Schema lock: the README span table must document every span kind.
+
+The span stream is the repo's observability contract — exporters,
+the SLO monitor and external tooling all key off ``Span.kind``. Adding
+a kind to ``repro.obs.spans.KINDS`` without documenting it in the
+README "Span schema" table (or vice versa) breaks that contract
+silently; this test makes it loud.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs.spans import KINDS
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def readme_table_kinds():
+    """Span kinds documented in the README schema table (first cell of
+    each ``| `kind` | ...`` row)."""
+    kinds = []
+    for line in README.read_text().splitlines():
+        match = re.match(r"^\|\s*`([a-z_]+)`\s*\|", line)
+        if match:
+            kinds.append(match.group(1))
+    return kinds
+
+
+class TestSpanSchemaLock:
+    def test_every_kind_is_documented(self):
+        documented = set(readme_table_kinds())
+        missing = [k for k in KINDS if k not in documented]
+        assert not missing, (
+            f"span kinds missing from the README span table: {missing}"
+        )
+
+    def test_no_stale_table_rows(self):
+        stale = [k for k in readme_table_kinds() if k not in KINDS]
+        assert not stale, (
+            f"README span table documents unknown kinds: {stale}"
+        )
+
+    def test_kinds_are_unique(self):
+        assert len(KINDS) == len(set(KINDS))

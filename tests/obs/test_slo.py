@@ -1,0 +1,251 @@
+"""Online SLO monitoring: windows, burn rates, overload episodes."""
+
+import numpy as np
+import pytest
+
+from repro.data.traces import diurnal_trace
+from repro.obs import spans as sp
+from repro.obs.slo import Episode, SLOConfig, SLOMonitor, replay_spans
+from repro.obs.spans import Span
+from repro.obs.tracer import RecordingTracer
+from repro.scheduling.dp import DPScheduler
+from repro.serving.policies import BufferedSchedulingPolicy
+from repro.serving.server import EnsembleServer
+from repro.serving.workload import ServingWorkload
+
+
+def config(**overrides):
+    """A small, fast-firing config for unit tests."""
+    base = dict(
+        miss_target=0.1,
+        windows=(5.0, 20.0),
+        alert_window=5.0,
+        min_events=5,
+    )
+    base.update(overrides)
+    return SLOConfig(**base)
+
+
+class TestConfigValidation:
+    def test_alert_window_must_be_a_window(self):
+        with pytest.raises(ValueError):
+            SLOConfig(windows=(60.0,), alert_window=30.0)
+
+    def test_recover_above_breach_rejected(self):
+        with pytest.raises(ValueError):
+            config(breach_burn=1.0, recover_burn=2.0)
+
+    def test_positive_targets(self):
+        with pytest.raises(ValueError):
+            SLOConfig(miss_target=0.0)
+        with pytest.raises(ValueError):
+            SLOConfig(resolution=1)
+
+    def test_defaults_are_multi_resolution(self):
+        slo = SLOConfig()
+        assert slo.windows == (60.0, 600.0, 3600.0)
+        assert slo.alert_window in slo.windows
+
+
+class TestWindows:
+    def test_counts_and_burn_rate(self):
+        monitor = SLOMonitor(config())
+        # 20 events, 4 misses -> miss rate 0.2, burn 0.2/0.1 = 2x.
+        for i in range(20):
+            monitor.observe(0.1 * i, missed=(i % 5 == 0))
+        stats = monitor.window_stats()
+        assert stats[5.0]["events"] == 20
+        assert stats[5.0]["miss_rate"] == pytest.approx(0.2)
+        assert stats[5.0]["burn_rate"] == pytest.approx(2.0)
+
+    def test_old_events_evicted(self):
+        monitor = SLOMonitor(config(min_events=1000))  # detector quiet
+        for i in range(10):
+            monitor.observe(0.1 * i, missed=True)
+        # One event far later: the 5s window forgets the burst, the
+        # 20s window still sees it.
+        monitor.observe(12.0, missed=False)
+        stats = monitor.window_stats()
+        assert stats[5.0]["events"] == 1
+        assert stats[5.0]["miss_rate"] == 0.0
+        assert stats[20.0]["events"] == 11
+
+    def test_memory_is_bounded(self):
+        monitor = SLOMonitor(config(min_events=10**9))
+        for i in range(50_000):
+            monitor.observe(0.01 * i, missed=False)
+        for window in monitor._windows.values():
+            assert len(window._buckets) <= monitor.config.resolution + 1
+
+    def test_empty_windows_are_nan(self):
+        rates = SLOMonitor(config()).burn_rates()
+        assert all(np.isnan(v) for v in rates.values())
+
+    def test_quality_objective_tracked(self):
+        monitor = SLOMonitor(config(degraded_target=0.2))
+        for i in range(10):
+            monitor.observe(0.1 * i, missed=False, degraded=(i < 4))
+        stats = monitor.window_stats()
+        assert stats[5.0]["degraded_rate"] == pytest.approx(0.4)
+        assert stats[5.0]["quality_burn_rate"] == pytest.approx(2.0)
+
+
+class TestEpisodes:
+    def test_breach_opens_and_recovery_closes(self):
+        monitor = SLOMonitor(config())
+        tracer = RecordingTracer()
+        monitor.bind(tracer)
+        for i in range(10):
+            monitor.observe(0.1 * i, missed=True)
+        assert len(monitor.episodes) == 1
+        assert monitor.episodes[0].open
+        # Enough hits to dilute the window under the budget again.
+        for i in range(200):
+            monitor.observe(1.0 + 0.05 * i, missed=False)
+        episode = monitor.episodes[0]
+        assert not episode.open
+        assert episode.duration() > 0
+        breaches = sp.spans_of_kind(tracer.spans, sp.SLO_BREACH)
+        recoveries = sp.spans_of_kind(tracer.spans, sp.SLO_RECOVERED)
+        assert [s.time for s in breaches] == [episode.start]
+        assert [s.time for s in recoveries] == [episode.end]
+        assert breaches[0].attrs["burn_rate"] >= monitor.config.breach_burn
+
+    def test_min_events_keeps_detector_quiet(self):
+        monitor = SLOMonitor(config(min_events=50))
+        for i in range(20):
+            monitor.observe(0.1 * i, missed=True)
+        assert monitor.episodes == []
+
+    def test_hysteresis_holds_episode_open(self):
+        # breach at 2x, recover below 1x: a window sitting at ~1.5x
+        # keeps the episode open instead of flapping.
+        monitor = SLOMonitor(config(breach_burn=2.0, recover_burn=1.0))
+        for i in range(10):
+            monitor.observe(0.1 * i, missed=True)
+        assert monitor.episodes[-1].open
+        for i in range(30):
+            monitor.observe(1.0 + 0.1 * i, missed=(i % 7 == 0))
+        assert monitor.episodes[-1].open
+        assert monitor.episodes[-1].peak_burn >= 2.0
+
+    def test_episode_serialization(self):
+        episode = Episode(start=1.0, end=2.5, peak_burn=3.0, window=5.0)
+        state = episode.to_dict()
+        assert state == {
+            "start": 1.0, "end": 2.5, "peak_burn": 3.0, "window": 5.0,
+        }
+        assert Episode(start=1.0).duration(until=4.0) == pytest.approx(3.0)
+
+
+class TestTracerWiring:
+    def test_complete_and_reject_spans_feed_monitor(self):
+        monitor = SLOMonitor(config())
+        tracer = RecordingTracer(slo=monitor)
+        tracer.emit(sp.COMPLETE, 0.1, query_id=0, latency=0.1, slack=0.5)
+        tracer.emit(sp.COMPLETE, 0.2, query_id=1, latency=0.9, slack=-0.2)
+        tracer.emit(sp.REJECT, 0.3, query_id=2, reason="buffer_full")
+        assert monitor.events == 3
+        assert monitor.misses == 2
+
+    def test_breach_counters(self):
+        monitor = SLOMonitor(config())
+        tracer = RecordingTracer(slo=monitor)
+        for i in range(10):
+            tracer.emit(sp.COMPLETE, 0.1 * i, query_id=i,
+                        latency=1.0, slack=-0.5)
+        for i in range(200):
+            tracer.emit(sp.COMPLETE, 1.0 + 0.05 * i, query_id=100 + i,
+                        latency=0.1, slack=0.5)
+        metrics = tracer.metrics
+        assert metrics.counter("slo.breaches").value == 1
+        assert metrics.counter("slo.recoveries").value == 1
+
+
+class TestReplay:
+    def test_replay_matches_live_monitoring(self):
+        spans = []
+        for i in range(10):
+            spans.append(Span(sp.COMPLETE, 0.1 * i, i,
+                              {"latency": 1.0, "slack": -0.5}))
+        for i in range(100):
+            spans.append(Span(sp.COMPLETE, 1.0 + 0.05 * i, 100 + i,
+                              {"latency": 0.1, "slack": 0.5}))
+        spans.append(Span(sp.REJECT, 7.0, 999, {"reason": "unserved"}))
+        monitor = replay_spans(spans, config())
+        assert monitor.events == 111
+        assert monitor.misses == 11
+        assert len(monitor.episodes) == 1
+        # Other lifecycle kinds are ignored.
+        noisy = spans + [Span(sp.ARRIVAL, 0.0, 0, {"deadline": 1.0})]
+        again = replay_spans(noisy, config())
+        assert again.events == monitor.events
+        assert [e.to_dict() for e in again.episodes] == [
+            e.to_dict() for e in monitor.episodes
+        ]
+
+
+class TestBurstDetection:
+    """Acceptance: a mid-trace arrival burst that overloads the server
+    must surface as a detected overload episode whose start and end
+    fall within one alert window of the burst."""
+
+    WINDOW = 5.0
+    BURST_START = 20.0  # profile segments 2-3 of 6 over a 60s trace
+    BURST_END = 40.0
+
+    def run_burst(self, seed=0):
+        profile = [1.0, 1.0, 10.0, 10.0, 1.0, 1.0]
+        trace = diurnal_trace(2.0, 60.0, profile=profile, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        n_pool = 16
+        quality = np.ones((n_pool, 2))
+        quality[:, 0] = 0.0
+        workload = ServingWorkload(
+            arrivals=trace.arrivals,
+            deadlines=np.full(len(trace), 0.4),
+            sample_indices=rng.integers(n_pool, size=len(trace)),
+            quality=quality,
+        )
+        utilities = np.ones((n_pool, 2))
+        utilities[:, 0] = 0.0
+        policy = BufferedSchedulingPolicy(
+            "schemble", DPScheduler(delta=0.05), utilities
+        )
+        monitor = SLOMonitor(SLOConfig(
+            miss_target=0.1,
+            windows=(self.WINDOW, 15.0, 60.0),
+            alert_window=self.WINDOW,
+            min_events=10,
+        ))
+        tracer = RecordingTracer(slo=monitor)
+        server = EnsembleServer([0.1], policy, tracer=tracer)
+        result = server.run(workload)
+        return result, tracer, monitor
+
+    def test_burst_detected_within_one_window(self):
+        result, tracer, monitor = self.run_burst()
+        assert result.deadline_miss_rate() > monitor.config.miss_target
+        assert len(monitor.episodes) == 1
+        episode = monitor.episodes[0]
+        assert self.BURST_START <= episode.start <= (
+            self.BURST_START + self.WINDOW
+        )
+        assert episode.end is not None
+        assert self.BURST_END <= episode.end <= (
+            self.BURST_END + self.WINDOW
+        )
+        assert episode.peak_burn > monitor.config.breach_burn
+
+    def test_breach_spans_and_summary_agree(self):
+        _, tracer, monitor = self.run_burst()
+        breaches = sp.spans_of_kind(tracer.spans, sp.SLO_BREACH)
+        recoveries = sp.spans_of_kind(tracer.spans, sp.SLO_RECOVERED)
+        assert len(breaches) == len(monitor.episodes)
+        assert len(recoveries) == sum(
+            not e.open for e in monitor.episodes
+        )
+        summary = monitor.summary()
+        assert summary["events"] == monitor.events
+        assert summary["episodes"][0]["start"] == monitor.episodes[0].start
+        assert tracer.metrics.counter("slo.breaches").value == len(breaches)

@@ -145,6 +145,49 @@ class TestLeftoverBufferRejected:
         assert [s.kind for s in tracer.spans[-2:]] == [sp.REJECT, sp.REJECT]
 
 
+class TestRejectedQueryAudit:
+    """Rejected queries have no latency (``latency is None``): they
+    must never leak into the latency/slack digests, and must instead
+    be counted by the dedicated ``queries.rejected`` metric and
+    ``ServingResult.n_rejected()``."""
+
+    def run_mixed(self):
+        # One slow worker and a burst of six simultaneous arrivals with
+        # a 0.5s deadline: only the first query fits, the rest reject.
+        server, tracer = traced_server([0.4], buffered_policy())
+        result = server.run(workload([0.0] * 6, deadline=0.5))
+        return result, tracer
+
+    def test_mix_is_actually_mixed(self):
+        result, _ = self.run_mixed()
+        served = [r for r in result.records if r.latency is not None]
+        assert served and result.n_rejected() > 0
+        assert len(served) + result.n_rejected() == len(result.records)
+
+    def test_latency_digest_counts_only_answered(self):
+        result, tracer = self.run_mixed()
+        served = sum(r.latency is not None for r in result.records)
+        latency = tracer.metrics.histogram("query.latency_s")
+        slack = tracer.metrics.histogram("deadline.slack_s")
+        assert latency.count == served
+        assert slack.count == served
+        # The digest saw exactly the answered latencies, so its exact-
+        # regime quantiles match the post-hoc percentiles.
+        assert latency.quantile(0.5) == pytest.approx(
+            float(np.percentile(result.latencies(), 50))
+        )
+
+    def test_rejected_counter_matches_records(self):
+        result, tracer = self.run_mixed()
+        counter = tracer.metrics.counter("queries.rejected")
+        assert counter.value == result.n_rejected()
+        assert result.rejection_rate() == pytest.approx(
+            result.n_rejected() / len(result.records)
+        )
+        completed = tracer.metrics.counter("queries.completed")
+        assert completed.value + counter.value == len(result.records)
+
+
 class TestTracedUntracedIdentity:
     def test_records_identical_with_and_without_tracer(self):
         arrivals = [0.0, 0.0, 0.3, 0.35, 0.9]

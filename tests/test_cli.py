@@ -42,6 +42,32 @@ class TestParser:
         assert args.fault_seed == 3
         assert args.timeout == 0.5
 
+    def test_slo_flags_on_trace_and_faults(self):
+        for command in ("trace", "faults"):
+            args = build_parser().parse_args([
+                command, "--slo-target", "0.05", "--slo-window", "4",
+            ])
+            assert args.slo_target == 0.05
+            assert args.slo_window == 4.0
+        # Off by default: no monitor unless asked for.
+        assert build_parser().parse_args(["trace"]).slo_target is None
+
+    def test_explain_requires_decisions_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain", "3"])
+        args = build_parser().parse_args(
+            ["explain", "3", "--decisions", "d.jsonl"]
+        )
+        assert args.query_id == 3
+        assert args.decisions == "d.jsonl"
+
+    def test_slo_requires_spans_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["slo"])
+        args = build_parser().parse_args(["slo", "--spans", "s.jsonl"])
+        assert args.spans == "s.jsonl"
+        assert args.min_events == 20
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -65,22 +91,66 @@ class TestCommands:
         assert "oracle" in out
 
     def test_trace(self, capsys, tm_setup, tmp_path):
+        # A nested, not-yet-existing output directory must be created.
+        out_dir = tmp_path / "artifacts" / "run1"
         assert main([
-            "trace", "--duration", "5", "--out", str(tmp_path)
+            "trace", "--duration", "5", "--out", str(out_dir)
         ]) == 0
         out = capsys.readouterr().out
         assert "buffer depth over time" in out
         assert "per-worker utilization" in out
-        stem = tmp_path / "text_matching_schemble"
+        assert "streaming digests" in out
+        stem = out_dir / "text_matching_schemble"
         spans = stem.with_name(stem.name + "_spans.jsonl")
         timeline = stem.with_name(stem.name + "_timeline.json")
         report = stem.with_name(stem.name + "_report.txt")
-        assert spans.exists() and timeline.exists() and report.exists()
-        assert f"wrote {spans}" in out
+        decisions = stem.with_name(stem.name + "_decisions.jsonl")
+        prom = stem.with_name(stem.name + "_metrics.prom")
+        for path in (spans, timeline, report, decisions, prom):
+            assert path.exists()
+            assert f"wrote {path}" in out
         first = json.loads(spans.read_text().splitlines()[0])
         assert first["kind"] == "arrival"
         payload = json.loads(timeline.read_text())
         assert any(e["ph"] == "X" for e in payload["traceEvents"])
+        assert "repro_queries_completed" in prom.read_text()
+
+    def test_trace_explain_slo_pipeline(self, capsys, tm_setup, tmp_path):
+        # trace -> explain/slo: the downstream commands read the
+        # artifacts the trace command wrote.
+        assert main([
+            "trace", "--duration", "5", "--out", str(tmp_path),
+            "--slo-target", "0.05", "--slo-window", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "slo (miss budget 5.0%" in out
+        decisions = tmp_path / "text_matching_schemble_decisions.jsonl"
+        spans = tmp_path / "text_matching_schemble_spans.jsonl"
+
+        first = json.loads(decisions.read_text().splitlines()[0])
+        assert main([
+            "explain", str(first["query_id"]),
+            "--decisions", str(decisions),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"query {first['query_id']}:" in out
+        assert f"mask={first['chosen_mask']}" in out
+
+        assert main([
+            "slo", "--spans", str(spans),
+            "--slo-target", "0.05", "--slo-window", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "slo replay" in out
+        assert "overload episodes" in out
+
+    def test_explain_unknown_query_errors(self, tmp_path):
+        decisions = tmp_path / "decisions.jsonl"
+        decisions.write_text("")
+        with pytest.raises(SystemExit):
+            main(["explain", "12345", "--decisions", str(decisions)])
+        with pytest.raises(SystemExit):
+            main(["explain", "1", "--decisions", str(tmp_path / "nope")])
 
     @pytest.mark.faults
     def test_trace_with_faults(self, capsys, tm_setup, tmp_path):
