@@ -10,7 +10,13 @@ Three checks on a diurnal-trace workload:
   attached ``SLOMonitor``) produces exactly the same per-query records
   as an untraced run, and an explained run (``DecisionLog``) does too:
   observability only watches, never steers. The decision log's chosen
-  masks are additionally checked against the served records.
+  masks are additionally checked against the served records. A
+  *profiled* run (``RecordingTracer(profile=True)``) must also leave
+  the records untouched and its span stream identical to the unprofiled
+  one once the profile-only kinds (``sched_phase``/``queue_wait``) and
+  the nondeterministic real-wall-clock ``wall_s`` attribute are set
+  aside — the DP phase timers and queue-wait emitters only read clocks,
+  never steer.
 * **Overhead** — the default ``NullTracer`` / explain-off path must
   stay within 5% wall-clock of the pre-observability event loop. The
   baseline is the real thing: the seed commit's ``serving/server.py``
@@ -21,8 +27,8 @@ Three checks on a diurnal-trace workload:
   overwritten, the ``BENCH_sched.json`` pattern): the run fails if the
   NullTracer overhead exceeds both an absolute noise floor and
   ``REGRESSION_FACTOR`` times the committed figure, or if the
-  RecordingTracer slowdown doubles. CI's perf-smoke job enforces this
-  on every push.
+  RecordingTracer or profiling-tracer slowdown doubles. CI's perf-smoke
+  job enforces this on every push.
 
 ``--quick`` shrinks the timed workload and repeat count for CI.
 Results go to ``benchmarks/results/BENCH_obs.json``.
@@ -96,8 +102,26 @@ def build_workload(base_rate, duration, seed, n_pool=512):
     )
 
 
+#: Span kinds only a profiling tracer emits.
+PROFILE_KINDS = {"sched_phase", "queue_wait"}
+
+
+def comparable_spans(spans):
+    """Spans minus the profile-only kinds and the real-wall-clock
+    ``wall_s`` attribute (inherently nondeterministic across runs)."""
+    return [
+        (
+            s.kind, s.time, s.query_id,
+            {k: v for k, v in s.attrs.items() if k != "wall_s"},
+        )
+        for s in spans
+        if s.kind not in PROFILE_KINDS
+    ]
+
+
 def check_identity():
-    """Traced/monitored/explained runs must agree record-for-record."""
+    """Traced/monitored/explained/profiled runs must agree
+    record-for-record (and span-for-span modulo profiling extras)."""
     m = len(LATENCIES)
     utilities = np.ones((512, 1 << m))
     utilities[:, 0] = 0.0
@@ -113,9 +137,12 @@ def check_identity():
         return server.run(workload)
 
     plain = run(None)
-    traced = run(RecordingTracer(slo=SLOMonitor()))
+    reference_tracer = RecordingTracer(slo=SLOMonitor())
+    traced = run(reference_tracer)
     log = DecisionLog()
     explained = run(RecordingTracer(), explain=log)
+    profiling_tracer = RecordingTracer(slo=SLOMonitor(), profile=True)
+    profiled = run(profiling_tracer)
     identical = (
         plain.records == traced.records
         and plain.records == explained.records
@@ -127,13 +154,27 @@ def check_identity():
         for r in explained.records
         if log.for_query(r.query_id)
     )
+    # Profiling must only add spans, never steer: same records, and the
+    # non-profile spans match the unprofiled stream exactly (modulo the
+    # real-wall-clock wall_s attribute).
+    profile_spans = sum(
+        s.kind in PROFILE_KINDS for s in profiling_tracer.spans
+    )
+    profile_identical = (
+        plain.records == profiled.records
+        and comparable_spans(profiling_tracer.spans)
+        == comparable_spans(reference_tracer.spans)
+        and profile_spans > 0
+    )
     return {
         "queries": workload.n_queries,
         "records_identical": identical,
         "decisions": len(log),
         "decision_masks_match": masks_match,
+        "profile_identical": profile_identical,
+        "profile_spans": profile_spans,
         "spans": "recorded",
-    }, identical and masks_match
+    }, identical and masks_match and profile_identical
 
 
 def time_variants(runs, repeats=REPEATS):
@@ -175,6 +216,11 @@ def check_overhead(quick=False):
         "recording_tracer": (
             lambda: run_server(RecordingTracer(keep_spans=False))
         ),
+        "profiling_tracer": (
+            lambda: run_server(
+                RecordingTracer(keep_spans=False, profile=True)
+            )
+        ),
     }, repeats=repeats)
     overhead = best["null_tracer"] / best["baseline"] - 1.0
     return {
@@ -184,8 +230,10 @@ def check_overhead(quick=False):
         "baseline_s": best["baseline"],
         "null_tracer_s": best["null_tracer"],
         "recording_tracer_s": best["recording_tracer"],
+        "profiling_tracer_s": best["profiling_tracer"],
         "null_tracer_overhead": overhead,
         "recording_tracer_ratio": best["recording_tracer"] / best["baseline"],
+        "profiling_tracer_ratio": best["profiling_tracer"] / best["baseline"],
         "max_allowed_overhead": MAX_OVERHEAD,
     }, overhead
 
@@ -211,13 +259,15 @@ def check_regression(stats, committed):
                 "committed": committed_overhead,
                 "allowed": allowed,
             })
-    ratio = stats["recording_tracer_ratio"]
-    committed_ratio = baseline.get("recording_tracer_ratio")
-    if committed_ratio is not None:
+    for metric in ("recording_tracer_ratio", "profiling_tracer_ratio"):
+        ratio = stats.get(metric)
+        committed_ratio = baseline.get(metric)
+        if ratio is None or committed_ratio is None:
+            continue
         allowed = REGRESSION_FACTOR * committed_ratio
         if ratio > allowed:
             failures.append({
-                "metric": "recording_tracer_ratio",
+                "metric": metric,
                 "value": ratio,
                 "committed": committed_ratio,
                 "allowed": allowed,
@@ -236,14 +286,18 @@ def main(argv=None):
     print(f"identity: {identity['queries']} queries, "
           f"records identical = {identity['records_identical']}, "
           f"{identity['decisions']} decisions, "
-          f"masks match = {identity['decision_masks_match']}")
+          f"masks match = {identity['decision_masks_match']}, "
+          f"profiled identical = {identity['profile_identical']} "
+          f"({identity['profile_spans']} profile spans)")
     overhead_stats, overhead = check_overhead(quick=quick)
     print(
         f"overhead: baseline {overhead_stats['baseline_s']:.3f}s, "
         f"null tracer {overhead_stats['null_tracer_s']:.3f}s "
         f"({100 * overhead:+.2f}%), recording tracer "
         f"{overhead_stats['recording_tracer_s']:.3f}s "
-        f"({overhead_stats['recording_tracer_ratio']:.2f}x)"
+        f"({overhead_stats['recording_tracer_ratio']:.2f}x), "
+        f"profiling tracer {overhead_stats['profiling_tracer_s']:.3f}s "
+        f"({overhead_stats['profiling_tracer_ratio']:.2f}x)"
     )
     regressions, regression_ok = check_regression(overhead_stats, committed)
 

@@ -12,6 +12,8 @@ Usage::
     python -m repro faults --task text_matching [--rates 0,0.05,0.15,0.3]
     python -m repro explain QUERY_ID --decisions traces/..._decisions.jsonl
     python -m repro slo --spans traces/..._spans.jsonl [--slo-target 0.05]
+    python -m repro profile --task text_matching [--spans traces/..._spans.jsonl]
+    python -m repro diff traces/base_profile.json traces/new_profile.json
 
 Each command builds the task setup (training the models on first use),
 runs the corresponding experiment and prints its table. The commands are
@@ -32,6 +34,14 @@ online :class:`~repro.obs.slo.SLOMonitor` so burn rates and overload
 episodes appear in the report. ``explain`` pretty-prints the decision
 records of one query id; ``slo`` replays a recorded span stream through
 the monitor offline.
+
+``profile`` runs a profiled serving run (or attributes an existing span
+dump with ``--spans``) and prints the per-query latency attribution:
+phase breakdown, DP step-phase wall clock, and the top-K blame report
+with critical-path chains; it writes a ``*_profile.json`` artifact.
+``diff`` compares two such artifacts (or raw span dumps) and flags
+phase-level regressions with noise-floored thresholds, exiting 1 when
+any are found — the CI regression gate.
 
 Serving-side behaviour for ``trace``/``faults`` is described by a single
 :class:`~repro.serving.config.ServerConfig` inside a
@@ -55,7 +65,7 @@ from repro.metrics.tables import format_table
 
 COMMANDS = (
     "list", "table1", "sweep", "day", "schedulers", "budget", "trace",
-    "faults", "explain", "slo",
+    "faults", "explain", "slo", "profile", "diff",
 )
 
 TRACE_POLICIES = (
@@ -223,6 +233,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-events", type=int, default=20,
         help="events required in the alert window before the detector "
         "may fire (default: 20)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-query latency attribution, critical paths and the "
+        "blame report (live profiled run, or offline from a span dump)",
+    )
+    _add_common(profile)
+    profile.add_argument(
+        "--policy", choices=TRACE_POLICIES, default="schemble",
+        help="serving policy to profile (default: schemble)",
+    )
+    profile.add_argument(
+        "--spans", default=None,
+        help="attribute an existing span JSONL offline instead of "
+        "running a fresh profiled serving run",
+    )
+    profile.add_argument(
+        "--out", default="traces",
+        help="output directory for the span dump and profile artifact",
+    )
+    profile.add_argument(
+        "--top", type=int, default=5,
+        help="blame report entries (default: 5)",
+    )
+    _add_fault_args(profile)
+    profile.add_argument(
+        "--failure-rate", type=float, default=0.0,
+        help="transient per-task failure probability (default: 0)",
+    )
+    profile.add_argument(
+        "--fault-seed", type=int, default=17,
+        help="seed of the fault plan RNG (default: 17)",
+    )
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two runs' profile artifacts (or span dumps) and "
+        "flag phase-level regressions; exit 1 when any are found",
+    )
+    diff.add_argument(
+        "base", help="baseline profile artifact (*_profile.json) or "
+        "span JSONL",
+    )
+    diff.add_argument(
+        "new", help="candidate profile artifact or span JSONL",
+    )
+    diff.add_argument(
+        "--sim-rel", type=float, default=0.05,
+        help="relative threshold for simulated-time metrics "
+        "(deterministic per seed; default: 0.05)",
+    )
+    diff.add_argument(
+        "--wall-ratio", type=float, default=1.6,
+        help="blow-up ratio a wall-clock metric must exceed "
+        "(default: 1.6)",
+    )
+    diff.add_argument(
+        "--wall-floor", type=float, default=1e-3,
+        help="absolute seconds a wall-clock metric must additionally "
+        "grow by (noise floor; default: 1e-3)",
     )
     return parser
 
@@ -514,6 +585,94 @@ def _cmd_slo(args) -> str:
     return header + "\n" + render_slo(monitor)
 
 
+def _cmd_profile(args) -> str:
+    from repro.obs import (
+        LatencyAttributor,
+        render_profile,
+        write_profile_json,
+    )
+
+    if args.spans is not None:
+        spans_path = Path(args.spans)
+        if not spans_path.exists():
+            raise SystemExit(f"no span dump at {spans_path}")
+        attributor = LatencyAttributor.from_jsonl(spans_path)
+        stem = spans_path.name
+        for suffix in ("_spans.jsonl", ".jsonl"):
+            if stem.endswith(suffix):
+                stem = stem[: -len(suffix)]
+                break
+        artifact_path = spans_path.parent / f"{stem}_profile.json"
+        written = [artifact_path]
+    else:
+        from repro.experiments.runner import RunSpec, run_spec
+        from repro.obs import RecordingTracer, write_spans_jsonl
+        from repro.serving.config import ServerConfig
+
+        setup = build_setup(args.task, args.preset, seed=args.seed)
+        workers = setup.workers_for(args.policy)
+        n_workers = len(workers) if workers is not None else setup.n_models
+        plan = _fault_plan(args, n_workers=n_workers, duration=args.duration)
+        spec = RunSpec(
+            policy=args.policy,
+            config=ServerConfig(
+                faults=plan,
+                task_timeout=args.timeout,
+                max_retries=args.retries,
+            ),
+            duration=args.duration,
+            seed=args.seed + 5,
+        )
+        tracer = RecordingTracer(profile=True)
+        run_spec(setup, spec, tracer=tracer)
+
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        stem = f"{args.task}_{args.policy}"
+        spans_path = write_spans_jsonl(
+            tracer.spans, out_dir / f"{stem}_spans.jsonl"
+        )
+        attributor = LatencyAttributor.from_tracer(tracer)
+        artifact_path = out_dir / f"{stem}_profile.json"
+        written = [spans_path, artifact_path]
+
+    write_profile_json(attributor.to_artifact(), artifact_path)
+    report = render_profile(attributor, top_k=args.top)
+    footer = "\n".join([""] + [f"wrote {path}" for path in written] + [
+        f"diff against another run with `python -m repro diff "
+        f"{artifact_path} OTHER_profile.json`",
+    ])
+    return report + footer
+
+
+def _load_profile_artifact(path: Path):
+    """A profile artifact from either an artifact JSON or a span dump."""
+    from repro.obs import LatencyAttributor, read_profile_json
+
+    if not path.exists():
+        raise SystemExit(f"no profile artifact or span dump at {path}")
+    try:
+        return read_profile_json(path)
+    except ValueError:
+        # Not an artifact — attribute the span stream on the fly.
+        return LatencyAttributor.from_jsonl(path).to_artifact()
+
+
+def _cmd_diff(args):
+    from repro.obs import diff_profiles
+
+    base = _load_profile_artifact(Path(args.base))
+    new = _load_profile_artifact(Path(args.new))
+    diff = diff_profiles(
+        base, new,
+        sim_rel=args.sim_rel,
+        wall_ratio=args.wall_ratio,
+        wall_floor=args.wall_floor,
+    )
+    header = f"profile diff — base={args.base}  new={args.new}"
+    return header + "\n" + diff.render(), 0 if diff.ok else 1
+
+
 def _cmd_budget(args) -> str:
     setup = build_setup(args.task, args.preset, seed=args.seed)
     out = run_offline_budget(setup, seed=args.seed + 5)
@@ -542,9 +701,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": lambda: _cmd_faults(args),
         "explain": lambda: _cmd_explain(args),
         "slo": lambda: _cmd_slo(args),
+        "profile": lambda: _cmd_profile(args),
+        "diff": lambda: _cmd_diff(args),
     }
-    print(handlers[args.command]())
-    return 0
+    out = handlers[args.command]()
+    # Handlers return either text or (text, exit_code) — `diff` uses
+    # the exit code as its CI regression gate.
+    if isinstance(out, tuple):
+        text, code = out
+    else:
+        text, code = out, 0
+    print(text)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

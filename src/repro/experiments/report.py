@@ -205,6 +205,23 @@ REGISTRY: List[ExperimentEntry] = [
         "via `python -m repro slo --spans <spans.jsonl>`.",
     ),
     ExperimentEntry(
+        "Latency attribution under burst — phase breakdown (this repo)",
+        ["profile_burst"],
+        "— (not in the paper; validates the per-query latency "
+        "attribution engine and the DP step profiler).",
+        "The same 10x mid-trace burst, attributed: every completed "
+        "query's latency decomposes exactly (residual <= 1e-9) into "
+        "admission/buffer/sched/queue/retry/exec phases, and the burst "
+        "shows up as waiting time — the buffer+queue+sched share of "
+        "latency is several times higher for in-burst queries than "
+        "off-burst — rather than slower execution. Re-run with "
+        "`PYTHONPATH=src:. python -m pytest "
+        "benchmarks/test_profile_burst.py`; the same attribution runs "
+        "offline on any span dump via `python -m repro profile --spans "
+        "<spans.jsonl>`, and `python -m repro diff` compares two runs' "
+        "profile artifacts with noise-floored thresholds.",
+    ),
+    ExperimentEntry(
         "Design-choice ablations (this repo)",
         ["ablation_distance", "ablation_monotone", "ablation_fast_path"],
         "— (not in the paper; quantifies DESIGN.md's substrate "

@@ -22,7 +22,20 @@ from repro.obs.metrics import (
     MetricsRegistry,
     StreamingHistogram,
 )
-from repro.obs.report import render_report, render_slo, sparkline
+from repro.obs.profile import (
+    LatencyAttributor,
+    ProfileDiff,
+    QueryAttribution,
+    diff_profiles,
+    read_profile_json,
+    write_profile_json,
+)
+from repro.obs.report import (
+    render_profile,
+    render_report,
+    render_slo,
+    sparkline,
+)
 from repro.obs.slo import Episode, SLOConfig, SLOMonitor, replay_spans
 from repro.obs.spans import KINDS, Span, span_sequence, spans_of_kind
 from repro.obs.tracer import (
@@ -33,6 +46,8 @@ from repro.obs.tracer import (
 )
 from repro.obs.export import (
     chrome_trace_events,
+    metrics_to_prometheus,
+    parse_prometheus_text,
     prometheus_text,
     read_spans_jsonl,
     write_chrome_trace,
@@ -62,11 +77,20 @@ __all__ = [
     "DecisionRecord",
     "format_decision",
     "chrome_trace_events",
+    "metrics_to_prometheus",
     "prometheus_text",
+    "parse_prometheus_text",
     "read_spans_jsonl",
     "write_chrome_trace",
     "write_prometheus",
     "write_spans_jsonl",
+    "LatencyAttributor",
+    "QueryAttribution",
+    "ProfileDiff",
+    "diff_profiles",
+    "read_profile_json",
+    "write_profile_json",
+    "render_profile",
     "render_report",
     "render_slo",
     "sparkline",

@@ -15,8 +15,9 @@ timeline widths read directly as simulated time.
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.metrics import (
     Counter,
@@ -221,7 +222,19 @@ def _prom_value(value: float) -> str:
     return repr(float(value))
 
 
-def prometheus_text(registry: MetricsRegistry) -> str:
+def _prom_label_value(value: object) -> str:
+    """Escape a label value per the text exposition format: backslash,
+    double quote and newline must be backslash-escaped inside the
+    quotes."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def metrics_to_prometheus(registry: MetricsRegistry) -> str:
     """Render a registry in the Prometheus text exposition format.
 
     Counters map to ``counter`` samples, gauges to their last sampled
@@ -229,9 +242,15 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     ``_sum``/``_count``). One final scrape of a finished simulated run
     — for dashboards that speak Prometheus, and for diffing two runs
     with standard tooling.
+
+    Output is deterministic: metric families are emitted in sorted
+    name order and label values are escaped, so two scrapes of
+    identical registries are byte-identical and diffable.
+    ``parse_prometheus_text`` is the matching reader (round-trip
+    locked by ``tests/obs/test_export.py``).
     """
     lines: List[str] = []
-    for name in registry.names():
+    for name in sorted(registry.names()):
         metric = registry.get(name)
         prom = _prom_name(name)
         if isinstance(metric, Counter):
@@ -248,7 +267,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             lines.append(f"# TYPE {prom} summary")
             for q in (0.5, 0.95, 0.99):
                 lines.append(
-                    f'{prom}{{quantile="{q}"}} '
+                    f'{prom}{{quantile="{_prom_label_value(q)}"}} '
                     f"{_prom_value(metric.quantile(q))}"
                 )
             lines.append(f"{prom}_sum {_prom_value(metric.total)}")
@@ -256,11 +275,72 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n"
 
 
+#: Backward-compatible alias; ``metrics_to_prometheus`` is the name
+#: the design doc and new call sites use.
+prometheus_text = metrics_to_prometheus
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value
+        .replace("\\n", "\n")
+        .replace('\\"', '"')
+        .replace("\\\\", "\\")
+    )
+
+
+def _parse_value(text: str) -> float:
+    if text == "NaN":
+        return float("nan")
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse text exposition output back into nested sample maps.
+
+    Returns ``{metric_name: {((label, value), ...): sample_value}}``
+    with label values unescaped; unlabeled samples key on the empty
+    tuple. Inverse of :func:`metrics_to_prometheus` for round-trip
+    checks and run diffing.
+    """
+    samples: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        labels: Tuple[Tuple[str, str], ...] = ()
+        raw = match.group("labels")
+        if raw:
+            labels = tuple(
+                (key, _unescape_label(value))
+                for key, value in _LABEL_RE.findall(raw)
+            )
+        samples.setdefault(match.group("name"), {})[labels] = _parse_value(
+            match.group("value")
+        )
+    return samples
+
+
 def write_prometheus(
     registry: MetricsRegistry, path: Union[str, Path]
 ) -> Path:
-    """Write :func:`prometheus_text` output to ``path``."""
+    """Write :func:`metrics_to_prometheus` output to ``path``."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(prometheus_text(registry))
+    path.write_text(metrics_to_prometheus(registry))
     return path

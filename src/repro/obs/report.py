@@ -6,6 +6,11 @@ into the report the ``python -m repro trace`` subcommand prints: query
 outcomes, latency and deadline-slack percentiles, buffer depth over
 simulated time (sparkline), per-worker utilization, and scheduler
 invocation cost in both simulated and real wall-clock terms.
+
+``render_profile`` is the companion for ``python -m repro profile``:
+the per-phase latency attribution table, DP step-phase wall clock, and
+the top-K blame report with each query's critical task/worker chain
+(see :mod:`repro.obs.profile`).
 """
 
 from __future__ import annotations
@@ -260,4 +265,92 @@ def render_report(
                 ],
             ],
         ))
+    return "\n".join(lines)
+
+
+def render_profile(attributor, top_k: int = 5) -> str:
+    """Render a :class:`~repro.obs.profile.LatencyAttributor` as the
+    ``python -m repro profile`` report: phase attribution percentiles,
+    DP step-phase wall clock, and the top-``top_k`` blame entries with
+    their critical-path chains."""
+    from repro.obs.profile import PHASES
+
+    artifact = attributor.to_artifact()
+    counts = artifact["queries"]
+    lines = [
+        "latency attribution report",
+        f"  attributed: {counts['attributed']}  "
+        f"rejected (no phases): {counts['rejected']}  "
+        f"degraded: {counts['degraded']}  retried: {counts['retried']}  "
+        f"fast-path: {counts['fast_path']}  "
+        f"deadline-breaching: {counts['breaching']}",
+        "",
+    ]
+
+    rows = []
+    latency_total = artifact["latency"]["total"]
+    for phase in PHASES:
+        stats = artifact["phases"][phase]
+        share = (
+            100.0 * stats["total"] / latency_total if latency_total else 0.0
+        )
+        rows.append([
+            phase, stats["total"], share,
+            stats["mean"], stats["p50"], stats["p95"], stats["max"],
+        ])
+    rows.append([
+        "total latency", latency_total, 100.0 if latency_total else 0.0,
+        artifact["latency"]["mean"], artifact["latency"]["p50"],
+        artifact["latency"]["p95"], artifact["latency"]["max"],
+    ])
+    lines.append(format_table(
+        ["phase", "total (s)", "share %", "mean", "p50", "p95", "max"],
+        rows,
+        title="per-query latency attribution (phases sum to latency)",
+    ))
+    lines.append("")
+
+    if attributor.sched_phase_wall:
+        wall_total = sum(attributor.sched_phase_wall.values())
+        parts = "  ".join(
+            f"{phase}={1e3 * seconds:.2f}ms"
+            for phase, seconds in sorted(attributor.sched_phase_wall.items())
+        )
+        lines.append(
+            f"dp step phases (real wall-clock, "
+            f"{1e3 * wall_total:.2f}ms total): {parts}"
+        )
+        lines.append("")
+
+    blame = attributor.blame(top_k)
+    if blame:
+        lines.append(f"blame report — top {len(blame)} by latency:")
+        for a in blame:
+            flags = "".join([
+                " DEGRADED" if a.degraded else "",
+                " MISSED" if a.slack < 0 else "",
+            ])
+            lines.append(
+                f"  q{a.query_id}: latency {a.latency:.4f}s "
+                f"(slack {a.slack:+.4f}s){flags} — dominant phase "
+                f"{a.dominant_phase} "
+                f"({a.phases[a.dominant_phase]:.4f}s); critical task "
+                f"m{a.critical_model} on worker {a.critical_worker} "
+                f"({a.attempts} attempt{'s' if a.attempts != 1 else ''})"
+            )
+            chain = attributor.critical_chain(a.query_id)
+            if chain:
+                shown = chain[-3:]
+                blocked = ", ".join(
+                    f"q{t.query_id}/m{t.model} "
+                    f"[{t.start:.3f}-{t.finish:.3f}s]"
+                    for t in shown
+                )
+                more = (
+                    f" (+{len(chain) - len(shown)} earlier)"
+                    if len(chain) > len(shown) else ""
+                )
+                lines.append(f"      blocked behind: {blocked}{more}")
+    else:
+        lines.append("blame report: no completed queries")
     return "\n".join(lines)

@@ -53,11 +53,21 @@ SLO_RECOVERED = "slo_recovered"  # burn rate fell back under the
 DECISION = "decision"          # one explained scheduling decision
                                # (mirrors a DecisionRecord)
 
+# --- profiling (repro.obs.profile) ---------------------------------------
+SCHED_PHASE = "sched_phase"    # real wall-clock of one internal scheduler
+                               # step phase for one invocation (phase,
+                               # wall_s attrs); emitted only when the
+                               # tracer's profile flag is on
+QUEUE_WAIT = "queue_wait"      # one task waited behind a busy worker
+                               # before starting (wait_s attr); emitted
+                               # only when the tracer's profile flag is on
+
 KINDS = (
     ARRIVAL, ENTER_BUFFER, SCHEDULE, COMMIT, PLAN, DISPATCH,
     TASK_DONE, COMPLETE, REJECT, REQUEUE, FAST_PATH,
     TASK_FAILED, RETRY, WORKER_DOWN, WORKER_UP, DEGRADED,
     SLO_BREACH, SLO_RECOVERED, DECISION,
+    SCHED_PHASE, QUEUE_WAIT,
 )
 
 

@@ -27,9 +27,11 @@ from repro.obs.spans import (
     ENTER_BUFFER,
     FAST_PATH,
     PLAN,
+    QUEUE_WAIT,
     REJECT,
     REQUEUE,
     RETRY,
+    SCHED_PHASE,
     SCHEDULE,
     SLO_BREACH,
     SLO_RECOVERED,
@@ -43,9 +45,15 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a circular import
 
 
 class Tracer:
-    """No-op tracer interface; subclass and set ``enabled = True``."""
+    """No-op tracer interface; subclass and set ``enabled = True``.
+
+    ``profile`` opts into the latency-profiling span kinds
+    (``sched_phase``/``queue_wait``): the server reads it once per run
+    and only a profiling tracer pays for those extra emit sites.
+    """
 
     enabled: bool = False
+    profile: bool = False
     metrics: Optional[MetricsRegistry] = None
 
     def emit(self, kind: str, time: float, query_id: int = -1, **attrs):
@@ -74,6 +82,13 @@ class RecordingTracer(Tracer):
         slo: Optional :class:`~repro.obs.slo.SLOMonitor` fed from the
             span stream; breach/recovery events come back out as spans
             and counters through this tracer.
+        profile: Opt into latency profiling: the server additionally
+            emits ``sched_phase`` spans (scheduler step-phase wall
+            clock, when the scheduler supports phase timers) and
+            ``queue_wait`` spans (per-task wait behind a busy worker),
+            folded here into ``sched.phase_s.*`` counters and the
+            ``task.queue_wait_s`` histogram. Off by default so
+            unprofiled traces stay span-for-span identical to before.
     """
 
     enabled = True
@@ -83,9 +98,11 @@ class RecordingTracer(Tracer):
         keep_spans: bool = True,
         compression: int = 128,
         slo: Optional["SLOMonitor"] = None,
+        profile: bool = False,
     ):
         self.keep_spans = keep_spans
         self.slo = slo
+        self.profile = bool(profile)
         self.spans: List[Span] = []
         self.metrics = MetricsRegistry()
         self.end_time = 0.0
@@ -104,6 +121,7 @@ class RecordingTracer(Tracer):
         self._plan_size = m.histogram("plan.size", compression)
         self._slack = m.histogram("deadline.slack_s", compression)
         self._latency = m.histogram("query.latency_s", compression)
+        self._compression = compression
         if slo is not None:
             slo.bind(self)
 
@@ -170,6 +188,16 @@ class RecordingTracer(Tracer):
             metrics.counter("slo.breaches").inc()
         elif kind == SLO_RECOVERED:
             metrics.counter("slo.recoveries").inc()
+        elif kind == SCHED_PHASE:
+            metrics.counter(
+                f"sched.phase_s.{attrs.get('phase', '?')}"
+            ).inc(float(attrs.get("wall_s", 0.0)))
+        elif kind == QUEUE_WAIT:
+            # Created lazily: unprofiled runs never see this span kind,
+            # so their registries keep the pre-profiling metric set.
+            metrics.histogram(
+                "task.queue_wait_s", self._compression
+            ).add(float(attrs["wait_s"]))
 
     def finalize(self, end_time: float) -> None:
         """Freeze the trace end; later ``utilization`` uses it."""

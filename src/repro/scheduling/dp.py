@@ -43,8 +43,9 @@ unquantised-reward tie-break for the final plan — see
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -141,11 +142,22 @@ class ScheduleStats:
         candidate_masks: Per query (EDF order), the masks that were
             deadline-feasible from at least one frontier entry. Mask 0
             (skip) is always a candidate.
+        phase_wall: Real wall-clock seconds per internal step phase for
+            this call (see :data:`DP_PHASES`); empty unless
+            :attr:`DPScheduler.profile` was also on.
     """
 
     frontier_sizes: List[int] = field(default_factory=list)
     n_cells: int = 0
     candidate_masks: List[List[int]] = field(default_factory=list)
+    phase_wall: Dict[str, float] = field(default_factory=dict)
+
+
+#: Internal step phases of one ``DPScheduler.schedule()`` call, in
+#: execution order: shared mask/utility table access, broadcast
+#: candidate extension + feasibility, lexsort + all-cell Pareto prune,
+#: and parent-pointer plan reconstruction.
+DP_PHASES = ("mask_tables", "extend", "prune", "backtrack")
 
 
 class DPScheduler:
@@ -166,6 +178,14 @@ class DPScheduler:
     reward cells, per-query candidate masks). The flag is checked once
     per call plus once per query, so the disabled path — the default —
     costs two predictable branches and stays bit-identical.
+
+    Setting :attr:`profile` additionally wraps the four internal step
+    phases (:data:`DP_PHASES`) in ``perf_counter`` timers. Each call
+    leaves its per-phase wall clock in :attr:`last_phase_wall` and
+    accumulates run totals into :attr:`phase_wall`; when
+    ``collect_stats`` is also on the same dict lands on
+    ``last_stats.phase_wall``. Timers only *read* the clock — they
+    never touch the DP state, so profiled plans stay bit-identical.
     """
 
     name = "dp"
@@ -186,6 +206,9 @@ class DPScheduler:
         self.max_solutions_per_cell = max_solutions_per_cell
         self.collect_stats = False
         self.last_stats: Optional[ScheduleStats] = None
+        self.profile = False
+        self.phase_wall: Dict[str, float] = {p: 0.0 for p in DP_PHASES}
+        self.last_phase_wall: Optional[Dict[str, float]] = None
 
     def step_for(self, n_queries: int) -> float:
         """The quantisation step used for a buffer of ``n_queries``."""
@@ -199,9 +222,20 @@ class DPScheduler:
         collect = self.collect_stats
         if collect:
             self.last_stats = ScheduleStats()
+        profile = self.profile
+        phases: Dict[str, float] = {}
+        if profile:
+            # One shared dict: last_phase_wall, last_stats.phase_wall
+            # and the emitters all see the same totals for this call.
+            phases = {p: 0.0 for p in DP_PHASES}
+            self.last_phase_wall = phases
+            if collect:
+                self.last_stats.phase_wall = phases
         if n == 0:
             return ScheduleResult(decisions=[], total_utility=0.0, work_units=0)
 
+        if profile:
+            t_mark = time.perf_counter()
         step = self.step_for(n)
         order = edf_order(instance.queries)
         queries = [instance.queries[i] for i in order]
@@ -211,6 +245,8 @@ class DPScheduler:
         increments = instance.mask_increments  # (n_masks, m) float
         quantised = instance.quantised_utilities(step)[np.asarray(order)]
         cap = self.max_solutions_per_cell
+        if profile:
+            phases["mask_tables"] = time.perf_counter() - t_mark
 
         frontier = instance.busy_until.astype(float, copy=True)[None, :]
         cell_u = np.zeros(1, dtype=np.int64)
@@ -225,27 +261,37 @@ class DPScheduler:
             # Extend every frontier entry by every mask in one shot.
             # Increment row 0 is all zeros, so the skip continuation
             # keeps its parent's finish times bit-identically.
+            if profile:
+                t_mark = time.perf_counter()
             cand = frontier[:, None, :] + increments[None, :, :]
             completion = np.where(
                 membership[None, :, :], cand, -np.inf
             ).max(axis=2)
             feasible = completion <= relative_deadline + _EPS
             feasible[:, 0] = True  # skipping is always allowed
+            if profile:
+                phases["extend"] += time.perf_counter() - t_mark
             if collect:
                 self.last_stats.candidate_masks.append(
                     np.nonzero(feasible.any(axis=0))[0].tolist()
                 )
 
+            if profile:
+                t_mark = time.perf_counter()
             sol_idx, mask_idx = np.nonzero(feasible)
             cand_times = cand[sol_idx, mask_idx, :]
             target_u = cell_u[sol_idx] + du[mask_idx]
             sums = _left_to_right_sum(cand_times)
+            if profile:
+                phases["extend"] += time.perf_counter() - t_mark
 
             # One sort: primary target cell, then the full canonical
             # (sum, finish_times, parent_rank, mask) order within it
             # (np.lexsort's last key is the most significant). The
             # frontier rows are already in ascending-cell canonical
             # order, so ``sol_idx`` *is* the parent rank.
+            if profile:
+                t_mark = time.perf_counter()
             by_cell = np.lexsort(
                 [mask_idx, sol_idx]
                 + [cand_times[:, k] for k in range(n_models - 1, -1, -1)]
@@ -263,6 +309,8 @@ class DPScheduler:
             cell_u = u_s[kept]
             parents.append(sol_s[kept])
             masks.append(mask_s[kept])
+            if profile:
+                phases["prune"] += time.perf_counter() - t_mark
             if collect:
                 self.last_stats.frontier_sizes.append(
                     int(frontier.shape[0])
@@ -271,6 +319,8 @@ class DPScheduler:
         # Quantised ties hide unquantised differences: among the best
         # cell's frontier, maximise the true reward, then prefer the
         # smaller finish-time sum, then the canonical-first entry.
+        if profile:
+            t_mark = time.perf_counter()
         rows = np.nonzero(cell_u == cell_u.max())[0]
         spans = _left_to_right_sum(frontier[rows])
         best_plan = None
@@ -284,6 +334,10 @@ class DPScheduler:
                 reward == best_reward and span < best_span
             ):
                 best_plan, best_reward, best_span = plan, reward, span
+        if profile:
+            phases["backtrack"] = time.perf_counter() - t_mark
+            for p in DP_PHASES:
+                self.phase_wall[p] += phases[p]
         if collect:
             self.last_stats.n_cells = int(np.unique(cell_u).size)
         decisions = [

@@ -102,7 +102,7 @@ class _Task:
 
     __slots__ = (
         "query_id", "model_index", "attempt", "worker",
-        "start", "finish", "fails", "state",
+        "start", "finish", "fails", "state", "enqueued",
     )
 
     def __init__(self, query_id: int, model_index: int, attempt: int = 0):
@@ -114,6 +114,7 @@ class _Task:
         self.finish = 0.0
         self.fails = False
         self.state = "queued"  # queued | running | done | abandoned | killed
+        self.enqueued = 0.0  # when this attempt last joined a queue
 
 
 class _FaultWorker:
@@ -225,6 +226,7 @@ class EnsembleServer:
         ]
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._trace = self.tracer.enabled
+        self._profile = self._trace and self.tracer.profile
         self._sched_wall = 0.0
         deployed = {w.model_index for w in self._worker_specs}
         if not deployed.issubset(range(self.latencies.shape[0])):
@@ -330,6 +332,17 @@ class EnsembleServer:
 
         tracer = self.tracer
         trace = self._trace = tracer.enabled
+        # Opt-in latency profiling. Off (the default), no sched_phase /
+        # queue_wait span is ever emitted and the scheduler's phase
+        # timers stay disabled, so the run is span-for-span and
+        # bit-for-bit identical to an unprofiled one.
+        prof = self._profile = trace and tracer.profile
+        prof_sched = None
+        if prof:
+            scheduler = getattr(self.policy, "scheduler", None)
+            if scheduler is not None and hasattr(scheduler, "profile"):
+                prof_sched = scheduler
+                prof_sched.profile = True
         self._sched_wall = 0.0
         faulty = self._faulty
         config = self.config
@@ -442,6 +455,11 @@ class EnsembleServer:
                     overhead_sim_s=overhead,
                     wall_s=wall,
                 )
+            if prof and prof_sched is not None and prof_sched.last_phase_wall:
+                for phase, phase_wall in prof_sched.last_phase_wall.items():
+                    tracer.emit(
+                        sp.SCHED_PHASE, now, phase=phase, wall_s=phase_wall
+                    )
             if explain is not None:
                 # scheduling_busy serializes invocations, so exactly one
                 # schedule context is pending until its plan commits.
@@ -628,6 +646,8 @@ class EnsembleServer:
         tracer.finalize(now)
         if explain_sched is not None:
             explain_sched.collect_stats = False
+        if prof_sched is not None:
+            prof_sched.profile = False
 
         return ServingResult(
             records=[records[i] for i in range(workload.n_queries)],
@@ -754,6 +774,7 @@ class EnsembleServer:
         record.scheduled_mask = mask
         count = 0
         trace = self._trace
+        profile = self._profile
         for k in range(self.latencies.shape[0]):
             if (mask >> k) & 1:
                 worker = min(self._workers_for(k), key=lambda w: w.free_time)
@@ -765,6 +786,12 @@ class EnsembleServer:
                         model=k, worker=worker.wid,
                         start=finish - worker.spec.latency, finish=finish,
                     )
+                    if profile:
+                        self.tracer.emit(
+                            sp.QUEUE_WAIT, now, record.query_id,
+                            model=k, worker=worker.wid,
+                            wait_s=finish - worker.spec.latency - now,
+                        )
                 heapq.heappush(
                     events,
                     (finish, next(sequence), _TASK_DONE, (record.query_id, k)),
@@ -829,6 +856,7 @@ class EnsembleServer:
         worker = min(candidates, key=lambda w: w.available_at(now))
         task.state = "queued"
         task.worker = worker.wid
+        task.enqueued = now
         worker.queue.append(task)
         self._f_start_next(worker, now)
 
@@ -855,6 +883,12 @@ class EnsembleServer:
                 model=task.model_index, worker=worker.wid,
                 start=now, finish=task.finish, attempt=task.attempt,
             )
+            if self._profile:
+                self.tracer.emit(
+                    sp.QUEUE_WAIT, now, task.query_id,
+                    model=task.model_index, worker=worker.wid,
+                    attempt=task.attempt, wait_s=now - task.enqueued,
+                )
         self._push(task.finish, _TASK_END, task)
         timeout = self.config.task_timeout
         if timeout is not None and service > timeout:

@@ -8,6 +8,8 @@ import pytest
 from repro.obs import spans as sp
 from repro.obs.export import (
     chrome_trace_events,
+    metrics_to_prometheus,
+    parse_prometheus_text,
     prometheus_text,
     read_spans_jsonl,
     write_chrome_trace,
@@ -227,3 +229,55 @@ class TestPrometheus:
         )
         value = float(quantile_line.rsplit(" ", 1)[1])
         assert math.isclose(value, 0.99, abs_tol=0.05)
+
+    def test_deterministic_sorted_order(self):
+        # Two registries populated in opposite insertion order must
+        # render byte-identically: families come out name-sorted.
+        fwd, rev = MetricsRegistry(), MetricsRegistry()
+        for name in ("z.last", "a.first", "m.middle"):
+            fwd.counter(name).inc(1)
+        for name in ("m.middle", "a.first", "z.last"):
+            rev.counter(name).inc(1)
+        assert metrics_to_prometheus(fwd) == metrics_to_prometheus(rev)
+        names = [
+            line.split(" ")[0]
+            for line in metrics_to_prometheus(fwd).splitlines()
+            if not line.startswith("#")
+        ]
+        assert names == sorted(names)
+
+    def test_roundtrip_through_parser(self):
+        samples = parse_prometheus_text(
+            metrics_to_prometheus(self.registry())
+        )
+        assert samples["repro_queries_completed"][()] == 12.0
+        assert samples["repro_buffer_depth"][()] == 3.0
+        latency = samples["repro_query_latency_s"]
+        assert latency[(("quantile", "0.5"),)] == pytest.approx(
+            0.5, abs=0.05
+        )
+        assert samples["repro_query_latency_s_count"][()] == 100.0
+        assert samples["repro_query_latency_s_sum"][()] == pytest.approx(
+            sum(v / 100.0 for v in range(100))
+        )
+
+    def test_label_escaping_roundtrip(self):
+        nasty = 'a\\b"c\nd'
+        line = f'metric{{label="{_escape(nasty)}"}} 1.0\n'
+        samples = parse_prometheus_text(line)
+        assert samples["metric"][(("label", nasty),)] == 1.0
+
+    def test_parse_special_values_and_errors(self):
+        text = "m_nan NaN\nm_inf +Inf\nm_neg -Inf\n"
+        samples = parse_prometheus_text(text)
+        assert math.isnan(samples["m_nan"][()])
+        assert samples["m_inf"][()] == math.inf
+        assert samples["m_neg"][()] == -math.inf
+        with pytest.raises(ValueError):
+            parse_prometheus_text("not a valid !! line\n")
+
+
+def _escape(value: str) -> str:
+    from repro.obs.export import _prom_label_value
+
+    return _prom_label_value(value)

@@ -1,0 +1,395 @@
+"""Latency attribution, critical paths, and profile diffing.
+
+The load-bearing invariant: the per-query phases are an *exact*
+partition of the recorded end-to-end latency — the property test bounds
+the residual at 1e-9 on fault-free runs over randomized workloads.
+Rejected queries carry no phases (mirroring ``queries.rejected``),
+degraded and crash-failover queries attribute their retry overhead
+explicitly, and ``diff_profiles`` flags an injected slowdown while
+staying quiet on a same-artifact diff.
+"""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import DowntimeWindow, FaultPlan
+from repro.obs import spans as sp
+from repro.obs.profile import (
+    PHASES,
+    LatencyAttributor,
+    diff_profiles,
+    read_profile_json,
+    write_profile_json,
+)
+from repro.obs.spans import Span, spans_of_kind
+from repro.obs.tracer import RecordingTracer
+from repro.scheduling.dp import DPScheduler
+from repro.serving.config import ServerConfig
+from repro.serving.policies import (
+    BufferedSchedulingPolicy,
+    ImmediateMaskPolicy,
+)
+from repro.serving.server import EnsembleServer, WorkerSpec
+from repro.serving.workload import ServingWorkload
+
+LAT = [0.05, 0.12]
+
+
+def buffered_policy(n_pool=4, m=2):
+    utilities = np.zeros((n_pool, 1 << m))
+    for mask in range(1, 1 << m):
+        utilities[:, mask] = 0.6 + 0.1 * bin(mask).count("1")
+    return BufferedSchedulingPolicy(
+        "schemble", DPScheduler(delta=0.01), utilities
+    )
+
+
+def random_workload(seed=0, n=120, m=2, n_pool=4, slack=(0.2, 0.6)):
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.uniform(0, 4, n))
+    quality = np.zeros((n_pool, 1 << m))
+    quality[:, 1:] = rng.uniform(0.3, 1.0, (n_pool, (1 << m) - 1))
+    return ServingWorkload(
+        arrivals=arrivals,
+        deadlines=arrivals + rng.uniform(*slack, n),
+        sample_indices=rng.integers(0, n_pool, n),
+        quality=quality,
+    )
+
+
+def traced_run(workload, *, profile=False, **config_knobs):
+    tracer = RecordingTracer(profile=profile)
+    server = EnsembleServer.from_config(
+        LAT, buffered_policy(), ServerConfig(**config_knobs), tracer=tracer
+    )
+    result = server.run(workload)
+    return result, tracer
+
+
+class TestExactPartition:
+    """sum(phases) == latency, to float rounding, for every query."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_phases_sum_to_latency_fault_free(self, seed):
+        result, tracer = traced_run(random_workload(seed))
+        attributor = LatencyAttributor.from_tracer(tracer)
+        served = [r for r in result.records if r.latency is not None]
+        assert len(attributor.queries) == len(served)
+        for attribution in attributor.queries.values():
+            assert abs(attribution.residual()) <= 1e-9
+            for phase in PHASES:
+                assert attribution.phases[phase] >= -1e-12
+
+    def test_phases_match_recorded_latency_values(self):
+        result, tracer = traced_run(random_workload(3))
+        attributor = LatencyAttributor.from_tracer(tracer)
+        for record in result.records:
+            if record.latency is None:
+                continue
+            attribution = attributor.queries[record.query_id]
+            assert attribution.latency == pytest.approx(
+                record.latency, abs=1e-12
+            )
+
+    @pytest.mark.faults
+    def test_partition_survives_faults(self):
+        # Faulty runs may carry retry/straggler time; the partition
+        # must still telescope exactly.
+        plan = FaultPlan(seed=7, latency_jitter=0.1, task_failure_rate=0.15)
+        _, tracer = traced_run(
+            random_workload(5), faults=plan, task_timeout=0.5, max_retries=2
+        )
+        attributor = LatencyAttributor.from_tracer(tracer)
+        assert attributor.queries
+        for attribution in attributor.queries.values():
+            assert abs(attribution.residual()) <= 1e-9
+
+
+class TestRejectedDegradedFailover:
+    def test_rejected_queries_have_no_phases(self):
+        # A burst with a tight deadline forces rejections (same shape as
+        # the server's rejected-query audit tests).
+        wl = random_workload(11, n=150, slack=(0.05, 0.15))
+        result, tracer = traced_run(wl)
+        attributor = LatencyAttributor.from_tracer(tracer)
+        assert result.n_rejected() > 0
+        assert len(attributor.rejected) == result.n_rejected()
+        assert set(attributor.rejected).isdisjoint(attributor.queries)
+        # The latency digests saw only completed queries.
+        assert attributor.latency_hist.count == len(attributor.queries)
+        for phase in PHASES:
+            assert attributor.phase_hist[phase].count == len(
+                attributor.queries
+            )
+
+    @pytest.mark.faults
+    def test_degraded_queries_flagged(self):
+        plan = FaultPlan(seed=3, task_failure_rate=0.4)
+        result, tracer = traced_run(
+            random_workload(9), faults=plan, task_timeout=0.3, max_retries=1
+        )
+        degraded_spans = spans_of_kind(tracer.spans, sp.DEGRADED)
+        assert degraded_spans, "fixture produced no degraded answers"
+        attributor = LatencyAttributor.from_tracer(tracer)
+        flagged = {q for q, a in attributor.queries.items() if a.degraded}
+        assert {s.query_id for s in degraded_spans} <= flagged
+        for attribution in attributor.queries.values():
+            assert abs(attribution.residual()) <= 1e-9
+
+    @pytest.mark.faults
+    def test_crash_failover_retry_overhead_attributed(self):
+        # Worker 0 dies mid-task: the in-flight task is revoked and
+        # fails over to the sibling replica, so the query's critical
+        # task runs twice and the second start lands in the retry phase.
+        plan = FaultPlan(downtime=(DowntimeWindow(0, 0.05, 1.0),))
+        config = ServerConfig(
+            faults=plan, max_retries=1,
+            overhead_base=0.0, overhead_per_unit=0.0,
+        )
+        quality = np.ones((1, 2))
+        quality[:, 0] = 0.0
+        wl = ServingWorkload(
+            arrivals=np.array([0.0]),
+            deadlines=np.array([10.0]),
+            sample_indices=np.zeros(1, dtype=int),
+            quality=quality,
+        )
+        tracer = RecordingTracer()
+        result = EnsembleServer.from_config(
+            [0.1], ImmediateMaskPolicy("p", 0b1), config,
+            workers=[WorkerSpec(0, 0.1), WorkerSpec(0, 0.1)],
+            tracer=tracer,
+        ).run(wl)
+        assert result.total_retries() >= 1
+        assert spans_of_kind(tracer.spans, sp.RETRY)
+        attributor = LatencyAttributor.from_tracer(tracer)
+        attribution = attributor.queries[0]
+        assert attribution.retries >= 1
+        assert attribution.attempts > 1
+        assert attribution.phases["retry"] > 0.0
+        assert abs(attribution.residual()) <= 1e-9
+
+
+class TestCriticalPath:
+    def test_critical_task_matches_stream(self):
+        _, tracer = traced_run(random_workload(2))
+        attributor = LatencyAttributor.from_tracer(tracer)
+        # The critical model is the one on the last task resolution
+        # before each query's complete span.
+        last_task = {}
+        for span in tracer.spans:
+            if span.kind in (sp.TASK_DONE, sp.TASK_FAILED):
+                last_task[span.query_id] = int(span.attrs["model"])
+        for query_id, attribution in attributor.queries.items():
+            assert attribution.critical_model == last_task[query_id]
+
+    def test_chain_tasks_overlap_wait_interval(self):
+        _, tracer = traced_run(random_workload(4, n=160))
+        attributor = LatencyAttributor.from_tracer(tracer)
+        chains = 0
+        for query_id, attribution in attributor.queries.items():
+            chain = attributor.critical_chain(query_id)
+            chains += len(chain)
+            for task in chain:
+                assert task.worker == attribution.critical_worker
+                assert task.finish > attribution.plan_time
+                assert task.start < attribution.final_start
+                assert (task.query_id, task.model) != (
+                    query_id, attribution.critical_model
+                )
+            assert chain == sorted(chain, key=lambda t: t.start)
+        assert chains > 0, "load too light to produce any blocking"
+
+    def test_blame_ranking(self):
+        _, tracer = traced_run(random_workload(6))
+        attributor = LatencyAttributor.from_tracer(tracer)
+        blame = attributor.blame(k=5)
+        assert len(blame) == 5
+        latencies = [a.latency for a in blame]
+        assert latencies == sorted(latencies, reverse=True)
+        assert blame[0].latency == max(
+            a.latency for a in attributor.queries.values()
+        )
+        for entry in attributor.blame(k=3, breaching_only=True):
+            assert entry.slack < 0.0
+
+    def test_dominant_phase_is_argmax(self):
+        _, tracer = traced_run(random_workload(8))
+        attributor = LatencyAttributor.from_tracer(tracer)
+        for attribution in attributor.queries.values():
+            dominant = attribution.dominant_phase
+            assert attribution.phases[dominant] == max(
+                attribution.phases.values()
+            )
+
+
+class TestStreamSources:
+    def test_jsonl_round_trip_matches_live(self, tmp_path):
+        from repro.obs.export import write_spans_jsonl
+
+        _, tracer = traced_run(random_workload(7))
+        live = LatencyAttributor.from_tracer(tracer)
+        path = write_spans_jsonl(tracer.spans, tmp_path / "spans.jsonl")
+        offline = LatencyAttributor.from_jsonl(path)
+        assert offline.queries == live.queries
+        assert offline.rejected == live.rejected
+
+    def test_from_empty_tracer_raises(self):
+        with pytest.raises(ValueError, match="no spans"):
+            LatencyAttributor.from_tracer(RecordingTracer())
+
+    def test_profiled_stream_collects_dp_phase_wall(self):
+        _, tracer = traced_run(random_workload(1), profile=True)
+        assert spans_of_kind(tracer.spans, sp.SCHED_PHASE)
+        assert spans_of_kind(tracer.spans, sp.QUEUE_WAIT)
+        attributor = LatencyAttributor.from_tracer(tracer)
+        assert set(attributor.sched_phase_wall) == {
+            "mask_tables", "extend", "prune", "backtrack",
+        }
+        assert all(v >= 0.0 for v in attributor.sched_phase_wall.values())
+        assert attributor.sched_wall > 0.0
+
+
+class TestArtifact:
+    def artifact(self, seed=0, profile=False):
+        _, tracer = traced_run(random_workload(seed), profile=profile)
+        return LatencyAttributor.from_tracer(tracer).to_artifact()
+
+    def test_round_trip(self, tmp_path):
+        artifact = self.artifact(profile=True)
+        path = write_profile_json(artifact, tmp_path / "p" / "run.json")
+        assert read_profile_json(path) == json.loads(
+            json.dumps(artifact)
+        )
+
+    def test_schema_validated(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ValueError, match="schema"):
+            read_profile_json(path)
+
+    def test_counters_mirror_run(self):
+        wl = random_workload(11, n=150, slack=(0.05, 0.15))
+        result, tracer = traced_run(wl)
+        artifact = LatencyAttributor.from_tracer(tracer).to_artifact()
+        served = [r for r in result.records if r.latency is not None]
+        assert artifact["queries"]["attributed"] == len(served)
+        assert artifact["queries"]["rejected"] == result.n_rejected()
+        assert artifact["latency"]["total"] == pytest.approx(
+            sum(r.latency for r in served)
+        )
+        # Phase totals over all queries telescope to total latency too.
+        assert sum(
+            artifact["phases"][p]["total"] for p in PHASES
+        ) == pytest.approx(artifact["latency"]["total"], abs=1e-6)
+
+
+class TestDiff:
+    def artifact(self, seed=0):
+        _, tracer = traced_run(random_workload(seed), profile=True)
+        return LatencyAttributor.from_tracer(tracer).to_artifact()
+
+    def test_self_diff_is_quiet(self):
+        artifact = self.artifact()
+        diff = diff_profiles(artifact, artifact)
+        assert diff.ok
+        assert not diff.improvements
+        assert "no phase-level differences" in diff.render()
+
+    def test_same_seed_rerun_sim_metrics_quiet(self):
+        # Wall-clock jitters across reruns; the simulated-time metrics
+        # must not (same seed => same event sequence).
+        base, new = self.artifact(), self.artifact()
+        diff = diff_profiles(base, new)
+        assert all(r.kind == "wall" for r in diff.regressions)
+        assert all(r.kind == "wall" for r in diff.improvements)
+
+    def test_injected_dp_slowdown_flagged(self):
+        base = self.artifact()
+        slowed = copy.deepcopy(base)
+        for phase in slowed["sched_phase_wall_s"]:
+            slowed["sched_phase_wall_s"][phase] *= 2.0
+        slowed["sched_wall_s"] *= 2.0
+        diff = diff_profiles(base, slowed)
+        assert not diff.ok
+        flagged = {r.metric for r in diff.regressions}
+        assert "sched.wall_s" in flagged
+        assert any(m.startswith("sched.phase_wall_s.") for m in flagged)
+        for regression in diff.regressions:
+            assert regression.ratio == pytest.approx(2.0)
+        # The same movement downward is an improvement, not a page.
+        assert diff_profiles(slowed, base).ok
+
+    def test_wall_floor_suppresses_tiny_jitter(self):
+        base = self.artifact()
+        jittered = copy.deepcopy(base)
+        jittered["sched_phase_wall_s"] = {
+            p: v * 3.0 for p, v in (("x", 1e-5),)
+        }
+        base["sched_phase_wall_s"] = {"x": 1e-5}
+        # 3x ratio but only 2e-5s absolute: under the 1e-3s floor.
+        assert diff_profiles(base, jittered).ok
+
+    def test_sim_regression_direction(self):
+        base = self.artifact()
+        worse = copy.deepcopy(base)
+        worse["latency"]["p95"] = base["latency"]["p95"] * 1.5
+        diff = diff_profiles(base, worse)
+        assert any(r.metric == "latency.p95" for r in diff.regressions)
+        # Fewer attributed queries is the bad direction for a counter
+        # where up is good.
+        fewer = copy.deepcopy(base)
+        fewer["queries"]["attributed"] = max(
+            0, base["queries"]["attributed"] - 20
+        )
+        diff = diff_profiles(base, fewer)
+        assert any(
+            r.metric == "queries.attributed" for r in diff.regressions
+        )
+
+    def test_exit_style_render_lists_regressions(self):
+        base = self.artifact()
+        slowed = copy.deepcopy(base)
+        slowed["sched_wall_s"] = base["sched_wall_s"] * 2.0 + 1.0
+        rendered = diff_profiles(base, slowed).render()
+        assert rendered.startswith("REGRESSIONS (")
+        assert "sched.wall_s" in rendered
+
+
+class TestHandBuiltStreams:
+    """Degenerate streams the attributor must not crash on."""
+
+    def test_minimal_complete_only(self):
+        attributor = LatencyAttributor()
+        attributor.attribute([
+            Span(sp.COMPLETE, 1.0, 0, {"latency": 0.4, "slack": 0.1}),
+        ])
+        attribution = attributor.queries[0]
+        assert abs(attribution.residual()) <= 1e-9
+        assert attribution.phases["exec"] == pytest.approx(0.4)
+
+    def test_fast_path_query_skips_buffer_phases(self):
+        attributor = LatencyAttributor()
+        attributor.attribute([
+            Span(sp.ARRIVAL, 0.0, 0, {"deadline": 1.0}),
+            Span(sp.FAST_PATH, 0.0, 0, {}),
+            Span(sp.PLAN, 0.0, 0, {"size": 1}),
+            Span(sp.DISPATCH, 0.0, 0, {
+                "model": 0, "worker": 2, "start": 0.0, "finish": 0.3,
+            }),
+            Span(sp.TASK_DONE, 0.3, 0, {"model": 0}),
+            Span(sp.COMPLETE, 0.3, 0, {"latency": 0.3, "slack": 0.7}),
+        ])
+        attribution = attributor.queries[0]
+        assert attribution.fast_path
+        assert attribution.phases["admission"] == 0.0
+        assert attribution.phases["buffer"] == 0.0
+        assert attribution.phases["sched"] == 0.0
+        assert attribution.phases["exec"] == pytest.approx(0.3)
+        assert abs(attribution.residual()) <= 1e-9

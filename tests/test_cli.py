@@ -68,6 +68,25 @@ class TestParser:
         assert args.spans == "s.jsonl"
         assert args.min_events == 20
 
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.policy == "schemble"
+        assert args.spans is None  # None = fresh profiled run
+        assert args.out == "traces"
+        assert args.top == 5
+
+    def test_diff_requires_two_paths(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["diff"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["diff", "base.json"])
+        args = build_parser().parse_args(["diff", "a.json", "b.json"])
+        assert args.base == "a.json"
+        assert args.new == "b.json"
+        assert args.sim_rel == 0.05
+        assert args.wall_ratio == 1.6
+        assert args.wall_floor == 1e-3
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -151,6 +170,68 @@ class TestCommands:
             main(["explain", "12345", "--decisions", str(decisions)])
         with pytest.raises(SystemExit):
             main(["explain", "1", "--decisions", str(tmp_path / "nope")])
+
+    def test_profile_and_diff_pipeline(self, capsys, tm_setup, tmp_path):
+        # profile -> diff: a profiled run writes spans + artifact, the
+        # self-diff is quiet, and an injected DP-phase slowdown flags.
+        out_dir = tmp_path / "prof"
+        assert main([
+            "profile", "--duration", "5", "--out", str(out_dir)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "latency attribution report" in out
+        assert "per-query latency attribution" in out
+        assert "dp step phases" in out
+        assert "blame report" in out
+        spans = out_dir / "text_matching_schemble_spans.jsonl"
+        artifact = out_dir / "text_matching_schemble_profile.json"
+        for path in (spans, artifact):
+            assert path.exists()
+            assert f"wrote {path}" in out
+
+        # Same artifact on both sides: nothing to flag, exit 0.
+        assert main(["diff", str(artifact), str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "no phase-level differences" in out
+
+        # Span dump vs its own artifact: identical simulated metrics.
+        assert main(["diff", str(spans), str(artifact)]) == 0
+        capsys.readouterr()
+
+        # Inject a 2x DP step-phase slowdown: flagged, exit 1.
+        payload = json.loads(artifact.read_text())
+        payload["sched_wall_s"] *= 2.0
+        payload["sched_phase_wall_s"] = {
+            k: v * 2.0 for k, v in payload["sched_phase_wall_s"].items()
+        }
+        slowed = tmp_path / "slowed_profile.json"
+        slowed.write_text(json.dumps(payload))
+        assert main(["diff", str(artifact), str(slowed)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out
+        assert "sched.wall_s" in out
+
+    def test_profile_offline_from_spans(self, capsys, tm_setup, tmp_path):
+        assert main([
+            "profile", "--duration", "5", "--out", str(tmp_path)
+        ]) == 0
+        capsys.readouterr()
+        spans = tmp_path / "text_matching_schemble_spans.jsonl"
+        # Offline attribution of the dump writes a sibling artifact.
+        assert main(["profile", "--spans", str(spans)]) == 0
+        out = capsys.readouterr().out
+        assert "latency attribution report" in out
+        assert (tmp_path / "text_matching_schemble_profile.json").exists()
+
+    def test_profile_missing_spans_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["profile", "--spans", str(tmp_path / "nope.jsonl")])
+
+    def test_diff_missing_artifact_errors(self, tmp_path):
+        real = tmp_path / "real_profile.json"
+        real.write_text(json.dumps({"schema": "repro.profile/1"}))
+        with pytest.raises(SystemExit):
+            main(["diff", str(real), str(tmp_path / "nope.json")])
 
     @pytest.mark.faults
     def test_trace_with_faults(self, capsys, tm_setup, tmp_path):
