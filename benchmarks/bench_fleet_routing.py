@@ -1,0 +1,258 @@
+"""Benchmark guard: fleet routing must earn its keep on a diurnal day.
+
+Run as a script (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_routing.py [--quick]
+
+One scaled diurnal trace (~30x swing between the quietest and busiest
+hour, 1M+ queries in full mode) is served two ways, against a single
+big server with the *same total capacity* (``N_SHARDS`` replicas of
+the per-shard deployment behind one buffer and one scheduler):
+
+* **Routing regime** — ample admission queue (no shedding), tight
+  deadline. Isolates pure placement: backlog-aware routing
+  (power-of-two-choices, score-aware) must beat static consistent
+  hashing on deadline-miss rate by ``DMR_FACTOR`` at equal quality
+  (accuracy within ``QUALITY_TOLERANCE``).
+* **Admission regime** — default queue limit, relaxed deadline. The
+  single server absorbs the peak by queueing everything to the
+  deadline edge; the fleet sheds what it cannot serve well and must
+  keep served-query latency down: p99 strictly below the single
+  server's and p50 below ``P50_FACTOR`` of it.
+
+Hard assertions run in full mode only (the quick trace is too short
+for stable tails); ``--quick`` serves a few-thousand-query day for CI
+smoke and records numbers without enforcing them. The committed
+``benchmarks/results/BENCH_fleet.json`` is read *before* it is
+overwritten; when the committed run used the same mode, the routing
+separation (hash DMR over best backlog-aware DMR) must not fall below
+half its committed value.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.fleet import (  # noqa: E402
+    FLEET_LATENCIES,
+    fleet_workload,
+    make_fleet_policy,
+    run_fleet_comparison,
+    synthetic_fleet_setup,
+)
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_fleet.json"
+TABLE_PATH = Path(__file__).parent / "results" / "fleet_routing.txt"
+
+N_SHARDS = 4
+BASE_RATE = 40.0
+DURATION = 3600.0
+DURATION_QUICK = 20.0
+MIN_QUERIES = 1_000_000
+
+# Routing regime: ample queue, tight deadline — placement only.
+ROUTING_DEADLINE = 0.06
+ROUTING_QUEUE_LIMIT = 10 ** 6
+# Admission regime: default queue, relaxed deadline — shed vs queue.
+ADMISSION_DEADLINE = 0.15
+ADMISSION_QUEUE_LIMIT = 64
+
+# Backlog-aware routing must at least halve hashing's miss rate while
+# staying within this much accuracy of it.
+DMR_FACTOR = 2.0
+QUALITY_TOLERANCE = 0.01
+# Admission must keep served p50 below this fraction of the single
+# server's (p99 must simply be strictly lower).
+P50_FACTOR = 0.7
+# Committed-baseline tolerance on the routing separation ratio.
+REGRESSION_FACTOR = 2.0
+
+BACKLOG_AWARE = ("power_of_two", "score_aware")
+
+
+def run_regime(name, policy, quality, latencies, *, deadline, queue_limit,
+               duration):
+    """Serve one diurnal day in one regime; returns (rows, meta)."""
+    workload = fleet_workload(
+        quality, base_rate=BASE_RATE, duration=duration,
+        deadline=deadline, seed=1,
+    )
+    start = time.perf_counter()
+    rows = run_fleet_comparison(
+        latencies, policy, workload, quality,
+        n_shards=N_SHARDS, queue_limit=queue_limit, seed=0,
+    )
+    wall = time.perf_counter() - start
+    print(f"{name}: n={workload.n_queries} deadline={deadline * 1e3:.0f}ms "
+          f"queue_limit={queue_limit} [{wall:.1f}s]")
+    for serving, row in rows.items():
+        print(f"  {serving:13s} acc={row['accuracy']:.3f} "
+              f"dmr={row['dmr']:.4f} p50={row['p50'] * 1e3:6.1f}ms "
+              f"p99={row['p99'] * 1e3:6.1f}ms shed={row['shed_rate']:.2%}")
+    return rows, {"n_queries": int(workload.n_queries),
+                  "deadline": deadline, "queue_limit": queue_limit,
+                  "wall_s": wall}
+
+
+def best_backlog_aware(rows):
+    """The backlog-aware router with the lowest miss rate."""
+    return min(BACKLOG_AWARE, key=lambda name: rows[name]["dmr"])
+
+
+def check_routing(rows):
+    """Backlog-aware placement beats hashing on DMR at equal quality."""
+    failures = []
+    hash_row = rows["hash"]
+    best = best_backlog_aware(rows)
+    best_row = rows[best]
+    if best_row["dmr"] * DMR_FACTOR > hash_row["dmr"]:
+        failures.append(
+            f"routing: {best} dmr {best_row['dmr']:.4f} not "
+            f"{DMR_FACTOR:.1f}x below hash {hash_row['dmr']:.4f}"
+        )
+    if best_row["accuracy"] < hash_row["accuracy"] - QUALITY_TOLERANCE:
+        failures.append(
+            f"routing: {best} accuracy {best_row['accuracy']:.3f} more "
+            f"than {QUALITY_TOLERANCE} below hash "
+            f"{hash_row['accuracy']:.3f}"
+        )
+    return failures
+
+
+def check_admission(rows):
+    """The fleet's served tail beats the deadline-pinned single server."""
+    failures = []
+    single = rows["single"]
+    fleet = rows[best_backlog_aware(rows)]
+    if fleet["p99"] >= single["p99"]:
+        failures.append(
+            f"admission: fleet p99 {fleet['p99'] * 1e3:.1f}ms not below "
+            f"single {single['p99'] * 1e3:.1f}ms"
+        )
+    if fleet["p50"] > P50_FACTOR * single["p50"]:
+        failures.append(
+            f"admission: fleet p50 {fleet['p50'] * 1e3:.1f}ms above "
+            f"{P50_FACTOR:.0%} of single {single['p50'] * 1e3:.1f}ms"
+        )
+    return failures
+
+
+def check_regression(routing_rows, committed, quick):
+    """Routing separation must not halve vs a same-mode committed run."""
+    if not committed or committed.get("quick") != quick:
+        return []
+    baseline = committed.get("separation")
+    if not baseline:
+        return []
+    best = best_backlog_aware(routing_rows)
+    current = routing_rows["hash"]["dmr"] / max(
+        routing_rows[best]["dmr"], 1e-9
+    )
+    floor = baseline / REGRESSION_FACTOR
+    if current < floor:
+        return [
+            f"regression: routing separation {current:.1f}x fell below "
+            f"half the committed {baseline:.1f}x"
+        ]
+    return []
+
+
+def write_table(routing, admission, routing_meta, admission_meta):
+    """Human-readable companion table next to the JSON artifact."""
+    lines = [
+        "Fleet serving on a diurnal day — routers and admission vs one "
+        "equal-capacity server",
+        f"{N_SHARDS} shards x {len(FLEET_LATENCIES)} models, "
+        f"base rate {BASE_RATE:.0f} q/s (~30x diurnal swing)",
+    ]
+    for title, rows, meta in (
+        ("routing regime (ample queue)", routing, routing_meta),
+        ("admission regime (queue limit "
+         f"{ADMISSION_QUEUE_LIMIT})", admission, admission_meta),
+    ):
+        lines.append("")
+        lines.append(f"{title}: {meta['n_queries']} queries, deadline "
+                     f"{meta['deadline'] * 1e3:.0f}ms")
+        lines.append("serving        accuracy    DMR    p50 ms  p95 ms  "
+                     "p99 ms   shed")
+        lines.append("-------------  --------  ------  ------  ------  "
+                     "------  -----")
+        for serving, row in rows.items():
+            lines.append(
+                f"{serving:13s}  {row['accuracy']:8.3f}  "
+                f"{row['dmr']:6.4f}  {row['p50'] * 1e3:6.1f}  "
+                f"{row['p95'] * 1e3:6.1f}  {row['p99'] * 1e3:6.1f}  "
+                f"{row['shed_rate']:5.1%}"
+            )
+    TABLE_PATH.write_text("\n".join(lines) + "\n")
+
+
+def main(argv=None):
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    committed = None
+    if RESULTS_PATH.exists():
+        committed = json.loads(RESULTS_PATH.read_text())
+
+    latencies, quality, scores = synthetic_fleet_setup(seed=0)
+    policy = make_fleet_policy(quality, scores)
+    duration = DURATION_QUICK if quick else DURATION
+
+    routing, routing_meta = run_regime(
+        "routing", policy, quality, latencies,
+        deadline=ROUTING_DEADLINE, queue_limit=ROUTING_QUEUE_LIMIT,
+        duration=duration,
+    )
+    admission, admission_meta = run_regime(
+        "admission", policy, quality, latencies,
+        deadline=ADMISSION_DEADLINE, queue_limit=ADMISSION_QUEUE_LIMIT,
+        duration=duration,
+    )
+
+    failures = []
+    if not quick:
+        if routing_meta["n_queries"] < MIN_QUERIES:
+            failures.append(
+                f"trace too small: {routing_meta['n_queries']} queries "
+                f"< {MIN_QUERIES}"
+            )
+        failures += check_routing(routing)
+        failures += check_admission(admission)
+    failures += check_regression(routing, committed, quick)
+
+    best = best_backlog_aware(routing)
+    payload = {
+        "quick": quick,
+        "n_shards": N_SHARDS,
+        "base_rate": BASE_RATE,
+        "duration": duration,
+        "routing": {"meta": routing_meta, "rows": routing},
+        "admission": {"meta": admission_meta, "rows": admission},
+        "separation": routing["hash"]["dmr"] / max(
+            routing[best]["dmr"], 1e-9
+        ),
+        "dmr_factor": DMR_FACTOR,
+        "quality_tolerance": QUALITY_TOLERANCE,
+        "p50_factor": P50_FACTOR,
+        "regression_factor": REGRESSION_FACTOR,
+        "failures": failures,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    write_table(routing, admission, routing_meta, admission_meta)
+    print(f"wrote {TABLE_PATH}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.cluster.kmeans import KMeans
+from repro.clustering.kmeans import KMeans
 from repro.serving.policies import ImmediateMaskPolicy
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_in_range

@@ -14,6 +14,7 @@ Usage::
     python -m repro slo --spans traces/..._spans.jsonl [--slo-target 0.05]
     python -m repro profile --task text_matching [--spans traces/..._spans.jsonl]
     python -m repro diff traces/base_profile.json traces/new_profile.json
+    python -m repro fleet --task text_matching [--shards 4] [--router score_aware]
 
 Each command builds the task setup (training the models on first use),
 runs the corresponding experiment and prints its table. The commands are
@@ -47,6 +48,12 @@ Serving-side behaviour for ``trace``/``faults`` is described by a single
 :class:`~repro.serving.config.ServerConfig` inside a
 :class:`~repro.experiments.runner.RunSpec` — commands build one spec
 instead of plumbing individual ``allow_rejection``/``max_buffer`` knobs.
+
+``fleet`` serves one day trace on a multi-replica fleet
+(:mod:`repro.fleet`): a comparison table of every routing policy
+against an equal-capacity single server, and (with ``--out``) a traced
+run whose merged and per-shard span streams feed ``profile``/``slo``
+offline.
 """
 
 from __future__ import annotations
@@ -65,7 +72,7 @@ from repro.metrics.tables import format_table
 
 COMMANDS = (
     "list", "table1", "sweep", "day", "schedulers", "budget", "trace",
-    "faults", "explain", "slo", "profile", "diff",
+    "faults", "explain", "slo", "profile", "diff", "fleet",
 )
 
 TRACE_POLICIES = (
@@ -266,6 +273,39 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--fault-seed", type=int, default=17,
         help="seed of the fault plan RNG (default: 17)",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-replica fleet serving: compare routing policies "
+        "against one equal-capacity single server on a day trace",
+    )
+    _add_common(fleet)
+    fleet.add_argument(
+        "--policy", choices=TRACE_POLICIES, default="schemble",
+        help="serving policy every shard runs (default: schemble)",
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=4,
+        help="number of server shards (default: 4)",
+    )
+    fleet.add_argument(
+        "--router", choices=("hash", "power_of_two", "score_aware"),
+        default="score_aware",
+        help="router for the traced run written to --out "
+        "(the comparison table always covers all three; "
+        "default: score_aware)",
+    )
+    fleet.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="admission capacity per shard, in queries (default: 64)",
+    )
+    fleet.add_argument(
+        "--out", default=None,
+        help="when set, also run the --router fleet traced and write "
+        "the merged and per-shard span streams (JSONL) plus a "
+        "Prometheus metrics scrape to this directory — inputs for "
+        "`python -m repro profile|slo --spans ...`",
     )
 
     diff = sub.add_parser(
@@ -673,6 +713,89 @@ def _cmd_diff(args):
     return header + "\n" + diff.render(), 0 if diff.ok else 1
 
 
+def _cmd_fleet(args) -> str:
+    from repro.experiments.fleet import run_fleet_comparison
+    from repro.experiments.runner import RunSpec, make_workload, run_spec
+    from repro.experiments.trace_segments import make_day_trace
+    from repro.fleet import FleetConfig
+    from repro.serving.config import ServerConfig
+
+    setup = build_setup(args.task, args.preset, seed=args.seed)
+    trace = make_day_trace(setup, duration=args.duration, seed=args.seed + 5)
+    workload = make_workload(
+        setup, trace,
+        deadline=min(setup.deadline_grid),
+        seed=args.seed + 6,
+    )
+    comparison = run_fleet_comparison(
+        setup.latencies,
+        setup.policies()[args.policy],
+        workload,
+        setup.quality,
+        n_shards=args.shards,
+        queue_limit=args.queue_limit,
+        workers=setup.workers_for(args.policy),
+        seed=args.seed,
+    )
+    rows = [
+        [
+            name,
+            f"{row['accuracy']:.3f}",
+            f"{row['dmr']:.3f}",
+            f"{1e3 * row['p99']:.1f}" if row["p99"] == row["p99"] else "-",
+            f"{100 * row['shed_rate']:.1f}%",
+            f"{int(row['scheduler_invocations'])}",
+        ]
+        for name, row in comparison.items()
+    ]
+    table = format_table(
+        ["serving", "accuracy", "DMR", "p99 ms", "shed", "sched calls"],
+        rows,
+        title=(
+            f"fleet comparison — {args.task} / {args.policy} "
+            f"({args.shards} shards vs 1x{args.shards} capacity)"
+        ),
+    )
+    if args.out is None:
+        return table
+
+    from repro.obs import RecordingTracer, write_prometheus, write_spans_jsonl
+
+    spec = RunSpec(
+        policy=args.policy,
+        config=FleetConfig.uniform(
+            args.shards,
+            ServerConfig(),
+            router=args.router,
+            queue_limit=args.queue_limit,
+            seed=args.seed,
+        ),
+        duration=args.duration,
+        seed=args.seed + 5,
+    )
+    tracer = RecordingTracer(slo=_slo_monitor(args))
+    result = run_spec(setup, spec, trace=trace, tracer=tracer)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{args.task}_fleet_{args.router}"
+    written = [
+        write_spans_jsonl(tracer.spans, out_dir / f"{stem}_spans.jsonl"),
+        write_prometheus(tracer.metrics, out_dir / f"{stem}_metrics.prom"),
+    ]
+    for shard, spans in enumerate(result.shard_spans):
+        written.append(write_spans_jsonl(
+            spans, out_dir / f"{stem}_shard{shard}_spans.jsonl"
+        ))
+    footer = "\n".join(
+        ["", f"traced {args.router}: shed {result.n_shed} of "
+             f"{len(result.assignments)} queries"]
+        + [f"wrote {path}" for path in written]
+        + [f"inspect with `python -m repro profile --spans "
+           f"{written[0]}` or `python -m repro slo --spans {written[0]}`"]
+    )
+    return table + footer
+
+
 def _cmd_budget(args) -> str:
     setup = build_setup(args.task, args.preset, seed=args.seed)
     out = run_offline_budget(setup, seed=args.seed + 5)
@@ -703,6 +826,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "slo": lambda: _cmd_slo(args),
         "profile": lambda: _cmd_profile(args),
         "diff": lambda: _cmd_diff(args),
+        "fleet": lambda: _cmd_fleet(args),
     }
     out = handlers[args.command]()
     # Handlers return either text or (text, exit_code) — `diff` uses

@@ -1,5 +1,21 @@
-"""Clustering substrate (k-means) used by dynamic ensemble selection."""
+"""Deprecated alias of :mod:`repro.clustering` (k-means substrate).
 
-from repro.cluster.kmeans import KMeans
+The k-means package moved to ``repro.clustering`` when the
+multi-replica serving fleet (:mod:`repro.fleet`) was added, so that
+"cluster" unambiguously means serving infrastructure. Importing this
+shim keeps old code working but emits a :class:`DeprecationWarning`;
+it will be removed in v2.0.
+"""
+
+import warnings
+
+from repro.clustering.kmeans import KMeans
+
+warnings.warn(
+    "repro.cluster is deprecated and will be removed in v2.0; "
+    "import from repro.clustering instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["KMeans"]

@@ -1,101 +1,5 @@
-"""Lloyd's k-means with k-means++ initialisation.
+"""Deprecated alias of :mod:`repro.clustering.kmeans` (see package docstring)."""
 
-DES algorithms (Section III-B of the paper) partition the input space
-into regions and estimate per-region model competences; this is the
-clustering step of that pipeline.
-"""
+from repro.clustering.kmeans import KMeans
 
-from __future__ import annotations
-
-from typing import Optional
-
-import numpy as np
-
-from repro.utils.rng import SeedLike, as_rng
-
-
-class KMeans:
-    """k-means clustering with deterministic seeding."""
-
-    def __init__(
-        self,
-        n_clusters: int,
-        max_iter: int = 100,
-        tol: float = 1e-6,
-        seed: SeedLike = None,
-    ):
-        if n_clusters < 1:
-            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
-        if max_iter < 1:
-            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
-        self.n_clusters = n_clusters
-        self.max_iter = max_iter
-        self.tol = tol
-        self._rng = as_rng(seed)
-        self.centers_: Optional[np.ndarray] = None
-        self.inertia_: Optional[float] = None
-        self.n_iter_: int = 0
-
-    def _init_centers(self, x: np.ndarray) -> np.ndarray:
-        """k-means++ seeding: spread initial centers proportionally to
-        squared distance from the chosen set."""
-        n = x.shape[0]
-        centers = np.empty((self.n_clusters, x.shape[1]))
-        first = self._rng.integers(n)
-        centers[0] = x[first]
-        closest_sq = ((x - centers[0]) ** 2).sum(axis=1)
-        for k in range(1, self.n_clusters):
-            total = closest_sq.sum()
-            if total <= 0:
-                centers[k:] = x[self._rng.integers(n, size=self.n_clusters - k)]
-                break
-            probs = closest_sq / total
-            pick = self._rng.choice(n, p=probs)
-            centers[k] = x[pick]
-            closest_sq = np.minimum(
-                closest_sq, ((x - centers[k]) ** 2).sum(axis=1)
-            )
-        return centers
-
-    def fit(self, x: np.ndarray) -> "KMeans":
-        """Run Lloyd iterations until the centers move less than tol."""
-        x = np.asarray(x, dtype=float)
-        if x.ndim != 2:
-            raise ValueError(f"x must be 2-d, got shape {x.shape}")
-        if x.shape[0] < self.n_clusters:
-            raise ValueError(
-                f"need at least {self.n_clusters} samples, got {x.shape[0]}"
-            )
-        centers = self._init_centers(x)
-        for iteration in range(self.max_iter):
-            labels = self._assign(x, centers)
-            new_centers = centers.copy()
-            for k in range(self.n_clusters):
-                members = x[labels == k]
-                if members.shape[0]:
-                    new_centers[k] = members.mean(axis=0)
-            shift = float(np.abs(new_centers - centers).max())
-            centers = new_centers
-            self.n_iter_ = iteration + 1
-            if shift < self.tol:
-                break
-        self.centers_ = centers
-        labels = self._assign(x, centers)
-        self.inertia_ = float(
-            ((x - centers[labels]) ** 2).sum()
-        )
-        return self
-
-    @staticmethod
-    def _assign(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
-        distances = ((x[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
-        return np.argmin(distances, axis=1)
-
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        """Nearest-center assignment for new points."""
-        if self.centers_ is None:
-            raise RuntimeError("predict called before fit")
-        x = np.asarray(x, dtype=float)
-        if x.ndim == 1:
-            x = x[None, :]
-        return self._assign(x, self.centers_)
+__all__ = ["KMeans"]

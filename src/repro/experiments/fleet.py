@@ -1,0 +1,187 @@
+"""Fleet-serving experiment: routing policies vs one big server.
+
+The experiment the multi-replica fleet exists to answer: given the
+same total worker capacity, is it better to run one big
+:class:`~repro.serving.server.EnsembleServer` (one buffer, one
+scheduler) or N shards behind a difficulty-aware front end?
+
+The single big server's weakness is structural, not capacity: its
+scheduler invocations are serialized (``scheduling_busy``) and each
+one charges overhead proportional to the buffer it plans, so under a
+diurnal burst the lone scheduler becomes the bottleneck while workers
+idle. Sharding multiplies the schedulers along with the workers; the
+router's job is to keep the shards balanced enough that the split
+costs no quality. :func:`run_fleet_comparison` measures exactly that
+trade, for every registered routing policy, on one shared workload.
+
+The synthetic setup here builds the quality/score tables directly
+(difficulty-graded per-model success probabilities, noisy difficulty
+scores) instead of training real models, so million-query traces are
+cheap to drive — the serving side is identical to the trained tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.traces import diurnal_trace
+from repro.fleet.config import FleetConfig
+from repro.fleet.server import FleetServer
+from repro.scheduling.greedy import GreedyScheduler
+from repro.serving.config import ServerConfig
+from repro.serving.policies import BufferedSchedulingPolicy
+from repro.serving.records import ServingResult
+from repro.serving.server import EnsembleServer, WorkerSpec
+from repro.serving.workload import ServingWorkload
+from repro.utils.rng import SeedLike, as_rng
+
+#: Base-model inference times of the synthetic fleet task (seconds).
+FLEET_LATENCIES = (0.004, 0.009, 0.018)
+
+
+def synthetic_fleet_setup(
+    n_pool: int = 512, seed: SeedLike = 0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(latencies, quality, scores)`` of the synthetic fleet task.
+
+    Each pool sample gets a latent difficulty ``d ~ U(0, 1)``; model
+    ``k``'s per-sample success probability falls with difficulty from
+    its base accuracy, and a subset's quality is the probability at
+    least one member succeeds (monotone in the mask, 0 for the empty
+    subset). Scores are the true difficulties plus noise — the same
+    imperfect-predictor shape the trained tasks produce.
+    """
+    rng = as_rng(seed)
+    latencies = np.asarray(FLEET_LATENCIES, dtype=float)
+    m = latencies.shape[0]
+    base_accuracy = np.linspace(0.72, 0.9, m)
+    difficulty = rng.uniform(0.0, 1.0, n_pool)
+    success = np.clip(
+        base_accuracy[None, :]
+        - 0.5 * difficulty[:, None]
+        + rng.normal(0.0, 0.05, (n_pool, m)),
+        0.05,
+        0.98,
+    )
+    quality = np.zeros((n_pool, 2 ** m))
+    for mask in range(1, 2 ** m):
+        members = [k for k in range(m) if (mask >> k) & 1]
+        quality[:, mask] = 1.0 - np.prod(1.0 - success[:, members], axis=1)
+    scores = np.clip(difficulty + rng.normal(0.0, 0.05, n_pool), 0.0, 1.0)
+    return latencies, quality, scores
+
+
+def make_fleet_policy(
+    quality: np.ndarray, scores: np.ndarray
+) -> BufferedSchedulingPolicy:
+    """The buffered policy every fleet experiment serves with.
+
+    Greedy-EDF keeps scheduler invocations cheap enough that
+    million-query traces run in seconds while still exercising the
+    full buffered path (buffering, overhead, rejection); the fast
+    path keeps idle valleys realistic.
+    """
+    return BufferedSchedulingPolicy(
+        "schemble",
+        GreedyScheduler(order="edf"),
+        quality,
+        scores=scores,
+        fast_path=True,
+    )
+
+
+def fleet_workload(
+    quality: np.ndarray,
+    base_rate: float,
+    duration: float,
+    deadline: float = 0.06,
+    seed: SeedLike = 0,
+) -> ServingWorkload:
+    """A diurnal workload over the synthetic pool (one compressed day)."""
+    rng = as_rng(seed)
+    trace = diurnal_trace(base_rate, duration, seed=rng)
+    n = len(trace)
+    return ServingWorkload(
+        arrivals=trace.arrivals,
+        deadlines=np.full(n, float(deadline)),
+        sample_indices=rng.integers(quality.shape[0], size=n),
+        quality=quality,
+    )
+
+
+def _summary(
+    result: ServingResult, quality: np.ndarray, shed_rate: float = 0.0
+) -> Dict[str, float]:
+    """One comparison row: quality, misses, tail latency, shed share."""
+    stats = result.latency_stats()
+    return {
+        "accuracy": result.accuracy(quality),
+        "dmr": result.deadline_miss_rate(),
+        "p50": stats["p50"],
+        "p95": stats["p95"],
+        "p99": stats["p99"],
+        "rejected": float(result.n_rejected()),
+        "shed_rate": shed_rate,
+        "scheduler_invocations": float(result.scheduler_invocations),
+    }
+
+
+def run_fleet_comparison(
+    latencies: Sequence[float],
+    policy: BufferedSchedulingPolicy,
+    workload: ServingWorkload,
+    quality: np.ndarray,
+    n_shards: int = 4,
+    queue_limit: int = 64,
+    routers: Sequence[str] = ("hash", "power_of_two", "score_aware"),
+    server: Optional[ServerConfig] = None,
+    workers: Optional[Sequence[WorkerSpec]] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Serve one workload on a single big server and on every router.
+
+    The single server gets ``n_shards`` replicas of the (per-shard)
+    deployment — equal total capacity, one buffer, one scheduler —
+    so the comparison isolates the fleet's structural effect from
+    raw capacity. Returns ``{"single": row, "<router>": row, ...}``
+    (see :func:`_summary` for the row columns).
+    """
+    latencies = np.asarray(latencies, dtype=float)
+    server = server if server is not None else ServerConfig()
+    per_shard = (
+        list(workers)
+        if workers is not None
+        else [
+            WorkerSpec(model_index=k, latency=float(t))
+            for k, t in enumerate(latencies)
+        ]
+    )
+    single_workers = [
+        WorkerSpec(model_index=spec.model_index, latency=spec.latency)
+        for _ in range(n_shards)
+        for spec in per_shard
+    ]
+    single = EnsembleServer.from_config(
+        latencies, policy, server, workers=single_workers
+    ).run(workload)
+    out = {"single": _summary(single, quality)}
+    for router in routers:
+        fleet = FleetServer.from_config(
+            latencies,
+            policy,
+            FleetConfig.uniform(
+                n_shards,
+                server,
+                router=router,
+                queue_limit=queue_limit,
+                seed=seed,
+            ),
+            workers=workers,
+        )
+        result = fleet.run(workload)
+        out[router] = _summary(
+            result.merged, quality, shed_rate=result.shed_rate()
+        )
+    return out

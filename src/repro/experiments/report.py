@@ -222,6 +222,39 @@ REGISTRY: List[ExperimentEntry] = [
         "profile artifacts with noise-floored thresholds.",
     ),
     ExperimentEntry(
+        "Fleet serving — routers & admission on a 1M-query diurnal day "
+        "(this repo)",
+        ["fleet_routing"],
+        "— (not in the paper; scales the serving layer to a "
+        "multi-replica fleet, grounded in the Pochelu et al. "
+        "router/worker split from PAPERS.md).",
+        "A 1,063,435-query diurnal day (~30x swing between quietest "
+        "and busiest hour) served by a 4-shard fleet — each shard the "
+        "unmodified `EnsembleServer` loop — against a single server "
+        "with identical total capacity (4x replicated workers, one "
+        "buffer, one scheduler). Two regimes. *Routing* (ample "
+        "admission queue, 60ms deadline): backlog-aware placement "
+        "beats static consistent hashing on deadline misses by 16x "
+        "(power-of-two, DMR 0.0012 vs 0.0195) at *higher* accuracy — "
+        "hashing ignores load, so its unlucky shards miss while its "
+        "lucky ones idle. *Admission* (queue limit 64, 150ms "
+        "deadline): the single server absorbs the peak by queueing "
+        "everything to the deadline edge (p50 = 144ms of a 150ms "
+        "budget), while fleet admission sheds the peak-hour excess "
+        "(57%, priced at full-quality work) and serves what it admits "
+        "fast — served p50 20–39ms (4–7x below single) and p99 "
+        "strictly under the single server's pinned 150.0ms tail. The "
+        "quality cost of refusing rather than degrading is explicit "
+        "in the accuracy column: the single server degrades subsets "
+        "to keep everything, the fleet protects latency for what it "
+        "keeps. Determinism: same seed + trace replays to "
+        "byte-identical assignments and records (tested for all three "
+        "routers). Re-run with `PYTHONPATH=src python "
+        "benchmarks/bench_fleet_routing.py` (~20 min; `--quick` for "
+        "the CI smoke); regression-gated vs the committed "
+        "`BENCH_fleet.json` routing separation.",
+    ),
+    ExperimentEntry(
         "Design-choice ablations (this repo)",
         ["ablation_distance", "ablation_monotone", "ablation_fast_path"],
         "— (not in the paper; quantifies DESIGN.md's substrate "

@@ -5,12 +5,14 @@ from __future__ import annotations
 import dataclasses
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro.data.traces import ArrivalTrace, camera_deadlines, constant_deadlines
 from repro.experiments.setups import TaskSetup
+from repro.fleet.config import FleetConfig
+from repro.fleet.server import FleetResult, FleetServer
 from repro.serving.config import ServerConfig
 from repro.serving.records import ServingResult
 from repro.serving.server import EnsembleServer
@@ -81,7 +83,15 @@ class RunSpec:
 
     Attributes:
         policy: Key into ``setup.policies()`` (e.g. ``"schemble"``).
-        config: Server configuration, including any fault plan.
+        config: Server configuration, including any fault plan — either
+            a single-server :class:`ServerConfig` or a multi-replica
+            :class:`~repro.fleet.config.FleetConfig`; with a fleet
+            config, :func:`run_spec` serves the workload through a
+            :class:`~repro.fleet.server.FleetServer` and returns its
+            :class:`~repro.fleet.server.FleetResult`. Either way the
+            config validates itself on construction — ``RunSpec`` only
+            checks the type, so there is exactly one validation path
+            per config class.
         deadline: Relative deadline in seconds; ``None`` picks the
             task's tightest grid deadline.
         deadline_spread: Half-width of per-query deadline jitter.
@@ -91,14 +101,23 @@ class RunSpec:
     """
 
     policy: str = "schemble"
-    config: ServerConfig = field(default_factory=ServerConfig)
+    config: Union[ServerConfig, FleetConfig] = field(
+        default_factory=ServerConfig
+    )
     deadline: Optional[float] = None
     deadline_spread: float = 0.0
     duration: float = 30.0
     seed: int = 0
 
+    def __post_init__(self):
+        if not isinstance(self.config, (ServerConfig, FleetConfig)):
+            raise TypeError(
+                f"config must be a ServerConfig or FleetConfig, got "
+                f"{type(self.config).__name__}"
+            )
+
     def replace(self, **changes) -> "RunSpec":
-        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        """A validated copy with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
 
 
@@ -108,14 +127,18 @@ def run_spec(
     trace: Optional[ArrivalTrace] = None,
     tracer=None,
     explain=None,
-) -> ServingResult:
+) -> Union[ServingResult, FleetResult]:
     """Run one :class:`RunSpec` on ``setup`` and return its result.
 
     Builds the task's bursty day trace when ``trace`` is not supplied,
     attaches deadlines/samples with ``make_workload``, and serves with
-    the spec's policy under the spec's :class:`ServerConfig`. Pass a
+    the spec's policy under the spec's config: a
+    :class:`ServerConfig` runs one :class:`EnsembleServer`, a
+    :class:`~repro.fleet.config.FleetConfig` runs a
+    :class:`~repro.fleet.server.FleetServer` (returning its
+    :class:`~repro.fleet.server.FleetResult`). Pass a
     :class:`~repro.obs.explain.DecisionLog` as ``explain`` to capture
-    per-query scheduler decision records.
+    per-query scheduler decision records (single-server runs only).
     """
     # Local import: trace_segments itself builds on this module.
     from repro.experiments.trace_segments import make_day_trace
@@ -133,6 +156,20 @@ def run_spec(
         deadline_spread=spec.deadline_spread,
         seed=spec.seed + 1,
     )
+    if isinstance(spec.config, FleetConfig):
+        if explain is not None:
+            raise ValueError(
+                "decision explainability is per-shard; fleet runs do "
+                "not support explain="
+            )
+        fleet = FleetServer.from_config(
+            setup.latencies,
+            setup.policies()[spec.policy],
+            spec.config,
+            workers=setup.workers_for(spec.policy),
+            tracer=tracer,
+        )
+        return fleet.run(workload)
     return run_policy(
         setup,
         setup.policies()[spec.policy],
@@ -176,7 +213,8 @@ def run_policy(
             )
         warnings.warn(
             "run_policy(allow_rejection=..., max_buffer=...) is "
-            "deprecated; pass config=ServerConfig(...) instead",
+            "deprecated and will be removed in v2.0; pass "
+            "config=ServerConfig(...) instead",
             DeprecationWarning,
             stacklevel=2,
         )

@@ -1,0 +1,228 @@
+"""Pluggable fleet placement policies (the front-end's routing brain).
+
+A router sees one arriving query at a time — its id, pool sample and
+difficulty-score rank — plus the front-end's current per-shard backlog
+estimate, and names the shard the query should run on. Admission
+control (see :mod:`repro.fleet.server`) then decides whether that
+shard can actually buffer it.
+
+Three policies, the ones Pochelu et al.'s router/worker serving split
+compares:
+
+``hash``
+    Consistent hashing on the query's pool sample over a virtual-node
+    ring. Load-blind, but gives per-shard sample affinity (the same
+    sample always lands on the same shard, so shard-local caches keep
+    working) and minimal reshuffling when the fleet is resized.
+``power_of_two``
+    Power-of-two-choices: sample two distinct shards with the router's
+    own seeded RNG, send the query to the one with the smaller
+    backlog. The classic exponential improvement over random placement
+    in queue imbalance, at two backlog reads per query.
+``score_aware``
+    Difficulty-score-aware: queries whose predicted difficulty rank is
+    at or above ``hard_quantile`` carry the most work (the scheduler
+    will give them big subsets), so they go to the least-loaded shard;
+    easy queries keep consistent-hash affinity. This reuses the same
+    discrepancy scores the in-shard scheduler already computes —
+    no new signal is introduced at the front end.
+
+Every router is deterministic given its seed: :meth:`FleetRouter.reset`
+rewinds the internal RNG so the same trace replays to byte-identical
+placements.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "FleetRouter",
+    "ConsistentHashRouter",
+    "PowerOfTwoRouter",
+    "ScoreAwareRouter",
+    "ROUTERS",
+    "make_router",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """Deterministic 64-bit mixer (SplitMix64 finalizer).
+
+    Python's builtin ``hash`` is salted per process; routing must hash
+    identically across runs and machines, so the ring and key hashes
+    use this fixed mixer instead.
+    """
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (value ^ (value >> 31)) & _MASK64
+
+
+class FleetRouter:
+    """Common router surface consumed by :class:`~repro.fleet.server.FleetServer`.
+
+    Subclasses implement :meth:`choose`; stateful routers (seeded RNGs)
+    also override :meth:`reset`, which the fleet calls at the start of
+    every run so placements replay deterministically.
+    """
+
+    name: str = "router"
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+
+    def reset(self) -> None:
+        """Rewind per-run state (RNGs); default routers are stateless."""
+
+    def choose(
+        self,
+        query_id: int,
+        sample_index: int,
+        score_rank: float,
+        backlogs: Sequence[int],
+    ) -> int:
+        """Shard index for one arriving query."""
+        raise NotImplementedError
+
+
+class ConsistentHashRouter(FleetRouter):
+    """Consistent hashing over a virtual-node ring keyed by pool sample.
+
+    Args:
+        n_shards: Fleet size.
+        replicas: Virtual nodes per shard; more replicas smooth the
+            ring (64 keeps the max/mean shard share under ~1.3 for
+            typical fleet sizes).
+        seed: Ring salt — two fleets with the same seed build the same
+            ring.
+    """
+
+    name = "hash"
+
+    def __init__(self, n_shards: int, replicas: int = 64, seed: int = 0):
+        super().__init__(n_shards)
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self.seed = int(seed)
+        points = []
+        for shard in range(self.n_shards):
+            for replica in range(self.replicas):
+                key = _splitmix64(
+                    (self.seed << 32) ^ (shard * 0x10001) ^ replica
+                )
+                points.append((key, shard))
+        points.sort()
+        self._ring_keys = [key for key, _ in points]
+        self._ring_shards = [shard for _, shard in points]
+
+    def choose(self, query_id, sample_index, score_rank, backlogs) -> int:
+        """First ring point at or after the sample's hash (wrapping)."""
+        key = _splitmix64((self.seed << 32) ^ (int(sample_index) + 1))
+        index = bisect.bisect_left(self._ring_keys, key)
+        if index == len(self._ring_keys):
+            index = 0
+        return self._ring_shards[index]
+
+
+class PowerOfTwoRouter(FleetRouter):
+    """Power-of-two-choices over the per-shard backlog estimate."""
+
+    name = "power_of_two"
+
+    def __init__(self, n_shards: int, seed: int = 0):
+        super().__init__(n_shards)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+
+    def reset(self) -> None:
+        """Rewind the candidate-sampling RNG for a fresh run."""
+        self._rng = np.random.default_rng(self.seed)
+
+    def choose(self, query_id, sample_index, score_rank, backlogs) -> int:
+        """Lower-backlog of two random distinct shards (ties: lower id)."""
+        if self.n_shards == 1:
+            return 0
+        first = int(self._rng.integers(self.n_shards))
+        second = int(self._rng.integers(self.n_shards - 1))
+        if second >= first:
+            second += 1
+        a, b = sorted((first, second))
+        return a if backlogs[a] <= backlogs[b] else b
+
+
+class ScoreAwareRouter(FleetRouter):
+    """Difficulty-aware placement: hard queries chase idle capacity.
+
+    Queries whose difficulty-score rank is at or above
+    ``hard_quantile`` go to the least-loaded shard (they will expand
+    into the biggest subsets, so they should land where the backlog is
+    smallest); the easy rest keeps consistent-hash sample affinity.
+    """
+
+    name = "score_aware"
+
+    def __init__(
+        self,
+        n_shards: int,
+        hard_quantile: float = 0.75,
+        replicas: int = 64,
+        seed: int = 0,
+    ):
+        super().__init__(n_shards)
+        if not 0.0 <= hard_quantile <= 1.0:
+            raise ValueError(
+                f"hard_quantile must be in [0, 1], got {hard_quantile}"
+            )
+        self.hard_quantile = float(hard_quantile)
+        self._affinity = ConsistentHashRouter(
+            n_shards, replicas=replicas, seed=seed
+        )
+
+    def choose(self, query_id, sample_index, score_rank, backlogs) -> int:
+        """Least-loaded shard for hard queries, hash affinity otherwise."""
+        if score_rank >= self.hard_quantile:
+            return int(np.argmin(backlogs))  # ties: lowest shard id
+        return self._affinity.choose(
+            query_id, sample_index, score_rank, backlogs
+        )
+
+
+#: Registry of routing policies a FleetConfig may name.
+ROUTERS = {
+    "hash": ConsistentHashRouter,
+    "power_of_two": PowerOfTwoRouter,
+    "score_aware": ScoreAwareRouter,
+}
+
+
+def make_router(
+    name: str,
+    n_shards: int,
+    seed: int = 0,
+    hash_replicas: int = 64,
+    hard_quantile: float = 0.75,
+) -> FleetRouter:
+    """Instantiate a registered router with its policy-specific knobs."""
+    if name not in ROUTERS:
+        raise ValueError(
+            f"unknown router {name!r}; choose from {sorted(ROUTERS)}"
+        )
+    if name == "hash":
+        return ConsistentHashRouter(n_shards, replicas=hash_replicas, seed=seed)
+    if name == "power_of_two":
+        return PowerOfTwoRouter(n_shards, seed=seed)
+    return ScoreAwareRouter(
+        n_shards,
+        hard_quantile=hard_quantile,
+        replicas=hash_replicas,
+        seed=seed,
+    )

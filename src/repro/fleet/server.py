@@ -1,0 +1,423 @@
+"""Multi-replica fleet serving: route, admit, shard, merge.
+
+:class:`FleetServer` scales the single-server simulator horizontally
+without touching its event loop: N shards each run the existing
+:class:`~repro.serving.server.EnsembleServer` *unmodified*, fed by a
+front-end pass that replays the workload's arrival sequence through a
+pluggable router (:mod:`repro.fleet.routers`) and fleet-wide admission
+control.
+
+The front end never simulates the shards — that would couple it to the
+event loop it is supposed to stay out of. Instead it tracks a *fluid*
+per-shard backlog: each admitted query is modelled as one job on a
+virtual single-queue shard whose service time interpolates between the
+fastest model (an easy query the scheduler will give a small subset)
+and the whole ensemble's summed latency (a hard query), weighted by
+the query's difficulty rank. Backlog(t) = jobs whose estimated finish
+is still in the future. Admission control reads that backlog: a query
+routed to a full shard (backlog >= ``queue_limit``) is redirected once
+to the least-loaded shard, and shed outright if that shard is full too
+— so overload is refused at the door, before any per-shard buffer
+blows up. Shed queries emit a ``shed`` span plus a ``reject`` span
+(``reason="shed"``), making them visible to the SLO monitor and the
+fleet metrics without any shard ever seeing them.
+
+After the shards run (each over its own sub-workload, on the global
+clock), the fleet merges the per-shard span streams into one
+fleet-wide stream: local query ids are mapped back to global ids,
+worker ids are offset per shard, every span gains a ``shard``
+attribute, and the whole merged stream is replayed through the fleet's
+tracer — so ``profile``/``slo``/``diff`` work on the fleet exactly as
+on a single server, and per shard via the untouched shard results.
+
+Determinism: the routers are seeded, the fluid model is pure
+arithmetic, and each shard is the deterministic single-server
+simulator — a fixed (seed, trace) replays to byte-identical
+assignments and records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.routers import make_router
+from repro.obs import spans as sp
+from repro.obs.spans import Span
+from repro.obs.tracer import NULL_TRACER, RecordingTracer, Tracer
+from repro.serving.policies import ServingPolicy
+from repro.serving.records import QueryRecord, ServingResult
+from repro.serving.server import EnsembleServer, WorkerSpec
+from repro.serving.workload import ServingWorkload
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one fleet run: per-shard results plus the merged view.
+
+    Attributes:
+        merged: Fleet-wide :class:`ServingResult` — records in global
+            query order (shed queries appear as rejected records),
+            scheduler stats summed over shards, metrics from the
+            fleet's merged span stream.
+        shard_results: The untouched per-shard results (local query
+            ids; index with ``shard_query_ids`` to go global).
+        shard_query_ids: Global query ids served by each shard, in
+            local order.
+        shard_spans: Per-shard span lists remapped to global query and
+            worker ids (with a ``shard`` attribute); ``None`` when the
+            fleet ran untraced.
+        assignments: Global-order shard index per query, ``-1`` = shed.
+        router: Routing policy name the run used.
+        n_shed: Queries refused by admission control.
+    """
+
+    merged: ServingResult
+    shard_results: List[ServingResult]
+    shard_query_ids: List[np.ndarray]
+    shard_spans: Optional[List[List[Span]]]
+    assignments: np.ndarray
+    router: str
+    n_shed: int
+
+    @property
+    def n_shards(self) -> int:
+        """Fleet size."""
+        return len(self.shard_results)
+
+    def shed_rate(self) -> float:
+        """Fraction of the workload refused at admission."""
+        if self.assignments.size == 0:
+            return 0.0
+        return self.n_shed / self.assignments.size
+
+
+class FleetServer:
+    """N-shard front end over unmodified :class:`EnsembleServer` loops.
+
+    Args:
+        latencies: Per-base-model inference time (shared by all shards
+            — the fleet replicates one deployment).
+        policy: Serving policy every shard runs (see ``policies`` for
+            per-shard overrides).
+        config: Frozen :class:`FleetConfig`: one
+            :class:`~repro.serving.config.ServerConfig` per shard plus
+            the router/admission knobs.
+        workers: Optional explicit per-shard deployment (the same
+            worker list is applied to every shard); defaults to one
+            worker per base model per shard.
+        tracer: Fleet-level observability hook; when enabled, each
+            shard runs under its own :class:`RecordingTracer` and the
+            merged, remapped stream is replayed through this tracer.
+        policies: Optional per-shard policy overrides (length must
+            equal ``config.n_shards``); each shard may then schedule
+            differently while the front end stays shared.
+    """
+
+    def __init__(
+        self,
+        latencies: Sequence[float],
+        policy: ServingPolicy,
+        config: Optional[FleetConfig] = None,
+        *,
+        workers: Optional[Sequence[WorkerSpec]] = None,
+        tracer: Optional[Tracer] = None,
+        policies: Optional[Sequence[ServingPolicy]] = None,
+    ):
+        self.config = config if config is not None else FleetConfig()
+        if not isinstance(self.config, FleetConfig):
+            raise TypeError(
+                f"config must be a FleetConfig, got "
+                f"{type(self.config).__name__}"
+            )
+        self.latencies = np.asarray(latencies, dtype=float)
+        if self.latencies.ndim != 1 or np.any(self.latencies <= 0):
+            raise ValueError("latencies must be a 1-d array of positives")
+        self.policy = policy
+        if policies is not None:
+            if len(policies) != self.config.n_shards:
+                raise ValueError(
+                    f"policies must name one policy per shard "
+                    f"({self.config.n_shards}), got {len(policies)}"
+                )
+            self.policies = list(policies)
+        else:
+            self.policies = [policy] * self.config.n_shards
+        self.workers = list(workers) if workers is not None else None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        cfg = self.config
+        self.router = make_router(
+            cfg.router,
+            cfg.n_shards,
+            seed=cfg.seed,
+            hash_replicas=cfg.hash_replicas,
+            hard_quantile=cfg.hard_quantile,
+        )
+
+    @classmethod
+    def from_config(
+        cls,
+        latencies: Sequence[float],
+        policy: ServingPolicy,
+        config: FleetConfig,
+        *,
+        workers: Optional[Sequence[WorkerSpec]] = None,
+        tracer: Optional[Tracer] = None,
+        policies: Optional[Sequence[ServingPolicy]] = None,
+    ) -> "FleetServer":
+        """Build a fleet from a validated :class:`FleetConfig`
+        (mirrors :meth:`EnsembleServer.from_config`)."""
+        return cls(
+            latencies, policy, config,
+            workers=workers, tracer=tracer, policies=policies,
+        )
+
+    @property
+    def n_shards(self) -> int:
+        """Fleet size."""
+        return self.config.n_shards
+
+    def _workers_per_shard(self) -> int:
+        return (
+            len(self.workers)
+            if self.workers is not None
+            else self.latencies.shape[0]
+        )
+
+    def _score_ranks(self, workload: ServingWorkload) -> np.ndarray:
+        """Per-query difficulty percentile rank in ``[0, 1]``.
+
+        Derived from the policy's pool-wide difficulty scores (the
+        same signal the in-shard scheduler uses); constant or missing
+        scores rank every query 0.5 so score-aware routing degrades
+        to pure hash affinity instead of stampeding one shard.
+        """
+        scores = getattr(self.policy, "scores", None)
+        n = workload.n_queries
+        if scores is None:
+            return np.full(n, 0.5)
+        scores = np.asarray(scores, dtype=float)
+        if scores.size == 0 or float(scores.min()) == float(scores.max()):
+            return np.full(n, 0.5)
+        pool_sorted = np.sort(scores)
+        per_query = scores[workload.sample_indices]
+        left = np.searchsorted(pool_sorted, per_query, side="left")
+        right = np.searchsorted(pool_sorted, per_query, side="right")
+        return (left + right) / (2.0 * scores.size)
+
+    def _query_costs(self, ranks: np.ndarray) -> np.ndarray:
+        """Fluid-model service estimate per query (seconds of work).
+
+        Interpolates between the fastest model (rank 0: the scheduler
+        will give an easy query a small subset) and the summed
+        ensemble latency (rank 1: a hard query expands into the full
+        pool, and summed work is what a shard's queue absorbs). The
+        estimate is deliberately conservative — it prices the work the
+        scheduler would spend at full quality, not the degraded subsets
+        it falls back to under pressure — so admission throttles a
+        shard to the rate it can serve *well*, instead of the much
+        higher rate it could absorb by shredding quality. Queries the
+        estimate refuses would have been served late or degraded; the
+        queue_limit knob tunes how much burst the fleet rides out
+        before it starts refusing.
+        """
+        fastest = float(self.latencies.min())
+        total = float(self.latencies.sum())
+        return fastest + ranks * (total - fastest)
+
+    def run(self, workload: ServingWorkload) -> FleetResult:
+        """Route, admit, run every shard, and merge the results."""
+        if workload.n_models != self.latencies.shape[0]:
+            raise ValueError(
+                f"workload encodes {workload.n_models} models, fleet has "
+                f"{self.latencies.shape[0]}"
+            )
+        cfg = self.config
+        n_shards = cfg.n_shards
+        n = workload.n_queries
+        tracer = self.tracer
+        traced = tracer.enabled
+
+        self.router.reset()
+        ranks = self._score_ranks(workload)
+        costs = self._query_costs(ranks)
+
+        # --- front-end pass: route + admission over the fluid model ---
+        assignments = np.full(n, -1, dtype=int)
+        shard_ids: List[List[int]] = [[] for _ in range(n_shards)]
+        # Virtual single-queue shard state: next-free time plus the
+        # (monotone) finish times of jobs still in the system.
+        free = [0.0] * n_shards
+        finishes: List[List[float]] = [[] for _ in range(n_shards)]
+        heads = [0] * n_shards  # drained prefix of each finish list
+        backlogs = [0] * n_shards
+        front_spans: List[Span] = []
+        n_shed = 0
+
+        for qid in range(n):
+            now = float(workload.arrivals[qid])
+            for shard in range(n_shards):
+                done = finishes[shard]
+                head = heads[shard]
+                while head < len(done) and done[head] <= now:
+                    head += 1
+                heads[shard] = head
+                backlogs[shard] = len(done) - head
+            chosen = self.router.choose(
+                qid,
+                int(workload.sample_indices[qid]),
+                float(ranks[qid]),
+                backlogs,
+            )
+            redirected = False
+            if backlogs[chosen] >= cfg.queue_limit:
+                # Admission control: one redirect to the least-loaded
+                # shard, then shed. Never admit onto a full shard.
+                fallback = int(np.argmin(backlogs))
+                if backlogs[fallback] < cfg.queue_limit:
+                    chosen = fallback
+                    redirected = True
+                else:
+                    n_shed += 1
+                    if traced:
+                        front_spans.append(Span(sp.SHED, now, qid, {
+                            "policy": self.router.name,
+                            "backlog": backlogs[chosen],
+                        }))
+                        front_spans.append(Span(sp.REJECT, now, qid, {
+                            "reason": "shed",
+                        }))
+                    continue
+            assignments[qid] = chosen
+            if traced:
+                front_spans.append(Span(sp.ROUTE, now, qid, {
+                    "shard": chosen,
+                    "backlog": backlogs[chosen],
+                    "policy": self.router.name,
+                    "redirected": redirected,
+                }))
+            shard_ids[chosen].append(qid)
+            start = max(free[chosen], now)
+            finish = start + float(costs[qid])
+            free[chosen] = finish
+            finishes[chosen].append(finish)
+
+        # --- run every shard on its sub-workload (global clock) ---
+        shard_query_ids = [np.asarray(ids, dtype=int) for ids in shard_ids]
+        shard_results: List[ServingResult] = []
+        shard_tracers: List[Optional[RecordingTracer]] = []
+        for shard in range(n_shards):
+            ids = shard_query_ids[shard]
+            sub = ServingWorkload(
+                arrivals=workload.arrivals[ids],
+                deadlines=workload.deadlines[ids],
+                sample_indices=workload.sample_indices[ids],
+                quality=workload.quality,
+                utilities=workload.utilities,
+            )
+            shard_tracer = RecordingTracer() if traced else None
+            server = EnsembleServer.from_config(
+                self.latencies,
+                self.policies[shard],
+                cfg.shards[shard],
+                workers=self.workers,
+                tracer=shard_tracer,
+            )
+            shard_results.append(server.run(sub))
+            shard_tracers.append(shard_tracer)
+
+        # --- merge: remap ids, tag shards, replay through the tracer ---
+        shard_spans: Optional[List[List[Span]]] = None
+        if traced:
+            per_shard_workers = self._workers_per_shard()
+            shard_spans = []
+            streams = [[(span.time, -1, i, span)
+                        for i, span in enumerate(front_spans)]]
+            for shard, shard_tracer in enumerate(shard_tracers):
+                ids = shard_query_ids[shard]
+                offset = shard * per_shard_workers
+                remapped = []
+                for span in shard_tracer.spans:
+                    attrs = dict(span.attrs)
+                    attrs["shard"] = shard
+                    if "worker" in attrs:
+                        attrs["worker"] = int(attrs["worker"]) + offset
+                    gid = (
+                        int(ids[span.query_id])
+                        if span.query_id >= 0 else -1
+                    )
+                    remapped.append(Span(span.kind, span.time, gid, attrs))
+                shard_spans.append(remapped)
+                streams.append([
+                    (span.time, shard, i, span)
+                    for i, span in enumerate(remapped)
+                ])
+            merged_stream = sorted(
+                (entry for stream in streams for entry in stream),
+                key=lambda entry: entry[:3],
+            )
+            for _, _, _, span in merged_stream:
+                tracer.emit(span.kind, span.time, span.query_id, **span.attrs)
+            end = max(
+                [t.end_time for t in shard_tracers if t is not None],
+                default=0.0,
+            )
+            if front_spans:
+                end = max(end, front_spans[-1].time)
+            tracer.finalize(end)
+
+        merged = self._merge_results(
+            workload, assignments, shard_results, shard_query_ids
+        )
+        return FleetResult(
+            merged=merged,
+            shard_results=shard_results,
+            shard_query_ids=shard_query_ids,
+            shard_spans=shard_spans,
+            assignments=assignments,
+            router=self.router.name,
+            n_shed=n_shed,
+        )
+
+    def _merge_results(
+        self, workload, assignments, shard_results, shard_query_ids
+    ) -> ServingResult:
+        """Fleet-wide :class:`ServingResult` in global query order."""
+        records: List[Optional[QueryRecord]] = [None] * workload.n_queries
+        for shard, result in enumerate(shard_results):
+            ids = shard_query_ids[shard]
+            for local, record in enumerate(result.records):
+                records[int(ids[local])] = dc_replace(
+                    record, query_id=int(ids[local])
+                )
+        for qid in range(workload.n_queries):
+            if records[qid] is None:  # shed at admission
+                records[qid] = QueryRecord(
+                    query_id=qid,
+                    sample_index=int(workload.sample_indices[qid]),
+                    arrival=float(workload.arrivals[qid]),
+                    deadline=float(
+                        workload.arrivals[qid] + workload.deadlines[qid]
+                    ),
+                    rejected=True,
+                )
+        return ServingResult(
+            records=records,
+            policy_name=(
+                f"{self.policy.name}@fleet"
+                f"[{self.router.name}x{self.n_shards}]"
+            ),
+            scheduler_invocations=sum(
+                r.scheduler_invocations for r in shard_results
+            ),
+            scheduler_work_units=sum(
+                r.scheduler_work_units for r in shard_results
+            ),
+            scheduler_wall_time=sum(
+                r.scheduler_wall_time for r in shard_results
+            ),
+            metrics=self.tracer.metrics,
+        )

@@ -53,6 +53,14 @@ SLO_RECOVERED = "slo_recovered"  # burn rate fell back under the
 DECISION = "decision"          # one explained scheduling decision
                                # (mirrors a DecisionRecord)
 
+# --- fleet front-end (repro.fleet) ---------------------------------------
+ROUTE = "route"                # fleet router placed a query on a shard
+                               # (shard, backlog, policy attrs; redirected
+                               # marks an admission-control re-route)
+SHED = "shed"                  # fleet admission control dropped a query
+                               # before any shard buffered it (always
+                               # followed by a reject span, reason="shed")
+
 # --- profiling (repro.obs.profile) ---------------------------------------
 SCHED_PHASE = "sched_phase"    # real wall-clock of one internal scheduler
                                # step phase for one invocation (phase,
@@ -67,6 +75,7 @@ KINDS = (
     TASK_DONE, COMPLETE, REJECT, REQUEUE, FAST_PATH,
     TASK_FAILED, RETRY, WORKER_DOWN, WORKER_UP, DEGRADED,
     SLO_BREACH, SLO_RECOVERED, DECISION,
+    ROUTE, SHED,
     SCHED_PHASE, QUEUE_WAIT,
 )
 

@@ -31,8 +31,10 @@ from repro.obs.spans import (
     REJECT,
     REQUEUE,
     RETRY,
+    ROUTE,
     SCHED_PHASE,
     SCHEDULE,
+    SHED,
     SLO_BREACH,
     SLO_RECOVERED,
     TASK_FAILED,
@@ -184,6 +186,18 @@ class RecordingTracer(Tracer):
             )
         elif kind == DEGRADED:
             metrics.counter("queries.degraded").inc()
+        elif kind == ROUTE:
+            # Fleet front-end placement (repro.fleet): every admitted
+            # query is routed exactly once; redirected marks a query
+            # whose policy-chosen shard was full and was re-routed by
+            # admission control instead of shed.
+            metrics.counter("router.routed").inc()
+            metrics.counter(f"router.shard.{attrs['shard']}").inc()
+            metrics.counter("admission.admitted").inc()
+            if attrs.get("redirected", False):
+                metrics.counter("router.redirected").inc()
+        elif kind == SHED:
+            metrics.counter("admission.shed").inc()
         elif kind == SLO_BREACH:
             metrics.counter("slo.breaches").inc()
         elif kind == SLO_RECOVERED:

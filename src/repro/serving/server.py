@@ -290,9 +290,9 @@ class EnsembleServer:
             )
         warnings.warn(
             "per-knob EnsembleServer arguments "
-            f"({', '.join(sorted(legacy))}) are deprecated; build a "
-            "ServerConfig and use EnsembleServer.from_config(...) or "
-            "config=...",
+            f"({', '.join(sorted(legacy))}) are deprecated and will be "
+            "removed in v2.0; build a ServerConfig and use "
+            "EnsembleServer.from_config(...) or config=...",
             DeprecationWarning,
             stacklevel=3,
         )

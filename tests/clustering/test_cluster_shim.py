@@ -1,0 +1,45 @@
+"""The deprecated ``repro.cluster`` shim: warns once, still works."""
+
+import importlib
+import sys
+import warnings
+
+import numpy as np
+
+
+def _fresh_import(name):
+    for mod in [m for m in sys.modules if m == name or m.startswith(name + ".")]:
+        del sys.modules[mod]
+    return importlib.import_module(name)
+
+
+class TestClusterShim:
+    def test_import_emits_deprecation_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _fresh_import("repro.cluster")
+        messages = [
+            str(w.message) for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert any("repro.clustering" in m for m in messages), messages
+
+    def test_shim_reexports_the_same_kmeans(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            cluster = _fresh_import("repro.cluster")
+            from repro.cluster.kmeans import KMeans as deep_kmeans
+        from repro.clustering import KMeans
+
+        assert cluster.KMeans is KMeans
+        assert deep_kmeans is KMeans
+
+    def test_shimmed_class_is_usable(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            cluster = _fresh_import("repro.cluster")
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        model = cluster.KMeans(n_clusters=2, seed=0).fit(points)
+        labels = model.predict(points)
+        assert labels[0] == labels[1] and labels[2] == labels[3]
+        assert labels[0] != labels[2]

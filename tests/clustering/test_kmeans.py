@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster.kmeans import KMeans
+from repro.clustering.kmeans import KMeans
 
 
 @pytest.fixture(scope="module")

@@ -13,6 +13,7 @@ from repro.experiments.runner import (
     run_spec,
     summarize,
 )
+from repro.fleet import FleetConfig, FleetResult
 from repro.serving.config import ServerConfig
 
 
@@ -118,6 +119,41 @@ class TestRunAndSummarize:
         assert faster.policy == spec.policy
         with pytest.raises(dataclasses.FrozenInstanceError):
             spec.duration = 1.0
+
+    def test_spec_accepts_fleet_config(self):
+        spec = RunSpec(config=FleetConfig.uniform(3))
+        assert spec.config.n_shards == 3
+        assert spec.replace(seed=4).config is spec.config
+
+    def test_spec_rejects_other_config_types(self):
+        # One validation path: RunSpec only type-checks, the config
+        # classes validate their own contents.
+        with pytest.raises(TypeError, match="ServerConfig or FleetConfig"):
+            RunSpec(config={"max_buffer": 4})
+        with pytest.raises(TypeError, match="ServerConfig or FleetConfig"):
+            RunSpec().replace(config=None)
+
+    def test_run_spec_dispatches_to_fleet(self, tm_setup):
+        spec = RunSpec(
+            policy="schemble",
+            config=FleetConfig.uniform(2, queue_limit=128),
+            duration=5.0,
+            seed=3,
+        )
+        result = run_spec(tm_setup, spec)
+        assert isinstance(result, FleetResult)
+        assert result.n_shards == 2
+        assert "@fleet[" in result.merged.policy_name
+        again = run_spec(tm_setup, spec)
+        assert result.merged.records == again.merged.records
+        assert (result.assignments == again.assignments).all()
+
+    def test_fleet_spec_rejects_explain(self, tm_setup):
+        from repro.obs import DecisionLog
+
+        spec = RunSpec(config=FleetConfig.uniform(2), duration=2.0)
+        with pytest.raises(ValueError, match="explain"):
+            run_spec(tm_setup, spec, explain=DecisionLog())
 
     def test_static_gets_replica_workers(self, tm_setup, trace):
         wl = make_workload(tm_setup, trace, deadline=0.3, seed=2)

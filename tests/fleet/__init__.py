@@ -1,0 +1,1 @@
+"""Tests of the multi-replica fleet serving subsystem."""

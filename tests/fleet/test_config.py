@@ -1,0 +1,92 @@
+"""FleetConfig: validation, composition of ServerConfig, replace()."""
+
+import dataclasses
+
+import pytest
+
+from repro.fleet.config import FleetConfig
+from repro.serving.config import ServerConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = FleetConfig()
+        assert config.n_shards == 2
+        assert config.router == "power_of_two"
+        assert all(isinstance(s, ServerConfig) for s in config.shards)
+
+    def test_shards_normalised_to_tuple(self):
+        config = FleetConfig(shards=[ServerConfig(), ServerConfig()])
+        assert isinstance(config.shards, tuple)
+
+    def test_rejects_empty_shards(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FleetConfig(shards=())
+
+    def test_rejects_non_server_config_shard(self):
+        with pytest.raises(TypeError, match=r"shards\[1\]"):
+            FleetConfig(shards=(ServerConfig(), {"max_buffer": 4}))
+
+    def test_rejects_unknown_router(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            FleetConfig(router="round_robin")
+
+    @pytest.mark.parametrize("bad", [
+        {"queue_limit": 0},
+        {"hash_replicas": 0},
+        {"hard_quantile": -0.1},
+        {"hard_quantile": 1.5},
+    ])
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(ValueError):
+            FleetConfig(**bad)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FleetConfig().queue_limit = 4
+
+    def test_replace_revalidates(self):
+        config = FleetConfig()
+        assert config.replace(queue_limit=8).queue_limit == 8
+        with pytest.raises(ValueError):
+            config.replace(queue_limit=0)
+
+    def test_replace_matches_constructor_errors(self):
+        with pytest.raises(ValueError) as from_init:
+            FleetConfig(queue_limit=0)
+        with pytest.raises(ValueError) as from_replace:
+            FleetConfig().replace(queue_limit=0)
+        assert str(from_replace.value) == str(from_init.value)
+
+
+class TestComposition:
+    def test_shards_may_differ(self):
+        config = FleetConfig(shards=(
+            ServerConfig(max_buffer=4),
+            ServerConfig(max_buffer=32, allow_rejection=False),
+        ))
+        assert config.shards[0].max_buffer == 4
+        assert config.shards[1].allow_rejection is False
+
+    def test_shard_validation_is_server_configs(self):
+        # One validation path: a bad shard fails in ServerConfig's own
+        # __post_init__ before FleetConfig ever sees it.
+        with pytest.raises(ValueError, match="max_buffer"):
+            FleetConfig(shards=(ServerConfig(max_buffer=0),))
+
+    def test_uniform(self):
+        shard = ServerConfig(max_buffer=8)
+        config = FleetConfig.uniform(3, shard, router="hash", seed=7)
+        assert config.n_shards == 3
+        assert all(s is shard for s in config.shards)
+        assert config.router == "hash"
+        assert config.seed == 7
+
+    def test_uniform_defaults(self):
+        assert FleetConfig.uniform(2).shards == (
+            ServerConfig(), ServerConfig()
+        )
+
+    def test_uniform_rejects_zero(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            FleetConfig.uniform(0)

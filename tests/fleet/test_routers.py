@@ -1,0 +1,123 @@
+"""Routing policies: determinism, balance, and policy-specific shape."""
+
+import pytest
+
+from repro.fleet.routers import (
+    ROUTERS,
+    ConsistentHashRouter,
+    PowerOfTwoRouter,
+    ScoreAwareRouter,
+    make_router,
+)
+
+
+class TestRegistry:
+    def test_all_policies_registered(self):
+        assert set(ROUTERS) == {"hash", "power_of_two", "score_aware"}
+
+    @pytest.mark.parametrize("name", sorted(ROUTERS))
+    def test_make_router(self, name):
+        router = make_router(name, 4, seed=3)
+        assert router.name == name
+        assert router.n_shards == 4
+
+    def test_make_router_unknown(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            make_router("random", 4)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ConsistentHashRouter(0)
+
+
+class TestConsistentHash:
+    def test_deterministic_across_instances(self):
+        a = ConsistentHashRouter(5, seed=1)
+        b = ConsistentHashRouter(5, seed=1)
+        choices_a = [a.choose(i, i * 7 % 100, 0.5, [0] * 5) for i in range(200)]
+        choices_b = [b.choose(i, i * 7 % 100, 0.5, [0] * 5) for i in range(200)]
+        assert choices_a == choices_b
+
+    def test_sample_affinity(self):
+        router = ConsistentHashRouter(4, seed=0)
+        # Same sample index → same shard, regardless of query id/backlog.
+        first = router.choose(0, 42, 0.2, [0, 0, 0, 0])
+        again = router.choose(99, 42, 0.9, [50, 0, 7, 3])
+        assert first == again
+
+    def test_covers_all_shards(self):
+        router = ConsistentHashRouter(4, replicas=64, seed=0)
+        shards = {
+            router.choose(i, i, 0.5, [0] * 4) for i in range(1000)
+        }
+        assert shards == set(range(4))
+
+    def test_resize_moves_few_keys(self):
+        # The consistent-hashing contract: adding one shard re-homes
+        # roughly 1/(n+1) of keys, not all of them.
+        before = ConsistentHashRouter(4, seed=0)
+        after = ConsistentHashRouter(5, seed=0)
+        moved = sum(
+            before.choose(i, i, 0.5, [0] * 4)
+            != after.choose(i, i, 0.5, [0] * 5)
+            for i in range(2000)
+        )
+        assert moved < 2000 * 0.5
+
+
+class TestPowerOfTwo:
+    def test_reset_replays_identically(self):
+        router = PowerOfTwoRouter(6, seed=9)
+        backlogs = [3, 1, 4, 1, 5, 9]
+        first = [router.choose(i, i, 0.5, backlogs) for i in range(100)]
+        router.reset()
+        second = [router.choose(i, i, 0.5, backlogs) for i in range(100)]
+        assert first == second
+
+    def test_prefers_lower_backlog(self):
+        router = PowerOfTwoRouter(2, seed=0)
+        # With 2 shards both candidates are always {0, 1}.
+        for i in range(50):
+            assert router.choose(i, i, 0.5, [10, 0]) == 1
+
+    def test_tie_breaks_to_lower_index(self):
+        router = PowerOfTwoRouter(2, seed=0)
+        assert router.choose(0, 0, 0.5, [2, 2]) == 0
+
+    def test_single_shard(self):
+        assert PowerOfTwoRouter(1, seed=0).choose(0, 0, 0.5, [7]) == 0
+
+
+class TestScoreAware:
+    def test_hard_queries_go_least_loaded(self):
+        router = ScoreAwareRouter(4, hard_quantile=0.75, seed=0)
+        assert router.choose(0, 0, 0.9, [4, 1, 0, 6]) == 2
+
+    def test_hard_tie_breaks_to_lower_index(self):
+        router = ScoreAwareRouter(3, hard_quantile=0.5, seed=0)
+        assert router.choose(0, 0, 0.8, [2, 2, 2]) == 0
+
+    def test_easy_queries_keep_affinity(self):
+        router = ScoreAwareRouter(4, hard_quantile=0.75, seed=5)
+        affinity = ConsistentHashRouter(4, seed=5)
+        for sample in range(100):
+            assert router.choose(0, sample, 0.1, [9, 0, 0, 0]) == \
+                affinity.choose(0, sample, 0.1, [9, 0, 0, 0])
+
+    def test_quantile_validated(self):
+        with pytest.raises(ValueError, match="hard_quantile"):
+            ScoreAwareRouter(2, hard_quantile=1.2)
+
+    def test_threshold_is_inclusive(self):
+        router = ScoreAwareRouter(3, hard_quantile=0.75, seed=0)
+        assert router.choose(0, 0, 0.75, [5, 0, 5]) == 1
+
+
+class TestHashStability:
+    def test_ring_independent_of_process_salt(self):
+        # Placements must come from the fixed splitmix64 mixer, never
+        # Python's per-process salted hash(): the ring built from seed 3
+        # always maps these probe keys the same way.
+        router = ConsistentHashRouter(3, replicas=16, seed=3)
+        probes = [router.choose(i, i * 13, 0.5, [0, 0, 0]) for i in range(12)]
+        assert probes == [0, 0, 0, 2, 1, 0, 0, 2, 2, 0, 0, 2]

@@ -62,6 +62,31 @@ class TestValidation:
         with pytest.raises(ValueError):
             config.replace(max_buffer=0)
 
+    @pytest.mark.parametrize("bad", [
+        {"max_buffer": 0},
+        {"max_buffer": -3},
+        {"overhead_base": -1e-3},
+        {"overhead_per_unit": -1e-9},
+        {"task_timeout": 0.0},
+        {"max_retries": -1},
+        {"retry_backoff": -0.1},
+    ])
+    def test_replace_matches_constructor_errors(self, bad):
+        # replace() goes through dataclasses.replace, which re-runs
+        # __post_init__ — the error must be the constructor's, verbatim.
+        with pytest.raises(ValueError) as from_init:
+            ServerConfig(**bad)
+        with pytest.raises(ValueError) as from_replace:
+            ServerConfig().replace(**bad)
+        assert str(from_replace.value) == str(from_init.value)
+
+    def test_replace_matches_constructor_type_errors(self):
+        with pytest.raises(TypeError) as from_init:
+            ServerConfig(faults="not-a-plan")
+        with pytest.raises(TypeError) as from_replace:
+            ServerConfig().replace(faults="not-a-plan")
+        assert str(from_replace.value) == str(from_init.value)
+
 
 class TestFaultFree:
     def test_default_is_fault_free(self):

@@ -56,9 +56,14 @@ class TestSchedulerProperties:
     @given(scheduling_instances())
     @settings(max_examples=30, deadline=None)
     def test_dp_dominates_greedy(self, instance):
-        dp = DPScheduler(delta=0.005).schedule(instance)
+        """Quantised DP keeps at least its Theorem-3 share of whatever
+        greedy collects: δ-quantisation may concede up to δN of the
+        optimum, so exact dominance only holds up to that slack."""
+        delta = 0.005
+        dp = DPScheduler(delta=delta).schedule(instance)
         greedy = GreedyScheduler("edf").schedule(instance)
-        assert dp.total_utility >= greedy.total_utility - 1e-9
+        slack = delta * len(instance.queries)
+        assert dp.total_utility >= (1 - slack) * greedy.total_utility - 1e-9
 
     @given(scheduling_instances())
     @settings(max_examples=30, deadline=None)

@@ -4,7 +4,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster.kmeans import KMeans
+from repro.clustering.kmeans import KMeans
 from repro.models.calibration import TemperatureScaling
 from repro.trees.decision_tree import DecisionTreeRegressor
 from repro.trees.gbdt import GradientBoostingClassifier
