@@ -1,0 +1,306 @@
+"""Benchmark guard: the control loop must hold the SLO a static fleet breaks.
+
+Run as a script (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_control_loop.py [--quick]
+
+One scaled diurnal trace (~30x swing between the quietest and busiest
+hour — the same shape ``bench_fleet_routing.py`` serves) is pushed
+through an under-provisioned four-shard fleet twice: once static, and
+once with the SLO-driven control loop closed
+(:mod:`repro.control` via ``FleetConfig(control=...)``). The static
+fleet has no answer to the burst hours and sheds over half the day;
+the controlled fleet detects the burn, tightens admission, flips to
+the cheap subset, and scales replica sets until the peak fits.
+
+Hard assertions run in full mode only (the quick trace is too short
+for the controller to finish a breach/recover cycle):
+
+* **breach** — the static fleet's deadline-miss rate (sheds included)
+  is at least ``BREACH_FACTOR`` times the ``MISS_TARGET`` SLO;
+* **hold** — the controlled fleet's miss rate stays at or under
+  ``MISS_TARGET``;
+* **bounded quality loss** — the controlled fleet's accuracy beats the
+  static fleet's and stays above ``ACCURACY_FLOOR`` despite the
+  degraded-mode answers;
+* **acted and unwound** — at least one overload episode was detected,
+  capacity was scaled up and fully retired, degrade was restored.
+
+The determinism contract is asserted in *both* modes: the controlled
+run is replayed on the same trace + seed and its action log must be
+byte-identical (``ControlLog.dumps()``).
+
+The committed ``benchmarks/results/BENCH_control.json`` is read
+*before* it is overwritten; when the committed run used the same mode,
+the SLO separation (static miss rate over controlled miss rate) must
+not fall below half its committed value.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.control import ControlConfig  # noqa: E402
+from repro.experiments.control import run_control_comparison  # noqa: E402
+from repro.experiments.fleet import (  # noqa: E402
+    FLEET_LATENCIES,
+    fleet_workload,
+    make_fleet_policy,
+    synthetic_fleet_setup,
+)
+from repro.obs.slo import SLOConfig  # noqa: E402
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_control.json"
+TABLE_PATH = Path(__file__).parent / "results" / "control_loop.txt"
+
+N_SHARDS = 4
+BASE_RATE = 40.0
+DURATION = 900.0
+DURATION_QUICK = 60.0
+MIN_QUERIES = 200_000
+DEADLINE = 0.1
+QUEUE_LIMIT = 32
+SEED = 0
+
+# The SLO the controlled fleet must hold over the whole day and the
+# static fleet must clearly breach.
+MISS_TARGET = 0.05
+BREACH_FACTOR = 2.0
+# Degraded-mode answers cost quality; the controlled day must still
+# beat the static day and keep absolute accuracy above this floor.
+ACCURACY_FLOOR = 0.6
+# Committed-baseline tolerance on the static/controlled separation.
+REGRESSION_FACTOR = 2.0
+
+# Tuned for the compressed day: detection over a 20 s alert window,
+# fast scale-ups (2 s warmup, 5 s cooldown), and a reluctant unwind
+# (burn <= 0.1) so a freshly drained window cannot retire capacity
+# the still-running burst needs.
+ALERT_WINDOW = 20.0
+
+
+def control_config() -> ControlConfig:
+    return ControlConfig(
+        interval=1.0,
+        warmup=2.0,
+        max_extra_replicas=16,
+        scale_up_burn=2.0,
+        scale_down_burn=0.1,
+        cooldown=5.0,
+        seed=SEED,
+        slo=SLOConfig(
+            miss_target=MISS_TARGET,
+            windows=(ALERT_WINDOW, 6.0 * ALERT_WINDOW),
+            alert_window=ALERT_WINDOW,
+            breach_burn=2.0,
+            recover_burn=1.0,
+            min_events=20,
+        ),
+    )
+
+
+def run_day(policy, quality, latencies, duration):
+    """Serve one diurnal day statically and controlled; (rows, meta)."""
+    workload = fleet_workload(
+        quality, base_rate=BASE_RATE, duration=duration,
+        deadline=DEADLINE, seed=1,
+    )
+    start = time.perf_counter()
+    rows, controlled = run_control_comparison(
+        latencies, policy, workload, quality,
+        n_shards=N_SHARDS, queue_limit=QUEUE_LIMIT,
+        control=control_config(), seed=SEED,
+    )
+    wall = time.perf_counter() - start
+    print(f"control: n={workload.n_queries} deadline={DEADLINE * 1e3:.0f}ms "
+          f"queue_limit={QUEUE_LIMIT} target={MISS_TARGET:.0%} [{wall:.1f}s]")
+    for serving, row in rows.items():
+        print(f"  {serving:10s} acc={row['accuracy']:.3f} "
+              f"dmr={row['dmr']:.4f} p99={row['p99'] * 1e3:6.1f}ms "
+              f"shed={row['shed_rate']:.2%} "
+              f"degraded={row['degraded_rate']:.2%}")
+    meta = {"n_queries": int(workload.n_queries), "deadline": DEADLINE,
+            "queue_limit": QUEUE_LIMIT, "wall_s": wall}
+    return rows, meta, workload, controlled
+
+
+def check_slo(rows):
+    """Static breaches the SLO; controlled holds it at bounded cost."""
+    failures = []
+    static = rows["static"]
+    controlled = rows["controlled"]
+    if static["dmr"] < BREACH_FACTOR * MISS_TARGET:
+        failures.append(
+            f"breach: static dmr {static['dmr']:.4f} below "
+            f"{BREACH_FACTOR:.0f}x the {MISS_TARGET:.0%} target — the "
+            f"day is not hard enough to prove anything"
+        )
+    if controlled["dmr"] > MISS_TARGET:
+        failures.append(
+            f"hold: controlled dmr {controlled['dmr']:.4f} above the "
+            f"{MISS_TARGET:.0%} target"
+        )
+    if controlled["accuracy"] <= static["accuracy"]:
+        failures.append(
+            f"quality: controlled accuracy {controlled['accuracy']:.3f} "
+            f"not above static {static['accuracy']:.3f}"
+        )
+    if controlled["accuracy"] < ACCURACY_FLOOR:
+        failures.append(
+            f"quality: controlled accuracy {controlled['accuracy']:.3f} "
+            f"below the {ACCURACY_FLOOR} floor"
+        )
+    return failures
+
+
+def check_actuation(rows):
+    """The controller detected, acted, and fully unwound."""
+    failures = []
+    controlled = rows["controlled"]
+    if controlled["episodes"] < 1:
+        failures.append("actuation: no overload episode detected")
+    if controlled["scale_ups"] < 1:
+        failures.append("actuation: controller never scaled up")
+    if controlled["scale_ups"] != controlled["scale_downs"]:
+        failures.append(
+            f"actuation: {controlled['scale_ups']:.0f} scale-ups vs "
+            f"{controlled['scale_downs']:.0f} scale-downs — capacity "
+            f"not fully retired"
+        )
+    if controlled["degrades"] != controlled["restores"]:
+        failures.append(
+            f"actuation: {controlled['degrades']:.0f} degrades vs "
+            f"{controlled['restores']:.0f} restores"
+        )
+    return failures
+
+
+def check_determinism(policy, quality, latencies, workload, controlled):
+    """Same trace + seed must replay to a byte-identical action log."""
+    rerun_rows, rerun = run_control_comparison(
+        latencies, policy, workload, quality,
+        n_shards=N_SHARDS, queue_limit=QUEUE_LIMIT,
+        control=control_config(), seed=SEED,
+    )
+    del rerun_rows
+    if rerun.control_log.dumps() != controlled.control_log.dumps():
+        return ["determinism: action log differs across same-seed reruns"]
+    return []
+
+
+def check_regression(rows, committed, quick):
+    """SLO separation must not halve vs a same-mode committed run."""
+    if not committed or committed.get("quick") != quick:
+        return []
+    baseline = committed.get("separation")
+    if not baseline:
+        return []
+    current = rows["static"]["dmr"] / max(rows["controlled"]["dmr"], 1e-9)
+    floor = baseline / REGRESSION_FACTOR
+    if current < floor:
+        return [
+            f"regression: SLO separation {current:.1f}x fell below half "
+            f"the committed {baseline:.1f}x"
+        ]
+    return []
+
+
+def write_table(rows, meta, controlled):
+    """Human-readable companion table next to the JSON artifact."""
+    c = rows["controlled"]
+    lines = [
+        "Closing the control loop on a diurnal day — static fleet vs "
+        "SLO-driven control",
+        f"{N_SHARDS} shards x {len(FLEET_LATENCIES)} models, base rate "
+        f"{BASE_RATE:.0f} q/s (~30x diurnal swing), queue limit "
+        f"{QUEUE_LIMIT}, deadline {DEADLINE * 1e3:.0f}ms, SLO target "
+        f"{MISS_TARGET:.0%} misses",
+        "",
+        f"{meta['n_queries']} queries",
+        "serving     accuracy    DMR    p50 ms  p99 ms   shed  degraded",
+        "----------  --------  ------  ------  ------  -----  --------",
+    ]
+    for serving, row in rows.items():
+        lines.append(
+            f"{serving:10s}  {row['accuracy']:8.3f}  {row['dmr']:6.4f}  "
+            f"{row['p50'] * 1e3:6.1f}  {row['p99'] * 1e3:6.1f}  "
+            f"{row['shed_rate']:5.1%}  {row['degraded_rate']:8.1%}"
+        )
+    lines += [
+        "",
+        f"controller: {c['scale_ups']:.0f} scale-ups / "
+        f"{c['scale_downs']:.0f} scale-downs, {c['degrades']:.0f} "
+        f"degrade / {c['restores']:.0f} restore, "
+        f"{c['admission_changes']:.0f} admission changes over "
+        f"{c['episodes']:.0f} overload episode(s)",
+        f"action log: {len(controlled.control_log)} entries, "
+        f"byte-identical across same-seed reruns",
+    ]
+    TABLE_PATH.write_text("\n".join(lines) + "\n")
+
+
+def main(argv=None):
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    committed = None
+    if RESULTS_PATH.exists():
+        committed = json.loads(RESULTS_PATH.read_text())
+
+    latencies, quality, scores = synthetic_fleet_setup(seed=0)
+    policy = make_fleet_policy(quality, scores)
+    duration = DURATION_QUICK if quick else DURATION
+
+    rows, meta, workload, controlled = run_day(
+        policy, quality, latencies, duration
+    )
+
+    failures = []
+    if not quick:
+        if meta["n_queries"] < MIN_QUERIES:
+            failures.append(
+                f"trace too small: {meta['n_queries']} queries "
+                f"< {MIN_QUERIES}"
+            )
+        failures += check_slo(rows)
+        failures += check_actuation(rows)
+    failures += check_determinism(
+        policy, quality, latencies, workload, controlled
+    )
+    failures += check_regression(rows, committed, quick)
+
+    payload = {
+        "quick": quick,
+        "n_shards": N_SHARDS,
+        "base_rate": BASE_RATE,
+        "duration": duration,
+        "miss_target": MISS_TARGET,
+        "meta": meta,
+        "rows": rows,
+        "separation": rows["static"]["dmr"] / max(
+            rows["controlled"]["dmr"], 1e-9
+        ),
+        "action_log_entries": len(controlled.control_log),
+        "breach_factor": BREACH_FACTOR,
+        "accuracy_floor": ACCURACY_FLOOR,
+        "regression_factor": REGRESSION_FACTOR,
+        "failures": failures,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    write_table(rows, meta, controlled)
+    print(f"wrote {TABLE_PATH}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

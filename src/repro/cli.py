@@ -15,6 +15,7 @@ Usage::
     python -m repro profile --task text_matching [--spans traces/..._spans.jsonl]
     python -m repro diff traces/base_profile.json traces/new_profile.json
     python -m repro fleet --task text_matching [--shards 4] [--router score_aware]
+    python -m repro control --task text_matching [--shards 4] [--interval 1.0]
 
 Each command builds the task setup (training the models on first use),
 runs the corresponding experiment and prints its table. The commands are
@@ -54,6 +55,13 @@ instead of plumbing individual ``allow_rejection``/``max_buffer`` knobs.
 against an equal-capacity single server, and (with ``--out``) a traced
 run whose merged and per-shard span streams feed ``profile``/``slo``
 offline.
+
+``control`` closes the loop (:mod:`repro.control`): the same day trace
+served by a static fleet and by an identically-provisioned fleet under
+the SLO-driven controller (replica scaling, admission tightening,
+degraded-quality mode), side by side, plus the controller's action
+counts. With ``--out`` it writes the controlled run's merged span
+stream, metrics scrape and the byte-stable controller action log.
 """
 
 from __future__ import annotations
@@ -72,7 +80,7 @@ from repro.metrics.tables import format_table
 
 COMMANDS = (
     "list", "table1", "sweep", "day", "schedulers", "budget", "trace",
-    "faults", "explain", "slo", "profile", "diff", "fleet",
+    "faults", "explain", "slo", "profile", "diff", "fleet", "control",
 )
 
 TRACE_POLICIES = (
@@ -306,6 +314,53 @@ def build_parser() -> argparse.ArgumentParser:
         "the merged and per-shard span streams (JSONL) plus a "
         "Prometheus metrics scrape to this directory — inputs for "
         "`python -m repro profile|slo --spans ...`",
+    )
+
+    control = sub.add_parser(
+        "control",
+        help="SLO-driven control loop: static fleet vs controlled "
+        "fleet (replica scaling, admission tightening, degradation) "
+        "on a day trace",
+    )
+    _add_common(control)
+    control.add_argument(
+        "--policy", choices=TRACE_POLICIES, default="schemble",
+        help="serving policy every shard runs (default: schemble)",
+    )
+    control.add_argument(
+        "--shards", type=int, default=4,
+        help="number of server shards (default: 4)",
+    )
+    control.add_argument(
+        "--router", choices=("hash", "power_of_two", "score_aware"),
+        default="power_of_two",
+        help="front-end router both fleets use (default: power_of_two)",
+    )
+    control.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="admission capacity per shard, in queries (default: 64)",
+    )
+    control.add_argument(
+        "--interval", type=float, default=1.0,
+        help="controller decision period in simulated seconds "
+        "(default: 1.0)",
+    )
+    control.add_argument(
+        "--warmup", type=float, default=2.0,
+        help="replica-set provisioning latency in simulated seconds "
+        "(default: 2.0)",
+    )
+    control.add_argument(
+        "--max-extra", type=int, default=4,
+        help="cap on extra replica sets the controller may hold "
+        "(default: 4)",
+    )
+    control.add_argument(
+        "--out", default=None,
+        help="when set, write the controlled run's merged span stream "
+        "(JSONL), Prometheus metrics scrape and controller action "
+        "log (JSONL, byte-stable across same-seed reruns) to this "
+        "directory",
     )
 
     diff = sub.add_parser(
@@ -796,6 +851,92 @@ def _cmd_fleet(args) -> str:
     return table + footer
 
 
+def _cmd_control(args) -> str:
+    from repro.experiments.control import (
+        default_control_config,
+        run_control_comparison,
+    )
+    from repro.experiments.runner import make_workload
+    from repro.experiments.trace_segments import make_day_trace
+    from repro.obs import RecordingTracer, write_prometheus, write_spans_jsonl
+
+    setup = build_setup(args.task, args.preset, seed=args.seed)
+    trace = make_day_trace(setup, duration=args.duration, seed=args.seed + 5)
+    workload = make_workload(
+        setup, trace,
+        deadline=min(setup.deadline_grid),
+        seed=args.seed + 6,
+    )
+    control = default_control_config(
+        interval=args.interval,
+        warmup=args.warmup,
+        max_extra_replicas=args.max_extra,
+        seed=args.seed,
+    )
+    tracer = RecordingTracer() if args.out is not None else None
+    rows_by_name, controlled = run_control_comparison(
+        setup.latencies,
+        setup.policies()[args.policy],
+        workload,
+        setup.quality,
+        n_shards=args.shards,
+        queue_limit=args.queue_limit,
+        router=args.router,
+        control=control,
+        workers=setup.workers_for(args.policy),
+        seed=args.seed,
+        tracer=tracer,
+    )
+    rows = [
+        [
+            name,
+            f"{row['accuracy']:.3f}",
+            f"{row['dmr']:.3f}",
+            f"{1e3 * row['p99']:.1f}" if row["p99"] == row["p99"] else "-",
+            f"{100 * row['shed_rate']:.1f}%",
+            f"{100 * row['degraded_rate']:.1f}%",
+        ]
+        for name, row in rows_by_name.items()
+    ]
+    counts = controlled.control_log.counts()
+    actions = ", ".join(
+        f"{kind} x{count}" for kind, count in sorted(counts.items())
+    ) or "none"
+    episodes = controlled.monitor.episodes
+    table = format_table(
+        ["serving", "accuracy", "DMR", "p99 ms", "shed", "degraded"],
+        rows,
+        title=(
+            f"control loop — {args.task} / {args.policy} "
+            f"({args.shards} shards, interval {args.interval:g}s)"
+        ),
+    )
+    footer_lines = [
+        "",
+        f"controller actions: {actions}",
+        f"overload episodes: {len(episodes)}",
+    ]
+    if args.out is None:
+        return table + "\n".join(footer_lines)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{args.task}_control"
+    log_path = out_dir / f"{stem}_log.jsonl"
+    log_text = controlled.control_log.dumps()
+    log_path.write_text(log_text + "\n" if log_text else "")
+    written = [
+        write_spans_jsonl(tracer.spans, out_dir / f"{stem}_spans.jsonl"),
+        write_prometheus(tracer.metrics, out_dir / f"{stem}_metrics.prom"),
+        log_path,
+    ]
+    footer_lines += [f"wrote {path}" for path in written]
+    footer_lines.append(
+        f"inspect with `python -m repro slo --spans {written[0]}`"
+    )
+    return table + "\n".join(footer_lines)
+
+
 def _cmd_budget(args) -> str:
     setup = build_setup(args.task, args.preset, seed=args.seed)
     out = run_offline_budget(setup, seed=args.seed + 5)
@@ -827,6 +968,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": lambda: _cmd_profile(args),
         "diff": lambda: _cmd_diff(args),
         "fleet": lambda: _cmd_fleet(args),
+        "control": lambda: _cmd_control(args),
     }
     out = handlers[args.command]()
     # Handlers return either text or (text, exit_code) — `diff` uses

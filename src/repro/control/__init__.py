@@ -1,0 +1,28 @@
+"""SLO-driven control plane: close the loop from signal to actuation.
+
+PR 4 gave the repo an online :class:`~repro.obs.slo.SLOMonitor`
+(burn-rate windows + hysteresis overload episodes); PR 7 gave it a
+multi-shard fleet. This package makes the fleet *act* on the signal,
+mid-run: scale replica sets up/down with warm-up latency, tighten and
+relax admission, and trade ensemble quality for capacity during a
+breach episode — all seeded-deterministic, so a fixed (trace, seed)
+replays to a byte-identical action log.
+
+    signal      SLOMonitor burn rates / breach episodes
+      |          (fed from the fleet's merged outcome stream)
+    decision    Controller.tick() -> [ControlAction]
+      |          (pure state machine: hysteresis + cooldowns)
+    actuation   FleetServer applies each action:
+                  scale_up/scale_down -> EnsembleServer replica hooks
+                  degrade/restore     -> cheap-subset plan clamping
+                  admission_change    -> fleet queue_limit
+
+Enable it by putting a :class:`ControlConfig` on the fleet::
+
+    FleetConfig.uniform(4, ServerConfig(), control=ControlConfig())
+"""
+
+from repro.control.config import ControlConfig
+from repro.control.controller import ControlAction, Controller, ControlLog
+
+__all__ = ["ControlConfig", "ControlAction", "Controller", "ControlLog"]

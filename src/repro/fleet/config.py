@@ -22,6 +22,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.control.config import ControlConfig
 from repro.fleet.routers import ROUTERS
 from repro.serving.config import ServerConfig
 
@@ -51,6 +52,14 @@ class FleetConfig:
             the least-loaded shard.
         seed: Router seed (ring salt and power-of-two RNG); the fleet
             is byte-identical across runs for a fixed seed.
+        control: Optional :class:`~repro.control.config.ControlConfig`.
+            When set, the fleet runs in *controlled* mode: admission
+            and the shard event loops are interleaved in epochs of
+            ``control.interval`` seconds and an SLO-driven controller
+            scales replica sets, tightens admission, and degrades
+            ensemble quality mid-run (see :mod:`repro.control`).
+            ``None`` (the default) keeps the original static two-pass
+            run, byte-identical to before this knob existed.
     """
 
     shards: Tuple[ServerConfig, ...] = (ServerConfig(), ServerConfig())
@@ -59,6 +68,7 @@ class FleetConfig:
     hash_replicas: int = 64
     hard_quantile: float = 0.75
     seed: int = 0
+    control: Optional[ControlConfig] = None
 
     def __post_init__(self):
         shards = tuple(self.shards)
@@ -87,6 +97,13 @@ class FleetConfig:
         if not 0.0 <= self.hard_quantile <= 1.0:
             raise ValueError(
                 f"hard_quantile must be in [0, 1], got {self.hard_quantile}"
+            )
+        if self.control is not None and not isinstance(
+            self.control, ControlConfig
+        ):
+            raise TypeError(
+                f"control must be a ControlConfig or None, got "
+                f"{type(self.control).__name__}"
             )
 
     @property

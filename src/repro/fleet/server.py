@@ -39,13 +39,15 @@ assignments and records.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as dc_replace
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.control.controller import Controller, ControlLog
 from repro.fleet.config import FleetConfig
 from repro.fleet.routers import make_router
 from repro.obs import spans as sp
+from repro.obs.slo import SLOMonitor
 from repro.obs.spans import Span
 from repro.obs.tracer import NULL_TRACER, RecordingTracer, Tracer
 from repro.serving.policies import ServingPolicy
@@ -73,6 +75,11 @@ class FleetResult:
         assignments: Global-order shard index per query, ``-1`` = shed.
         router: Routing policy name the run used.
         n_shed: Queries refused by admission control.
+        control_log: The controller's ordered action record (controlled
+            mode only; ``None`` for static runs). Its ``dumps()`` is
+            the byte-identical determinism contract.
+        monitor: The live :class:`~repro.obs.slo.SLOMonitor` the
+            control loop ran against (controlled mode only).
     """
 
     merged: ServingResult
@@ -82,6 +89,8 @@ class FleetResult:
     assignments: np.ndarray
     router: str
     n_shed: int
+    control_log: Optional[ControlLog] = None
+    monitor: Optional[SLOMonitor] = None
 
     @property
     def n_shards(self) -> int:
@@ -156,6 +165,9 @@ class FleetServer:
             hash_replicas=cfg.hash_replicas,
             hard_quantile=cfg.hard_quantile,
         )
+        # Rotating tie-break pointer for the admission fallback
+        # redirect; re-seeded at the start of every run.
+        self._redirect_rr = cfg.seed % cfg.n_shards
 
     @classmethod
     def from_config(
@@ -208,6 +220,27 @@ class FleetServer:
         right = np.searchsorted(pool_sorted, per_query, side="right")
         return (left + right) / (2.0 * scores.size)
 
+    def _redirect_target(self, backlogs: List[int]) -> int:
+        """Least-loaded shard for the admission fallback redirect.
+
+        Ties are broken by a seeded rotating pointer instead of
+        ``argmin``'s fixed lowest-index preference: under a symmetric
+        backlog (every shard equally loaded — exactly the overload
+        regime where redirects matter) argmin funnelled *every*
+        redirect onto shard 0, defeating the load balancing the
+        redirect exists for. The pointer is reset from the fleet seed
+        at the start of each run, so redirect targets stay
+        byte-identical for a fixed (trace, seed).
+        """
+        n = len(backlogs)
+        least = min(backlogs)
+        for step in range(n):
+            shard = (self._redirect_rr + step) % n
+            if backlogs[shard] == least:
+                self._redirect_rr = (shard + 1) % n
+                return shard
+        return self._redirect_rr  # unreachable: some shard holds the min
+
     def _query_costs(self, ranks: np.ndarray) -> np.ndarray:
         """Fluid-model service estimate per query (seconds of work).
 
@@ -229,12 +262,19 @@ class FleetServer:
         return fastest + ranks * (total - fastest)
 
     def run(self, workload: ServingWorkload) -> FleetResult:
-        """Route, admit, run every shard, and merge the results."""
+        """Route, admit, run every shard, and merge the results.
+
+        With ``config.control`` set the run goes through the
+        epoch-interleaved controlled path instead (same contract, plus
+        ``control_log``/``monitor`` on the result).
+        """
         if workload.n_models != self.latencies.shape[0]:
             raise ValueError(
                 f"workload encodes {workload.n_models} models, fleet has "
                 f"{self.latencies.shape[0]}"
             )
+        if self.config.control is not None:
+            return self._run_controlled(workload)
         cfg = self.config
         n_shards = cfg.n_shards
         n = workload.n_queries
@@ -242,6 +282,7 @@ class FleetServer:
         traced = tracer.enabled
 
         self.router.reset()
+        self._redirect_rr = cfg.seed % n_shards
         ranks = self._score_ranks(workload)
         costs = self._query_costs(ranks)
 
@@ -276,7 +317,7 @@ class FleetServer:
             if backlogs[chosen] >= cfg.queue_limit:
                 # Admission control: one redirect to the least-loaded
                 # shard, then shed. Never admit onto a full shard.
-                fallback = int(np.argmin(backlogs))
+                fallback = self._redirect_target(backlogs)
                 if backlogs[fallback] < cfg.queue_limit:
                     chosen = fallback
                     redirected = True
@@ -380,6 +421,355 @@ class FleetServer:
             assignments=assignments,
             router=self.router.name,
             n_shed=n_shed,
+        )
+
+    def _run_controlled(self, workload: ServingWorkload) -> FleetResult:
+        """Epoch-interleaved run with the SLO control loop closed.
+
+        The static path runs front end and shards as two sequential
+        passes, so nothing can react mid-run. Here the fleet advances
+        in epochs of ``control.interval`` simulated seconds:
+
+        1. **admit** the epoch's arrivals through router + admission
+           (under the *current* queue limit) and offer them to the
+           shards' streaming :class:`~repro.serving.server.ServingSession`s;
+        2. **advance** every session to the epoch boundary;
+        3. **harvest** the outcomes the shards resolved this epoch
+           (completions, rejections, plus the front end's sheds) into
+           the live :class:`~repro.obs.slo.SLOMonitor`, in global
+           ``(time, shard, seq)`` order;
+        4. **tick** the :class:`~repro.control.controller.Controller`
+           and apply its actions: replica sets added with ``warmup``
+           provisioning latency / retired LIFO, admission tightened or
+           relaxed, plans clamped to the cheap subset or restored.
+
+        After the last arrival the loop keeps epoch-stepping until the
+        shards are drained *and* the controller has unwound every
+        actuation (bounded by the alert window plus a full cooldown
+        unwind, as a safety net). Everything is deterministic — seeded
+        router and rotation, fluid arithmetic, event-ordered monitor —
+        so a fixed (trace, seed) replays to a byte-identical
+        ``control_log``.
+        """
+        cfg = self.config
+        control = cfg.control
+        n_shards = cfg.n_shards
+        n = workload.n_queries
+        tracer = self.tracer
+        traced = tracer.enabled
+
+        self.router.reset()
+        self._redirect_rr = cfg.seed % n_shards
+        ranks = self._score_ranks(workload)
+        costs = self._query_costs(ranks)
+
+        monitor = SLOMonitor(control.slo)
+        controller = Controller(control, monitor, n_shards)
+        # Monitor breach/recovery spans and controller decision spans
+        # share one side stream, in emission order.
+        ctrl_tracer = RecordingTracer()
+        monitor.bind(ctrl_tracer)
+
+        # Shards always record internally: the harvest step reads their
+        # COMPLETE/REJECT spans to feed the monitor mid-run.
+        shard_tracers = [RecordingTracer() for _ in range(n_shards)]
+        servers = [
+            EnsembleServer.from_config(
+                self.latencies,
+                self.policies[shard],
+                cfg.shards[shard],
+                workers=self.workers,
+                tracer=shard_tracers[shard],
+            )
+            for shard in range(n_shards)
+        ]
+        if any(server._faulty for server in servers):
+            raise ValueError(
+                "controlled mode requires fault-free shard configs "
+                "(replica scaling drives the reliable worker pool)"
+            )
+        sessions = [server.session() for server in servers]
+
+        # Fluid front-end state, capacity-aware: an admitted query's
+        # virtual service time shrinks with the shard's active replica
+        # sets, so the backlog estimate tracks scaled capacity. Sets
+        # the controller adds only count once their warmup elapses.
+        free = [0.0] * n_shards
+        finishes: List[List[float]] = [[] for _ in range(n_shards)]
+        heads = [0] * n_shards
+        backlogs = [0] * n_shards
+        capacity = [1] * n_shards
+        pending_cap: List[Tuple[float, int]] = []  # (activate_time, shard)
+
+        def activate(until: float) -> None:
+            while pending_cap and pending_cap[0][0] <= until:
+                capacity[pending_cap.pop(0)[1]] += 1
+
+        assignments = np.full(n, -1, dtype=int)
+        shard_ids: List[List[int]] = [[] for _ in range(n_shards)]
+        front_spans: List[Span] = []
+        consumed = [0] * n_shards
+        n_shed = 0
+        eff_limit = cfg.queue_limit
+        cheap_mask = (
+            control.cheap_mask
+            if control.cheap_mask is not None
+            else 1 << int(np.argmin(self.latencies))
+        )
+        # In degraded mode every dispatch is clamped to the cheap
+        # subset, whose members run in parallel on distinct workers —
+        # the fluid service estimate drops to the subset's bottleneck
+        # latency so admission tracks what the shards actually execute
+        # (pricing full-quality work would keep shedding queries the
+        # degraded fleet can absorb).
+        cheap_cost = float(max(
+            self.latencies[k]
+            for k in range(self.latencies.shape[0])
+            if (cheap_mask >> k) & 1
+        ))
+        degraded = False
+        interval = control.interval
+
+        def harvest(into: List[Tuple]) -> None:
+            """Collect outcomes the shards resolved since last call."""
+            for shard in range(n_shards):
+                spans = shard_tracers[shard].spans
+                for i in range(consumed[shard], len(spans)):
+                    span = spans[i]
+                    if span.kind == sp.COMPLETE:
+                        into.append((
+                            span.time, shard, i,
+                            float(span.attrs.get("slack", 0.0)) < 0.0,
+                            bool(span.attrs.get("degraded", False)),
+                        ))
+                    elif span.kind == sp.REJECT:
+                        into.append((span.time, shard, i, True, False))
+                consumed[shard] = len(spans)
+
+        qi = 0
+        epoch = 0
+        idle_since = None
+        while True:
+            t_end = epoch * interval + interval
+            activate(epoch * interval)
+            outcomes: List[Tuple] = []
+
+            # -- 1. admit this epoch's arrivals through the front end --
+            while qi < n and float(workload.arrivals[qi]) < t_end:
+                qid = qi
+                qi += 1
+                now = float(workload.arrivals[qid])
+                activate(now)
+                for shard in range(n_shards):
+                    done = finishes[shard]
+                    head = heads[shard]
+                    while head < len(done) and done[head] <= now:
+                        head += 1
+                    heads[shard] = head
+                    backlogs[shard] = len(done) - head
+                chosen = self.router.choose(
+                    qid,
+                    int(workload.sample_indices[qid]),
+                    float(ranks[qid]),
+                    backlogs,
+                )
+                redirected = False
+                if backlogs[chosen] >= eff_limit:
+                    fallback = self._redirect_target(backlogs)
+                    if backlogs[fallback] < eff_limit:
+                        chosen = fallback
+                        redirected = True
+                    else:
+                        n_shed += 1
+                        front_spans.append(Span(sp.SHED, now, qid, {
+                            "policy": self.router.name,
+                            "backlog": backlogs[chosen],
+                        }))
+                        front_spans.append(Span(sp.REJECT, now, qid, {
+                            "reason": "shed",
+                        }))
+                        outcomes.append(
+                            (now, -1, len(front_spans), True, False)
+                        )
+                        continue
+                assignments[qid] = chosen
+                front_spans.append(Span(sp.ROUTE, now, qid, {
+                    "shard": chosen,
+                    "backlog": backlogs[chosen],
+                    "policy": self.router.name,
+                    "redirected": redirected,
+                }))
+                shard_ids[chosen].append(qid)
+                start = max(free[chosen], now)
+                cost = (
+                    min(float(costs[qid]), cheap_cost)
+                    if degraded else float(costs[qid])
+                )
+                finish = start + cost / capacity[chosen]
+                free[chosen] = finish
+                finishes[chosen].append(finish)
+                sessions[chosen].offer(
+                    now,
+                    float(workload.deadlines[qid]),
+                    int(workload.sample_indices[qid]),
+                )
+
+            # -- 2. advance every shard to the epoch boundary --
+            for session in sessions:
+                session.advance(t_end)
+
+            # -- 3. harvest resolved outcomes into the monitor --
+            harvest(outcomes)
+            outcomes.sort(key=lambda o: o[:3])
+            for t_o, _, _, missed, was_degraded in outcomes:
+                monitor.observe(t_o, missed=missed, degraded=was_degraded)
+
+            # -- 4. decide and actuate --
+            for action in controller.tick(t_end):
+                kind = action.kind
+                if kind == sp.SCALE_UP:
+                    servers[action.shard].add_replica_set(
+                        t_end, warmup=control.warmup
+                    )
+                    pending_cap.append(
+                        (t_end + control.warmup, action.shard)
+                    )
+                    ctrl_tracer.emit(
+                        sp.SCALE_UP, t_end, shard=action.shard,
+                        level=action.level, burn=action.burn,
+                    )
+                elif kind == sp.SCALE_DOWN:
+                    servers[action.shard].retire_replica_set()
+                    # Retirement is LIFO and activations are
+                    # time-ordered, so the retired set is pending iff
+                    # it is the newest pending entry.
+                    if pending_cap and pending_cap[-1][1] == action.shard:
+                        pending_cap.pop()
+                    else:
+                        capacity[action.shard] = max(
+                            1, capacity[action.shard] - 1
+                        )
+                    ctrl_tracer.emit(
+                        sp.SCALE_DOWN, t_end, shard=action.shard,
+                        level=action.level, burn=action.burn,
+                    )
+                elif kind == sp.DEGRADE_MODE:
+                    degraded = True
+                    for server in servers:
+                        server.set_cheap_mask(cheap_mask)
+                    ctrl_tracer.emit(
+                        sp.DEGRADE_MODE, t_end,
+                        cheap_mask=cheap_mask, burn=action.burn,
+                    )
+                elif kind == sp.RESTORE:
+                    degraded = False
+                    for server in servers:
+                        server.set_cheap_mask(None)
+                    ctrl_tracer.emit(sp.RESTORE, t_end, burn=action.burn)
+                elif kind == sp.ADMISSION_CHANGE:
+                    tightened = action.queue_limit == -1
+                    eff_limit = (
+                        control.tightened_limit(cfg.queue_limit)
+                        if tightened else cfg.queue_limit
+                    )
+                    ctrl_tracer.emit(
+                        sp.ADMISSION_CHANGE, t_end,
+                        queue_limit=eff_limit, tightened=tightened,
+                    )
+
+            epoch += 1
+            if qi >= n and not any(s.pending for s in sessions):
+                if idle_since is None:
+                    idle_since = t_end
+                if controller.settled:
+                    break
+                # Safety bound: alert window drains, then a full
+                # cooldown-paced capacity unwind — the controller is
+                # guaranteed to settle well within this.
+                if t_end - idle_since > (
+                    control.slo.alert_window
+                    + control.cooldown * (control.max_extra_replicas + 2)
+                    + interval
+                ):
+                    break
+
+        shard_results = [session.finish() for session in sessions]
+        # Fold outcomes resolved during finish (unserved rejects).
+        tail: List[Tuple] = []
+        harvest(tail)
+        tail.sort(key=lambda o: o[:3])
+        for t_o, _, _, missed, was_degraded in tail:
+            monitor.observe(t_o, missed=missed, degraded=was_degraded)
+
+        end = max(
+            [t.end_time for t in shard_tracers]
+            + [span.time for span in ctrl_tracer.spans[-1:]]
+            + [span.time for span in front_spans[-1:]],
+            default=0.0,
+        )
+        monitor.finalize(end)
+        ctrl_tracer.finalize(end)
+
+        # -- merge: remap ids, tag shards, replay through the tracer --
+        shard_query_ids = [np.asarray(ids, dtype=int) for ids in shard_ids]
+        shard_spans: Optional[List[List[Span]]] = None
+        if traced:
+            # Scaled shards have different worker counts, so worker-id
+            # offsets are cumulative over the final deployments.
+            offsets = []
+            total = 0
+            for server in servers:
+                offsets.append(total)
+                total += server.n_workers
+            shard_spans = []
+            streams = [[(span.time, -1, i, span)
+                        for i, span in enumerate(front_spans)]]
+            for shard, shard_tracer in enumerate(shard_tracers):
+                ids = shard_query_ids[shard]
+                offset = offsets[shard]
+                remapped = []
+                for span in shard_tracer.spans:
+                    attrs = dict(span.attrs)
+                    attrs["shard"] = shard
+                    if "worker" in attrs:
+                        attrs["worker"] = int(attrs["worker"]) + offset
+                    gid = (
+                        int(ids[span.query_id])
+                        if span.query_id >= 0 else -1
+                    )
+                    remapped.append(Span(span.kind, span.time, gid, attrs))
+                shard_spans.append(remapped)
+                streams.append([
+                    (span.time, shard, i, span)
+                    for i, span in enumerate(remapped)
+                ])
+            # The control-plane stream (breach/recovery + decisions)
+            # sorts after every shard at the same instant.
+            streams.append([
+                (span.time, n_shards, i, span)
+                for i, span in enumerate(ctrl_tracer.spans)
+            ])
+            merged_stream = sorted(
+                (entry for stream in streams for entry in stream),
+                key=lambda entry: entry[:3],
+            )
+            for _, _, _, span in merged_stream:
+                tracer.emit(span.kind, span.time, span.query_id, **span.attrs)
+            tracer.finalize(end)
+
+        merged = self._merge_results(
+            workload, assignments, shard_results, shard_query_ids
+        )
+        return FleetResult(
+            merged=merged,
+            shard_results=shard_results,
+            shard_query_ids=shard_query_ids,
+            shard_spans=shard_spans,
+            assignments=assignments,
+            router=self.router.name,
+            n_shed=n_shed,
+            control_log=controller.log,
+            monitor=monitor,
         )
 
     def _merge_results(

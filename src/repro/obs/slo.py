@@ -216,11 +216,22 @@ class SLOMonitor:
         self._detect(t)
 
     def _detect(self, t: float) -> None:
+        """Run the hysteresis episode detector at ``t``.
+
+        ``min_events`` gates only the *opening* of an episode (a
+        near-empty window stays quiet). Closing deliberately ignores
+        it: after a long idle gap the alert window drains below
+        ``min_events`` with the episode still open, and the old
+        early-return left it stuck open — unable to emit
+        ``slo_recovered`` — until ``min_events`` fresh events arrived.
+        An open episode now closes as soon as the window's burn rate
+        (0.0 once the window is empty) falls under ``recover_burn``.
+        """
         config = self.config
         events, misses, _ = self._alert.counts(t)
-        if events < config.min_events:
-            return
-        burn = (misses / events) / config.miss_target
+        burn = (
+            (misses / events) / config.miss_target if events else 0.0
+        )
         episode = self.episodes[-1] if self.episodes else None
         in_breach = episode is not None and episode.open
         if in_breach:
@@ -229,12 +240,25 @@ class SLOMonitor:
                 episode.end = t
                 self._emit(SLO_RECOVERED, t, burn, misses, events,
                            duration=episode.duration())
-        elif burn >= config.breach_burn:
+        elif events >= config.min_events and burn >= config.breach_burn:
             self.episodes.append(
                 Episode(start=t, peak_burn=burn,
                         window=config.alert_window)
             )
             self._emit(SLO_BREACH, t, burn, misses, events)
+
+    def poll(self, t: float) -> None:
+        """Run the episode detector at ``t`` without a new event.
+
+        The span stream only drives detection when queries resolve, so
+        during an idle gap an open episode would otherwise linger until
+        the next resolution. A control plane polling at its decision
+        interval closes episodes promptly (the alert window evicts up
+        to ``t``, so a drained window reads burn 0.0 and recovers).
+        """
+        if t > self.last_time:
+            self.last_time = t
+        self._detect(t)
 
     def _emit(self, kind: str, t: float, burn: float, misses: int,
               events: int, **extra) -> None:
@@ -243,7 +267,7 @@ class SLOMonitor:
                 kind, t,
                 window=self.config.alert_window,
                 burn_rate=burn,
-                miss_rate=misses / events,
+                miss_rate=misses / events if events else 0.0,
                 **extra,
             )
 
@@ -255,8 +279,38 @@ class SLOMonitor:
 
     # -- queries -------------------------------------------------------
 
+    def alert_burn(self, t: Optional[float] = None) -> float:
+        """Burn rate of the alert window at ``t`` (defaults to the
+        last observed time), with control-plane-friendly semantics:
+        the rate is computed over the events actually present — a
+        not-yet-full window (run start, or refilling after an idle
+        gap) is *not* diluted by its empty portion — and an empty
+        window reads 0.0 (no evidence of burning) rather than NaN.
+        """
+        at = t if t is not None else self.last_time
+        events, misses, _ = self._alert.counts(at)
+        if not events:
+            return 0.0
+        return (misses / events) / self.config.miss_target
+
+    def alert_events(self, t: Optional[float] = None) -> int:
+        """Events currently in the alert window (the detector's
+        ``min_events`` evidence count)."""
+        at = t if t is not None else self.last_time
+        events, _, _ = self._alert.counts(at)
+        return events
+
     def burn_rates(self, t: Optional[float] = None) -> Dict[float, float]:
-        """Current burn rate per window (NaN where the window is empty)."""
+        """Current burn rate per window (NaN where the window is empty).
+
+        Rates are computed over the events each window actually holds:
+        at run start (window not yet full) and right after an idle gap
+        the denominator is the observed event count, never the nominal
+        window capacity — a half-full window with half its events
+        missing reads a burn of ``0.5 / miss_target``, not a diluted
+        ``0.25 / miss_target``. Empty windows report NaN (no evidence)
+        instead of a silent 0.0; :meth:`alert_burn` maps that to 0.0
+        for consumers that need a total order."""
         at = t if t is not None else self.last_time
         out: Dict[float, float] = {}
         for length, window in self._windows.items():

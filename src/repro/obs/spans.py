@@ -61,6 +61,21 @@ SHED = "shed"                  # fleet admission control dropped a query
                                # before any shard buffered it (always
                                # followed by a reject span, reason="shed")
 
+# --- control plane (repro.control) ---------------------------------------
+SCALE_UP = "scale_up"          # controller added one replica set to a shard
+                               # (shard, level, burn attrs; capacity serves
+                               # after the configured warm-up)
+SCALE_DOWN = "scale_down"      # controller retired the most recently added
+                               # replica set (never below baseline)
+DEGRADE_MODE = "degrade"       # controller flipped the fleet into
+                               # cheap-subset mode (plans clamped to
+                               # cheap_mask while a breach episode is open)
+RESTORE = "restore"            # controller restored full-quality serving
+                               # after the episode closed
+ADMISSION_CHANGE = "admission_change"  # controller tightened or relaxed the
+                               # fleet admission queue_limit
+                               # (queue_limit, tightened attrs)
+
 # --- profiling (repro.obs.profile) ---------------------------------------
 SCHED_PHASE = "sched_phase"    # real wall-clock of one internal scheduler
                                # step phase for one invocation (phase,
@@ -76,6 +91,7 @@ KINDS = (
     TASK_FAILED, RETRY, WORKER_DOWN, WORKER_UP, DEGRADED,
     SLO_BREACH, SLO_RECOVERED, DECISION,
     ROUTE, SHED,
+    SCALE_UP, SCALE_DOWN, DEGRADE_MODE, RESTORE, ADMISSION_CHANGE,
     SCHED_PHASE, QUEUE_WAIT,
 )
 

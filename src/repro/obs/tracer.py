@@ -20,8 +20,10 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import (
+    ADMISSION_CHANGE,
     ARRIVAL,
     COMPLETE,
+    DEGRADE_MODE,
     DEGRADED,
     DISPATCH,
     ENTER_BUFFER,
@@ -30,8 +32,11 @@ from repro.obs.spans import (
     QUEUE_WAIT,
     REJECT,
     REQUEUE,
+    RESTORE,
     RETRY,
     ROUTE,
+    SCALE_DOWN,
+    SCALE_UP,
     SCHED_PHASE,
     SCHEDULE,
     SHED,
@@ -202,6 +207,28 @@ class RecordingTracer(Tracer):
             metrics.counter("slo.breaches").inc()
         elif kind == SLO_RECOVERED:
             metrics.counter("slo.recoveries").inc()
+        elif kind == SCALE_UP:
+            # Control plane (repro.control): capacity and quality
+            # actuations show up as counters so profile/explain/diff
+            # see controller activity without parsing the action log.
+            metrics.counter("control.scale_ups").inc()
+            metrics.gauge("control.replica_level").sample(
+                time, attrs.get("level", 0)
+            )
+        elif kind == SCALE_DOWN:
+            metrics.counter("control.scale_downs").inc()
+            metrics.gauge("control.replica_level").sample(
+                time, attrs.get("level", 0)
+            )
+        elif kind == DEGRADE_MODE:
+            metrics.counter("control.degrades").inc()
+        elif kind == RESTORE:
+            metrics.counter("control.restores").inc()
+        elif kind == ADMISSION_CHANGE:
+            metrics.counter("control.admission_changes").inc()
+            metrics.gauge("control.queue_limit").sample(
+                time, attrs.get("queue_limit", 0)
+            )
         elif kind == SCHED_PHASE:
             metrics.counter(
                 f"sched.phase_s.{attrs.get('phase', '?')}"

@@ -83,12 +83,15 @@ class _Worker:
     float is what makes availability exactly predictable.
     """
 
-    __slots__ = ("spec", "free_time", "wid")
+    __slots__ = ("spec", "free_time", "wid", "retired")
 
     def __init__(self, spec: WorkerSpec, wid: int = 0):
         self.spec = spec
         self.free_time = 0.0
         self.wid = wid
+        # Set by retire_replica_set(): a retired worker finishes its
+        # committed work but is excluded from all placement decisions.
+        self.retired = False
 
     def assign(self, now: float) -> float:
         """Append one task; returns its completion time."""
@@ -224,6 +227,12 @@ class EnsembleServer:
         self._workers = [
             _Worker(spec, wid) for wid, spec in enumerate(self._worker_specs)
         ]
+        # Control-plane actuation state (see add_replica_set /
+        # retire_replica_set / set_cheap_mask): replica sets added
+        # mid-run, LIFO, and the degraded-quality plan clamp. Reset by
+        # every new session so run() stays reproducible.
+        self._extra_sets: List[List[_Worker]] = []
+        self._cheap_mask: Optional[int] = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._trace = self.tracer.enabled
         self._profile = self._trace and self.tracer.profile
@@ -321,342 +330,123 @@ class EnsembleServer:
     # ------------------------------------------------------------------
 
     def run(self, workload: ServingWorkload) -> ServingResult:
-        """Replay the workload; returns per-query records."""
+        """Replay the workload; returns per-query records.
+
+        Exactly equivalent to opening a :class:`ServingSession`,
+        offering every query up front, and finishing — the batch and
+        streaming paths share one event loop, so they are
+        event-for-event identical on the same inputs.
+        """
         if workload.n_models != self.latencies.shape[0]:
             raise ValueError(
                 f"workload encodes {workload.n_models} models, server has "
                 f"{self.latencies.shape[0]}"
             )
+        session = ServingSession(self)
+        arrivals = workload.arrivals
+        deadlines = workload.deadlines
+        samples = workload.sample_indices
+        for i in range(workload.n_queries):
+            session.offer(
+                float(arrivals[i]), float(deadlines[i]), int(samples[i])
+            )
+        return session.finish()
+
+    def session(self) -> "ServingSession":
+        """Open a streaming run (the control plane's entry point).
+
+        ``offer`` queries as they arrive, ``advance`` simulated time in
+        epochs, and call the actuation hooks (:meth:`add_replica_set`,
+        :meth:`retire_replica_set`, :meth:`set_cheap_mask`) between
+        advances; ``finish`` drains the loop and returns the
+        :class:`ServingResult`. One session is active per server at a
+        time; opening a new one resets the deployment to its baseline.
+        """
+        return ServingSession(self)
+
+    # ------------------------------------------------------------------
+    # Control-plane actuation hooks
+    # ------------------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        """Current deployment size (baseline plus live replica sets)."""
+        return len(self._workers)
+
+    def _reset_workers(self) -> None:
+        """Restore the baseline deployment for a fresh session (extras
+        from a previous session are appended after the baseline, so a
+        truncate drops exactly them)."""
+        del self._workers[len(self._worker_specs):]
         for worker in self._workers:
             worker.free_time = 0.0
+            worker.retired = False
+        self._extra_sets = []
+        self._cheap_mask = None
 
-        tracer = self.tracer
-        trace = self._trace = tracer.enabled
-        # Opt-in latency profiling. Off (the default), no sched_phase /
-        # queue_wait span is ever emitted and the scheduler's phase
-        # timers stay disabled, so the run is span-for-span and
-        # bit-for-bit identical to an unprofiled one.
-        prof = self._profile = trace and tracer.profile
-        prof_sched = None
-        if prof:
-            scheduler = getattr(self.policy, "scheduler", None)
-            if scheduler is not None and hasattr(scheduler, "profile"):
-                prof_sched = scheduler
-                prof_sched.profile = True
-        self._sched_wall = 0.0
-        faulty = self._faulty
-        config = self.config
+    def add_replica_set(
+        self, now: float, warmup: float = 0.0
+    ) -> List[int]:
+        """Deploy one replica of the baseline worker set mid-run.
 
-        # Opt-in decision explainability. When off (the default) every
-        # capture site below is a single falsy check and the DP's
-        # frontier-stats hook stays disabled, so the serving loop is
-        # bit-identical to the unexplained path.
-        explain = self.explain
-        explain_sched = None
-        if explain is not None:
-            scheduler = getattr(self.policy, "scheduler", None)
-            if scheduler is not None and hasattr(scheduler, "collect_stats"):
-                explain_sched = scheduler
-                explain_sched.collect_stats = True
-        self._pending_explain = None
-
-        records: Dict[int, QueryRecord] = {}
-        events: List = []
-        sequence = itertools.count()
-
-        if faulty:
-            self._setup_fault_run(events, sequence)
-
-        for i in range(workload.n_queries):
-            heapq.heappush(
-                events,
-                (float(workload.arrivals[i]), next(sequence), _ARRIVAL, i),
+        Control-plane scale-up hook: one new worker per baseline spec,
+        busy "provisioning" until ``now + warmup`` and serving after.
+        Reliable path only — a fault plan is sized to the baseline
+        deployment at setup, so scaling under faults is refused.
+        Returns the new worker ids.
+        """
+        if self._faulty:
+            raise RuntimeError(
+                "replica scaling requires a fault-free config (the fault "
+                "plan is sized to the baseline deployment)"
             )
-            records[i] = QueryRecord(
-                query_id=i,
-                sample_index=int(workload.sample_indices[i]),
-                arrival=float(workload.arrivals[i]),
-                deadline=float(workload.arrivals[i] + workload.deadlines[i]),
+        added = []
+        for spec in self._worker_specs:
+            worker = _Worker(spec, len(self._workers))
+            worker.free_time = float(now) + float(warmup)
+            self._workers.append(worker)
+            added.append(worker)
+        self._extra_sets.append(added)
+        return [w.wid for w in added]
+
+    def retire_replica_set(self) -> Optional[List[int]]:
+        """Retire the most recently added replica set (LIFO).
+
+        The baseline deployment is never retired. Retired workers
+        finish the work already committed to them (their task-done
+        events carry no worker reference) but are excluded from every
+        placement decision from this instant on. Returns the retired
+        worker ids, or ``None`` when already at baseline.
+        """
+        if self._faulty:
+            raise RuntimeError(
+                "replica scaling requires a fault-free config"
             )
-        self._records = records
-        self._events = events
-        self._sequence = sequence
+        if not self._extra_sets:
+            return None
+        retired = self._extra_sets.pop()
+        for worker in retired:
+            worker.retired = True
+        return [w.wid for w in retired]
 
-        buffer: List[int] = []
-        scheduling_busy = False
-        invocations = 0
-        total_work = 0
-        # One QueryRequest per query per run, built lazily and reused
-        # across scheduler invocations: a query that survives several
-        # buffer ticks keeps its quantised-utility cache, so repeated
-        # schedule() calls on overlapping buffers never re-quantise.
-        request_cache: Dict[int, QueryRequest] = {}
+    def set_cheap_mask(self, mask: Optional[int]) -> None:
+        """Flip degraded-quality mode on (``mask``) or off (``None``).
 
-        buffered = isinstance(self.policy, BufferedSchedulingPolicy)
-
-        def any_idle(now: float) -> bool:
-            if faulty:
-                return any(w.idle() for w in self._fworkers)
-            return any(w.free_time <= now + 1e-12 for w in self._workers)
-
-        def all_idle(now: float) -> bool:
-            if faulty:
-                return all(w.idle() for w in self._fworkers)
-            return all(w.free_time <= now + 1e-12 for w in self._workers)
-
-        def try_schedule(now: float):
-            nonlocal scheduling_busy, invocations, total_work
-            if scheduling_busy or not buffer:
-                return
-            if not any_idle(now):
-                return
-            # Snapshot the earliest-deadline slice of the buffer.
-            buffer.sort(key=lambda qid: records[qid].deadline)
-            snapshot = buffer[: config.max_buffer]
-            del buffer[: len(snapshot)]
-
-            queries = []
-            for qid in snapshot:
-                request = request_cache.get(qid)
-                if request is None:
-                    record = records[qid]
-                    request = self.policy.make_request(
-                        qid,
-                        record.arrival,
-                        record.deadline,
-                        record.sample_index,
-                    )
-                    request_cache[qid] = request
-                queries.append(request)
-            busy_until = self._busy_per_model(now)
-            instance = SchedulingInstance(
-                queries=queries,
-                latencies=self.latencies,
-                busy_until=busy_until,
-                now=now,
-            )
-            wall_start = time.perf_counter()
-            result = self.policy.scheduler.schedule(instance)
-            wall = time.perf_counter() - wall_start
-            self._sched_wall += wall
-            invocations += 1
-            total_work += result.work_units
-            overhead = (
-                config.overhead_base
-                + config.overhead_per_unit * result.work_units
-            )
-            scheduling_busy = True
-            if trace:
-                tracer.emit(
-                    sp.SCHEDULE, now,
-                    batch=len(snapshot),
-                    depth=len(buffer),
-                    work_units=result.work_units,
-                    overhead_sim_s=overhead,
-                    wall_s=wall,
+        While set, every dispatched plan is clamped to ``mask``: the
+        plan executes its intersection with the mask, or the mask
+        itself when the intersection is empty — every query still gets
+        an answer, just from the cheap subset. Queries whose plan was
+        narrowed are marked ``degraded`` (visible to the SLO quality
+        objective and scored by their executed mask).
+        """
+        if mask is not None:
+            mask = int(mask)
+            if mask < 1 or mask >= (1 << self.latencies.shape[0]):
+                raise ValueError(
+                    f"cheap_mask must be a non-empty bitmask over "
+                    f"{self.latencies.shape[0]} models, got {mask}"
                 )
-            if prof and prof_sched is not None and prof_sched.last_phase_wall:
-                for phase, phase_wall in prof_sched.last_phase_wall.items():
-                    tracer.emit(
-                        sp.SCHED_PHASE, now, phase=phase, wall_s=phase_wall
-                    )
-            if explain is not None:
-                # scheduling_busy serializes invocations, so exactly one
-                # schedule context is pending until its plan commits.
-                self._pending_explain = (
-                    now, len(snapshot), len(buffer), busy_until,
-                    explain_sched.last_stats
-                    if explain_sched is not None else None,
-                )
-            heapq.heappush(
-                events,
-                (now + overhead, next(sequence), _COMMIT, result.decisions),
-            )
-
-        def commit(now: float, decisions):
-            """Apply one plan: reject infeasible queries and dispatch the
-            plan's EDF prefix while some model is still idle. Queries
-            beyond that stay buffered, so later arrivals can reshape
-            their subsets (the paper's wait-for-idling-models rule)."""
-            nonlocal scheduling_busy
-            scheduling_busy = False
-            if trace:
-                tracer.emit(sp.COMMIT, now, decisions=len(decisions))
-            ctx = None
-            if explain is not None:
-                ctx = self._pending_explain
-                self._pending_explain = None
-            for di, decision in enumerate(decisions):
-                record = records[decision.query_id]
-                mask = decision.mask
-                fallback = False
-                if mask == 0 and not config.allow_rejection:
-                    # Forced processing: fall back to the fastest model.
-                    mask = 1 << int(np.argmin(self.latencies))
-                    fallback = True
-                if mask == 0:
-                    # Deadlines only get closer; infeasible stays so.
-                    record.rejected = True
-                    if explain is not None:
-                        explain.add(self._explain_record(
-                            record, ctx, di, now, "reject", 0, None,
-                        ))
-                    if trace:
-                        tracer.emit(
-                            sp.REJECT, now, decision.query_id,
-                            reason="infeasible",
-                        )
-                    continue
-                if not any_idle(now):
-                    buffer.append(decision.query_id)
-                    if explain is not None:
-                        explain.add(self._explain_record(
-                            record, ctx, di, now, "requeue", mask, None,
-                        ))
-                    if trace:
-                        tracer.emit(
-                            sp.REQUEUE, now, decision.query_id,
-                            depth=len(buffer),
-                        )
-                    continue
-                if explain is not None:
-                    explain.add(self._explain_record(
-                        record, ctx, di, now,
-                        "fallback" if fallback else "dispatch", mask,
-                        self._estimate_completion(mask, now),
-                    ))
-                self._dispatch(record, mask, now, events, sequence)
-
-        def dispatch_immediate(now: float, qid: int):
-            record = records[qid]
-            mask = self.policy.mask_for(record.sample_index)
-            if config.allow_rejection:
-                estimate = self._estimate_completion(mask, now)
-                if estimate > record.deadline + 1e-12:
-                    record.rejected = True
-                    if explain is not None:
-                        explain.add(self._explain_record(
-                            record, None, 0, now, "reject", mask, estimate,
-                        ))
-                    if trace:
-                        tracer.emit(
-                            sp.REJECT, now, qid, reason="estimate",
-                        )
-                    return
-            if explain is not None:
-                explain.add(self._explain_record(
-                    record, None, 0, now, "immediate", mask,
-                    self._estimate_completion(mask, now),
-                ))
-            self._dispatch(record, mask, now, events, sequence)
-
-        fastest_mask = 1 << int(np.argmin(self.latencies))
-
-        now = 0.0
-        while events:
-            now, _, kind, payload = heapq.heappop(events)
-            if kind == _ARRIVAL:
-                if trace:
-                    tracer.emit(
-                        sp.ARRIVAL, now, payload,
-                        deadline=records[payload].deadline,
-                    )
-                if buffered:
-                    idle_system = (
-                        self.policy.fast_path
-                        and not buffer
-                        and not scheduling_busy
-                        and all_idle(now)
-                    )
-                    if idle_system:
-                        # Exp-5 fast path: skip prediction + scheduling
-                        # entirely when the system is idle.
-                        if trace:
-                            tracer.emit(sp.FAST_PATH, now, payload)
-                        if explain is not None:
-                            explain.add(self._explain_record(
-                                records[payload], None, 0, now,
-                                "fast_path", fastest_mask,
-                                self._estimate_completion(fastest_mask, now),
-                            ))
-                        self._dispatch(
-                            records[payload], fastest_mask, now, events, sequence
-                        )
-                        continue
-                    delay = self.policy.entry_delay
-                    heapq.heappush(
-                        events,
-                        (now + delay, next(sequence), _ENTER_BUFFER, payload),
-                    )
-                else:
-                    dispatch_immediate(now, payload)
-            elif kind == _ENTER_BUFFER:
-                buffer.append(payload)
-                if trace:
-                    tracer.emit(
-                        sp.ENTER_BUFFER, now, payload, depth=len(buffer)
-                    )
-                # Defer planning to a same-time _SCHEDULE event so every
-                # arrival in this instant is in the buffer first.
-                heapq.heappush(events, (now, next(sequence), _SCHEDULE, None))
-            elif kind == _SCHEDULE:
-                try_schedule(now)
-            elif kind == _COMMIT:
-                commit(now, payload)
-                try_schedule(now)
-            elif kind == _TASK_DONE:
-                qid, model_index = payload
-                record = records[qid]
-                record.executed_mask |= 1 << model_index
-                record.pending_tasks -= 1
-                if trace:
-                    tracer.emit(sp.TASK_DONE, now, qid, model=model_index)
-                if record.pending_tasks == 0:
-                    record.completion = now
-                    if explain is not None:
-                        explain.realize(qid, now, record.deadline - now)
-                    if trace:
-                        tracer.emit(
-                            sp.COMPLETE, now, qid,
-                            latency=now - record.arrival,
-                            slack=record.deadline - now,
-                        )
-                if buffered:
-                    try_schedule(now)
-            elif kind == _TASK_END:
-                self._f_task_end(payload, now)
-                if buffered:
-                    try_schedule(now)
-            elif kind == _TASK_TIMEOUT:
-                self._f_task_timeout(payload, now)
-            elif kind == _RETRY:
-                self._f_enqueue(payload, now)
-            elif kind == _WORKER_DOWN:
-                self._f_worker_down(payload, now)
-            elif kind == _WORKER_UP:
-                self._f_worker_up(payload, now)
-                if buffered:
-                    try_schedule(now)
-
-        # Anything still buffered never ran (trace ended): count as missed.
-        for qid in buffer:
-            records[qid].rejected = True
-            if trace:
-                tracer.emit(sp.REJECT, now, qid, reason="unserved")
-        tracer.finalize(now)
-        if explain_sched is not None:
-            explain_sched.collect_stats = False
-        if prof_sched is not None:
-            prof_sched.profile = False
-
-        return ServingResult(
-            records=[records[i] for i in range(workload.n_queries)],
-            policy_name=self.policy.name,
-            scheduler_invocations=invocations,
-            scheduler_work_units=total_work,
-            scheduler_wall_time=self._sched_wall,
-            metrics=tracer.metrics,
-        )
+        self._cheap_mask = mask
 
     # ------------------------------------------------------------------
     # Shared internals (branch once on fault mode)
@@ -664,7 +454,8 @@ class EnsembleServer:
 
     def _workers_for(self, model_index: int) -> List[_Worker]:
         chosen = [
-            w for w in self._workers if w.spec.model_index == model_index
+            w for w in self._workers
+            if w.spec.model_index == model_index and not w.retired
         ]
         if not chosen:
             raise ValueError(f"no deployed worker serves model {model_index}")
@@ -691,7 +482,7 @@ class EnsembleServer:
             candidates = [
                 max(0.0, w.free_time - now)
                 for w in self._workers
-                if w.spec.model_index == k
+                if w.spec.model_index == k and not w.retired
             ]
             busy[k] = min(candidates) if candidates else np.inf
         return busy
@@ -768,6 +559,16 @@ class EnsembleServer:
         return estimate
 
     def _dispatch(self, record, mask, now, events, sequence):
+        cheap = self._cheap_mask
+        if cheap is not None:
+            # Degraded-quality mode: clamp the plan to the cheap
+            # subset (or substitute it outright when disjoint) and
+            # mark the answer as served below its planned quality.
+            clamped = mask & cheap
+            clamped = clamped if clamped else cheap
+            if clamped != mask:
+                record.degraded = True
+                mask = clamped
         if self._faulty:
             self._dispatch_faulty(record, mask, now)
             return
@@ -982,11 +783,22 @@ class EnsembleServer:
                     record.query_id, now, record.deadline - now
                 )
             if trace:
-                self.tracer.emit(
-                    sp.COMPLETE, now, record.query_id,
-                    latency=now - record.arrival,
-                    slack=record.deadline - now,
-                )
+                if record.degraded:
+                    # Cheap-mask clamping (degraded-quality mode) can
+                    # mark a fault-path answer degraded without any
+                    # task having failed.
+                    self.tracer.emit(
+                        sp.COMPLETE, now, record.query_id,
+                        latency=now - record.arrival,
+                        slack=record.deadline - now,
+                        degraded=True,
+                    )
+                else:
+                    self.tracer.emit(
+                        sp.COMPLETE, now, record.query_id,
+                        latency=now - record.arrival,
+                        slack=record.deadline - now,
+                    )
             return
         if self.config.degraded_answers and record.executed_mask:
             # Answer from the executed subset: stacking's KNN filler
@@ -1063,3 +875,447 @@ class EnsembleServer:
         if self._trace:
             self.tracer.emit(sp.WORKER_UP, now, worker=wid)
         self._f_start_next(worker, now)
+
+
+class ServingSession:
+    """One in-progress serving run, driven incrementally.
+
+    Created by :meth:`EnsembleServer.session` (or implicitly by
+    :meth:`EnsembleServer.run`, which is offer-everything-then-finish).
+    The streaming shape exists for the control plane: a caller can
+    interleave arrival offers, bounded time advances, and actuation —
+    scaling, degradation — between epochs, while the event loop stays
+    the single-server simulator, event-for-event identical to the
+    batch path on the same inputs.
+
+    Usage contract: offers carry absolute arrival times and must not
+    lie in the session's past (before the last processed event);
+    ``advance(t)`` processes every event at or before ``t``; every
+    arrival at or before ``t`` must be offered before advancing past
+    it. ``finish`` drains the loop, rejects whatever never ran, and
+    builds the result. One session per server at a time — creating a
+    session resets the deployment to its baseline.
+    """
+
+    def __init__(self, server: EnsembleServer):
+        self._server = server
+        server._reset_workers()
+        tracer = server.tracer
+        self._tracer = tracer
+        trace = server._trace = tracer.enabled
+        self._trace = trace
+        # Opt-in latency profiling. Off (the default), no sched_phase /
+        # queue_wait span is ever emitted and the scheduler's phase
+        # timers stay disabled, so the run is span-for-span and
+        # bit-for-bit identical to an unprofiled one.
+        prof = server._profile = trace and tracer.profile
+        self._prof = prof
+        self._prof_sched = None
+        if prof:
+            scheduler = getattr(server.policy, "scheduler", None)
+            if scheduler is not None and hasattr(scheduler, "profile"):
+                self._prof_sched = scheduler
+                scheduler.profile = True
+        server._sched_wall = 0.0
+        self._faulty = server._faulty
+        self._config = server.config
+
+        # Opt-in decision explainability. When off (the default) every
+        # capture site below is a single falsy check and the DP's
+        # frontier-stats hook stays disabled, so the serving loop is
+        # bit-identical to the unexplained path.
+        explain = server.explain
+        self._explain = explain
+        self._explain_sched = None
+        if explain is not None:
+            scheduler = getattr(server.policy, "scheduler", None)
+            if scheduler is not None and hasattr(scheduler, "collect_stats"):
+                self._explain_sched = scheduler
+                scheduler.collect_stats = True
+        server._pending_explain = None
+
+        self._records: Dict[int, QueryRecord] = {}
+        self._events: List = []
+        self._sequence = itertools.count()
+        if self._faulty:
+            server._setup_fault_run(self._events, self._sequence)
+        # The fault helpers reach per-run state through the server.
+        server._records = self._records
+        server._events = self._events
+        server._sequence = self._sequence
+
+        self._buffer: List[int] = []
+        self._scheduling_busy = False
+        self._invocations = 0
+        self._total_work = 0
+        # One QueryRequest per query per run, built lazily and reused
+        # across scheduler invocations: a query that survives several
+        # buffer ticks keeps its quantised-utility cache, so repeated
+        # schedule() calls on overlapping buffers never re-quantise.
+        self._request_cache: Dict[int, QueryRequest] = {}
+        self._buffered = isinstance(server.policy, BufferedSchedulingPolicy)
+        self._fastest_mask = 1 << int(np.argmin(server.latencies))
+        self._n_offered = 0
+        self._now = 0.0
+        self._finished = False
+
+    # -- streaming interface -------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Time of the last processed event."""
+        return self._now
+
+    @property
+    def pending(self) -> bool:
+        """True while the event heap still holds work."""
+        return bool(self._events)
+
+    def offer(
+        self, arrival: float, deadline: float, sample_index: int
+    ) -> int:
+        """Feed one query: absolute ``arrival``, relative ``deadline``.
+
+        Returns the session-local query id (dense, in offer order).
+        """
+        if self._finished:
+            raise RuntimeError("session already finished")
+        arrival = float(arrival)
+        if arrival + 1e-12 < self._now:
+            raise ValueError(
+                f"arrival {arrival} lies in the session's past "
+                f"(last processed event at {self._now})"
+            )
+        qid = self._n_offered
+        self._n_offered += 1
+        heapq.heappush(
+            self._events, (arrival, next(self._sequence), _ARRIVAL, qid)
+        )
+        self._records[qid] = QueryRecord(
+            query_id=qid,
+            sample_index=int(sample_index),
+            arrival=arrival,
+            deadline=arrival + float(deadline),
+        )
+        return qid
+
+    def advance(self, until: Optional[float] = None) -> float:
+        """Process every event at or before ``until`` (all, if None).
+
+        Returns the time of the last processed event. The clock never
+        moves past the events actually handled, so interleaved offers
+        at or after ``until`` stay valid.
+        """
+        server = self._server
+        tracer = self._tracer
+        trace = self._trace
+        explain = self._explain
+        buffered = self._buffered
+        records = self._records
+        events = self._events
+        sequence = self._sequence
+        buffer = self._buffer
+        while events and (until is None or events[0][0] <= until):
+            now, _, kind, payload = heapq.heappop(events)
+            self._now = now
+            if kind == _ARRIVAL:
+                if trace:
+                    tracer.emit(
+                        sp.ARRIVAL, now, payload,
+                        deadline=records[payload].deadline,
+                    )
+                if buffered:
+                    idle_system = (
+                        server.policy.fast_path
+                        and not buffer
+                        and not self._scheduling_busy
+                        and self._all_idle(now)
+                    )
+                    if idle_system:
+                        # Exp-5 fast path: skip prediction + scheduling
+                        # entirely when the system is idle.
+                        if trace:
+                            tracer.emit(sp.FAST_PATH, now, payload)
+                        if explain is not None:
+                            explain.add(server._explain_record(
+                                records[payload], None, 0, now,
+                                "fast_path", self._fastest_mask,
+                                server._estimate_completion(
+                                    self._fastest_mask, now
+                                ),
+                            ))
+                        server._dispatch(
+                            records[payload], self._fastest_mask, now,
+                            events, sequence,
+                        )
+                        continue
+                    delay = server.policy.entry_delay
+                    heapq.heappush(
+                        events,
+                        (now + delay, next(sequence), _ENTER_BUFFER, payload),
+                    )
+                else:
+                    self._dispatch_immediate(now, payload)
+            elif kind == _ENTER_BUFFER:
+                buffer.append(payload)
+                if trace:
+                    tracer.emit(
+                        sp.ENTER_BUFFER, now, payload, depth=len(buffer)
+                    )
+                # Defer planning to a same-time _SCHEDULE event so every
+                # arrival in this instant is in the buffer first.
+                heapq.heappush(events, (now, next(sequence), _SCHEDULE, None))
+            elif kind == _SCHEDULE:
+                self._try_schedule(now)
+            elif kind == _COMMIT:
+                self._commit(now, payload)
+                self._try_schedule(now)
+            elif kind == _TASK_DONE:
+                qid, model_index = payload
+                record = records[qid]
+                record.executed_mask |= 1 << model_index
+                record.pending_tasks -= 1
+                if trace:
+                    tracer.emit(sp.TASK_DONE, now, qid, model=model_index)
+                if record.pending_tasks == 0:
+                    record.completion = now
+                    if explain is not None:
+                        explain.realize(qid, now, record.deadline - now)
+                    if trace:
+                        if record.degraded:
+                            # Only set on the reliable path by the
+                            # cheap-mask clamp (degraded-quality mode).
+                            tracer.emit(
+                                sp.COMPLETE, now, qid,
+                                latency=now - record.arrival,
+                                slack=record.deadline - now,
+                                degraded=True,
+                            )
+                        else:
+                            tracer.emit(
+                                sp.COMPLETE, now, qid,
+                                latency=now - record.arrival,
+                                slack=record.deadline - now,
+                            )
+                if buffered:
+                    self._try_schedule(now)
+            elif kind == _TASK_END:
+                server._f_task_end(payload, now)
+                if buffered:
+                    self._try_schedule(now)
+            elif kind == _TASK_TIMEOUT:
+                server._f_task_timeout(payload, now)
+            elif kind == _RETRY:
+                server._f_enqueue(payload, now)
+            elif kind == _WORKER_DOWN:
+                server._f_worker_down(payload, now)
+            elif kind == _WORKER_UP:
+                server._f_worker_up(payload, now)
+                if buffered:
+                    self._try_schedule(now)
+        return self._now
+
+    def finish(self) -> ServingResult:
+        """Drain the loop and build the run's :class:`ServingResult`."""
+        if self._finished:
+            raise RuntimeError("session already finished")
+        self.advance(None)
+        self._finished = True
+        server = self._server
+        tracer = self._tracer
+        now = self._now
+        records = self._records
+        # Anything still buffered never ran (trace ended): count as missed.
+        for qid in self._buffer:
+            records[qid].rejected = True
+            if self._trace:
+                tracer.emit(sp.REJECT, now, qid, reason="unserved")
+        tracer.finalize(now)
+        if self._explain_sched is not None:
+            self._explain_sched.collect_stats = False
+        if self._prof_sched is not None:
+            self._prof_sched.profile = False
+        return ServingResult(
+            records=[records[i] for i in range(self._n_offered)],
+            policy_name=server.policy.name,
+            scheduler_invocations=self._invocations,
+            scheduler_work_units=self._total_work,
+            scheduler_wall_time=server._sched_wall,
+            metrics=tracer.metrics,
+        )
+
+    # -- event-loop internals (ported verbatim from the old run()) -----
+
+    def _any_idle(self, now: float) -> bool:
+        if self._faulty:
+            return any(w.idle() for w in self._server._fworkers)
+        return any(
+            w.free_time <= now + 1e-12
+            for w in self._server._workers
+            if not w.retired
+        )
+
+    def _all_idle(self, now: float) -> bool:
+        if self._faulty:
+            return all(w.idle() for w in self._server._fworkers)
+        return all(
+            w.free_time <= now + 1e-12
+            for w in self._server._workers
+            if not w.retired
+        )
+
+    def _try_schedule(self, now: float) -> None:
+        if self._scheduling_busy or not self._buffer:
+            return
+        if not self._any_idle(now):
+            return
+        server = self._server
+        config = self._config
+        records = self._records
+        buffer = self._buffer
+        # Snapshot the earliest-deadline slice of the buffer.
+        buffer.sort(key=lambda qid: records[qid].deadline)
+        snapshot = buffer[: config.max_buffer]
+        del buffer[: len(snapshot)]
+
+        queries = []
+        for qid in snapshot:
+            request = self._request_cache.get(qid)
+            if request is None:
+                record = records[qid]
+                request = server.policy.make_request(
+                    qid,
+                    record.arrival,
+                    record.deadline,
+                    record.sample_index,
+                )
+                self._request_cache[qid] = request
+            queries.append(request)
+        busy_until = server._busy_per_model(now)
+        instance = SchedulingInstance(
+            queries=queries,
+            latencies=server.latencies,
+            busy_until=busy_until,
+            now=now,
+        )
+        wall_start = time.perf_counter()
+        result = server.policy.scheduler.schedule(instance)
+        wall = time.perf_counter() - wall_start
+        server._sched_wall += wall
+        self._invocations += 1
+        self._total_work += result.work_units
+        overhead = (
+            config.overhead_base
+            + config.overhead_per_unit * result.work_units
+        )
+        self._scheduling_busy = True
+        if self._trace:
+            self._tracer.emit(
+                sp.SCHEDULE, now,
+                batch=len(snapshot),
+                depth=len(buffer),
+                work_units=result.work_units,
+                overhead_sim_s=overhead,
+                wall_s=wall,
+            )
+        prof_sched = self._prof_sched
+        if self._prof and prof_sched is not None and prof_sched.last_phase_wall:
+            for phase, phase_wall in prof_sched.last_phase_wall.items():
+                self._tracer.emit(
+                    sp.SCHED_PHASE, now, phase=phase, wall_s=phase_wall
+                )
+        if self._explain is not None:
+            # scheduling_busy serializes invocations, so exactly one
+            # schedule context is pending until its plan commits.
+            server._pending_explain = (
+                now, len(snapshot), len(buffer), busy_until,
+                self._explain_sched.last_stats
+                if self._explain_sched is not None else None,
+            )
+        heapq.heappush(
+            self._events,
+            (now + overhead, next(self._sequence), _COMMIT, result.decisions),
+        )
+
+    def _commit(self, now: float, decisions) -> None:
+        """Apply one plan: reject infeasible queries and dispatch the
+        plan's EDF prefix while some model is still idle. Queries
+        beyond that stay buffered, so later arrivals can reshape
+        their subsets (the paper's wait-for-idling-models rule)."""
+        server = self._server
+        config = self._config
+        records = self._records
+        explain = self._explain
+        trace = self._trace
+        self._scheduling_busy = False
+        if trace:
+            self._tracer.emit(sp.COMMIT, now, decisions=len(decisions))
+        ctx = None
+        if explain is not None:
+            ctx = server._pending_explain
+            server._pending_explain = None
+        for di, decision in enumerate(decisions):
+            record = records[decision.query_id]
+            mask = decision.mask
+            fallback = False
+            if mask == 0 and not config.allow_rejection:
+                # Forced processing: fall back to the fastest model.
+                mask = 1 << int(np.argmin(server.latencies))
+                fallback = True
+            if mask == 0:
+                # Deadlines only get closer; infeasible stays so.
+                record.rejected = True
+                if explain is not None:
+                    explain.add(server._explain_record(
+                        record, ctx, di, now, "reject", 0, None,
+                    ))
+                if trace:
+                    self._tracer.emit(
+                        sp.REJECT, now, decision.query_id,
+                        reason="infeasible",
+                    )
+                continue
+            if not self._any_idle(now):
+                self._buffer.append(decision.query_id)
+                if explain is not None:
+                    explain.add(server._explain_record(
+                        record, ctx, di, now, "requeue", mask, None,
+                    ))
+                if trace:
+                    self._tracer.emit(
+                        sp.REQUEUE, now, decision.query_id,
+                        depth=len(self._buffer),
+                    )
+                continue
+            if explain is not None:
+                explain.add(server._explain_record(
+                    record, ctx, di, now,
+                    "fallback" if fallback else "dispatch", mask,
+                    server._estimate_completion(mask, now),
+                ))
+            server._dispatch(record, mask, now, self._events, self._sequence)
+
+    def _dispatch_immediate(self, now: float, qid: int) -> None:
+        server = self._server
+        record = self._records[qid]
+        mask = server.policy.mask_for(record.sample_index)
+        explain = self._explain
+        if self._config.allow_rejection:
+            estimate = server._estimate_completion(mask, now)
+            if estimate > record.deadline + 1e-12:
+                record.rejected = True
+                if explain is not None:
+                    explain.add(server._explain_record(
+                        record, None, 0, now, "reject", mask, estimate,
+                    ))
+                if self._trace:
+                    self._tracer.emit(
+                        sp.REJECT, now, qid, reason="estimate",
+                    )
+                return
+        if explain is not None:
+            explain.add(server._explain_record(
+                record, None, 0, now, "immediate", mask,
+                server._estimate_completion(mask, now),
+            ))
+        server._dispatch(record, mask, now, self._events, self._sequence)

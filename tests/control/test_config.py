@@ -1,0 +1,83 @@
+"""ControlConfig: frozen, validated, copy-on-write."""
+
+import dataclasses
+
+import pytest
+
+from repro.control import ControlConfig
+from repro.obs.slo import SLOConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        ControlConfig()
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ControlConfig(interval=0.0)
+
+    def test_warmup_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            ControlConfig(warmup=-0.1)
+
+    def test_max_extra_replicas_non_negative(self):
+        with pytest.raises(ValueError):
+            ControlConfig(max_extra_replicas=-1)
+        ControlConfig(max_extra_replicas=0)  # scaling disabled is legal
+
+    def test_scale_burn_hysteresis_enforced(self):
+        with pytest.raises(ValueError):
+            ControlConfig(scale_up_burn=0.0)
+        with pytest.raises(ValueError):
+            ControlConfig(scale_up_burn=1.0, scale_down_burn=2.0)
+
+    def test_cooldown_non_negative(self):
+        with pytest.raises(ValueError):
+            ControlConfig(cooldown=-1.0)
+
+    def test_cheap_mask_must_be_non_empty(self):
+        with pytest.raises(ValueError):
+            ControlConfig(cheap_mask=0)
+        ControlConfig(cheap_mask=0b101)
+        ControlConfig(cheap_mask=None)
+
+    def test_tighten_factor_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            ControlConfig(tighten_factor=0.0)
+        with pytest.raises(ValueError):
+            ControlConfig(tighten_factor=1.5)
+        ControlConfig(tighten_factor=1.0)  # tightening disabled is legal
+
+    def test_min_queue_limit_floor(self):
+        with pytest.raises(ValueError):
+            ControlConfig(min_queue_limit=0)
+
+    def test_slo_must_be_slo_config(self):
+        with pytest.raises(TypeError):
+            ControlConfig(slo={"miss_target": 0.05})
+
+
+class TestPattern:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ControlConfig().interval = 2.0
+
+    def test_replace_revalidates(self):
+        config = ControlConfig()
+        assert config.replace(warmup=5.0).warmup == 5.0
+        with pytest.raises(ValueError):
+            config.replace(interval=-1.0)
+
+    def test_slo_threads_through(self):
+        slo = SLOConfig(miss_target=0.02)
+        assert ControlConfig(slo=slo).slo.miss_target == 0.02
+
+
+class TestTightenedLimit:
+    def test_halves_and_floors(self):
+        config = ControlConfig(tighten_factor=0.5, min_queue_limit=2)
+        assert config.tightened_limit(64) == 32
+        assert config.tightened_limit(3) == 2  # floored, not 1
+
+    def test_identity_factor_keeps_limit(self):
+        assert ControlConfig(tighten_factor=1.0).tightened_limit(7) == 7

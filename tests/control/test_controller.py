@@ -1,0 +1,219 @@
+"""Controller decision core: hysteresis, rotation, cooldown, determinism.
+
+These tests drive the controller against a hand-fed
+:class:`~repro.obs.slo.SLOMonitor` — no fleet, no event loop — which is
+exactly what makes the decision logic unit-testable: the controller is
+a pure state machine over the monitor's episode and burn state.
+"""
+
+import json
+
+import pytest
+
+from repro.control import ControlConfig, Controller, ControlLog
+from repro.obs import spans as sp
+from repro.obs.slo import SLOConfig, SLOMonitor
+from repro.obs.tracer import RecordingTracer
+
+
+def slo(**overrides):
+    base = dict(
+        miss_target=0.1,
+        windows=(5.0, 20.0),
+        alert_window=5.0,
+        breach_burn=2.0,
+        recover_burn=1.0,
+        min_events=5,
+    )
+    base.update(overrides)
+    return SLOConfig(**base)
+
+
+def controller(monitor, n_shards=3, **overrides):
+    base = dict(
+        interval=1.0,
+        warmup=0.0,
+        max_extra_replicas=4,
+        scale_up_burn=2.0,
+        scale_down_burn=0.5,
+        cooldown=0.0,
+        slo=monitor.config,
+    )
+    base.update(overrides)
+    return Controller(ControlConfig(**base), monitor, n_shards)
+
+
+class TestHysteresisEndToEnd:
+    """Satellite: breach -> hover between thresholds -> recover must
+    produce exactly one breach/recovery pair and one degrade/restore
+    cycle — the monitor's hysteresis gates the controller's episode
+    knobs, so a burn rate oscillating in the dead band cannot flap."""
+
+    def run_trace(self):
+        monitor = SLOMonitor(slo())
+        tracer = RecordingTracer()
+        monitor.bind(tracer)
+        ctl = controller(monitor, max_extra_replicas=0)  # isolate knobs
+        # 10 events/s. Phase A [0,3): miss 50% -> burn 5.0, breaches.
+        # Phase B [3,10): miss 15% -> burn 1.5, hovers inside the
+        # (recover=1.0, breach=2.0) dead band. Phase C [10,18): clean,
+        # the window drains below recover and the episode closes.
+        event = 0
+        for tick in range(18):
+            for i in range(10):
+                t = tick + 0.1 * i
+                if tick < 3:
+                    missed = event % 2 == 0
+                elif tick < 10:
+                    missed = event % 20 < 3
+                else:
+                    missed = False
+                monitor.observe(t, missed=missed)
+                event += 1
+            ctl.tick(float(tick + 1))
+        return monitor, tracer, ctl
+
+    def test_exactly_one_episode(self):
+        monitor, _, _ = self.run_trace()
+        assert len(monitor.episodes) == 1
+        assert not monitor.episodes[0].open
+
+    def test_exactly_one_breach_recovery_span_pair(self):
+        _, tracer, _ = self.run_trace()
+        kinds = [span.kind for span in tracer.spans]
+        assert kinds.count(sp.SLO_BREACH) == 1
+        assert kinds.count(sp.SLO_RECOVERED) == 1
+
+    def test_exactly_one_degrade_restore_cycle(self):
+        _, _, ctl = self.run_trace()
+        counts = ctl.log.counts()
+        assert counts.get(sp.DEGRADE_MODE) == 1
+        assert counts.get(sp.RESTORE) == 1
+        # Admission tightened on breach, relaxed on recovery: one pair.
+        assert counts.get(sp.ADMISSION_CHANGE) == 2
+        assert ctl.settled
+
+    def test_degrade_precedes_restore(self):
+        _, _, ctl = self.run_trace()
+        order = [a.kind for a in ctl.log
+                 if a.kind in (sp.DEGRADE_MODE, sp.RESTORE)]
+        assert order == [sp.DEGRADE_MODE, sp.RESTORE]
+
+
+class TestScaling:
+    def saturate(self, monitor, until=3.0):
+        """Miss everything: burn 1/miss_target = 10x."""
+        t = 0.0
+        while t < until:
+            monitor.observe(t, missed=True)
+            t += 0.1
+
+    def test_scale_up_rotation_is_seeded(self):
+        monitor = SLOMonitor(slo())
+        ctl = controller(monitor, n_shards=3, seed=1)
+        self.saturate(monitor)
+        for tick in range(4):
+            ctl.tick(3.0 + tick)
+            self.saturate(monitor, until=0.0)  # keep window hot
+            monitor.observe(3.0 + tick, missed=True)
+        ups = [a.shard for a in ctl.log if a.kind == sp.SCALE_UP]
+        assert ups == [1, 2, 0, 1]  # starts at seed % n_shards
+
+    def test_scale_down_unwinds_lifo(self):
+        monitor = SLOMonitor(slo())
+        ctl = controller(monitor, n_shards=3, seed=0)
+        self.saturate(monitor)
+        for tick in range(3):
+            monitor.observe(3.0 + tick, missed=True)
+            ctl.tick(4.0 + tick)
+        assert ctl.level == 3
+        # Idle long enough for the window to drain and episode to close.
+        for tick in range(12):
+            ctl.tick(7.0 + tick)
+        ups = [a.shard for a in ctl.log if a.kind == sp.SCALE_UP]
+        downs = [a.shard for a in ctl.log if a.kind == sp.SCALE_DOWN]
+        assert downs == list(reversed(ups))
+        assert ctl.level == 0
+        assert ctl.settled
+
+    def test_cooldown_rate_limits_scaling(self):
+        monitor = SLOMonitor(slo())
+        ctl = controller(monitor, cooldown=3.0)
+        self.saturate(monitor)
+        for tick in range(6):
+            monitor.observe(3.0 + tick, missed=True)
+            ctl.tick(4.0 + tick)
+        ups = [a for a in ctl.log if a.kind == sp.SCALE_UP]
+        # Ticks at 4..9 with a 3 s cooldown: at most 2 within 6 ticks.
+        assert len(ups) == 2
+
+    def test_min_events_gates_scale_up(self):
+        monitor = SLOMonitor(slo(min_events=50))
+        ctl = controller(monitor)
+        # 10 events, all missed: burn 10x but far below the evidence
+        # floor — provisioning on 10 samples proves nothing.
+        for i in range(10):
+            monitor.observe(0.1 * i, missed=True)
+        ctl.tick(1.0)
+        assert not any(a.kind == sp.SCALE_UP for a in ctl.log)
+
+    def test_no_scale_down_while_breached(self):
+        monitor = SLOMonitor(slo())
+        ctl = controller(monitor)
+        self.saturate(monitor)
+        ctl.tick(3.0)
+        assert ctl.level == 1
+        # Burn still catastrophic: scale-down must not fire even
+        # though more scale-ups are rate-limited off.
+        monitor.observe(3.5, missed=True)
+        ctl.tick(4.0)
+        assert not any(a.kind == sp.SCALE_DOWN for a in ctl.log)
+
+    def test_max_extra_replicas_caps_level(self):
+        monitor = SLOMonitor(slo())
+        ctl = controller(monitor, max_extra_replicas=2)
+        self.saturate(monitor)
+        for tick in range(5):
+            monitor.observe(3.0 + tick, missed=True)
+            ctl.tick(4.0 + tick)
+        assert ctl.level == 2
+
+
+class TestLog:
+    def scenario(self):
+        monitor = SLOMonitor(slo())
+        ctl = controller(monitor, seed=2)
+        for i in range(40):
+            monitor.observe(0.1 * i, missed=i % 2 == 0)
+        for tick in range(20):
+            ctl.tick(4.0 + tick)
+        return ctl.log
+
+    def test_dumps_byte_identical_across_reruns(self):
+        assert self.scenario().dumps() == self.scenario().dumps()
+
+    def test_dumps_is_json_lines(self):
+        log = self.scenario()
+        lines = log.dumps().splitlines()
+        assert len(lines) == len(log)
+        for line in lines:
+            record = json.loads(line)
+            assert set(record) == {
+                "time", "kind", "shard", "level", "burn", "queue_limit",
+            }
+
+    def test_counts_sum_to_len(self):
+        log = self.scenario()
+        assert sum(log.counts().values()) == len(log)
+
+    def test_empty_log(self):
+        log = ControlLog()
+        assert len(log) == 0
+        assert log.dumps() == ""
+        assert log.counts() == {}
+
+
+class TestValidation:
+    def test_n_shards_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Controller(ControlConfig(), SLOMonitor(slo()), 0)

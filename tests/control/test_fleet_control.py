@@ -1,0 +1,232 @@
+"""Controlled fleet: actuation end-to-end, equivalence, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.control import ControlConfig
+from repro.fleet import FleetConfig, FleetServer
+from repro.obs import spans as sp
+from repro.obs.slo import SLOConfig
+from repro.obs.tracer import RecordingTracer
+from repro.scheduling.greedy import GreedyScheduler
+from repro.serving.config import ServerConfig
+from repro.serving.policies import BufferedSchedulingPolicy
+from repro.serving.workload import ServingWorkload
+
+LATENCIES = [0.004, 0.009, 0.018]
+
+CONTROL_KINDS = (
+    sp.SCALE_UP, sp.SCALE_DOWN, sp.DEGRADE_MODE, sp.RESTORE,
+    sp.ADMISSION_CHANGE,
+)
+
+
+def make_policy(n_pool=64, seed=0):
+    rng = np.random.default_rng(seed)
+    m = len(LATENCIES)
+    difficulty = rng.uniform(0, 1, n_pool)
+    success = np.clip(
+        np.linspace(0.7, 0.9, m)[None, :] - 0.5 * difficulty[:, None],
+        0.05, 0.98,
+    )
+    quality = np.zeros((n_pool, 2 ** m))
+    for mask in range(1, 2 ** m):
+        members = [k for k in range(m) if (mask >> k) & 1]
+        quality[:, mask] = 1 - np.prod(1 - success[:, members], axis=1)
+    scores = np.clip(difficulty + rng.normal(0, 0.05, n_pool), 0, 1)
+    return BufferedSchedulingPolicy(
+        "schemble", GreedyScheduler(order="edf"), quality,
+        scores=scores, fast_path=True,
+    ), quality
+
+
+def burst_workload(quality, seed=0, n=5000, calm=15.0, burst=400.0):
+    """Calm 0-10 s, hard burst 10-30 s, calm tail: forces a breach."""
+    rng = np.random.default_rng(seed)
+    t, arrivals = 0.0, []
+    while len(arrivals) < n:
+        rate = burst if 10.0 <= t < 30.0 else calm
+        t += rng.exponential(1.0 / rate)
+        arrivals.append(t)
+    arrivals = np.array(arrivals[:n])
+    return ServingWorkload(
+        arrivals=arrivals,
+        deadlines=np.full(n, 0.08),
+        sample_indices=rng.integers(quality.shape[0], size=n),
+        quality=quality,
+    )
+
+
+def control_config(**overrides):
+    base = dict(
+        interval=1.0,
+        warmup=2.0,
+        max_extra_replicas=3,
+        scale_up_burn=2.0,
+        scale_down_burn=0.5,
+        cooldown=5.0,
+        slo=SLOConfig(
+            windows=(10.0, 60.0), alert_window=10.0,
+            breach_burn=2.0, recover_burn=1.0, min_events=20,
+        ),
+    )
+    base.update(overrides)
+    return ControlConfig(**base)
+
+
+def run_fleet(workload, control, *, tracer=None, queue_limit=8,
+              n_shards=2, seed=0):
+    policy, _ = make_policy()
+    fleet = FleetServer.from_config(
+        LATENCIES, policy,
+        FleetConfig.uniform(
+            n_shards, ServerConfig(), queue_limit=queue_limit,
+            seed=seed, control=control,
+        ),
+        tracer=tracer,
+    )
+    return fleet.run(workload)
+
+
+@pytest.fixture(scope="module")
+def burst_runs():
+    _, quality = make_policy()
+    workload = burst_workload(quality)
+    tracer = RecordingTracer()
+    static = run_fleet(workload, None)
+    controlled = run_fleet(workload, control_config(), tracer=tracer)
+    return static, controlled, tracer, workload
+
+
+class TestActuation:
+    def test_burst_opens_and_closes_an_episode(self, burst_runs):
+        _, controlled, _, _ = burst_runs
+        episodes = controlled.monitor.episodes
+        assert len(episodes) >= 1
+        assert all(not e.open for e in episodes)
+
+    def test_controller_acted_and_unwound(self, burst_runs):
+        _, controlled, _, _ = burst_runs
+        counts = controlled.control_log.counts()
+        assert counts.get(sp.SCALE_UP, 0) >= 1
+        assert counts.get(sp.SCALE_UP) == counts.get(sp.SCALE_DOWN)
+        assert counts.get(sp.DEGRADE_MODE) == counts.get(sp.RESTORE)
+        assert counts.get(sp.ADMISSION_CHANGE, 0) % 2 == 0
+
+    def test_degraded_answers_are_marked(self, burst_runs):
+        _, controlled, _, _ = burst_runs
+        degraded = [
+            r for r in controlled.merged.records
+            if getattr(r, "degraded", False)
+        ]
+        assert degraded
+        # Degradation clamps to a subset, never rejects.
+        assert all(r.completion is not None for r in degraded)
+
+    def test_control_loop_beats_static_on_misses(self, burst_runs):
+        static, controlled, _, _ = burst_runs
+        assert (
+            controlled.merged.deadline_miss_rate()
+            < static.merged.deadline_miss_rate()
+        )
+        assert controlled.n_shed < static.n_shed
+
+    def test_control_spans_in_merged_stream(self, burst_runs):
+        _, controlled, tracer, _ = burst_runs
+        kinds = {span.kind for span in tracer.spans}
+        for kind in CONTROL_KINDS + (sp.SLO_BREACH, sp.SLO_RECOVERED):
+            assert kind in kinds, kind
+
+    def test_merged_stream_time_ordered(self, burst_runs):
+        _, _, tracer, _ = burst_runs
+        times = [span.time for span in tracer.spans]
+        assert times == sorted(times)
+
+    def test_admission_change_resolves_queue_limit(self, burst_runs):
+        _, _, tracer, _ = burst_runs
+        changes = [
+            s for s in tracer.spans if s.kind == sp.ADMISSION_CHANGE
+        ]
+        tightened = [s for s in changes if s.attrs["tightened"]]
+        relaxed = [s for s in changes if not s.attrs["tightened"]]
+        assert tightened and relaxed
+        # tighten_factor 0.5 over queue_limit 8.
+        assert all(s.attrs["queue_limit"] == 4 for s in tightened)
+        assert all(s.attrs["queue_limit"] == 8 for s in relaxed)
+
+    def test_every_query_accounted(self, burst_runs):
+        _, controlled, _, workload = burst_runs
+        assert len(controlled.merged.records) == workload.n_queries
+        assert all(
+            r is not None and r.query_id == qid
+            for qid, r in enumerate(controlled.merged.records)
+        )
+
+
+class TestDeterminism:
+    def test_action_log_byte_identical(self, burst_runs):
+        _, controlled, _, workload = burst_runs
+        rerun = run_fleet(workload, control_config())
+        assert rerun.control_log.dumps() == controlled.control_log.dumps()
+        assert len(controlled.control_log) > 0
+
+    def test_seed_changes_rotation(self):
+        _, quality = make_policy()
+        workload = burst_workload(quality)
+        a = run_fleet(workload, control_config(seed=0), n_shards=3)
+        b = run_fleet(workload, control_config(seed=1), n_shards=3)
+        ups_a = [x.shard for x in a.control_log if x.kind == sp.SCALE_UP]
+        ups_b = [x.shard for x in b.control_log if x.kind == sp.SCALE_UP]
+        assert ups_a and ups_b
+        assert ups_a[0] != ups_b[0]
+
+
+class TestQuietWorkloadEquivalence:
+    """With no breach the controller never acts, and the controlled
+    run must serve every query exactly like the static two-pass run."""
+
+    def test_idle_controller_matches_static(self):
+        policy, quality = make_policy()
+        rng = np.random.default_rng(3)
+        n = 300
+        workload = ServingWorkload(
+            arrivals=np.sort(rng.uniform(0, 20.0, n)),
+            deadlines=np.full(n, 0.2),
+            sample_indices=rng.integers(quality.shape[0], size=n),
+            quality=quality,
+        )
+        static = run_fleet(workload, None, queue_limit=32)
+        controlled = run_fleet(
+            workload, control_config(), queue_limit=32
+        )
+        assert len(controlled.control_log) == 0
+        assert controlled.monitor.episodes == []
+        for a, b in zip(static.merged.records, controlled.merged.records):
+            assert a.rejected == b.rejected
+            assert a.completion == b.completion
+            assert a.executed_mask == b.executed_mask
+        np.testing.assert_array_equal(
+            static.assignments, controlled.assignments
+        )
+
+
+class TestGuards:
+    def test_controlled_mode_rejects_faulty_shards(self):
+        from repro.faults import FaultPlan
+
+        policy, quality = make_policy()
+        workload = burst_workload(quality, n=50)
+        fleet = FleetServer.from_config(
+            LATENCIES, policy,
+            FleetConfig.uniform(
+                2,
+                ServerConfig(faults=FaultPlan(task_failure_rate=0.1)),
+                control=control_config(),
+            ),
+        )
+        with pytest.raises(ValueError, match="fault-free"):
+            fleet.run(workload)
+
+    def test_config_requires_control_config_type(self):
+        with pytest.raises(TypeError):
+            FleetConfig.uniform(2, ServerConfig(), control=object())

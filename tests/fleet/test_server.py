@@ -231,3 +231,98 @@ class TestAgainstSingleServer:
             (r.completion, r.rejected, r.executed_mask)
             for r in single.records
         ]
+
+
+class TestRedirectTieBreak:
+    """The admission fallback redirect must not funnel ties to shard 0.
+
+    Regression: ``np.argmin(backlogs)`` always picked the lowest index
+    among equally-loaded shards, so under a symmetric backlog every
+    redirect landed on shard 0. The rotating seeded pointer spreads
+    them while staying byte-deterministic per (trace, seed).
+    """
+
+    def make_fleet(self, n_shards=4, seed=0, queue_limit=2):
+        policy, quality = make_policy()
+        fleet = FleetServer.from_config(
+            LATENCIES, policy,
+            FleetConfig.uniform(
+                n_shards, ServerConfig(), router="hash",
+                queue_limit=queue_limit, seed=seed,
+            ),
+        )
+        return fleet, quality
+
+    def test_rotates_over_symmetric_backlogs(self):
+        fleet, _ = self.make_fleet(n_shards=4, seed=0)
+        targets = [fleet._redirect_target([3, 3, 3, 3]) for _ in range(8)]
+        assert targets == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_rotation_starts_at_seed(self):
+        fleet, _ = self.make_fleet(n_shards=4, seed=6)
+        assert fleet._redirect_target([1, 1, 1, 1]) == 2
+
+    def test_still_picks_the_least_loaded(self):
+        fleet, _ = self.make_fleet(n_shards=4)
+        assert fleet._redirect_target([5, 2, 7, 2]) == 1
+        # Pointer advanced past 1: the next symmetric tie goes to 2.
+        assert fleet._redirect_target([4, 4, 4, 4]) == 2
+
+    def test_balanced_targets_under_symmetric_trace(self):
+        # Every query lands at the same instant with equal cost, so
+        # backlogs stay symmetric and every over-limit query exercises
+        # the tie-break. Redirects must spread across shards.
+        policy, quality = make_policy()
+        n, n_shards = 120, 4
+        workload = ServingWorkload(
+            arrivals=np.zeros(n),
+            deadlines=np.full(n, 10.0),
+            sample_indices=np.zeros(n, dtype=int),
+            quality=quality,
+        )
+        tracer = RecordingTracer()
+        fleet = FleetServer.from_config(
+            LATENCIES, policy,
+            FleetConfig.uniform(
+                n_shards, ServerConfig(), router="hash",
+                queue_limit=8, seed=0,
+            ),
+            tracer=tracer,
+        )
+        fleet.run(workload)
+        redirected = [
+            s.attrs["shard"] for s in tracer.spans
+            if s.kind == sp.ROUTE and s.attrs.get("redirected")
+        ]
+        assert redirected, "symmetric trace produced no redirects"
+        counts = {
+            shard: redirected.count(shard) for shard in set(redirected)
+        }
+        # The hash-routed home shard is the full one, so it can never
+        # be a redirect target; all other shards share the redirects
+        # evenly (argmin sent every one of them to the lowest index).
+        assert len(counts) >= n_shards - 1
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_redirect_rotation_is_deterministic(self):
+        policy, quality = make_policy()
+        workload = make_workload(quality, n=300, rate=500.0)
+
+        def targets():
+            tracer = RecordingTracer()
+            fleet = FleetServer.from_config(
+                LATENCIES, policy,
+                FleetConfig.uniform(
+                    3, ServerConfig(), router="power_of_two",
+                    queue_limit=4, seed=2,
+                ),
+                tracer=tracer,
+            )
+            fleet.run(workload)
+            return [
+                (s.query_id, s.attrs["shard"]) for s in tracer.spans
+                if s.kind == sp.ROUTE and s.attrs.get("redirected")
+            ]
+
+        first = targets()
+        assert first == targets()

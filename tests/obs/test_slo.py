@@ -249,3 +249,75 @@ class TestBurstDetection:
         assert summary["events"] == monitor.events
         assert summary["episodes"][0]["start"] == monitor.episodes[0].start
         assert tracer.metrics.counter("slo.breaches").value == len(breaches)
+
+
+class TestWindowWarmupAndIdleGaps:
+    """Burn-rate correctness at run start and across idle gaps: rates
+    are computed over observed events (never diluted by the empty part
+    of a not-yet-full window) and episodes cannot get stuck open."""
+
+    def test_breach_fires_within_first_window_length(self):
+        # Regression: 10 events in the first half of the alert window,
+        # 5 missed. Over observed events that is a 50% miss rate (5x
+        # burn); diluting by nominal window capacity would read it as
+        # far less and stay quiet.
+        monitor = SLOMonitor(config(min_events=10, breach_burn=2.0))
+        for i in range(10):
+            monitor.observe(0.25 * i, missed=i % 2 == 0)  # t in [0, 2.5)
+        assert len(monitor.episodes) == 1
+        assert monitor.episodes[0].start < monitor.config.alert_window
+
+    def test_half_full_window_not_diluted(self):
+        monitor = SLOMonitor(config())
+        # 10 events in [0, 2.5) of the 5 s alert window, 5 missed.
+        for i in range(10):
+            monitor.observe(0.25 * i, missed=i % 2 == 0)
+        assert monitor.alert_burn() == pytest.approx(5.0)
+        assert monitor.burn_rates()[5.0] == pytest.approx(5.0)
+
+    def test_empty_window_reads_zero_not_nan_via_alert_burn(self):
+        monitor = SLOMonitor(config())
+        assert monitor.alert_burn(0.0) == 0.0
+        assert monitor.alert_events(0.0) == 0
+        assert np.isnan(monitor.burn_rates(0.0)[5.0])
+
+    def test_refill_after_idle_gap_not_diluted(self):
+        monitor = SLOMonitor(config(min_events=5))
+        for i in range(20):
+            monitor.observe(0.1 * i, missed=False)
+        # Long idle gap drains everything, then 5 fresh events, 3 missed.
+        for i in range(5):
+            monitor.observe(100.0 + 0.1 * i, missed=i < 3)
+        assert monitor.alert_events() == 5
+        assert monitor.alert_burn() == pytest.approx((3 / 5) / 0.1)
+
+    def test_poll_closes_episode_after_idle_gap(self):
+        # Regression: an episode left open when traffic stops must
+        # close once the window drains, without needing min_events
+        # fresh events to re-arm the detector.
+        monitor = SLOMonitor(config(min_events=5))
+        for i in range(10):
+            monitor.observe(0.1 * i, missed=True)
+        assert monitor.episodes and monitor.episodes[0].open
+        monitor.poll(50.0)
+        assert not monitor.episodes[0].open
+        assert monitor.episodes[0].end == 50.0
+
+    def test_poll_does_not_open_episodes(self):
+        monitor = SLOMonitor(config())
+        monitor.poll(10.0)
+        assert monitor.episodes == []
+
+    def test_recovery_on_drained_window_emits_finite_rates(self):
+        monitor = SLOMonitor(config(min_events=5))
+        tracer = RecordingTracer()
+        monitor.bind(tracer)
+        for i in range(10):
+            monitor.observe(0.1 * i, missed=True)
+        monitor.poll(50.0)
+        recovered = [
+            s for s in tracer.spans if s.kind == sp.SLO_RECOVERED
+        ]
+        assert len(recovered) == 1
+        assert recovered[0].attrs["burn_rate"] == 0.0
+        assert recovered[0].attrs["miss_rate"] == 0.0

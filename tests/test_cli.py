@@ -63,6 +63,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "--router", "round_robin"])
 
+    def test_control_defaults(self):
+        args = build_parser().parse_args(["control"])
+        assert args.shards == 4
+        assert args.router == "power_of_two"
+        assert args.interval == 1.0
+        assert args.warmup == 2.0
+        assert args.max_extra == 4
+        assert args.out is None
+
     def test_explain_requires_decisions_path(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explain", "3"])
@@ -300,6 +309,33 @@ class TestCommands:
         assert main(["slo", "--spans", str(merged)]) == 0
         assert "resolved queries" in capsys.readouterr().out
         assert main(["slo", "--spans", str(shard1)]) == 0
+
+    def test_control_comparison_and_artifacts(self, capsys, tm_setup,
+                                              tmp_path):
+        out_dir = tmp_path / "control"
+        assert main([
+            "control", "--duration", "5", "--shards", "2",
+            "--out", str(out_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "control loop" in out
+        assert "static" in out and "controlled" in out
+        assert "controller actions:" in out
+        assert "overload episodes:" in out
+        spans = out_dir / "text_matching_control_spans.jsonl"
+        prom = out_dir / "text_matching_control_metrics.prom"
+        log = out_dir / "text_matching_control_log.jsonl"
+        for path in (spans, prom, log):
+            assert path.exists()
+            assert f"wrote {path}" in out
+        for line in log.read_text().splitlines():
+            assert set(json.loads(line)) == {
+                "time", "kind", "shard", "level", "burn", "queue_limit",
+            }
+        # The merged stream replays through the offline slo consumer.
+        capsys.readouterr()
+        assert main(["slo", "--spans", str(spans)]) == 0
+        assert "resolved queries" in capsys.readouterr().out
 
     def test_faults_command(self, capsys, tm_setup):
         assert main([
