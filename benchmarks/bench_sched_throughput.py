@@ -22,6 +22,13 @@ Three checks:
   speedup fails the run. This is the check CI's perf-smoke job
   enforces on every push.
 
+A fourth, vectorized-only measurement times the DP at serving-scale
+buffers (64 and 128 queries x 6 models) where the pure-Python
+reference is infeasible. These points record the exact-DP step cost
+the learned fast path (``benchmarks/bench_policy_distill.py``) is
+gated against, and regression-check on the *ratio* to the 16x4 anchor
+point — a machine-portable number, unlike absolute seconds.
+
 ``--quick`` shrinks the parity set and timing grid for CI.
 Results go to ``benchmarks/results/BENCH_sched.json``.
 """
@@ -58,6 +65,17 @@ INSTANCES_PER_POINT = 4
 REPEATS = 3
 INSTANCES_PER_POINT_QUICK = 2
 REPEATS_QUICK = 2
+
+# Serving-scale buffers: vectorized DP only (the reference would take
+# minutes per instance), timed per-instance and gated on the ratio to
+# the LARGE_RATIO_ANCHOR small-grid point.
+LARGE_GRID = ((64, 6), (128, 6))
+LARGE_GRID_QUICK = ((64, 6),)
+LARGE_INSTANCES = 1
+LARGE_REPEATS = 2
+LARGE_REPEATS_QUICK = 1
+LARGE_RATIO_ANCHOR = (16, 4)
+LARGE_REGRESSION_FACTOR = 3.0
 
 # Required vectorized-over-reference speedup at grid points with
 # >= 16 queries and 4 models (the serving sweet spot ISSUE targets).
@@ -174,6 +192,68 @@ def time_grid(grid, instances_per_point, repeats):
     return results
 
 
+def time_large_grid(grid, repeats, anchor_per_instance_s):
+    """Vectorized-DP-only timing at serving-scale buffer sizes.
+
+    No reference column: the pure-Python DP takes minutes per instance
+    here. Each point also records its per-instance cost as a multiple
+    of the small-grid anchor point, which is what the regression gate
+    compares — absolute seconds vary with the machine, the ratio of
+    two runs of the same kernel far less.
+    """
+    results = []
+    for n_queries, n_models in grid:
+        rng = np.random.default_rng(7 * n_queries + n_models)
+        instances = [
+            make_instance(rng, n_queries, n_models)
+            for _ in range(LARGE_INSTANCES)
+        ]
+        vec = DPScheduler(delta=TIMING_DELTA)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for instance in instances:
+                vec.schedule(instance)
+            best = min(best, time.perf_counter() - start)
+        per_instance = best / len(instances)
+        results.append({
+            "n_queries": n_queries,
+            "n_models": n_models,
+            "delta": TIMING_DELTA,
+            "instances": LARGE_INSTANCES,
+            "repeats": repeats,
+            "vectorized_s": best,
+            "per_instance_s": per_instance,
+            "ratio_to_anchor": per_instance / anchor_per_instance_s,
+        })
+    return results
+
+
+def check_large_regression(large_timing, committed):
+    """Fail any serving-scale point whose anchor ratio blew up 3x."""
+    if not committed:
+        return [], True
+    baseline = {
+        (point["n_queries"], point["n_models"]): point["ratio_to_anchor"]
+        for point in committed.get("large_timing", [])
+    }
+    failures = []
+    for point in large_timing:
+        key = (point["n_queries"], point["n_models"])
+        if key not in baseline:
+            continue
+        ceiling = baseline[key] * LARGE_REGRESSION_FACTOR
+        if point["ratio_to_anchor"] > ceiling:
+            failures.append({
+                "n_queries": key[0],
+                "n_models": key[1],
+                "ratio_to_anchor": point["ratio_to_anchor"],
+                "committed_ratio": baseline[key],
+                "ceiling": ceiling,
+            })
+    return failures, not failures
+
+
 def check_regression(timing, committed):
     """Fail any grid point whose speedup halved vs the committed run."""
     if not committed:
@@ -223,7 +303,26 @@ def main(argv=None):
               f"reference {point['reference_s'] * 1e3:8.2f} ms, "
               f"speedup {point['speedup']:.2f}x")
 
+    anchor = next(
+        p for p in timing
+        if (p["n_queries"], p["n_models"]) == LARGE_RATIO_ANCHOR
+    )
+    anchor_per_instance = anchor["vectorized_s"] / anchor["instances"]
+    large_timing = time_large_grid(
+        LARGE_GRID_QUICK if quick else LARGE_GRID,
+        LARGE_REPEATS_QUICK if quick else LARGE_REPEATS,
+        anchor_per_instance,
+    )
+    for point in large_timing:
+        print(f"  n={point['n_queries']:3d} m={point['n_models']}: "
+              f"vectorized {point['per_instance_s']:8.2f} s/instance "
+              f"(no reference; {point['ratio_to_anchor']:.0f}x the "
+              f"{LARGE_RATIO_ANCHOR[0]}x{LARGE_RATIO_ANCHOR[1]} anchor)")
+
     regressions, regression_ok = check_regression(timing, committed)
+    large_regressions, large_ok = check_large_regression(
+        large_timing, committed
+    )
 
     speedup_ok = True
     if not quick:
@@ -240,9 +339,13 @@ def main(argv=None):
         "quick": quick,
         "parity": parity,
         "timing": timing,
+        "large_timing": large_timing,
         "regressions": regressions,
+        "large_regressions": large_regressions,
         "min_speedup": MIN_SPEEDUP,
         "regression_factor": REGRESSION_FACTOR,
+        "large_regression_factor": LARGE_REGRESSION_FACTOR,
+        "large_ratio_anchor": list(LARGE_RATIO_ANCHOR),
     }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -264,6 +367,16 @@ def main(argv=None):
             f"{point['reference_s'] * 1e3:6.1f} ms  "
             f"{point['speedup']:.2f}x"
         )
+    lines.append("")
+    lines.append("serving-scale buffers (vectorized DP only — the "
+                 "reference is infeasible here):")
+    for point in large_timing:
+        lines.append(
+            f"{point['n_queries']:<6d}  {point['n_models']:<6d}  "
+            f"{point['per_instance_s']:7.2f} s/instance  "
+            f"({point['ratio_to_anchor']:.0f}x the "
+            f"{LARGE_RATIO_ANCHOR[0]}x{LARGE_RATIO_ANCHOR[1]} anchor)"
+        )
     TABLE_PATH.write_text("\n".join(lines) + "\n")
 
     if not parity_ok:
@@ -273,7 +386,12 @@ def main(argv=None):
         print(f"FAIL: speedup {failure['speedup']:.2f}x at "
               f"n={failure['n_queries']} m={failure['n_models']} fell "
               f"below half the committed {failure['committed_speedup']:.2f}x")
-    if not regression_ok or not speedup_ok:
+    for failure in large_regressions:
+        print(f"FAIL: anchor ratio {failure['ratio_to_anchor']:.0f}x at "
+              f"n={failure['n_queries']} m={failure['n_models']} blew "
+              f"past {LARGE_REGRESSION_FACTOR:g}x the committed "
+              f"{failure['committed_ratio']:.0f}x")
+    if not regression_ok or not speedup_ok or not large_ok:
         return 1
     print("PASS")
     return 0

@@ -16,6 +16,7 @@ Usage::
     python -m repro diff traces/base_profile.json traces/new_profile.json
     python -m repro fleet --task text_matching [--shards 4] [--router score_aware]
     python -m repro control --task text_matching [--shards 4] [--interval 1.0]
+    python -m repro distill --task text_matching [--decisions traces/..._decisions.jsonl]
 
 Each command builds the task setup (training the models on first use),
 runs the corresponding experiment and prints its table. The commands are
@@ -62,6 +63,18 @@ the SLO-driven controller (replica scaling, admission tightening,
 degraded-quality mode), side by side, plus the controller's action
 counts. With ``--out`` it writes the controlled run's merged span
 stream, metrics scrape and the byte-stable controller action log.
+
+``distill`` trains the learned fast-path scheduler
+(:mod:`repro.scheduling.policy_fast`): it replays a DP-scheduled run
+(or reads an existing ``*_decisions.jsonl``), extracts per-query
+feature rows from the decision log
+(:mod:`repro.scheduling.distill`), fits the imitation policy and the
+regret estimator, and writes a frozen ``PolicyModel`` JSON artifact.
+``trace``/``fleet``/``control`` then accept ``--scheduler learned
+--policy-model ARTIFACT [--regret-threshold T]`` to serve with the
+distilled policy, falling back to the exact DP on instances whose
+predicted regret exceeds the threshold (``--regret-threshold 0``
+reproduces the DP run bit-exactly).
 """
 
 from __future__ import annotations
@@ -81,6 +94,7 @@ from repro.metrics.tables import format_table
 COMMANDS = (
     "list", "table1", "sweep", "day", "schedulers", "budget", "trace",
     "faults", "explain", "slo", "profile", "diff", "fleet", "control",
+    "distill",
 )
 
 TRACE_POLICIES = (
@@ -126,6 +140,27 @@ def _add_fault_args(parser: argparse.ArgumentParser):
     parser.add_argument(
         "--retries", type=int, default=2,
         help="retry budget per task (default: 2)",
+    )
+
+
+def _add_scheduler_args(parser: argparse.ArgumentParser):
+    """Scheduler-override knobs shared by ``trace``/``fleet``/``control``."""
+    parser.add_argument(
+        "--scheduler", choices=("dp", "learned"), default=None,
+        help="override the buffered policy's scheduler: 'dp' forces a "
+        "fresh exact DP, 'learned' serves the distilled fast-path "
+        "policy with a DP fallback (default: keep the setup's own)",
+    )
+    parser.add_argument(
+        "--policy-model", default=None,
+        help="PolicyModel artifact written by `python -m repro "
+        "distill` (required with --scheduler learned)",
+    )
+    parser.add_argument(
+        "--regret-threshold", type=float, default=0.5,
+        help="estimated utility gap above which the learned scheduler "
+        "falls back to exact DP; 0 falls back everywhere and is "
+        "bit-identical to --scheduler dp (default: 0.5)",
     )
 
 
@@ -190,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="traces",
         help="output directory for span/timeline/report files",
     )
+    _add_scheduler_args(trace)
     _add_fault_args(trace)
     trace.add_argument(
         "--failure-rate", type=float, default=0.0,
@@ -308,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-limit", type=int, default=64,
         help="admission capacity per shard, in queries (default: 64)",
     )
+    _add_scheduler_args(fleet)
     fleet.add_argument(
         "--out", default=None,
         help="when set, also run the --router fleet traced and write "
@@ -355,12 +392,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap on extra replica sets the controller may hold "
         "(default: 4)",
     )
+    _add_scheduler_args(control)
     control.add_argument(
         "--out", default=None,
         help="when set, write the controlled run's merged span stream "
         "(JSONL), Prometheus metrics scrape and controller action "
         "log (JSONL, byte-stable across same-seed reruns) to this "
         "directory",
+    )
+
+    distill = sub.add_parser(
+        "distill",
+        help="train the learned fast-path scheduler from a DP-scheduled "
+        "run's decision log and write the PolicyModel artifact",
+    )
+    _add_common(distill)
+    distill.add_argument(
+        "--policy", choices=TRACE_POLICIES, default="schemble",
+        help="buffered policy whose DP decisions to imitate "
+        "(default: schemble)",
+    )
+    distill.add_argument(
+        "--decisions", default=None,
+        help="existing decision JSONL written by `trace` "
+        "(*_decisions.jsonl); omitted, a fresh DP-scheduled run is "
+        "replayed to generate one",
+    )
+    distill.add_argument(
+        "--out", default="artifacts",
+        help="output directory for the PolicyModel artifact "
+        "(default: artifacts)",
+    )
+    distill.add_argument(
+        "--model", choices=("auto", "gbdt", "mlp"), default="auto",
+        help="imitation model family; auto picks by validation "
+        "exact-mask accuracy (default: auto)",
+    )
+    distill.add_argument(
+        "--val-fraction", type=float, default=0.25,
+        help="fraction of scheduling rounds held out for model "
+        "selection (default: 0.25)",
     )
 
     diff = sub.add_parser(
@@ -542,6 +613,9 @@ def _cmd_trace(args) -> str:
         ),
         duration=args.duration,
         seed=args.seed + 5,
+        scheduler=args.scheduler,
+        policy_model=args.policy_model,
+        regret_threshold=args.regret_threshold,
     )
     tracer = RecordingTracer(slo=_slo_monitor(args))
     explain_log = DecisionLog()
@@ -564,7 +638,7 @@ def _cmd_trace(args) -> str:
     report_path = out_dir / f"{stem}_report.txt"
     report_path.write_text(report + "\n")
 
-    footer = "\n".join([
+    footer_lines = [
         "",
         f"wrote {spans_path}",
         f"wrote {timeline_path}  (open in chrome://tracing or "
@@ -573,8 +647,18 @@ def _cmd_trace(args) -> str:
         f"QUERY_ID --decisions {decisions_path}`)",
         f"wrote {prom_path}",
         f"wrote {report_path}",
-    ])
-    return report + footer
+    ]
+    if args.scheduler == "learned":
+        fallbacks = tracer.metrics.counter("sched.fallbacks").value
+        invocations = tracer.metrics.counter("scheduler.invocations").value
+        rate = fallbacks / invocations if invocations else 0.0
+        footer_lines.append(
+            f"learned scheduler: {int(fallbacks)} DP fallbacks over "
+            f"{int(invocations)} invocations "
+            f"({100 * rate:.1f}% fallback rate, threshold "
+            f"{args.regret_threshold:g})"
+        )
+    return report + "\n".join(footer_lines)
 
 
 def _cmd_faults(args) -> str:
@@ -770,7 +854,12 @@ def _cmd_diff(args):
 
 def _cmd_fleet(args) -> str:
     from repro.experiments.fleet import run_fleet_comparison
-    from repro.experiments.runner import RunSpec, make_workload, run_spec
+    from repro.experiments.runner import (
+        RunSpec,
+        make_workload,
+        resolve_policy,
+        run_spec,
+    )
     from repro.experiments.trace_segments import make_day_trace
     from repro.fleet import FleetConfig
     from repro.serving.config import ServerConfig
@@ -782,9 +871,15 @@ def _cmd_fleet(args) -> str:
         deadline=min(setup.deadline_grid),
         seed=args.seed + 6,
     )
+    sched_spec = RunSpec(
+        policy=args.policy,
+        scheduler=args.scheduler,
+        policy_model=args.policy_model,
+        regret_threshold=args.regret_threshold,
+    )
     comparison = run_fleet_comparison(
         setup.latencies,
-        setup.policies()[args.policy],
+        resolve_policy(setup, sched_spec),
         workload,
         setup.quality,
         n_shards=args.shards,
@@ -816,8 +911,7 @@ def _cmd_fleet(args) -> str:
 
     from repro.obs import RecordingTracer, write_prometheus, write_spans_jsonl
 
-    spec = RunSpec(
-        policy=args.policy,
+    spec = sched_spec.replace(
         config=FleetConfig.uniform(
             args.shards,
             ServerConfig(),
@@ -856,7 +950,7 @@ def _cmd_control(args) -> str:
         default_control_config,
         run_control_comparison,
     )
-    from repro.experiments.runner import make_workload
+    from repro.experiments.runner import RunSpec, make_workload, resolve_policy
     from repro.experiments.trace_segments import make_day_trace
     from repro.obs import RecordingTracer, write_prometheus, write_spans_jsonl
 
@@ -867,6 +961,12 @@ def _cmd_control(args) -> str:
         deadline=min(setup.deadline_grid),
         seed=args.seed + 6,
     )
+    serving_policy = resolve_policy(setup, RunSpec(
+        policy=args.policy,
+        scheduler=args.scheduler,
+        policy_model=args.policy_model,
+        regret_threshold=args.regret_threshold,
+    ))
     control = default_control_config(
         interval=args.interval,
         warmup=args.warmup,
@@ -876,7 +976,7 @@ def _cmd_control(args) -> str:
     tracer = RecordingTracer() if args.out is not None else None
     rows_by_name, controlled = run_control_comparison(
         setup.latencies,
-        setup.policies()[args.policy],
+        serving_policy,
         workload,
         setup.quality,
         n_shards=args.shards,
@@ -937,6 +1037,81 @@ def _cmd_control(args) -> str:
     return table + "\n".join(footer_lines)
 
 
+def _cmd_distill(args) -> str:
+    from repro.obs import DecisionLog
+    from repro.scheduling.distill import distill_policy
+
+    setup = build_setup(args.task, args.preset, seed=args.seed)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    if args.decisions is not None:
+        path = Path(args.decisions)
+        if not path.exists():
+            raise SystemExit(f"no decision log at {path}")
+        log = DecisionLog.read_jsonl(path)
+    else:
+        # Replay a DP-scheduled run to generate the oracle decisions;
+        # same seed offset as `trace`, so the log matches what
+        # `python -m repro trace --scheduler dp` would have written.
+        from repro.experiments.runner import RunSpec, run_spec
+
+        spec = RunSpec(
+            policy=args.policy,
+            duration=args.duration,
+            seed=args.seed + 5,
+            scheduler="dp",
+        )
+        log = DecisionLog()
+        run_spec(setup, spec, explain=log)
+        decisions_path = out_dir / (
+            f"{args.task}_{args.policy}_decisions.jsonl"
+        )
+        log.write_jsonl(decisions_path)
+        written.append(decisions_path)
+
+    policy_model = distill_policy(
+        log,
+        setup.latencies,
+        setup.schemble.utilities,
+        model=args.model,
+        val_fraction=args.val_fraction,
+        seed=args.seed,
+    )
+    artifact_path = out_dir / f"policy_{args.task}.json"
+    policy_model.save(artifact_path)
+    written.append(artifact_path)
+
+    meta = policy_model.metadata
+    rows = [
+        ["kind", meta["chosen"]],
+        ["training rounds / rows", f"{meta['rounds']} / {meta['rows']}"],
+        ["val rounds / rows",
+         f"{meta['val_rounds']} / {meta['val_rows']}"],
+    ]
+    for kind, acc in meta["val_accuracy"].items():
+        rows.append([f"val exact-mask acc ({kind})", f"{acc:.4f}"])
+    rows += [
+        ["mean regret (train)", f"{meta['mean_regret']:.4f}"],
+        ["max regret (train)", f"{meta['max_regret']:.4f}"],
+        ["regret estimator MAE", f"{meta['regret_mae']:.4f}"],
+    ]
+    table = format_table(
+        ["", ""],
+        rows,
+        title=f"distilled policy — {args.task} / {args.policy}",
+    )
+    footer = "\n".join(
+        [""]
+        + [f"wrote {path}" for path in written]
+        + [
+            f"serve with `python -m repro trace --task {args.task} "
+            f"--scheduler learned --policy-model {artifact_path}`",
+        ]
+    )
+    return table + footer
+
+
 def _cmd_budget(args) -> str:
     setup = build_setup(args.task, args.preset, seed=args.seed)
     out = run_offline_budget(setup, seed=args.seed + 5)
@@ -969,6 +1144,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diff": lambda: _cmd_diff(args),
         "fleet": lambda: _cmd_fleet(args),
         "control": lambda: _cmd_control(args),
+        "distill": lambda: _cmd_distill(args),
     }
     out = handlers[args.command]()
     # Handlers return either text or (text, exit_code) — `diff` uses

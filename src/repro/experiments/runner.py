@@ -98,6 +98,22 @@ class RunSpec:
         duration: Simulated trace length in seconds.
         seed: Base seed; the trace uses ``seed`` and the workload
             attachment (samples, deadline jitter) uses ``seed + 1``.
+        scheduler: Override the policy's scheduling algorithm: ``None``
+            keeps whatever the task setup built (the DP for Schemble
+            policies), ``"dp"`` forces a fresh exact
+            :class:`~repro.scheduling.dp.DPScheduler` at the pipeline's
+            δ, ``"learned"`` serves the distilled fast-path policy
+            (:class:`~repro.scheduling.policy_fast.LearnedScheduler`)
+            with a DP fallback at the same δ. Only buffered policies
+            schedule, so an override on an immediate policy is an
+            error.
+        policy_model: Path to the ``PolicyModel`` artifact written by
+            ``python -m repro distill`` (required with
+            ``scheduler="learned"``).
+        regret_threshold: Estimated utility gap at which the learned
+            scheduler falls back to the exact DP; ``0`` means every
+            invocation is exact DP (bit-identical to
+            ``scheduler="dp"``).
     """
 
     policy: str = "schemble"
@@ -108,6 +124,9 @@ class RunSpec:
     deadline_spread: float = 0.0
     duration: float = 30.0
     seed: int = 0
+    scheduler: Optional[str] = None
+    policy_model: Optional[str] = None
+    regret_threshold: float = 0.5
 
     def __post_init__(self):
         if not isinstance(self.config, (ServerConfig, FleetConfig)):
@@ -115,10 +134,53 @@ class RunSpec:
                 f"config must be a ServerConfig or FleetConfig, got "
                 f"{type(self.config).__name__}"
             )
+        if self.scheduler not in (None, "dp", "learned"):
+            raise ValueError(
+                f"scheduler must be None, 'dp' or 'learned', got "
+                f"{self.scheduler!r}"
+            )
+        if self.scheduler == "learned" and self.policy_model is None:
+            raise ValueError(
+                "scheduler='learned' requires policy_model (the artifact "
+                "written by `python -m repro distill`)"
+            )
 
     def replace(self, **changes) -> "RunSpec":
         """A validated copy with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
+
+
+def resolve_policy(setup: TaskSetup, spec: RunSpec):
+    """The serving policy a spec asks for, scheduler override applied.
+
+    With ``spec.scheduler`` set, the setup's policy is cloned around a
+    freshly built scheduler (``with_scheduler``), so the cached setup's
+    own policy objects are never mutated.
+    """
+    policy = setup.policies()[spec.policy]
+    if spec.scheduler is None:
+        return policy
+    from repro.serving.policies import BufferedSchedulingPolicy
+
+    if not isinstance(policy, BufferedSchedulingPolicy):
+        raise ValueError(
+            f"policy {spec.policy!r} does not run a scheduler; "
+            f"scheduler={spec.scheduler!r} only applies to buffered "
+            f"policies"
+        )
+    from repro.scheduling.dp import DPScheduler
+
+    exact = DPScheduler(delta=setup.schemble.delta)
+    if spec.scheduler == "dp":
+        return policy.with_scheduler(exact)
+    from repro.scheduling.policy_fast import LearnedScheduler, PolicyModel
+
+    scheduler = LearnedScheduler(
+        PolicyModel.load(spec.policy_model),
+        regret_threshold=spec.regret_threshold,
+        fallback=exact,
+    )
+    return policy.with_scheduler(scheduler)
 
 
 def run_spec(
@@ -156,6 +218,7 @@ def run_spec(
         deadline_spread=spec.deadline_spread,
         seed=spec.seed + 1,
     )
+    policy = resolve_policy(setup, spec)
     if isinstance(spec.config, FleetConfig):
         if explain is not None:
             raise ValueError(
@@ -164,7 +227,7 @@ def run_spec(
             )
         fleet = FleetServer.from_config(
             setup.latencies,
-            setup.policies()[spec.policy],
+            policy,
             spec.config,
             workers=setup.workers_for(spec.policy),
             tracer=tracer,
@@ -172,7 +235,7 @@ def run_spec(
         return fleet.run(workload)
     return run_policy(
         setup,
-        setup.policies()[spec.policy],
+        policy,
         workload,
         policy_name=spec.policy,
         config=spec.config,

@@ -76,6 +76,13 @@ ADMISSION_CHANGE = "admission_change"  # controller tightened or relaxed the
                                # fleet admission queue_limit
                                # (queue_limit, tightened attrs)
 
+# --- learned scheduler (repro.scheduling.policy_fast) --------------------
+SCHED_FALLBACK = "sched_fallback"  # one learned-scheduler invocation's
+                               # regret-gate verdict (fallback bool +
+                               # predicted_regret attrs); emitted per
+                               # schedule() call only when the policy's
+                               # scheduler is a LearnedScheduler
+
 # --- profiling (repro.obs.profile) ---------------------------------------
 SCHED_PHASE = "sched_phase"    # real wall-clock of one internal scheduler
                                # step phase for one invocation (phase,
@@ -92,6 +99,7 @@ KINDS = (
     SLO_BREACH, SLO_RECOVERED, DECISION,
     ROUTE, SHED,
     SCALE_UP, SCALE_DOWN, DEGRADE_MODE, RESTORE, ADMISSION_CHANGE,
+    SCHED_FALLBACK,
     SCHED_PHASE, QUEUE_WAIT,
 )
 

@@ -37,6 +37,7 @@ from repro.obs.spans import (
     ROUTE,
     SCALE_DOWN,
     SCALE_UP,
+    SCHED_FALLBACK,
     SCHED_PHASE,
     SCHEDULE,
     SHED,
@@ -191,6 +192,15 @@ class RecordingTracer(Tracer):
             )
         elif kind == DEGRADED:
             metrics.counter("queries.degraded").inc()
+        elif kind == SCHED_FALLBACK:
+            # Learned fast-path scheduler: one span per invocation,
+            # split into DP fallbacks vs fast-path-served plans so the
+            # fallback rate is a first-class metric
+            # (sched.fallbacks / scheduler.invocations).
+            if attrs.get("fallback", False):
+                metrics.counter("sched.fallbacks").inc()
+            else:
+                metrics.counter("sched.fast_served").inc()
         elif kind == ROUTE:
             # Fleet front-end placement (repro.fleet): every admitted
             # query is routed exactly once; redirected marks a query

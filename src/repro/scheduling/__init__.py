@@ -7,6 +7,7 @@ from repro.scheduling.subsets import (
     mask_members,
     mask_size,
     mask_tables,
+    mask_tables_cache_info,
 )
 from repro.scheduling.problem import QueryRequest, ScheduleDecision, SchedulingInstance
 from repro.scheduling.dp import DPScheduler
@@ -14,6 +15,7 @@ from repro.scheduling.dp_reference import DPReferenceScheduler
 from repro.scheduling.greedy import GreedyScheduler
 from repro.scheduling.orders import edf_order, fifo_order, sjf_order
 from repro.scheduling.bruteforce import BruteForceScheduler
+from repro.scheduling.policy_fast import LearnedScheduler, PolicyModel
 
 __all__ = [
     "MaskTables",
@@ -22,6 +24,9 @@ __all__ = [
     "mask_size",
     "mask_latency",
     "mask_tables",
+    "mask_tables_cache_info",
+    "LearnedScheduler",
+    "PolicyModel",
     "QueryRequest",
     "ScheduleDecision",
     "SchedulingInstance",

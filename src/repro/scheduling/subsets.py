@@ -51,7 +51,16 @@ class MaskTables:
         return np.where(self.membership, np.asarray(latencies, dtype=float), 0.0)
 
 
-@lru_cache(maxsize=None)
+#: Distinct ensemble sizes the process-wide table cache keeps. Tables
+#: for an ``m``-model ensemble are ``O(m * 2**m)``; a long fleet run
+#: that cycles through many deployments must not grow memory without
+#: bound, so the cache is LRU-bounded (a 12-model table is ~50 KB and
+#: real deployments use a handful of sizes, so 32 never evicts in
+#: practice — the bound is a safety rail, not a tuning knob).
+MASK_TABLES_CACHE_SIZE = 32
+
+
+@lru_cache(maxsize=MASK_TABLES_CACHE_SIZE)
 def mask_tables(n_models: int) -> MaskTables:
     """The (cached) :class:`MaskTables` for an ``n_models`` ensemble."""
     if n_models < 1:
@@ -69,6 +78,13 @@ def mask_tables(n_models: int) -> MaskTables:
     return MaskTables(
         n_models=n_models, membership=membership, members=members, sizes=sizes
     )
+
+
+def mask_tables_cache_info():
+    """``functools.lru_cache`` statistics of the shared table cache —
+    hits/misses/currsize/maxsize, for memory tracing on long
+    multi-ensemble runs."""
+    return mask_tables.cache_info()
 
 
 def iter_masks(n_models: int, include_empty: bool = False) -> Iterator[int]:

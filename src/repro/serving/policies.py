@@ -126,6 +126,26 @@ class BufferedSchedulingPolicy(ServingPolicy):
         self.entry_delay = float(entry_delay)
         self.fast_path = bool(fast_path)
 
+    def with_scheduler(
+        self, scheduler, name: Optional[str] = None
+    ) -> "BufferedSchedulingPolicy":
+        """A copy of this policy driving ``scheduler`` instead.
+
+        The utility/score tables, entry delay and fast-path flag carry
+        over unchanged — this is how ``RunSpec(scheduler="learned")``
+        swaps the DP for a
+        :class:`~repro.scheduling.policy_fast.LearnedScheduler` (or
+        back, with ``scheduler="dp"``) without rebuilding the pipeline.
+        """
+        return BufferedSchedulingPolicy(
+            name=name if name is not None else self.name,
+            scheduler=scheduler,
+            utilities=self.utilities,
+            scores=self.scores,
+            entry_delay=self.entry_delay,
+            fast_path=self.fast_path,
+        )
+
     def utilities_for(self, sample_index: int) -> np.ndarray:
         return self.utilities[sample_index]
 

@@ -916,6 +916,16 @@ class ServingSession:
             if scheduler is not None and hasattr(scheduler, "profile"):
                 self._prof_sched = scheduler
                 scheduler.profile = True
+        # A learned (regret-gated) scheduler exposes per-invocation
+        # fallback state; cache it once so the non-learned hot path
+        # pays a single None check per schedule() call.
+        scheduler = getattr(server.policy, "scheduler", None)
+        self._gated_sched = (
+            scheduler
+            if scheduler is not None
+            and hasattr(scheduler, "last_used_fallback")
+            else None
+        )
         server._sched_wall = 0.0
         self._faulty = server._faulty
         self._config = server.config
@@ -1217,6 +1227,15 @@ class ServingSession:
                 work_units=result.work_units,
                 overhead_sim_s=overhead,
                 wall_s=wall,
+            )
+        gated = self._gated_sched
+        if gated is not None and self._trace:
+            # One verdict span per learned-scheduler invocation: did
+            # the regret gate hand this buffer to the exact DP?
+            self._tracer.emit(
+                sp.SCHED_FALLBACK, now,
+                fallback=bool(gated.last_used_fallback),
+                predicted_regret=float(gated.last_predicted_regret),
             )
         prof_sched = self._prof_sched
         if self._prof and prof_sched is not None and prof_sched.last_phase_wall:

@@ -164,3 +164,77 @@ class TestRunAndSummarize:
         for k in range(tm_setup.n_models):
             if not (tm_setup.static_plan.mask >> k) & 1:
                 assert executed[k] == 0
+
+
+class TestSchedulerOverride:
+    def test_spec_validates_scheduler_name(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            RunSpec(scheduler="greedy")
+
+    def test_learned_requires_policy_model(self):
+        with pytest.raises(ValueError, match="policy_model"):
+            RunSpec(scheduler="learned")
+
+    def test_none_returns_setup_policy_unchanged(self, tm_setup):
+        from repro.experiments.runner import resolve_policy
+
+        policy = resolve_policy(tm_setup, RunSpec())
+        reference = tm_setup.policies()["schemble"]
+        assert policy.name == reference.name
+        assert type(policy.scheduler) is type(reference.scheduler)
+        np.testing.assert_array_equal(
+            policy.utilities, reference.utilities
+        )
+
+    def test_dp_override_clones_policy(self, tm_setup):
+        from repro.experiments.runner import resolve_policy
+        from repro.scheduling.dp import DPScheduler
+
+        original = tm_setup.policies()["schemble"]
+        policy = resolve_policy(tm_setup, RunSpec(scheduler="dp"))
+        assert policy is not original
+        assert isinstance(policy.scheduler, DPScheduler)
+        assert policy.scheduler is not original.scheduler
+        np.testing.assert_array_equal(policy.utilities, original.utilities)
+
+    def test_immediate_policy_rejects_override(self, tm_setup):
+        from repro.experiments.runner import resolve_policy
+
+        with pytest.raises(ValueError, match="buffered"):
+            resolve_policy(
+                tm_setup, RunSpec(policy="original", scheduler="dp")
+            )
+
+    def test_learned_threshold_zero_reproduces_dp_run(
+        self, tm_setup, tmp_path
+    ):
+        # The acceptance criterion: regret_threshold=0 must serve the
+        # same trace bit-identically to the exact DP, work units
+        # included.
+        from repro.obs.explain import DecisionLog
+        from repro.scheduling.distill import distill_policy
+
+        log = DecisionLog()
+        dp_spec = RunSpec(
+            policy="schemble", scheduler="dp", duration=8.0, seed=5
+        )
+        dp_result = run_spec(tm_setup, dp_spec, explain=log)
+        model = distill_policy(
+            log, tm_setup.latencies, tm_setup.schemble.utilities, seed=0
+        )
+        path = model.save(tmp_path / "policy.json")
+        learned = run_spec(tm_setup, dp_spec.replace(
+            scheduler="learned",
+            policy_model=str(path),
+            regret_threshold=0.0,
+        ))
+
+        def key(r):
+            return (r.query_id, r.sample_index, r.scheduled_mask,
+                    r.executed_mask, r.completion, r.rejected)
+
+        assert [key(r) for r in learned.records] == [
+            key(r) for r in dp_result.records
+        ]
+        assert (learned.scheduler_work_units
+                == dp_result.scheduler_work_units)

@@ -1,0 +1,238 @@
+"""DecisionLog -> feature-matrix distillation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.obs.explain import DecisionLog, DecisionRecord
+from repro.scheduling.distill import (
+    BUSY_CLAMP,
+    FEATURE_BASE,
+    REGRET_FEATURE_NAMES,
+    build_training_set,
+    distill_policy,
+    extract_rounds,
+    feature_names,
+    query_features,
+    regret_features,
+    round_feature_matrix,
+    round_instance,
+)
+from repro.scheduling.policy_fast import PolicyModel
+
+from tests.scheduling._synthetic import (
+    LATENCIES3,
+    synthetic_log,
+    synthetic_utilities,
+)
+
+
+class TestFeatureSchema:
+    def test_names_locked(self):
+        # The serialized artifact stores these names; changing them
+        # invalidates every committed PolicyModel. Locked on purpose.
+        assert FEATURE_BASE == ("score", "slack", "batch_index",
+                                "batch_size")
+        assert feature_names(2) == [
+            "score", "slack", "batch_index", "batch_size",
+            "busy_m0", "busy_m1", "headroom_m0", "headroom_m1",
+        ]
+        assert REGRET_FEATURE_NAMES == (
+            "n_queries", "score_mean", "score_max", "slack_min",
+            "slack_mean", "busy_mean", "busy_max", "policy_utility",
+            "bound_utility", "bound_gap",
+        )
+
+    def test_rejects_empty_ensemble(self):
+        with pytest.raises(ValueError):
+            feature_names(0)
+
+    def test_row_matches_schema_length(self):
+        row = query_features(
+            0.5, 0.2, 1, 4, np.array([0.1, 0.0, 0.3]), LATENCIES3
+        )
+        assert row.shape == (len(feature_names(3)),)
+        assert row[0] == 0.5 and row[3] == 4.0
+
+    def test_infinite_busy_clamped(self):
+        row = query_features(
+            0.5, 0.2, 0, 1, np.array([np.inf, 0.0, 0.0]), LATENCIES3
+        )
+        names = feature_names(3)
+        assert row[names.index("busy_m0")] == BUSY_CLAMP
+        assert row[names.index("headroom_m0")] == pytest.approx(
+            0.2 - BUSY_CLAMP - LATENCIES3[0]
+        )
+        assert np.all(np.isfinite(row))
+
+
+def _record(decided_at, query_id, action, mask, batch_size=2,
+            busy=(0.0, 0.0, 0.0), deadline=1.0):
+    return DecisionRecord(
+        query_id=query_id,
+        decided_at=decided_at,
+        committed_at=decided_at,
+        action=action,
+        chosen_mask=mask,
+        score=0.5,
+        deadline=deadline,
+        batch_size=batch_size,
+        buffer_depth=0,
+        busy_until=list(busy),
+    )
+
+
+class TestExtractRounds:
+    def test_groups_by_decided_at_sorted(self):
+        log = DecisionLog()
+        log.add(_record(2.0, 10, "dispatch", 0b011))
+        log.add(_record(2.0, 11, "requeue", 0b001))
+        log.add(_record(1.0, 9, "fallback", 0b001, batch_size=1))
+        rounds = extract_rounds(log, 3)
+        assert [r.decided_at for r in rounds] == [1.0, 2.0]
+        assert rounds[1].query_ids == (10, 11)
+
+    def test_oracle_targets(self):
+        # dispatch/requeue keep the DP's mask; a fallback record means
+        # the DP chose 0 and the server forced the recorded mask, so
+        # its target is 0.
+        log = DecisionLog()
+        log.add(_record(1.0, 0, "dispatch", 0b101, batch_size=3))
+        log.add(_record(1.0, 1, "requeue", 0b010, batch_size=3))
+        log.add(_record(1.0, 2, "fallback", 0b001, batch_size=3))
+        (round_,) = extract_rounds(log, 3)
+        assert round_.target_masks == (0b101, 0b010, 0)
+
+    def test_skips_fast_path_and_foreign_records(self):
+        log = DecisionLog()
+        log.add(_record(1.0, 0, "dispatch", 0b001, batch_size=1))
+        log.add(_record(2.0, 1, "fast_path", 0b001, batch_size=0))
+        log.add(_record(3.0, 2, "dispatch", 0b001, busy=(0.0, 0.0)))
+        rounds = extract_rounds(log, 3)
+        assert [r.decided_at for r in rounds] == [1.0]
+
+
+class TestTeacherForcing:
+    def test_busy_rolls_forward_with_oracle_masks(self):
+        log = DecisionLog()
+        log.add(_record(1.0, 0, "dispatch", 0b001, busy=(0.1, 0.2, 0.0)))
+        log.add(_record(1.0, 1, "dispatch", 0b100, busy=(0.1, 0.2, 0.0)))
+        log.add(_record(1.0, 2, "reject", 0, busy=(0.1, 0.2, 0.0)))
+        (round_,) = extract_rounds(log, 3)
+        X = round_feature_matrix(round_, LATENCIES3)
+        names = feature_names(3)
+        busy0 = X[:, names.index("busy_m0")]
+        busy2 = X[:, names.index("busy_m2")]
+        # Query 0 sees the snapshot; query 1 sees model 0 loaded with
+        # query 0's task; query 2 additionally sees model 2 loaded.
+        assert busy0[0] == pytest.approx(0.1)
+        assert busy0[1] == pytest.approx(0.1 + LATENCIES3[0])
+        assert busy2[1] == pytest.approx(0.0)
+        assert busy2[2] == pytest.approx(LATENCIES3[2])
+
+
+class TestDeterminismAndRoundTrip:
+    def test_extraction_is_deterministic(self):
+        log = synthetic_log(n_rounds=6, seed=3)
+        X1, bits1, rounds1, rr1 = build_training_set(log, LATENCIES3)
+        X2, bits2, rounds2, rr2 = build_training_set(log, LATENCIES3)
+        np.testing.assert_array_equal(X1, X2)
+        np.testing.assert_array_equal(bits1, bits2)
+        assert rounds1 == rounds2
+        np.testing.assert_array_equal(rr1, rr2)
+
+    def test_jsonl_round_trip_yields_identical_matrices(self, tmp_path):
+        log = synthetic_log(n_rounds=6, seed=3)
+        path = log.write_jsonl(tmp_path / "decisions.jsonl")
+        reread = DecisionLog.read_jsonl(path)
+        X1, bits1, rounds1, _ = build_training_set(log, LATENCIES3)
+        X2, bits2, rounds2, _ = build_training_set(reread, LATENCIES3)
+        np.testing.assert_array_equal(X1, X2)
+        np.testing.assert_array_equal(bits1, bits2)
+        assert rounds1 == rounds2
+
+    def test_empty_log_gives_empty_matrices(self):
+        X, bits, rounds, rr = build_training_set(DecisionLog(), LATENCIES3)
+        assert X.shape == (0, len(feature_names(3)))
+        assert bits.shape == (0, 3)
+        assert rounds == [] and rr.shape == (0,)
+
+
+class TestRoundInstance:
+    def test_reconstruction_is_exact(self):
+        log = synthetic_log(n_rounds=4, seed=1)
+        round_ = extract_rounds(log, 3)[0]
+        instance = round_instance(round_, LATENCIES3, synthetic_utilities)
+        assert instance.now == round_.decided_at
+        np.testing.assert_array_equal(
+            instance.busy_until, np.array(round_.busy_until)
+        )
+        expected = synthetic_utilities(np.array(round_.scores))
+        for i, query in enumerate(instance.queries):
+            np.testing.assert_array_equal(query.utilities, expected[i])
+            assert query.deadline == round_.deadlines[i]
+
+
+class TestRegretFeatures:
+    def test_bound_gap_upper_bounds_zero_policy(self):
+        log = synthetic_log(n_rounds=4, seed=2)
+        round_ = extract_rounds(log, 3)[0]
+        instance = round_instance(round_, LATENCIES3, synthetic_utilities)
+        feats = regret_features(instance, policy_utility=0.0)
+        assert feats.shape == (len(REGRET_FEATURE_NAMES),)
+        names = list(REGRET_FEATURE_NAMES)
+        assert feats[names.index("bound_utility")] >= 0.0
+        assert (feats[names.index("bound_gap")]
+                == feats[names.index("bound_utility")])
+
+
+class TestDistillPolicy:
+    def test_end_to_end_auto(self):
+        model = distill_policy(
+            synthetic_log(n_rounds=16, seed=0),
+            LATENCIES3,
+            synthetic_utilities,
+            seed=0,
+        )
+        assert isinstance(model, PolicyModel)
+        assert model.kind in ("gbdt", "mlp")
+        assert model.feature_names == feature_names(3)
+        assert set(model.metadata["val_accuracy"]) == {"gbdt", "mlp"}
+        X = np.vstack([
+            query_features(0.5, 0.3, 0, 2, np.zeros(3), LATENCIES3),
+            query_features(0.9, 0.1, 1, 2, np.zeros(3), LATENCIES3),
+        ])
+        probs = model.predict_bits(X)
+        assert probs.shape == (2, 3)
+        assert np.all((probs >= 0.0) & (probs <= 1.0))
+        assert model.predict_regret(
+            np.zeros(len(REGRET_FEATURE_NAMES))
+        ) >= 0.0
+
+    @pytest.mark.parametrize("kind", ["gbdt", "mlp"])
+    def test_explicit_model_choice(self, kind):
+        model = distill_policy(
+            synthetic_log(n_rounds=8, seed=1),
+            LATENCIES3,
+            synthetic_utilities,
+            model=kind,
+            seed=0,
+        )
+        assert model.kind == kind
+        assert model.metadata["chosen"] == kind
+
+    def test_too_few_rounds_rejected(self):
+        with pytest.raises(ValueError, match="round"):
+            distill_policy(
+                synthetic_log(n_rounds=3, seed=0),
+                LATENCIES3,
+                synthetic_utilities,
+            )
+
+    def test_bad_arguments_rejected(self):
+        log = synthetic_log(n_rounds=6, seed=0)
+        with pytest.raises(ValueError):
+            distill_policy(log, LATENCIES3, synthetic_utilities,
+                           model="forest")
+        with pytest.raises(ValueError):
+            distill_policy(log, LATENCIES3, synthetic_utilities,
+                           val_fraction=1.5)

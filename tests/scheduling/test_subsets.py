@@ -63,3 +63,26 @@ class TestMaskContains:
     def test_negative_index_rejected(self):
         with pytest.raises(ValueError):
             mask_contains(1, -1)
+
+
+class TestMaskTablesCacheBound:
+    def test_cache_is_bounded(self):
+        from repro.scheduling.subsets import (
+            MASK_TABLES_CACHE_SIZE,
+            mask_tables_cache_info,
+        )
+
+        info = mask_tables_cache_info()
+        assert info.maxsize == MASK_TABLES_CACHE_SIZE == 32
+        assert info.currsize <= info.maxsize
+
+    def test_repeat_lookups_hit(self):
+        from repro.scheduling.subsets import (
+            mask_tables,
+            mask_tables_cache_info,
+        )
+
+        assert mask_tables(3) is mask_tables(3)
+        before = mask_tables_cache_info().hits
+        mask_tables(3)
+        assert mask_tables_cache_info().hits == before + 1

@@ -71,3 +71,34 @@ class TestBufferedSchedulingPolicy:
             BufferedSchedulingPolicy(
                 "s", DPScheduler(), self._utilities(), entry_delay=-1.0
             )
+
+
+class TestWithScheduler:
+    def test_clone_swaps_scheduler_and_keeps_everything_else(self):
+        scores = np.array([0.1, 0.2, 0.3, 0.4])
+        utilities = np.full((4, 4), 0.5)
+        utilities[:, 0] = 0.0
+        original = BufferedSchedulingPolicy(
+            "schemble", DPScheduler(delta=0.05), utilities,
+            scores=scores, entry_delay=0.01, fast_path=True,
+        )
+        replacement = DPScheduler(delta=0.25)
+        clone = original.with_scheduler(replacement)
+        assert clone is not original
+        assert clone.scheduler is replacement
+        assert original.scheduler is not replacement
+        assert clone.name == "schemble"
+        assert clone.entry_delay == 0.01
+        assert clone.fast_path
+        np.testing.assert_array_equal(clone.utilities, utilities)
+        np.testing.assert_array_equal(clone.scores, scores)
+
+    def test_clone_can_rename(self):
+        utilities = np.full((2, 4), 0.5)
+        utilities[:, 0] = 0.0
+        policy = BufferedSchedulingPolicy(
+            "schemble", DPScheduler(), utilities
+        )
+        clone = policy.with_scheduler(DPScheduler(), name="schemble_fast")
+        assert clone.name == "schemble_fast"
+        assert policy.name == "schemble"

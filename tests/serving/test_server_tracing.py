@@ -204,3 +204,60 @@ class TestTracedUntracedIdentity:
         assert plain.scheduler_invocations == traced.scheduler_invocations
         assert plain.scheduler_work_units == traced.scheduler_work_units
         assert plain.metrics is None and traced.metrics is not None
+
+
+class _GatedScheduler:
+    """Minimal gated scheduler: the server treats any scheduler with a
+    ``last_used_fallback`` attribute as regret-gated and emits one
+    ``sched_fallback`` span per invocation."""
+
+    name = "gated"
+
+    def __init__(self, inner, fallback_every=2):
+        self.inner = inner
+        self.fallback_every = fallback_every
+        self.calls = 0
+        self.last_used_fallback = False
+        self.last_predicted_regret = 0.0
+
+    def schedule(self, instance):
+        self.calls += 1
+        self.last_used_fallback = self.calls % self.fallback_every == 0
+        self.last_predicted_regret = (
+            0.25 if self.last_used_fallback else 0.0
+        )
+        return self.inner.schedule(instance)
+
+
+class TestSchedFallbackSpan:
+    def run_gated(self, fallback_every=2):
+        policy = buffered_policy().with_scheduler(
+            _GatedScheduler(
+                DPScheduler(delta=0.05), fallback_every=fallback_every
+            )
+        )
+        server, tracer = traced_server([0.1], policy)
+        server.run(workload([0.0, 0.5, 1.0, 1.5], deadline=5.0))
+        return tracer
+
+    def test_one_span_per_scheduler_invocation(self):
+        tracer = self.run_gated()
+        schedules = sp.spans_of_kind(tracer.spans, sp.SCHEDULE)
+        gates = sp.spans_of_kind(tracer.spans, sp.SCHED_FALLBACK)
+        assert len(gates) == len(schedules) > 0
+        assert all("predicted_regret" in s.attrs for s in gates)
+
+    def test_counters_split_fallbacks_from_fast_serves(self):
+        tracer = self.run_gated()
+        gates = sp.spans_of_kind(tracer.spans, sp.SCHED_FALLBACK)
+        fallbacks = sum(1 for s in gates if s.attrs["fallback"])
+        assert tracer.metrics.counter("sched.fallbacks").value == fallbacks
+        assert (
+            tracer.metrics.counter("sched.fast_served").value
+            == len(gates) - fallbacks
+        )
+
+    def test_absent_for_ungated_scheduler(self):
+        server, tracer = traced_server([0.1], buffered_policy())
+        server.run(workload([0.0, 0.5], deadline=5.0))
+        assert not sp.spans_of_kind(tracer.spans, sp.SCHED_FALLBACK)

@@ -347,3 +347,68 @@ class TestCommands:
         assert "degraded" in out
         assert "drop" in out
         assert "fail=0.3" in out
+
+
+class TestDistillCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["distill"])
+        assert args.out == "artifacts"
+        assert args.model == "auto"
+        assert args.val_fraction == 0.25
+        assert args.decisions is None
+        assert args.policy == "schemble"
+
+    def test_scheduler_flags_on_serving_commands(self):
+        for command in ("trace", "fleet", "control"):
+            args = build_parser().parse_args([command])
+            assert args.scheduler is None
+            assert args.policy_model is None
+            assert args.regret_threshold == 0.5
+        args = build_parser().parse_args([
+            "trace", "--scheduler", "learned",
+            "--policy-model", "policy.json",
+            "--regret-threshold", "0.1",
+        ])
+        assert args.scheduler == "learned"
+        assert args.regret_threshold == 0.1
+
+    def test_distill_then_learned_trace(self, capsys, tm_setup, tmp_path):
+        assert main([
+            "distill", "--duration", "8", "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "distilled policy" in out
+        assert "val exact-mask acc" in out
+        artifact = tmp_path / "policy_text_matching.json"
+        assert artifact.exists()
+        assert (tmp_path / "text_matching_schemble_decisions.jsonl").exists()
+
+        assert main([
+            "trace", "--duration", "5",
+            "--scheduler", "learned",
+            "--policy-model", str(artifact),
+            "--out", str(tmp_path / "traces"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fallback rate" in out
+
+    def test_distill_from_existing_decisions(self, capsys, tm_setup,
+                                             tmp_path):
+        assert main([
+            "trace", "--duration", "8", "--scheduler", "dp",
+            "--out", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        decisions = tmp_path / "text_matching_schemble_decisions.jsonl"
+        assert main([
+            "distill", "--decisions", str(decisions),
+            "--out", str(tmp_path / "art"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert (tmp_path / "art" / "policy_text_matching.json").exists()
+        # No fresh replay: the only artifact written is the policy.
+        assert out.count("wrote") == 1
+
+    def test_distill_missing_decisions_errors(self):
+        with pytest.raises(SystemExit):
+            main(["distill", "--decisions", "nope.jsonl"])
