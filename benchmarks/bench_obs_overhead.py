@@ -17,11 +17,22 @@ Three checks on a diurnal-trace workload:
   the nondeterministic real-wall-clock ``wall_s`` attribute are set
   aside — the DP phase timers and queue-wait emitters only read clocks,
   never steer.
+  A run with the *flight recorder* on (``RecordingTracer(live=...)``)
+  must likewise leave the records untouched, and its span stream must
+  equal the recorder-free stream once the live plane's own meta kinds
+  (``snapshot``/``anomaly``/``incident``) are set aside — the live
+  plane watches the stream, never steers it. With no live plane
+  attached (``live=None``, the default) the emit path is the pre-live
+  code path, so the recorder-disabled identity re-proves bit-identical
+  behaviour to a recorder-free build.
 * **Overhead** — the default ``NullTracer`` / explain-off path must
   stay within 5% wall-clock of the pre-observability event loop. The
   baseline is the real thing: the seed commit's ``serving/server.py``
   loaded from git history and validated record-for-record against the
-  current server, so the comparison times identical work.
+  current server, so the comparison times identical work. The
+  always-on flight recorder gets its own gate: a live-plane tracer
+  must stay within ``MAX_LIVE_OVERHEAD`` (5%) of the plain
+  ``RecordingTracer``.
 * **Regression** — the measured overhead is compared against the
   committed ``benchmarks/results/BENCH_obs.json`` (read *before* it is
   overwritten, the ``BENCH_sched.json`` pattern): the run fails if the
@@ -48,6 +59,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.data.traces import diurnal_trace  # noqa: E402
 from repro.obs.explain import DecisionLog  # noqa: E402
+from repro.obs.live import META_KINDS, LiveConfig, LiveTelemetry  # noqa: E402
 from repro.obs.slo import SLOMonitor  # noqa: E402
 from repro.obs.tracer import RecordingTracer  # noqa: E402
 from repro.scheduling.dp import DPScheduler  # noqa: E402
@@ -65,15 +77,25 @@ BASELINE_COMMIT = "8c15a45"
 
 LATENCIES = [0.010, 0.022, 0.045]
 REPEATS = 5
-REPEATS_QUICK = 2
+# Quick mode still needs min-of-4: this gate compares two tracer
+# variants ~2% apart, and min-of-2 leaves ±5% run-to-run jitter on a
+# noisy CI machine.
+REPEATS_QUICK = 4
 OVERHEAD_DURATION = 120.0
 OVERHEAD_DURATION_QUICK = 40.0
 MAX_OVERHEAD = 0.05
+# The flight recorder is always on once a live plane is attached, so
+# its cost is gated against the plain RecordingTracer, not the bare
+# baseline: ring append + snapshot windows must stay within 5%.
+MAX_LIVE_OVERHEAD = 0.05
 # Regression gate vs the committed BENCH_obs.json: fail only when the
 # overhead is both above the absolute noise floor and more than
-# REGRESSION_FACTOR times the committed figure.
+# REGRESSION_FACTOR times the committed figure. The floor matches the
+# observed jitter of the null-tracer comparison on a contended CI
+# machine: back-to-back interleaved min-of-4 runs still swing roughly
+# -3%..+3%, so a 2.5% floor flakes on noise alone.
 REGRESSION_FACTOR = 2.0
-NOISE_FLOOR = 0.025
+NOISE_FLOOR = 0.04
 
 
 def load_baseline_server():
@@ -143,6 +165,10 @@ def check_identity():
     explained = run(RecordingTracer(), explain=log)
     profiling_tracer = RecordingTracer(slo=SLOMonitor(), profile=True)
     profiled = run(profiling_tracer)
+    live_tracer = RecordingTracer(
+        slo=SLOMonitor(), live=LiveTelemetry(LiveConfig(cadence=1.0))
+    )
+    live = run(live_tracer)
     identical = (
         plain.records == traced.records
         and plain.records == explained.records
@@ -166,6 +192,19 @@ def check_identity():
         == comparable_spans(reference_tracer.spans)
         and profile_spans > 0
     )
+    # The flight recorder must only watch: same records, and the span
+    # stream minus the live plane's own meta kinds (snapshot/anomaly/
+    # incident) matches the recorder-free stream exactly.
+    meta_spans = sum(s.kind in META_KINDS for s in live_tracer.spans)
+    live_identical = (
+        plain.records == live.records
+        and [
+            s for s in comparable_spans(live_tracer.spans)
+            if s[0] not in META_KINDS
+        ]
+        == comparable_spans(reference_tracer.spans)
+        and meta_spans > 0
+    )
     return {
         "queries": workload.n_queries,
         "records_identical": identical,
@@ -173,21 +212,48 @@ def check_identity():
         "decision_masks_match": masks_match,
         "profile_identical": profile_identical,
         "profile_spans": profile_spans,
+        "live_identical": live_identical,
+        "live_meta_spans": meta_spans,
+        "live_snapshots": len(live_tracer.live.snapshots),
         "spans": "recorded",
-    }, identical and masks_match and profile_identical
+    }, identical and masks_match and profile_identical and live_identical
 
 
 def time_variants(runs, repeats=REPEATS):
     """Interleaved timing: one round runs every variant once, so slow
     machine phases hit all variants alike instead of biasing whichever
-    block they land on. Min-of-N is the noise-robust statistic."""
+    block they land on; the starting variant rotates each round so no
+    variant is pinned to one position (e.g. always last, right after
+    the allocation-heaviest run). Min-of-N is the noise-robust
+    statistic."""
     samples = {name: [] for name in runs}
-    for _ in range(repeats):
-        for name, run in runs.items():
+    names = list(runs)
+    for round_idx in range(repeats):
+        offset = round_idx % len(names)
+        for name in names[offset:] + names[:offset]:
             start = time.perf_counter()
-            run()
+            runs[name]()
             samples[name].append(time.perf_counter() - start)
-    return {name: min(times) for name, times in samples.items()}
+    return {name: min(times) for name, times in samples.items()}, samples
+
+
+def paired_ratio(samples, numer, denom):
+    """Median of the per-round ``numer/denom`` ratios.
+
+    The two variants run inside the same round (seconds apart, often
+    back to back), so a slow machine phase inflates both timings of a
+    pair alike and mostly cancels in the ratio — unlike
+    ``min(numer)/min(denom)``, whose minima can land in different
+    phases and carry the full phase delta. The median across rounds
+    then discards pairs a phase boundary split. This is the statistic
+    behind the tight (5%) overhead gates."""
+    ratios = sorted(
+        n / d for n, d in zip(samples[numer], samples[denom])
+    )
+    mid = len(ratios) // 2
+    if len(ratios) % 2:
+        return ratios[mid]
+    return (ratios[mid - 1] + ratios[mid]) / 2.0
 
 
 def check_overhead(quick=False):
@@ -210,7 +276,7 @@ def check_overhead(quick=False):
     # the two loops do identical work.
     assert run_server().records == run_baseline().records
 
-    best = time_variants({
+    best, samples = time_variants({
         "baseline": run_baseline,
         "null_tracer": run_server,
         "recording_tracer": (
@@ -221,8 +287,19 @@ def check_overhead(quick=False):
                 RecordingTracer(keep_spans=False, profile=True)
             )
         ),
+        # The flight-recorder gate pair, in the production config (the
+        # CLI and fleet keep spans): with the tracer's span list kept,
+        # the live plane runs span-backed — the ring is a view over the
+        # list tail and a plain span costs only the boundary compare
+        # plus one dict lookup.
+        "recording_kept": lambda: run_server(RecordingTracer()),
+        "live_tracer": (
+            lambda: run_server(RecordingTracer(
+                live=LiveTelemetry(LiveConfig(cadence=1.0)),
+            ))
+        ),
     }, repeats=repeats)
-    overhead = best["null_tracer"] / best["baseline"] - 1.0
+    overhead = paired_ratio(samples, "null_tracer", "baseline") - 1.0
     return {
         "queries": workload.n_queries,
         "repeats": repeats,
@@ -231,10 +308,29 @@ def check_overhead(quick=False):
         "null_tracer_s": best["null_tracer"],
         "recording_tracer_s": best["recording_tracer"],
         "profiling_tracer_s": best["profiling_tracer"],
+        "recording_kept_s": best["recording_kept"],
+        "live_tracer_s": best["live_tracer"],
         "null_tracer_overhead": overhead,
-        "recording_tracer_ratio": best["recording_tracer"] / best["baseline"],
-        "profiling_tracer_ratio": best["profiling_tracer"] / best["baseline"],
+        "recording_tracer_ratio": paired_ratio(
+            samples, "recording_tracer", "baseline"
+        ),
+        "profiling_tracer_ratio": paired_ratio(
+            samples, "profiling_tracer", "baseline"
+        ),
+        "recording_kept_ratio": paired_ratio(
+            samples, "recording_kept", "baseline"
+        ),
+        "live_tracer_ratio": paired_ratio(
+            samples, "live_tracer", "baseline"
+        ),
+        # The flight-recorder gate: live plane cost relative to the
+        # plain recording tracer it rides on (both keeping spans),
+        # measured as the median of paired per-round ratios.
+        "live_vs_recording_ratio": paired_ratio(
+            samples, "live_tracer", "recording_kept"
+        ),
         "max_allowed_overhead": MAX_OVERHEAD,
+        "max_live_overhead": MAX_LIVE_OVERHEAD,
     }, overhead
 
 
@@ -259,7 +355,8 @@ def check_regression(stats, committed):
                 "committed": committed_overhead,
                 "allowed": allowed,
             })
-    for metric in ("recording_tracer_ratio", "profiling_tracer_ratio"):
+    for metric in ("recording_tracer_ratio", "profiling_tracer_ratio",
+                   "live_tracer_ratio"):
         ratio = stats.get(metric)
         committed_ratio = baseline.get(metric)
         if ratio is None or committed_ratio is None:
@@ -288,7 +385,10 @@ def main(argv=None):
           f"{identity['decisions']} decisions, "
           f"masks match = {identity['decision_masks_match']}, "
           f"profiled identical = {identity['profile_identical']} "
-          f"({identity['profile_spans']} profile spans)")
+          f"({identity['profile_spans']} profile spans), "
+          f"live identical = {identity['live_identical']} "
+          f"({identity['live_meta_spans']} meta spans, "
+          f"{identity['live_snapshots']} snapshots)")
     overhead_stats, overhead = check_overhead(quick=quick)
     print(
         f"overhead: baseline {overhead_stats['baseline_s']:.3f}s, "
@@ -297,7 +397,9 @@ def main(argv=None):
         f"{overhead_stats['recording_tracer_s']:.3f}s "
         f"({overhead_stats['recording_tracer_ratio']:.2f}x), "
         f"profiling tracer {overhead_stats['profiling_tracer_s']:.3f}s "
-        f"({overhead_stats['profiling_tracer_ratio']:.2f}x)"
+        f"({overhead_stats['profiling_tracer_ratio']:.2f}x), "
+        f"live tracer {overhead_stats['live_tracer_s']:.3f}s "
+        f"({overhead_stats['live_vs_recording_ratio']:.3f}x vs recording)"
     )
     regressions, regression_ok = check_regression(overhead_stats, committed)
 
@@ -318,6 +420,12 @@ def main(argv=None):
     if overhead > MAX_OVERHEAD:
         print(f"FAIL: NullTracer overhead {100 * overhead:.2f}% "
               f"exceeds {100 * MAX_OVERHEAD:.0f}%")
+        return 1
+    live_overhead = overhead_stats["live_vs_recording_ratio"] - 1.0
+    if live_overhead > MAX_LIVE_OVERHEAD:
+        print(f"FAIL: flight-recorder overhead {100 * live_overhead:.2f}% "
+              f"over RecordingTracer exceeds "
+              f"{100 * MAX_LIVE_OVERHEAD:.0f}%")
         return 1
     for failure in regressions:
         print(f"FAIL: {failure['metric']} {failure['value']:.4f} exceeds "

@@ -17,6 +17,8 @@ Usage::
     python -m repro fleet --task text_matching [--shards 4] [--router score_aware]
     python -m repro control --task text_matching [--shards 4] [--interval 1.0]
     python -m repro distill --task text_matching [--decisions traces/..._decisions.jsonl]
+    python -m repro top --mode control [--once] [--serve-metrics PORT]
+    python -m repro incident traces/..._incident_00.json
 
 Each command builds the task setup (training the models on first use),
 runs the corresponding experiment and prints its table. The commands are
@@ -75,6 +77,21 @@ regret estimator, and writes a frozen ``PolicyModel`` JSON artifact.
 distilled policy, falling back to the exact DP on instances whose
 predicted regret exceeds the threshold (``--regret-threshold 0``
 reproduces the DP run bit-exactly).
+
+``trace`` and ``control`` take ``--live`` to attach the live telemetry
+plane (:mod:`repro.obs.live`): streaming snapshots at ``--cadence``
+simulated seconds, the always-on flight recorder, and breach-triggered
+incident bundles, all written next to the other artifacts.
+``--serve-metrics PORT`` additionally exposes ``/metrics`` (Prometheus
+text) and ``/snapshot`` (JSON) over HTTP on a daemon thread while the
+run executes (``--serve-hold`` keeps the endpoint up after the run so
+scripts can scrape a finished run). ``top`` is the live console: it
+runs a workload (``--mode trace|fleet|control``) in a worker thread
+and repaints per-source rates, quantiles and the incident tally;
+``--once`` runs to completion and prints a single frame (CI-friendly).
+``incident`` is the post-mortem: it pretty-prints a frozen incident
+bundle and re-derives the full latency profile from the bundle's
+flight-recorder spans.
 """
 
 from __future__ import annotations
@@ -94,7 +111,7 @@ from repro.metrics.tables import format_table
 COMMANDS = (
     "list", "table1", "sweep", "day", "schedulers", "budget", "trace",
     "faults", "explain", "slo", "profile", "diff", "fleet", "control",
-    "distill",
+    "distill", "top", "incident",
 )
 
 TRACE_POLICIES = (
@@ -161,6 +178,33 @@ def _add_scheduler_args(parser: argparse.ArgumentParser):
         help="estimated utility gap above which the learned scheduler "
         "falls back to exact DP; 0 falls back everywhere and is "
         "bit-identical to --scheduler dp (default: 0.5)",
+    )
+
+
+def _add_live_args(parser: argparse.ArgumentParser, opt_in: bool = True):
+    """Live telemetry knobs shared by ``trace``/``control``/``top``."""
+    if opt_in:
+        parser.add_argument(
+            "--live", action="store_true",
+            help="attach the live telemetry plane: streaming "
+            "snapshots, flight recorder and incident bundles "
+            "(written next to the other artifacts)",
+        )
+    parser.add_argument(
+        "--cadence", type=float, default=1.0,
+        help="simulated seconds between telemetry snapshots "
+        "(default: 1.0)",
+    )
+    parser.add_argument(
+        "--serve-metrics", type=int, default=None, metavar="PORT",
+        help="expose /metrics (Prometheus) and /snapshot (JSON) over "
+        "HTTP on this port while the run executes (0 = ephemeral; "
+        "implies --live)",
+    )
+    parser.add_argument(
+        "--serve-hold", type=float, default=0.0,
+        help="wall-clock seconds to keep the --serve-metrics endpoint "
+        "up after the run finishes (default: 0)",
     )
 
 
@@ -241,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed of the fault plan RNG (default: 17)",
     )
     _add_slo_args(trace)
+    _add_live_args(trace)
 
     faults = sub.add_parser(
         "faults",
@@ -393,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 4)",
     )
     _add_scheduler_args(control)
+    _add_live_args(control)
     control.add_argument(
         "--out", default=None,
         help="when set, write the controlled run's merged span stream "
@@ -432,6 +478,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--val-fraction", type=float, default=0.25,
         help="fraction of scheduling rounds held out for model "
         "selection (default: 0.25)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live console: run a workload and watch per-source "
+        "rates, quantiles and incidents from the telemetry plane",
+    )
+    _add_common(top)
+    top.add_argument(
+        "--mode", choices=("trace", "fleet", "control"), default="trace",
+        help="workload to watch: one traced server, a static fleet, "
+        "or the controlled fleet (default: trace)",
+    )
+    top.add_argument(
+        "--policy", choices=TRACE_POLICIES, default="schemble",
+        help="serving policy to run (default: schemble)",
+    )
+    top.add_argument(
+        "--shards", type=int, default=4,
+        help="fleet size for --mode fleet/control (default: 4)",
+    )
+    top.add_argument(
+        "--router", choices=("hash", "power_of_two", "score_aware"),
+        default="power_of_two",
+        help="front-end router for --mode fleet/control "
+        "(default: power_of_two)",
+    )
+    top.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="admission capacity per shard (default: 64)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="controller decision period for --mode control "
+        "(default: 1.0)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="run to completion and print one final frame instead of "
+        "repainting live (CI-friendly)",
+    )
+    top.add_argument(
+        "--refresh", type=float, default=0.5,
+        help="wall-clock seconds between live repaints (default: 0.5)",
+    )
+    top.add_argument(
+        "--out", default=None,
+        help="when set, write the snapshot stream (JSONL) and every "
+        "incident bundle to this directory",
+    )
+    _add_live_args(top, opt_in=False)
+
+    incident = sub.add_parser(
+        "incident",
+        help="post-mortem of one frozen incident bundle: trigger, "
+        "ring window, blame, and the profile re-derived from the "
+        "bundle's spans",
+    )
+    incident.add_argument(
+        "bundle",
+        help="incident bundle JSON written by a --live run "
+        "(*_incident_NN.json)",
+    )
+    incident.add_argument(
+        "--top", type=int, default=5,
+        help="blame entries in the re-derived profile (default: 5)",
+    )
+    incident.add_argument(
+        "--explain", action="store_true",
+        help="also pretty-print any decision records embedded for the "
+        "blamed queries",
     )
 
     diff = sub.add_parser(
@@ -584,6 +701,68 @@ def _slo_monitor(args):
     ))
 
 
+def _live_plane(args, source: str = "server"):
+    """The LiveTelemetry plane the live flags ask for (or None).
+
+    ``--serve-metrics`` implies ``--live``: an endpoint without the
+    plane could only serve final metrics, never snapshots.
+    """
+    wants = getattr(args, "live", False) or args.serve_metrics is not None
+    if not wants:
+        return None
+    from repro.obs import LiveConfig, LiveTelemetry
+
+    return LiveTelemetry(LiveConfig(cadence=args.cadence), source=source)
+
+
+def _start_metrics_server(args, tracer):
+    """Start the --serve-metrics endpoint (or return None)."""
+    if args.serve_metrics is None:
+        return None
+    from repro.obs import MetricsServer
+
+    server = MetricsServer(tracer, port=args.serve_metrics).start()
+    # Announce before the run so scripts can scrape mid-run.
+    print(
+        f"serving /metrics and /snapshot at {server.url}",
+        file=sys.stderr, flush=True,
+    )
+    return server
+
+
+def _stop_metrics_server(server, hold: float) -> None:
+    """Optionally hold the endpoint open, then shut it down."""
+    if server is None:
+        return
+    if hold > 0:
+        import time
+
+        time.sleep(hold)
+    server.stop()
+
+
+def _live_footer(live, written) -> List[str]:
+    """Footer lines for a run that carried a live plane."""
+    lines = [f"wrote {path}" for path in written]
+    lines.append(
+        f"live telemetry: {len(live.snapshots)} snapshots, "
+        f"{len(live.incidents)} incident bundle"
+        f"{'s' if len(live.incidents) != 1 else ''}"
+        + (f" ({live.suppressed} suppressed)" if live.suppressed else "")
+    )
+    for bundle in live.incidents:
+        trigger = bundle["trigger"]
+        lines.append(
+            f"  incident #{bundle['seq']}: {trigger['kind']} "
+            f"@ t={trigger['time']:.2f}s — inspect with "
+            f"`python -m repro incident {written[1 + bundle['seq']]}`"
+            if len(written) > 1 + bundle["seq"]
+            else f"  incident #{bundle['seq']}: {trigger['kind']} "
+            f"@ t={trigger['time']:.2f}s"
+        )
+    return lines
+
+
 def _cmd_trace(args) -> str:
     from repro.experiments.runner import RunSpec, run_spec
     from repro.obs import (
@@ -617,8 +796,13 @@ def _cmd_trace(args) -> str:
         policy_model=args.policy_model,
         regret_threshold=args.regret_threshold,
     )
-    tracer = RecordingTracer(slo=_slo_monitor(args))
+    live = _live_plane(args)
+    tracer = RecordingTracer(slo=_slo_monitor(args), live=live)
     explain_log = DecisionLog()
+    if live is not None:
+        # Bundles then embed the blamed queries' decision records.
+        live.attach_decisions(explain_log)
+    metrics_server = _start_metrics_server(args, tracer)
     result = run_spec(setup, spec, tracer=tracer, explain=explain_log)
 
     out_dir = Path(args.out)
@@ -658,6 +842,11 @@ def _cmd_trace(args) -> str:
             f"({100 * rate:.1f}% fallback rate, threshold "
             f"{args.regret_threshold:g})"
         )
+    if live is not None:
+        footer_lines.extend(
+            _live_footer(live, live.write_artifacts(out_dir, stem))
+        )
+    _stop_metrics_server(metrics_server, args.serve_hold)
     return report + "\n".join(footer_lines)
 
 
@@ -973,7 +1162,13 @@ def _cmd_control(args) -> str:
         max_extra_replicas=args.max_extra,
         seed=args.seed,
     )
-    tracer = RecordingTracer() if args.out is not None else None
+    live = _live_plane(args, source="fleet")
+    tracer = (
+        RecordingTracer(live=live)
+        if args.out is not None or live is not None
+        else None
+    )
+    metrics_server = _start_metrics_server(args, tracer)
     rows_by_name, controlled = run_control_comparison(
         setup.latencies,
         serving_policy,
@@ -1017,6 +1212,9 @@ def _cmd_control(args) -> str:
         f"overload episodes: {len(episodes)}",
     ]
     if args.out is None:
+        if live is not None:
+            footer_lines.extend(_live_footer(live, []))
+        _stop_metrics_server(metrics_server, args.serve_hold)
         return table + "\n".join(footer_lines)
 
     out_dir = Path(args.out)
@@ -1034,6 +1232,11 @@ def _cmd_control(args) -> str:
     footer_lines.append(
         f"inspect with `python -m repro slo --spans {written[0]}`"
     )
+    if live is not None:
+        footer_lines.extend(
+            _live_footer(live, live.write_artifacts(out_dir, stem))
+        )
+    _stop_metrics_server(metrics_server, args.serve_hold)
     return table + "\n".join(footer_lines)
 
 
@@ -1112,6 +1315,158 @@ def _cmd_distill(args) -> str:
     return table + footer
 
 
+def _cmd_top(args) -> str:
+    import threading
+
+    from repro.experiments.runner import RunSpec, run_spec
+    from repro.obs import (
+        LiveConfig,
+        LiveTelemetry,
+        RecordingTracer,
+        render_top,
+    )
+
+    setup = build_setup(args.task, args.preset, seed=args.seed)
+    live_config = LiveConfig(cadence=args.cadence)
+    fleet = None
+    if args.mode == "trace":
+        live = LiveTelemetry(live_config)
+        tracer = RecordingTracer(live=live)
+        spec = RunSpec(
+            policy=args.policy, duration=args.duration, seed=args.seed + 5
+        )
+
+        def runner():
+            return run_spec(setup, spec, tracer=tracer)
+
+    else:
+        from repro.experiments.runner import make_workload, resolve_policy
+        from repro.experiments.trace_segments import make_day_trace
+        from repro.fleet import FleetConfig, FleetServer
+        from repro.serving.config import ServerConfig
+
+        trace = make_day_trace(
+            setup, duration=args.duration, seed=args.seed + 5
+        )
+        workload = make_workload(
+            setup, trace,
+            deadline=min(setup.deadline_grid),
+            seed=args.seed + 6,
+        )
+        control = None
+        if args.mode == "control":
+            from repro.experiments.control import default_control_config
+
+            control = default_control_config(
+                interval=args.interval, seed=args.seed
+            )
+        config = FleetConfig.uniform(
+            args.shards,
+            ServerConfig(),
+            router=args.router,
+            queue_limit=args.queue_limit,
+            seed=args.seed,
+            control=control,
+        )
+        live = LiveTelemetry(live_config, source="fleet")
+        tracer = RecordingTracer(live=live)
+        fleet = FleetServer(
+            setup.latencies,
+            resolve_policy(setup, RunSpec(policy=args.policy)),
+            config,
+            workers=setup.workers_for(args.policy),
+            tracer=tracer,
+        )
+
+        def runner():
+            return fleet.run(workload)
+
+    def current_lives():
+        """The planes to show: the run's own plus any shard planes."""
+        if fleet is not None and fleet.shard_lives:
+            return [live] + list(fleet.shard_lives)
+        return [live]
+
+    metrics_server = _start_metrics_server(args, tracer)
+    box = {}
+
+    def work():
+        try:
+            box["result"] = runner()
+        except BaseException as exc:  # surfaced on the main thread
+            box["error"] = exc
+
+    if args.once:
+        work()
+    else:
+        thread = threading.Thread(target=work, daemon=True)
+        thread.start()
+        try:
+            while thread.is_alive():
+                frame = render_top(current_lives())
+                # Clear screen + home, then repaint.
+                print("\x1b[2J\x1b[H" + frame, flush=True)
+                thread.join(max(args.refresh, 0.05))
+        except KeyboardInterrupt:
+            pass
+    if "error" in box:
+        _stop_metrics_server(metrics_server, 0.0)
+        raise box["error"]
+
+    footer_lines: List[str] = []
+    if args.out is not None:
+        written: List[Path] = []
+        for plane in current_lives():
+            written.extend(plane.write_artifacts(
+                args.out, f"{args.task}_top_{plane.source}"
+            ))
+        footer_lines = [""] + [f"wrote {path}" for path in written]
+    _stop_metrics_server(metrics_server, args.serve_hold)
+    return render_top(current_lives()) + "\n".join(footer_lines)
+
+
+def _cmd_incident(args) -> str:
+    from repro.obs import (
+        DecisionRecord,
+        LatencyAttributor,
+        Span,
+        format_decision,
+        read_incident_json,
+        render_incident,
+        render_profile,
+    )
+
+    path = Path(args.bundle)
+    if not path.exists():
+        raise SystemExit(f"no incident bundle at {path}")
+    try:
+        bundle = read_incident_json(path)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    spans = []
+    for payload in bundle.get("spans", []):
+        payload = dict(payload)
+        kind = payload.pop("kind")
+        time = float(payload.pop("time"))
+        query_id = int(payload.pop("query_id", -1))
+        spans.append(Span(kind, time, query_id, payload))
+    attributor = LatencyAttributor()
+    attributor.attribute(spans)
+
+    parts = [
+        f"incident post-mortem — {path}",
+        render_incident(bundle),
+        "profile re-derived from the bundle's flight-recorder window:",
+        render_profile(attributor, top_k=args.top),
+    ]
+    if args.explain and bundle.get("decisions"):
+        for qid in sorted(bundle["decisions"], key=int):
+            for state in bundle["decisions"][qid]:
+                parts.append(format_decision(DecisionRecord.from_dict(state)))
+    return "\n\n".join(parts)
+
+
 def _cmd_budget(args) -> str:
     setup = build_setup(args.task, args.preset, seed=args.seed)
     out = run_offline_budget(setup, seed=args.seed + 5)
@@ -1145,6 +1500,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fleet": lambda: _cmd_fleet(args),
         "control": lambda: _cmd_control(args),
         "distill": lambda: _cmd_distill(args),
+        "top": lambda: _cmd_top(args),
+        "incident": lambda: _cmd_incident(args),
     }
     out = handlers[args.command]()
     # Handlers return either text or (text, exit_code) — `diff` uses

@@ -102,6 +102,15 @@ class ControlLog:
             out[action.kind] = out.get(action.kind, 0) + 1
         return out
 
+    def slice(self, start: float, end: float) -> List[Dict[str, object]]:
+        """Actions with ``start <= time <= end`` as serialized dicts —
+        the control-log window an incident bundle embeds."""
+        return [
+            action.to_dict()
+            for action in self.actions
+            if start <= action.time <= end
+        ]
+
     def dumps(self) -> str:
         """Canonical JSON-lines serialization (sorted keys, repr
         floats) — byte-comparable across runs."""

@@ -47,6 +47,11 @@ from repro.control.controller import Controller, ControlLog
 from repro.fleet.config import FleetConfig
 from repro.fleet.routers import make_router
 from repro.obs import spans as sp
+from repro.obs.live import (
+    LiveTelemetry,
+    TelemetrySnapshot,
+    rollup_snapshots,
+)
 from repro.obs.slo import SLOMonitor
 from repro.obs.spans import Span
 from repro.obs.tracer import NULL_TRACER, RecordingTracer, Tracer
@@ -80,6 +85,11 @@ class FleetResult:
             the byte-identical determinism contract.
         monitor: The live :class:`~repro.obs.slo.SLOMonitor` the
             control loop ran against (controlled mode only).
+        shard_snapshots: Per-shard live telemetry snapshot streams
+            (``None`` unless the fleet tracer carried a
+            :class:`~repro.obs.live.LiveTelemetry`).
+        fleet_snapshots: The shard streams rolled up per boundary via
+            digest merge (same gating).
     """
 
     merged: ServingResult
@@ -91,6 +101,8 @@ class FleetResult:
     n_shed: int
     control_log: Optional[ControlLog] = None
     monitor: Optional[SLOMonitor] = None
+    shard_snapshots: Optional[List[List[TelemetrySnapshot]]] = None
+    fleet_snapshots: Optional[List[TelemetrySnapshot]] = None
 
     @property
     def n_shards(self) -> int:
@@ -168,6 +180,10 @@ class FleetServer:
         # Rotating tie-break pointer for the admission fallback
         # redirect; re-seeded at the start of every run.
         self._redirect_rr = cfg.seed % cfg.n_shards
+        # Per-shard live telemetry planes of the current run (only
+        # populated when the fleet tracer carries one); the `top`
+        # console polls these mid-run.
+        self.shard_lives: List[LiveTelemetry] = []
 
     @classmethod
     def from_config(
@@ -350,6 +366,8 @@ class FleetServer:
         shard_query_ids = [np.asarray(ids, dtype=int) for ids in shard_ids]
         shard_results: List[ServingResult] = []
         shard_tracers: List[Optional[RecordingTracer]] = []
+        fleet_live = tracer.live if traced else None
+        self.shard_lives = []
         for shard in range(n_shards):
             ids = shard_query_ids[shard]
             sub = ServingWorkload(
@@ -359,7 +377,18 @@ class FleetServer:
                 quality=workload.quality,
                 utilities=workload.utilities,
             )
-            shard_tracer = RecordingTracer() if traced else None
+            shard_tracer = None
+            if traced:
+                shard_live = None
+                if fleet_live is not None:
+                    # One live plane per shard (same knobs as the
+                    # fleet's); the rollup below merges their snapshot
+                    # streams boundary-by-boundary.
+                    shard_live = LiveTelemetry(
+                        fleet_live.config, source=f"shard{shard}"
+                    )
+                    self.shard_lives.append(shard_live)
+                shard_tracer = RecordingTracer(live=shard_live)
             server = EnsembleServer.from_config(
                 self.latencies,
                 self.policies[shard],
@@ -410,6 +439,14 @@ class FleetServer:
                 end = max(end, front_spans[-1].time)
             tracer.finalize(end)
 
+        shard_snapshots: Optional[List[List[TelemetrySnapshot]]] = None
+        fleet_snapshots: Optional[List[TelemetrySnapshot]] = None
+        if self.shard_lives:
+            shard_snapshots = [
+                list(live.snapshots) for live in self.shard_lives
+            ]
+            fleet_snapshots = rollup_snapshots(shard_snapshots)
+
         merged = self._merge_results(
             workload, assignments, shard_results, shard_query_ids
         )
@@ -421,6 +458,8 @@ class FleetServer:
             assignments=assignments,
             router=self.router.name,
             n_shed=n_shed,
+            shard_snapshots=shard_snapshots,
+            fleet_snapshots=fleet_snapshots,
         )
 
     def _run_controlled(self, workload: ServingWorkload) -> FleetResult:
@@ -471,8 +510,24 @@ class FleetServer:
         monitor.bind(ctrl_tracer)
 
         # Shards always record internally: the harvest step reads their
-        # COMPLETE/REJECT spans to feed the monitor mid-run.
-        shard_tracers = [RecordingTracer() for _ in range(n_shards)]
+        # COMPLETE/REJECT spans to feed the monitor mid-run. When the
+        # fleet tracer carries a live plane, each shard gets its own
+        # (ticked per epoch by session.advance, so `top` sees genuine
+        # mid-run state) and the controller's action log is attached to
+        # the fleet plane for incident bundles.
+        fleet_live = tracer.live if traced else None
+        self.shard_lives = []
+        shard_tracers = []
+        for shard in range(n_shards):
+            shard_live = None
+            if fleet_live is not None:
+                shard_live = LiveTelemetry(
+                    fleet_live.config, source=f"shard{shard}"
+                )
+                self.shard_lives.append(shard_live)
+            shard_tracers.append(RecordingTracer(live=shard_live))
+        if fleet_live is not None:
+            fleet_live.attach_control_log(controller.log)
         servers = [
             EnsembleServer.from_config(
                 self.latencies,
@@ -757,6 +812,14 @@ class FleetServer:
                 tracer.emit(span.kind, span.time, span.query_id, **span.attrs)
             tracer.finalize(end)
 
+        shard_snapshots: Optional[List[List[TelemetrySnapshot]]] = None
+        fleet_snapshots: Optional[List[TelemetrySnapshot]] = None
+        if self.shard_lives:
+            shard_snapshots = [
+                list(live.snapshots) for live in self.shard_lives
+            ]
+            fleet_snapshots = rollup_snapshots(shard_snapshots)
+
         merged = self._merge_results(
             workload, assignments, shard_results, shard_query_ids
         )
@@ -770,6 +833,8 @@ class FleetServer:
             n_shed=n_shed,
             control_log=controller.log,
             monitor=monitor,
+            shard_snapshots=shard_snapshots,
+            fleet_snapshots=fleet_snapshots,
         )
 
     def _merge_results(

@@ -10,8 +10,11 @@ histograms backed by mergeable :class:`QuantileDigest` sketches, and
 (3) a plain-text run report. An :class:`SLOMonitor` watches the span
 stream online (rolling-window burn rates, overload episodes), and an
 opt-in :class:`DecisionLog` captures per-query scheduler decision
-records. See README.md "Observability" for the span schema and metric
-names.
+records. The live plane (:class:`LiveTelemetry`, attached via
+``RecordingTracer(live=...)``) adds streaming snapshots, an always-on
+flight recorder that freezes breach-triggered incident bundles, and a
+:class:`MetricsServer` HTTP endpoint for mid-run scrapes. See
+README.md "Observability" for the span schema and metric names.
 """
 
 from repro.obs.digest import QuantileDigest
@@ -30,12 +33,27 @@ from repro.obs.profile import (
     read_profile_json,
     write_profile_json,
 )
+from repro.obs.live import (
+    INCIDENT_SCHEMA,
+    AnomalyWatchdog,
+    FlightRecorder,
+    LiveConfig,
+    LiveTelemetry,
+    TelemetrySnapshot,
+    incident_fingerprint,
+    read_incident_json,
+    rollup_snapshots,
+    write_incident_json,
+)
 from repro.obs.report import (
+    render_incident,
     render_profile,
     render_report,
     render_slo,
+    render_top,
     sparkline,
 )
+from repro.obs.serve import MetricsServer
 from repro.obs.slo import Episode, SLOConfig, SLOMonitor, replay_spans
 from repro.obs.spans import KINDS, Span, span_sequence, spans_of_kind
 from repro.obs.tracer import (
@@ -94,4 +112,17 @@ __all__ = [
     "render_report",
     "render_slo",
     "sparkline",
+    "LiveConfig",
+    "LiveTelemetry",
+    "TelemetrySnapshot",
+    "AnomalyWatchdog",
+    "FlightRecorder",
+    "INCIDENT_SCHEMA",
+    "incident_fingerprint",
+    "read_incident_json",
+    "write_incident_json",
+    "rollup_snapshots",
+    "MetricsServer",
+    "render_incident",
+    "render_top",
 ]

@@ -250,9 +250,13 @@ def metrics_to_prometheus(registry: MetricsRegistry) -> str:
     locked by ``tests/obs/test_export.py``).
     """
     lines: List[str] = []
-    for name in sorted(registry.names()):
+    # Sort by the *emitted* family name: sanitisation ("." -> "_") is
+    # not order-preserving, and the determinism contract is on the
+    # exposition bytes consumers scrape, not on the raw dotted names.
+    for prom, name in sorted(
+        (_prom_name(name), name) for name in registry.names()
+    ):
         metric = registry.get(name)
-        prom = _prom_name(name)
         if isinstance(metric, Counter):
             lines.append(f"# TYPE {prom} counter")
             lines.append(f"{prom} {_prom_value(metric.value)}")
@@ -286,12 +290,16 @@ _SAMPLE_RE = re.compile(
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
+_ESCAPE_RE = re.compile(r"\\(.)")
+
+
 def _unescape_label(value: str) -> str:
-    return (
-        value
-        .replace("\\n", "\n")
-        .replace('\\"', '"')
-        .replace("\\\\", "\\")
+    # One left-to-right pass: sequential str.replace would corrupt a
+    # literal backslash followed by 'n' (escaped as ``\\n``) into a
+    # newline. Inverse of ``_prom_label_value`` (property-tested in
+    # tests/obs/test_prom_property.py).
+    return _ESCAPE_RE.sub(
+        lambda m: "\n" if m.group(1) == "n" else m.group(1), value
     )
 
 
@@ -316,7 +324,10 @@ def parse_prometheus_text(
     checks and run diffing.
     """
     samples: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
-    for line in text.splitlines():
+    # The exposition format is \n-delimited; splitlines() would also
+    # break on exotic Unicode boundaries (\x1c-\x1e,  ...) that
+    # are legal *unescaped* inside label values.
+    for line in text.split("\n"):
         line = line.strip()
         if not line or line.startswith("#"):
             continue

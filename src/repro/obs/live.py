@@ -1,0 +1,861 @@
+"""Live telemetry plane: streaming snapshots, flight recorder, incidents.
+
+Everything observability built before this module is post-hoc: spans,
+digests, SLO episodes and profiles are only materialized after
+``run()`` returns. :class:`LiveTelemetry` turns the same span stream
+into an *operable* surface while the run is still going:
+
+* **Snapshots** — at a configurable simulated-time cadence the stream
+  is cut into windows; each boundary emits a
+  :class:`TelemetrySnapshot` holding delta-encoded counters (what
+  happened *this* window), cumulative totals, last gauge values and
+  full mergeable digest checkpoints
+  (:meth:`~repro.obs.digest.QuantileDigest.to_dict` state, so shard
+  snapshots roll up into fleet snapshots by digest merge — see
+  :func:`rollup_snapshots`).
+* **Flight recorder** — a bounded ring of the most recent spans,
+  always on at O(1) per span. Trigger spans (``slo_breach``, control
+  ``scale_up``/``degrade``, ``worker_down``) and the anomaly watchdog
+  freeze the ring into an **incident bundle**: the breach-window span
+  slice, the control-log slice, recent snapshots, and the top-K
+  offender queries via :meth:`~repro.obs.profile.LatencyAttributor.blame`.
+* **Anomaly watchdog** — per snapshot window, compares the window's
+  latency digest and miss rate against a baseline accumulated from the
+  prior clean windows; a window whose p95 latency or miss rate blows
+  past its factor fires an ``anomaly`` span and the recorder.
+
+Determinism contract: every quantity in a bundle is simulated-time or
+derived from the deterministic span stream, so a fixed (trace, seed)
+freezes byte-identical bundles — except the real-wall-clock ``wall_s``
+attributes riding on ``schedule`` spans. :func:`incident_fingerprint`
+canonicalizes a bundle with those scrubbed; the test suite and the
+overhead benchmark compare fingerprints, not raw bytes.
+
+Attachment: pass a :class:`LiveTelemetry` to
+``RecordingTracer(live=...)``. The tracer forwards every span before
+folding it, so window attribution is exact; when ``live`` is ``None``
+(the default) the tracer path is unchanged and a disabled run stays
+bit-identical to pre-live behaviour (proved by
+``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.digest import QuantileDigest
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+)
+from repro.obs.spans import (
+    ANOMALY,
+    COMPLETE,
+    DEGRADE_MODE,
+    INCIDENT,
+    KINDS,
+    REJECT,
+    SCALE_UP,
+    SLO_BREACH,
+    SNAPSHOT,
+    WORKER_DOWN,
+    Span,
+)
+
+#: Schema tag stamped into every incident bundle (the
+#: ``repro.profile/1`` pattern); bump on breaking layout changes.
+INCIDENT_SCHEMA = "repro.incident/1"
+
+#: Default trigger span kinds that freeze the flight recorder.
+DEFAULT_TRIGGERS = (SLO_BREACH, SCALE_UP, DEGRADE_MODE, WORKER_DOWN, ANOMALY)
+
+#: Kinds the live plane emits about itself — never re-ingested into the
+#: ring or the watchdog (a fleet tracer replaying shard streams sees
+#: shard-level snapshot spans go by).
+META_KINDS = frozenset((SNAPSHOT, ANOMALY, INCIDENT))
+
+#: Trigger kinds ``RecordingTracer``'s fold chain carries inline hooks
+#: for (``anomaly`` fires from the watchdog at the boundary, not from a
+#: span). Span-backed mode requires the configured triggers to be a
+#: subset; an exotic trigger set falls back to the per-span deque path.
+_INLINE_TRIGGERS = frozenset(
+    (SLO_BREACH, SCALE_UP, DEGRADE_MODE, WORKER_DOWN, ANOMALY)
+)
+
+# Hot-path kind classification flags: on_span folds its meta/outcome/
+# trigger membership tests into one dict lookup (see _kind_flags).
+_F_META = 1
+_F_COMPLETE = 2
+_F_REJECT = 4
+_F_TRIGGER = 8
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """Knobs of the live telemetry plane.
+
+    Attributes:
+        cadence: Simulated seconds between snapshot boundaries.
+        ring_capacity: Spans the flight recorder retains.
+        triggers: Span kinds that freeze the ring into a bundle
+            (``anomaly`` covers the watchdog; drop it to disarm).
+        watchdog: Master switch for the anomaly watchdog.
+        baseline_windows: Clean windows the watchdog accumulates before
+            it arms (warm-up).
+        anomaly_min_events: Resolved queries a window needs before the
+            watchdog may judge it.
+        anomaly_latency_factor: Window p95 latency vs baseline p95
+            blow-up that flags a latency anomaly.
+        anomaly_miss_factor: Window miss rate vs baseline miss rate
+            blow-up that flags a burn anomaly.
+        anomaly_miss_floor: Absolute window miss rate below which the
+            burn signal never fires (a 3x blow-up of nearly zero is
+            still nearly zero).
+        incident_cooldown: Simulated seconds between frozen bundles;
+            triggers inside the cooldown are counted as suppressed.
+        max_incidents: Hard cap on bundles per run.
+        max_snapshots: Snapshots retained in memory (oldest dropped).
+        snapshots_per_incident: Most recent snapshots copied into each
+            bundle.
+        top_k: Offender queries blamed per bundle.
+        compression: t-digest compression of the watchdog's window and
+            baseline latency sketches.
+    """
+
+    cadence: float = 1.0
+    ring_capacity: int = 2048
+    triggers: Tuple[str, ...] = DEFAULT_TRIGGERS
+    watchdog: bool = True
+    baseline_windows: int = 5
+    anomaly_min_events: int = 20
+    anomaly_latency_factor: float = 2.5
+    anomaly_miss_factor: float = 3.0
+    anomaly_miss_floor: float = 0.2
+    incident_cooldown: float = 10.0
+    max_incidents: int = 8
+    max_snapshots: int = 4096
+    snapshots_per_incident: int = 3
+    top_k: int = 5
+    compression: int = 64
+
+    def __post_init__(self):
+        if self.cadence <= 0:
+            raise ValueError(f"cadence must be > 0, got {self.cadence}")
+        if self.ring_capacity < 1:
+            raise ValueError(
+                f"ring_capacity must be >= 1, got {self.ring_capacity}"
+            )
+        if self.anomaly_latency_factor <= 1.0 or self.anomaly_miss_factor <= 1.0:
+            raise ValueError("anomaly factors must exceed 1.0")
+        unknown = set(self.triggers) - set(KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown trigger span kinds: {sorted(unknown)}"
+            )
+
+
+@dataclass
+class TelemetrySnapshot:
+    """One cadence window of a run, delta-encoded and mergeable.
+
+    Attributes:
+        seq: Snapshot index (0-based, per source).
+        time: Window end boundary (simulated seconds).
+        source: Producer tag (``server``, ``shard3``, ``fleet``).
+        counters: Counter deltas over this window (zero deltas
+            omitted).
+        totals: Cumulative counter values at the boundary.
+        gauges: Last sampled value of each gauge at the boundary.
+        digests: Cumulative :class:`QuantileDigest` checkpoints per
+            histogram — mergeable across sources, so fleet rollups
+            keep accurate quantiles.
+    """
+
+    seq: int
+    time: float
+    source: str = "server"
+    counters: Dict[str, float] = field(default_factory=dict)
+    totals: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    digests: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation with deterministic key order."""
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "source": self.source,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "totals": {k: self.totals[k] for k in sorted(self.totals)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "digests": {k: self.digests[k] for k in sorted(self.digests)},
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, object]) -> "TelemetrySnapshot":
+        """Rebuild a snapshot serialized by :meth:`to_dict`."""
+        return cls(
+            seq=int(state["seq"]),
+            time=float(state["time"]),
+            source=str(state.get("source", "server")),
+            counters=dict(state.get("counters", {})),
+            totals=dict(state.get("totals", {})),
+            gauges=dict(state.get("gauges", {})),
+            digests=dict(state.get("digests", {})),
+        )
+
+    def quantile(self, name: str, q: float) -> float:
+        """Quantile ``q`` of the checkpointed digest ``name``
+        (NaN when the histogram is absent or empty)."""
+        state = self.digests.get(name)
+        if state is None or not state.get("count"):
+            return float("nan")
+        return QuantileDigest.from_dict(state).quantile(q)
+
+    @classmethod
+    def rollup(
+        cls, snapshots: Sequence["TelemetrySnapshot"], source: str = "fleet"
+    ) -> "TelemetrySnapshot":
+        """Merge same-boundary snapshots from several sources into one.
+
+        Counters/totals/gauges sum (gauges are extensive here — buffer
+        depth, replica level — so the fleet value is the shard sum);
+        digest checkpoints merge losslessly at the centroid level.
+        """
+        if not snapshots:
+            raise ValueError("rollup needs at least one snapshot")
+        counters: Dict[str, float] = {}
+        totals: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        merged: Dict[str, QuantileDigest] = {}
+        for snap in snapshots:
+            for name, value in snap.counters.items():
+                counters[name] = counters.get(name, 0.0) + value
+            for name, value in snap.totals.items():
+                totals[name] = totals.get(name, 0.0) + value
+            for name, value in snap.gauges.items():
+                gauges[name] = gauges.get(name, 0.0) + value
+            for name, state in snap.digests.items():
+                digest = QuantileDigest.from_dict(state)
+                if name in merged:
+                    merged[name].merge(digest)
+                else:
+                    merged[name] = digest
+        return cls(
+            seq=snapshots[0].seq,
+            time=max(snap.time for snap in snapshots),
+            source=source,
+            counters=counters,
+            totals=totals,
+            gauges=gauges,
+            digests={
+                name: digest.to_dict() for name, digest in merged.items()
+            },
+        )
+
+
+def rollup_snapshots(
+    per_source: Sequence[Sequence[TelemetrySnapshot]], source: str = "fleet"
+) -> List[TelemetrySnapshot]:
+    """Fleet rollup: align per-source snapshot streams on ``seq`` and
+    merge each boundary via :meth:`TelemetrySnapshot.rollup`.
+
+    Sources that flushed fewer boundaries (a shard that drained early)
+    simply stop contributing; the rollup covers every seq any source
+    reached.
+    """
+    by_seq: Dict[int, List[TelemetrySnapshot]] = {}
+    for stream in per_source:
+        for snap in stream:
+            by_seq.setdefault(snap.seq, []).append(snap)
+    return [
+        TelemetrySnapshot.rollup(by_seq[seq], source=source)
+        for seq in sorted(by_seq)
+    ]
+
+
+class AnomalyWatchdog:
+    """Window-vs-baseline detector over resolved-query outcomes.
+
+    Each snapshot window accumulates a latency digest plus event/miss
+    counts. At the boundary the window is judged against the baseline
+    (the digest-merge of all prior *clean* windows): a p95 latency
+    blow-up or a miss-rate blow-up past the configured factors flags
+    the window. Flagged windows are excluded from the baseline so a
+    sustained incident cannot normalize itself away.
+    """
+
+    def __init__(self, config: LiveConfig):
+        self._config = config
+        self.windows_closed = 0
+        self.anomalies = 0
+        self._win_events = 0
+        self._win_misses = 0
+        self._win_digest = QuantileDigest(compression=config.compression)
+        self._base_events = 0
+        self._base_misses = 0
+        self._base_digest = QuantileDigest(compression=config.compression)
+
+    @property
+    def armed(self) -> bool:
+        """True once the warm-up baseline has accumulated."""
+        return self.windows_closed >= self._config.baseline_windows
+
+    def ingest(self, missed: bool, latency: Optional[float]) -> None:
+        """Fold one resolved query into the current window."""
+        self._win_events += 1
+        if missed:
+            self._win_misses += 1
+        if latency is not None:
+            self._win_digest.add(latency)
+
+    def close_window(self) -> Optional[Dict[str, float]]:
+        """Judge and retire the current window at a snapshot boundary.
+
+        Returns the anomaly attributes when the window is flagged
+        (``signal``, window and baseline stats), else ``None``.
+        """
+        config = self._config
+        verdict: Optional[Dict[str, float]] = None
+        events = self._win_events
+        if self.armed and events >= config.anomaly_min_events:
+            miss_rate = self._win_misses / events
+            base_rate = (
+                self._base_misses / self._base_events
+                if self._base_events else 0.0
+            )
+            if (
+                miss_rate >= config.anomaly_miss_floor
+                and miss_rate > config.anomaly_miss_factor
+                * max(base_rate, 1.0 / max(self._base_events, 1))
+            ):
+                verdict = {
+                    "signal": "miss_rate",
+                    "window_miss_rate": miss_rate,
+                    "baseline_miss_rate": base_rate,
+                    "window_events": float(events),
+                }
+            elif self._win_digest.count and self._base_digest.count:
+                win_p95 = self._win_digest.quantile(0.95)
+                base_p95 = self._base_digest.quantile(0.95)
+                if base_p95 > 0 and win_p95 > (
+                    config.anomaly_latency_factor * base_p95
+                ):
+                    verdict = {
+                        "signal": "latency",
+                        "window_p95": win_p95,
+                        "baseline_p95": base_p95,
+                        "window_events": float(events),
+                    }
+        if verdict is None:
+            # Clean window: fold it into the baseline.
+            self._base_events += events
+            self._base_misses += self._win_misses
+            self._base_digest.merge(self._win_digest)
+        else:
+            self.anomalies += 1
+        self.windows_closed += 1
+        self._win_events = 0
+        self._win_misses = 0
+        self._win_digest = QuantileDigest(compression=config.compression)
+        return verdict
+
+
+class FlightRecorder:
+    """Bounded ring of recent spans plus the freeze-to-bundle logic.
+
+    Two storage modes:
+
+    * **Deque mode** (default): the ring stores ``(kind, time,
+      query_id, attrs)`` tuples appended per span — the attrs dict is
+      shared with the tracer's span, never copied on the hot path.
+    * **Span-list mode** (:meth:`use_span_list`): when the tracer
+      already keeps its full span stream, the ring is a *view* over
+      the tail of that list — the per-span append disappears entirely,
+      which is what keeps the always-on recorder inside the 5%
+      overhead gate of ``bench_obs_overhead.py``.
+
+    Either way :meth:`spans` yields the same window (last
+    ``ring_capacity`` non-meta spans) and :meth:`freeze` materializes
+    :class:`Span` objects only when a trigger actually fires.
+    """
+
+    def __init__(self, config: LiveConfig):
+        self._config = config
+        self._ring: Deque[Tuple[str, float, int, Dict[str, object]]] = (
+            deque(maxlen=config.ring_capacity)
+        )
+        self._span_list: Optional[List[Span]] = None
+        self.append = self._ring.append  # hot-path bound method
+
+    def use_span_list(self, spans: List[Span]) -> None:
+        """Back the ring by the tracer's own (growing) span list."""
+        self._span_list = spans
+
+    def __len__(self) -> int:
+        if self._span_list is not None:
+            return len(self.spans())
+        return len(self._ring)
+
+    def spans(self) -> List[Span]:
+        """The retained window as :class:`Span` objects (oldest first)."""
+        if self._span_list is not None:
+            # Walk the tail backwards; the live plane's own meta spans
+            # are in the tracer's list but never part of the ring.
+            cap = self._config.ring_capacity
+            tail: List[Span] = []
+            for span in reversed(self._span_list):
+                if span.kind not in META_KINDS:
+                    tail.append(span)
+                    if len(tail) == cap:
+                        break
+            return [
+                Span(s.kind, s.time, s.query_id, dict(s.attrs))
+                for s in reversed(tail)
+            ]
+        return [
+            Span(kind, time, qid, dict(attrs))
+            for kind, time, qid, attrs in self._ring
+        ]
+
+    def freeze(
+        self,
+        trigger_kind: str,
+        time: float,
+        query_id: int,
+        attrs: Dict[str, object],
+        *,
+        seq: int,
+        source: str,
+        totals: Dict[str, float],
+        snapshots: Sequence[TelemetrySnapshot],
+        control: Optional[List[Dict[str, object]]] = None,
+        decisions: Optional[Dict[int, List[Dict[str, object]]]] = None,
+        ring_spans: Optional[List[Span]] = None,
+    ) -> Dict[str, object]:
+        """Materialize the ring into a schema-tagged incident bundle."""
+        from repro.obs.profile import LatencyAttributor
+
+        if ring_spans is None:
+            ring_spans = self.spans()
+        window_start = ring_spans[0].time if ring_spans else time
+        attributor = LatencyAttributor(
+            compression=self._config.compression
+        )
+        attributor.attribute(ring_spans)
+        blame = [
+            {
+                "query_id": a.query_id,
+                "latency": a.latency,
+                "slack": a.slack,
+                "dominant_phase": a.dominant_phase,
+                "phases": {k: a.phases[k] for k in sorted(a.phases)},
+                "degraded": bool(a.degraded),
+                "retries": a.retries,
+            }
+            for a in attributor.blame(self._config.top_k)
+        ]
+        keep = self._config.snapshots_per_incident
+        return {
+            "schema": INCIDENT_SCHEMA,
+            "seq": seq,
+            "source": source,
+            "trigger": {
+                "kind": trigger_kind,
+                "time": time,
+                "query_id": query_id,
+                "attrs": {k: attrs[k] for k in sorted(attrs)},
+            },
+            "window": {
+                "start": window_start,
+                "end": time,
+                "spans": len(ring_spans),
+            },
+            "totals": {k: totals[k] for k in sorted(totals)},
+            "snapshots": [
+                snap.to_dict() for snap in list(snapshots)[-keep:]
+            ],
+            "blame": blame,
+            "control": control if control is not None else [],
+            "decisions": (
+                {
+                    str(qid): decisions[qid]
+                    for qid in sorted(decisions)
+                }
+                if decisions else {}
+            ),
+            "spans": [span.to_dict() for span in ring_spans],
+        }
+
+
+class LiveTelemetry:
+    """The live plane one tracer carries: snapshots + recorder + watchdog.
+
+    Construct, hand to ``RecordingTracer(live=...)``, run. The tracer
+    calls :meth:`bind` when attached and forwards every span through
+    :meth:`on_span` before folding it; :meth:`tick` lets epoch drivers
+    (``ServingSession.advance``, the fleet control loop) flush
+    boundaries through quiet stretches with no spans.
+
+    State is plain attribute reads, so a background thread (the
+    ``--serve-metrics`` endpoint, the ``top`` console) can sample
+    :attr:`latest`, :attr:`snapshots` and :attr:`incidents` mid-run
+    without locks — readers see a consistent recent prefix.
+    """
+
+    def __init__(
+        self, config: Optional[LiveConfig] = None, source: str = "server"
+    ):
+        self.config = config if config is not None else LiveConfig()
+        self.source = source
+        self.snapshots: Deque[TelemetrySnapshot] = deque(
+            maxlen=self.config.max_snapshots
+        )
+        self.incidents: List[Dict[str, object]] = []
+        self.suppressed = 0
+        self.recorder = FlightRecorder(self.config)
+        self.watchdog = (
+            AnomalyWatchdog(self.config) if self.config.watchdog else None
+        )
+        self._tracer = None
+        self._metrics: Optional[MetricsRegistry] = None
+        self._control_log = None
+        self._decisions = None
+        self._prev_totals: Dict[str, float] = {}
+        self._next_due = self.config.cadence
+        self._n_snapshots = 0
+        self._last_incident: Optional[float] = None
+        self._trigger_set = frozenset(self.config.triggers)
+        self._emitting = False
+        self._finalized = False
+        # Hot-path accelerators: one bound append (skips two attribute
+        # hops per span) and one flags-dict lookup replacing the
+        # meta/complete/reject/trigger membership cascade. Kinds absent
+        # from the dict (the overwhelming majority of spans) take the
+        # shortest path: append to the ring and return.
+        self._ring_append = self.recorder.append
+        flags: Dict[str, int] = {kind: _F_META for kind in META_KINDS}
+        flags[COMPLETE] = flags.get(COMPLETE, 0) | _F_COMPLETE
+        flags[REJECT] = flags.get(REJECT, 0) | _F_REJECT
+        for kind in self._trigger_set:
+            flags[kind] = flags.get(kind, 0) | _F_TRIGGER
+        self._kind_flags = flags
+        self._flags_get = flags.get
+
+    # -- attachment ----------------------------------------------------
+
+    def bind(self, tracer) -> None:
+        """Called by the tracer when attached; one tracer per plane."""
+        if self._tracer is not None and self._tracer is not tracer:
+            raise ValueError(
+                "LiveTelemetry is already bound to a tracer — build one "
+                "plane per RecordingTracer"
+            )
+        self._tracer = tracer
+        self._metrics = tracer.metrics
+        if (
+            getattr(tracer, "keep_spans", False)
+            and self._trigger_set <= _INLINE_TRIGGERS
+        ):
+            # The tracer's own span list doubles as the flight ring:
+            # plain spans then cost the live plane nothing per span,
+            # and the outcome/trigger kinds are handled by the tracer's
+            # fold chain (which dispatches on kind anyway).
+            self.recorder.use_span_list(tracer.spans)
+            self._ring_append = None
+
+    def attach_control_log(self, log) -> None:
+        """Attach the controller's action log; bundles then carry the
+        breach-window slice of it."""
+        self._control_log = log
+
+    def attach_decisions(self, log) -> None:
+        """Attach a :class:`~repro.obs.explain.DecisionLog`; bundles
+        then carry the blamed queries' decision records."""
+        self._decisions = log
+
+    # -- hot path ------------------------------------------------------
+
+    def on_span(self, kind: str, time: float, query_id: int, attrs) -> None:
+        """Observe one span (called by the tracer before folding it).
+
+        Hot path: ~245k calls on a 2-minute simulated run, so the
+        common case (a plain lifecycle span inside the current window)
+        does the minimum — boundary compare, one bound ``dict.get``,
+        and (deque mode only) tuple build + bound ``deque.append``.
+        ``RecordingTracer.emit`` inlines this body (the extra Python
+        call per span is the single largest live-plane cost) — the
+        boundary compare plus, in deque mode, the flags dispatch; in
+        span-backed mode the flagged kinds ride the tracer's own fold
+        chain (``_live_chain`` hooks) so a plain span pays only the
+        compare. Keep the copies in lockstep. The re-entrancy guard
+        only needs checking at a boundary: the plane's own spans are
+        all meta kinds (filtered below) and ``_flush`` advances
+        ``_next_due`` before emitting, so a re-entered call can never
+        flush again.
+        """
+        if time >= self._next_due and not self._emitting:
+            self._flush(time)
+        flags = self._flags_get(kind)
+        if flags is not None:
+            if not flags & _F_META:
+                self._on_flagged(kind, time, query_id, attrs, flags)
+        elif self._ring_append is not None:
+            self._ring_append((kind, time, query_id, attrs))
+
+    def _on_flagged(
+        self, kind: str, time: float, query_id: int, attrs, flags: int
+    ) -> None:
+        """Rare-path half of :meth:`on_span`: outcome + trigger kinds."""
+        if self._ring_append is not None:
+            self._ring_append((kind, time, query_id, attrs))
+        if flags & _F_COMPLETE:
+            if self.watchdog is not None:
+                self.watchdog.ingest(
+                    missed=float(attrs.get("slack", 0.0)) < 0.0,
+                    latency=float(attrs.get("latency", 0.0)),
+                )
+        elif flags & _F_REJECT:
+            if self.watchdog is not None:
+                self.watchdog.ingest(missed=True, latency=None)
+        if flags & _F_TRIGGER:
+            self._freeze(kind, time, query_id, dict(attrs))
+
+    def _maybe_trigger(
+        self, kind: str, time: float, query_id: int, attrs
+    ) -> None:
+        """Span-backed-mode trigger hook, called from the tracer's fold
+        chain on the ``_INLINE_TRIGGERS`` kinds."""
+        if kind in self._trigger_set:
+            self._freeze(kind, time, query_id, dict(attrs))
+
+    def tick(self, now: float) -> None:
+        """Flush every snapshot boundary at or before ``now``."""
+        if now >= self._next_due:
+            self._flush(now)
+
+    def finalize(self, end_time: float) -> None:
+        """Flush due boundaries and cut one final partial snapshot."""
+        if self._finalized:
+            return
+        self._finalized = True
+        self.tick(end_time)
+        if self._metrics is not None and end_time > (
+            self._next_due - self.config.cadence
+        ):
+            self._emit_snapshot(end_time)
+
+    # -- read side -----------------------------------------------------
+
+    @property
+    def latest(self) -> Optional[TelemetrySnapshot]:
+        """Most recent snapshot (None before the first boundary)."""
+        return self.snapshots[-1] if self.snapshots else None
+
+    def write_artifacts(
+        self, out_dir: Union[str, Path], stem: str
+    ) -> List[Path]:
+        """Write the snapshot stream (JSONL) and every incident bundle.
+
+        Returns the written paths: ``{stem}_snapshots.jsonl`` first,
+        then ``{stem}_incident_NN.json`` per bundle.
+        """
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        written: List[Path] = []
+        snaps_path = out_dir / f"{stem}_snapshots.jsonl"
+        snaps_path.write_text(
+            "".join(
+                json.dumps(snap.to_dict(), sort_keys=True) + "\n"
+                for snap in self.snapshots
+            )
+        )
+        written.append(snaps_path)
+        for bundle in self.incidents:
+            path = out_dir / f"{stem}_incident_{bundle['seq']:02d}.json"
+            write_incident_json(bundle, path)
+            written.append(path)
+        return written
+
+    # -- internals -----------------------------------------------------
+
+    def _flush(self, now: float) -> None:
+        """Emit a snapshot for every boundary at or before ``now``."""
+        if self._metrics is None:
+            # Unbound (tracer never attached): nothing to snapshot.
+            self._next_due = (
+                (now // self.config.cadence) + 1
+            ) * self.config.cadence
+            return
+        while self._next_due <= now:
+            boundary = self._next_due
+            self._next_due = boundary + self.config.cadence
+            self._emit_snapshot(boundary)
+
+    def _emit_snapshot(self, boundary: float) -> None:
+        registry = self._metrics
+        counters: Dict[str, float] = {}
+        totals: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        digests: Dict[str, Dict[str, object]] = {}
+        for name in registry.names():
+            metric = registry.get(name)
+            if isinstance(metric, Counter):
+                totals[name] = metric.value
+                delta = metric.value - self._prev_totals.get(name, 0.0)
+                if delta:
+                    counters[name] = delta
+            elif isinstance(metric, Gauge):
+                if metric.last is not None:
+                    gauges[name] = metric.last
+            elif isinstance(metric, StreamingHistogram):
+                digests[name] = metric.checkpoint()
+        self._prev_totals = dict(totals)
+        snap = TelemetrySnapshot(
+            seq=self._n_snapshots,
+            time=boundary,
+            source=self.source,
+            counters=counters,
+            totals=totals,
+            gauges=gauges,
+            digests=digests,
+        )
+        self._n_snapshots += 1
+        self.snapshots.append(snap)
+        self._emit(
+            SNAPSHOT, boundary,
+            seq=snap.seq,
+            arrived=counters.get("queries.arrived", 0.0),
+            completed=counters.get("queries.completed", 0.0),
+            rejected=counters.get("queries.rejected", 0.0),
+        )
+        if self.watchdog is not None:
+            verdict = self.watchdog.close_window()
+            if verdict is not None:
+                attrs = dict(verdict)
+                self._emit(ANOMALY, boundary, **attrs)
+                if ANOMALY in self._trigger_set:
+                    self._freeze(ANOMALY, boundary, -1, attrs)
+
+    def _freeze(
+        self, kind: str, time: float, query_id: int, attrs: Dict[str, object]
+    ) -> None:
+        config = self.config
+        if len(self.incidents) >= config.max_incidents or (
+            self._last_incident is not None
+            and time - self._last_incident < config.incident_cooldown
+        ):
+            self.suppressed += 1
+            return
+        self._last_incident = time
+        ring_spans = self.recorder.spans()
+        control = None
+        if self._control_log is not None:
+            window_start = ring_spans[0].time if ring_spans else time
+            control = self._control_log.slice(window_start, time)
+        bundle = self.recorder.freeze(
+            kind, time, query_id, attrs,
+            seq=len(self.incidents),
+            source=self.source,
+            totals=dict(self._totals()),
+            snapshots=self.snapshots,
+            control=control,
+            ring_spans=ring_spans,
+        )
+        if self._decisions is not None:
+            decisions: Dict[str, List[Dict[str, object]]] = {}
+            for entry in bundle["blame"]:
+                qid = int(entry["query_id"])
+                records = self._decisions.for_query(qid)
+                if records:
+                    decisions[str(qid)] = [r.to_dict() for r in records]
+            bundle["decisions"] = decisions
+        self.incidents.append(bundle)
+        self._emit(
+            INCIDENT, time,
+            trigger=kind, seq=bundle["seq"], spans=bundle["window"]["spans"],
+        )
+
+    def _totals(self) -> Dict[str, float]:
+        registry = self._metrics
+        if registry is None:
+            return {}
+        return {
+            name: registry.get(name).value
+            for name in registry.names()
+            if isinstance(registry.get(name), Counter)
+        }
+
+    def _emit(self, kind: str, time: float, **attrs) -> None:
+        """Emit a meta span through the tracer, re-entrancy guarded."""
+        tracer = self._tracer
+        if tracer is None or self._emitting:
+            return
+        self._emitting = True
+        try:
+            tracer.emit(kind, time, **attrs)
+        finally:
+            self._emitting = False
+
+
+# -- incident bundle serialization ----------------------------------------
+
+
+def write_incident_json(
+    bundle: Dict[str, object], path: Union[str, Path]
+) -> Path:
+    """Write one incident bundle, deterministically serialized
+    (sorted keys, fixed indent) so same-seed reruns byte-match modulo
+    the real-wall-clock ``wall_s`` span attributes."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(bundle, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_incident_json(path: Union[str, Path]) -> Dict[str, object]:
+    """Read and schema-check an incident bundle."""
+    path = Path(path)
+    bundle = json.loads(path.read_text())
+    schema = bundle.get("schema") if isinstance(bundle, dict) else None
+    if schema != INCIDENT_SCHEMA:
+        raise ValueError(
+            f"{path}: expected a {INCIDENT_SCHEMA!r} incident bundle, "
+            f"found schema {schema!r}"
+        )
+    return bundle
+
+
+def _is_wall_key(key: object) -> bool:
+    """True for keys holding real-wall-clock data: the ``wall_s`` span
+    attribute, the ``scheduler.wall_s`` histogram checkpoint embedded
+    in snapshots, and the ``sched.phase_s.*`` wall-clock counters."""
+    return isinstance(key, str) and (
+        "wall" in key or key.startswith("sched.phase_s")
+    )
+
+
+def _scrub_wall(obj):
+    """Recursively drop real-wall-clock keys — the only
+    nondeterministic fields a bundle can carry."""
+    if isinstance(obj, dict):
+        return {
+            key: _scrub_wall(value)
+            for key, value in obj.items()
+            if not _is_wall_key(key)
+        }
+    if isinstance(obj, list):
+        return [_scrub_wall(item) for item in obj]
+    return obj
+
+
+def incident_fingerprint(bundle: Dict[str, object]) -> str:
+    """Canonical JSON of a bundle minus wall-clock fields — the
+    byte-identity unit of the determinism contract."""
+    return json.dumps(_scrub_wall(bundle), sort_keys=True)

@@ -148,6 +148,12 @@ class StreamingHistogram:
         """Absorb ``other``'s observations (digest-level merge)."""
         self._digest.merge(other._digest)
 
+    def checkpoint(self) -> Dict[str, object]:
+        """Full mergeable digest state (``QuantileDigest.to_dict``) —
+        the unit live telemetry snapshots carry so per-shard sketches
+        roll up into fleet quantiles without the raw observations."""
+        return self._digest.to_dict()
+
     def n_retained(self) -> int:
         """Values currently held (centroids + buffer) — the memory bound."""
         return self._digest.n_centroids()

@@ -11,6 +11,14 @@ invocation cost in both simulated and real wall-clock terms.
 the per-phase latency attribution table, DP step-phase wall clock, and
 the top-K blame report with each query's critical task/worker chain
 (see :mod:`repro.obs.profile`).
+
+``render_top`` and ``render_incident`` are the live-ops views:
+``render_top`` formats one console frame from the
+:class:`~repro.obs.live.LiveTelemetry` planes of a running (or
+finished) run — per-source window rates, quantiles from the snapshot
+digest checkpoints, a throughput sparkline and the incident tally —
+and ``render_incident`` is the post-mortem header for one frozen
+incident bundle (``python -m repro incident``).
 """
 
 from __future__ import annotations
@@ -265,6 +273,186 @@ def render_report(
                 ],
             ],
         ))
+    return "\n".join(lines)
+
+
+def _top_row(source: str, snap) -> List[object]:
+    """One ``render_top`` table row from a source's latest snapshot."""
+    window = snap.counters
+    totals = snap.totals
+    done = totals.get("queries.completed", 0.0)
+    rejected = totals.get("queries.rejected", 0.0)
+    resolved = done + rejected
+    reject_pct = 100.0 * rejected / resolved if resolved else 0.0
+    p50 = snap.quantile("query.latency_s", 0.5)
+    p95 = snap.quantile("query.latency_s", 0.95)
+    return [
+        source,
+        f"{snap.time:.1f}",
+        f"{window.get('queries.arrived', 0.0):.0f}"
+        f"/{window.get('queries.completed', 0.0):.0f}"
+        f"/{window.get('queries.rejected', 0.0):.0f}",
+        f"{done:.0f}",
+        f"{reject_pct:.1f}",
+        f"{1e3 * p50:.1f}" if p50 == p50 else "-",
+        f"{1e3 * p95:.1f}" if p95 == p95 else "-",
+        f"{snap.gauges.get('buffer.depth', 0.0):.0f}",
+    ]
+
+
+def render_top(lives, n_bins: int = 48) -> str:
+    """One console frame of the live telemetry plane(s).
+
+    Args:
+        lives: The :class:`~repro.obs.live.LiveTelemetry` planes to
+            show, one table row each (first is the primary source, the
+            one whose throughput sparkline and incident tally render
+            below the table). With several planes (a fleet's shards) a
+            rolled-up ``fleet*`` row is prepended via
+            :func:`~repro.obs.live.rollup_snapshots`.
+        n_bins: Recent snapshot windows in the throughput sparkline.
+    """
+    from repro.obs.live import rollup_snapshots
+
+    lives = list(lives)
+    if not lives:
+        return "live top: no telemetry planes attached"
+    rows = []
+    # With a primary plane plus >= 2 shard planes, prepend a rolled-up
+    # row over the shards only (rolling the primary in too would
+    # double-count: the merged replay already fed it every shard span).
+    if len(lives) > 2:
+        rolled = rollup_snapshots(
+            [list(live.snapshots) for live in lives[1:]], source="fleet*"
+        )
+        if rolled:
+            rows.append(_top_row("fleet*", rolled[-1]))
+    for live in lives:
+        snap = live.latest
+        if snap is None:
+            rows.append(
+                [live.source, "-", "-/-/-", "0", "0.0", "-", "-", "-"]
+            )
+        else:
+            rows.append(_top_row(live.source, snap))
+    primary = lives[0]
+    cadence = primary.config.cadence
+    lines = [
+        f"live top — {len(lives)} source"
+        f"{'s' if len(lives) != 1 else ''}, "
+        f"snapshot cadence {cadence:g}s",
+        "",
+        format_table(
+            ["source", "t(s)", "win arr/done/rej", "done",
+             "rej %", "p50 ms", "p95 ms", "depth"],
+            rows,
+        ),
+        "",
+    ]
+    recent = list(primary.snapshots)[-n_bins:]
+    if recent:
+        done_per_window = np.asarray(
+            [s.counters.get("queries.completed", 0.0) for s in recent]
+        )
+        lines.append(
+            f"completed per {cadence:g}s window ({primary.source}, "
+            f"last {len(recent)} windows, peak={done_per_window.max():.0f})"
+        )
+        lines.append("  |" + sparkline(done_per_window) + "|")
+        lines.append("")
+    total_inc = sum(len(live.incidents) for live in lives)
+    suppressed = sum(live.suppressed for live in lives)
+    anomalies = sum(
+        live.watchdog.anomalies
+        for live in lives if live.watchdog is not None
+    )
+    lines.append(
+        f"incidents: {total_inc} frozen, {suppressed} suppressed, "
+        f"{anomalies} anomalous windows"
+    )
+    for live in lives:
+        for bundle in live.incidents:
+            trigger = bundle["trigger"]
+            lines.append(
+                f"  [{live.source}] #{bundle['seq']}: "
+                f"{trigger['kind']} @ t={trigger['time']:.2f}s "
+                f"({bundle['window']['spans']} ring spans)"
+            )
+    return "\n".join(lines)
+
+
+def render_incident(bundle) -> str:
+    """Post-mortem header of one incident bundle: trigger, ring window,
+    embedded snapshots, control-log slice and the frozen blame list
+    (``python -m repro incident`` appends the full profile re-derived
+    from the bundle's spans)."""
+    trigger = bundle["trigger"]
+    window = bundle["window"]
+    lines = [
+        f"incident bundle — schema {bundle['schema']}  "
+        f"source={bundle['source']}  seq={bundle['seq']}",
+        f"  trigger: {trigger['kind']} @ t={trigger['time']:.3f}s"
+        + (
+            f" (query {trigger['query_id']})"
+            if trigger.get("query_id", -1) >= 0 else ""
+        ),
+    ]
+    if trigger.get("attrs"):
+        parts = "  ".join(
+            f"{key}={value}" for key, value in trigger["attrs"].items()
+        )
+        lines.append(f"    {parts}")
+    lines.append(
+        f"  ring window: t={window['start']:.3f}s -> {window['end']:.3f}s "
+        f"({window['spans']} spans)"
+    )
+    totals = bundle.get("totals", {})
+    if totals:
+        keys = (
+            "queries.arrived", "queries.completed", "queries.rejected",
+            "slo.breaches",
+        )
+        shown = "  ".join(
+            f"{key.split('.')[-1]}={totals[key]:.0f}"
+            for key in keys if key in totals
+        )
+        if shown:
+            lines.append(f"  totals at freeze: {shown}")
+    snapshots = bundle.get("snapshots", [])
+    if snapshots:
+        tail = ", ".join(
+            f"#{snap['seq']}@{snap['time']:g}s" for snap in snapshots
+        )
+        lines.append(f"  embedded snapshots: {tail}")
+    control = bundle.get("control", [])
+    if control:
+        lines.append(f"  control actions in window: {len(control)}")
+        for action in control:
+            lines.append(
+                f"    t={action['time']:.2f}s {action['kind']} "
+                f"shard={action['shard']} level={action['level']} "
+                f"burn={action['burn']:.2f}x"
+            )
+    blame = bundle.get("blame", [])
+    if blame:
+        lines.append(f"  blame (top {len(blame)} by latency at freeze):")
+        for entry in blame:
+            flags = "".join([
+                " DEGRADED" if entry.get("degraded") else "",
+                " MISSED" if entry.get("slack", 0.0) < 0 else "",
+            ])
+            lines.append(
+                f"    q{entry['query_id']}: latency "
+                f"{entry['latency']:.4f}s (slack "
+                f"{entry['slack']:+.4f}s){flags} — dominant phase "
+                f"{entry['dominant_phase']}"
+            )
+    decisions = bundle.get("decisions", {})
+    if decisions:
+        lines.append(
+            "  decision records embedded for queries: "
+            + ", ".join(f"q{qid}" for qid in decisions)
+        )
     return "\n".join(lines)
 
 

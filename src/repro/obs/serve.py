@@ -1,0 +1,194 @@
+"""Mid-run metrics endpoint: a daemon-thread HTTP scrape surface.
+
+:class:`MetricsServer` wraps a :class:`~repro.obs.tracer.RecordingTracer`
+(and, through it, the optional :class:`~repro.obs.live.LiveTelemetry`
+plane) in a tiny threaded HTTP server so standard tooling can watch a
+simulated run while it is still going:
+
+* ``GET /metrics`` — the tracer's registry in Prometheus text
+  exposition format (:func:`~repro.obs.export.metrics_to_prometheus`);
+* ``GET /snapshot`` — the live plane's most recent
+  :class:`~repro.obs.live.TelemetrySnapshot` as JSON, plus incident
+  and suppression counts;
+* ``GET /healthz`` — liveness probe (``ok``).
+
+The server never blocks the simulation: it runs on daemon threads and
+*reads* tracer state without locks. A scrape that races a registry
+mutation mid-request (dict resized while rendering) is answered 503 —
+the scraper retries, the run never waits. Port 0 (the default) binds an
+ephemeral port; read :attr:`MetricsServer.port` / :attr:`url` after
+:meth:`start`.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from threading import Thread
+from typing import Optional
+
+from repro.obs.export import metrics_to_prometheus
+from repro.obs.tracer import Tracer
+
+__all__ = ["MetricsServer"]
+
+
+class _ScrapeHandler(BaseHTTPRequestHandler):
+    """Routes the three read-only endpoints; owned by MetricsServer."""
+
+    # Set per-server via the class-factory in MetricsServer.start().
+    tracer: Tracer = None  # type: ignore[assignment]
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        route = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if route == "/healthz" or route == "/":
+            self._reply(200, "text/plain; charset=utf-8", "ok\n")
+        elif route == "/metrics":
+            self._guarded(self._metrics)
+        elif route == "/snapshot":
+            self._guarded(self._snapshot)
+        else:
+            self._reply(404, "text/plain; charset=utf-8", "not found\n")
+
+    def _guarded(self, render) -> None:
+        """Serve ``render()``; a mid-run mutation race answers 503."""
+        try:
+            status, ctype, body = render()
+        except RuntimeError:
+            # Registry/deque mutated under us mid-iteration: transient,
+            # the run is still writing. Tell the scraper to retry.
+            self._reply(
+                503, "text/plain; charset=utf-8", "busy, retry\n",
+                retry=True,
+            )
+            return
+        self._reply(status, ctype, body)
+
+    def _metrics(self):
+        registry = self.tracer.metrics
+        if registry is None:
+            return 404, "text/plain; charset=utf-8", "no metrics\n"
+        return (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            metrics_to_prometheus(registry),
+        )
+
+    def _snapshot(self):
+        live = self.tracer.live
+        if live is None:
+            return (
+                404, "text/plain; charset=utf-8",
+                "no live telemetry plane attached\n",
+            )
+        latest = live.latest
+        payload = {
+            "source": live.source,
+            "snapshot": latest.to_dict() if latest is not None else None,
+            "snapshots": len(live.snapshots),
+            "incidents": len(live.incidents),
+            "suppressed": live.suppressed,
+        }
+        return (
+            200,
+            "application/json",
+            json.dumps(payload, sort_keys=True) + "\n",
+        )
+
+    def _reply(
+        self, status: int, ctype: str, body: str, retry: bool = False
+    ) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(data)))
+        if retry:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        """Silence per-request stderr logging."""
+
+
+class MetricsServer:
+    """Background ``/metrics`` + ``/snapshot`` endpoint over one tracer.
+
+    Usage::
+
+        tracer = RecordingTracer(live=LiveTelemetry())
+        server = MetricsServer(tracer, port=0)
+        server.start()
+        ...  # run the simulation; curl server.url + "/metrics"
+        server.stop()
+
+    Also usable as a context manager (starts on enter, stops on exit).
+
+    Args:
+        tracer: The tracer whose registry (and live plane, if any) is
+            exposed.
+        host: Bind address (default loopback).
+        port: TCP port; 0 binds an ephemeral one.
+    """
+
+    def __init__(
+        self, tracer: Tracer, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.tracer = tracer
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[Thread] = None
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (raises before :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("MetricsServer is not running")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running endpoint."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        """Bind and serve on a daemon thread; returns ``self``."""
+        if self._httpd is not None:
+            raise RuntimeError("MetricsServer is already running")
+        handler = type(
+            "_BoundScrapeHandler", (_ScrapeHandler,), {"tracer": self.tracer}
+        )
+        httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        httpd.daemon_threads = True
+        self._httpd = httpd
+        self._thread = Thread(
+            target=httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the endpoint down and join the serving thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

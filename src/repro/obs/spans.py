@@ -92,6 +92,18 @@ QUEUE_WAIT = "queue_wait"      # one task waited behind a busy worker
                                # before starting (wait_s attr); emitted
                                # only when the tracer's profile flag is on
 
+# --- live telemetry (repro.obs.live) -------------------------------------
+SNAPSHOT = "snapshot"          # one telemetry snapshot boundary flushed
+                               # (seq plus arrived/completed/rejected
+                               # window deltas); emitted only when the
+                               # tracer carries a LiveTelemetry
+ANOMALY = "anomaly"            # the live watchdog flagged the current
+                               # window against its baseline (signal,
+                               # window/baseline stats attrs)
+INCIDENT = "incident"          # the flight recorder froze its ring into
+                               # an incident bundle (trigger, seq,
+                               # spans attrs)
+
 KINDS = (
     ARRIVAL, ENTER_BUFFER, SCHEDULE, COMMIT, PLAN, DISPATCH,
     TASK_DONE, COMPLETE, REJECT, REQUEUE, FAST_PATH,
@@ -101,6 +113,7 @@ KINDS = (
     SCALE_UP, SCALE_DOWN, DEGRADE_MODE, RESTORE, ADMISSION_CHANGE,
     SCHED_FALLBACK,
     SCHED_PHASE, QUEUE_WAIT,
+    SNAPSHOT, ANOMALY, INCIDENT,
 )
 
 

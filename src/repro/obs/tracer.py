@@ -18,9 +18,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.obs.live import _F_META
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import (
     ADMISSION_CHANGE,
+    ANOMALY,
     ARRIVAL,
     COMPLETE,
     DEGRADE_MODE,
@@ -28,6 +30,7 @@ from repro.obs.spans import (
     DISPATCH,
     ENTER_BUFFER,
     FAST_PATH,
+    INCIDENT,
     PLAN,
     QUEUE_WAIT,
     REJECT,
@@ -43,12 +46,14 @@ from repro.obs.spans import (
     SHED,
     SLO_BREACH,
     SLO_RECOVERED,
+    SNAPSHOT,
     TASK_FAILED,
     WORKER_DOWN,
     Span,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import
+    from repro.obs.live import LiveTelemetry
     from repro.obs.slo import SLOMonitor
 
 
@@ -63,6 +68,7 @@ class Tracer:
     enabled: bool = False
     profile: bool = False
     metrics: Optional[MetricsRegistry] = None
+    live: "Optional[LiveTelemetry]" = None
 
     def emit(self, kind: str, time: float, query_id: int = -1, **attrs):
         """Record one lifecycle event (no-op here)."""
@@ -97,6 +103,12 @@ class RecordingTracer(Tracer):
             folded here into ``sched.phase_s.*`` counters and the
             ``task.queue_wait_s`` histogram. Off by default so
             unprofiled traces stay span-for-span identical to before.
+        live: Optional :class:`~repro.obs.live.LiveTelemetry` plane.
+            Every span is forwarded to it *before* being folded here,
+            so snapshot windows partition the stream exactly; the
+            plane's own ``snapshot``/``anomaly``/``incident`` spans
+            come back out through this tracer. ``None`` (the default)
+            keeps the emit path identical to pre-live behaviour.
     """
 
     enabled = True
@@ -107,9 +119,11 @@ class RecordingTracer(Tracer):
         compression: int = 128,
         slo: Optional["SLOMonitor"] = None,
         profile: bool = False,
+        live: "Optional[LiveTelemetry]" = None,
     ):
         self.keep_spans = keep_spans
         self.slo = slo
+        self.live = live
         self.profile = bool(profile)
         self.spans: List[Span] = []
         self.metrics = MetricsRegistry()
@@ -132,11 +146,47 @@ class RecordingTracer(Tracer):
         self._compression = compression
         if slo is not None:
             slo.bind(self)
+        # The live plane runs in one of two modes (decided by bind):
+        # span-backed (the tracer's span list IS the flight ring; the
+        # fold chain below carries the outcome/trigger hooks) or deque
+        # (per-span ring append via the flags dict). Cache which one so
+        # emit pays a single attribute test per span.
+        self._live_deque: "Optional[LiveTelemetry]" = None
+        self._live_chain: "Optional[LiveTelemetry]" = None
+        if live is not None:
+            live.bind(self)
+            if live._ring_append is not None:
+                self._live_deque = live
+            else:
+                self._live_chain = live
 
     def emit(self, kind: str, time: float, query_id: int = -1, **attrs):
         """Record one lifecycle event and update the derived metrics."""
         if self.keep_spans:
+            # Appended before the live hook so a freeze fired by this
+            # very span (slo_breach etc.) sees it in the span-backed
+            # flight window.
             self.spans.append(Span(kind, time, query_id, attrs))
+        live = self.live
+        if live is not None:
+            # Before folding: a span past a snapshot boundary must not
+            # leak into the window the boundary closes. This is the
+            # boundary half of LiveTelemetry.on_span inlined — an extra
+            # Python call per span is the live plane's single largest
+            # cost, and bench_obs_overhead.py gates the flight recorder
+            # at 5% over a plain RecordingTracer. In span-backed mode
+            # this compare is ALL a plain span pays; the rare kinds are
+            # handled by their _live_chain hooks in the fold chain
+            # below. Keep in lockstep with on_span.
+            if time >= live._next_due and not live._emitting:
+                live._flush(time)
+            dq = self._live_deque
+            if dq is not None:
+                flags = dq._flags_get(kind)
+                if flags is None:  # common case: plain lifecycle span
+                    dq._ring_append((kind, time, query_id, attrs))
+                elif not flags & _F_META:
+                    dq._on_flagged(kind, time, query_id, attrs, flags)
         if time > self.end_time:
             self.end_time = time
         metrics = self.metrics
@@ -161,6 +211,12 @@ class RecordingTracer(Tracer):
         elif kind == PLAN:
             self._plan_size.add(attrs["size"])
         elif kind == COMPLETE:
+            lc = self._live_chain
+            if lc is not None and lc.watchdog is not None:
+                lc.watchdog.ingest(
+                    missed=float(attrs["slack"]) < 0.0,
+                    latency=float(attrs["latency"]),
+                )
             metrics.counter("queries.completed").inc()
             self._slack.add(attrs["slack"])
             self._latency.add(attrs["latency"])
@@ -171,6 +227,9 @@ class RecordingTracer(Tracer):
                     degraded=bool(attrs.get("degraded", False)),
                 )
         elif kind == REJECT:
+            lc = self._live_chain
+            if lc is not None and lc.watchdog is not None:
+                lc.watchdog.ingest(missed=True, latency=None)
             metrics.counter("queries.rejected").inc()
             if self.slo is not None:
                 self.slo.observe(time, missed=True)
@@ -184,6 +243,12 @@ class RecordingTracer(Tracer):
         elif kind == RETRY:
             metrics.counter("tasks.retried").inc()
         elif kind == WORKER_DOWN:
+            lc = self._live_chain
+            if lc is not None:
+                # Hook before folding: the frozen bundle's totals must
+                # not include the trigger span itself (deque-mode
+                # parity, where the freeze precedes the fold).
+                lc._maybe_trigger(kind, time, query_id, attrs)
             metrics.counter("workers.crashes").inc()
             worker = int(attrs["worker"])
             self.worker_downtime[worker] = (
@@ -214,6 +279,9 @@ class RecordingTracer(Tracer):
         elif kind == SHED:
             metrics.counter("admission.shed").inc()
         elif kind == SLO_BREACH:
+            lc = self._live_chain
+            if lc is not None:
+                lc._maybe_trigger(kind, time, query_id, attrs)
             metrics.counter("slo.breaches").inc()
         elif kind == SLO_RECOVERED:
             metrics.counter("slo.recoveries").inc()
@@ -221,6 +289,9 @@ class RecordingTracer(Tracer):
             # Control plane (repro.control): capacity and quality
             # actuations show up as counters so profile/explain/diff
             # see controller activity without parsing the action log.
+            lc = self._live_chain
+            if lc is not None:
+                lc._maybe_trigger(kind, time, query_id, attrs)
             metrics.counter("control.scale_ups").inc()
             metrics.gauge("control.replica_level").sample(
                 time, attrs.get("level", 0)
@@ -231,6 +302,9 @@ class RecordingTracer(Tracer):
                 time, attrs.get("level", 0)
             )
         elif kind == DEGRADE_MODE:
+            lc = self._live_chain
+            if lc is not None:
+                lc._maybe_trigger(kind, time, query_id, attrs)
             metrics.counter("control.degrades").inc()
         elif kind == RESTORE:
             metrics.counter("control.restores").inc()
@@ -249,6 +323,15 @@ class RecordingTracer(Tracer):
             metrics.histogram(
                 "task.queue_wait_s", self._compression
             ).add(float(attrs["wait_s"]))
+        elif kind == SNAPSHOT:
+            metrics.counter("telemetry.snapshots").inc()
+        elif kind == ANOMALY:
+            metrics.counter("anomaly.detected").inc()
+            metrics.counter(
+                f"anomaly.{attrs.get('signal', '?')}"
+            ).inc()
+        elif kind == INCIDENT:
+            metrics.counter("incident.bundles").inc()
 
     def finalize(self, end_time: float) -> None:
         """Freeze the trace end; later ``utilization`` uses it."""
@@ -256,6 +339,8 @@ class RecordingTracer(Tracer):
             self.end_time = end_time
         if self.slo is not None:
             self.slo.finalize(end_time)
+        if self.live is not None:
+            self.live.finalize(end_time)
 
     def utilization(self, duration: Optional[float] = None) -> Dict[int, float]:
         """Per-worker busy fraction over the run (or ``duration``).

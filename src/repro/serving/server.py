@@ -910,6 +910,12 @@ class ServingSession:
         # bit-for-bit identical to an unprofiled one.
         prof = server._profile = trace and tracer.profile
         self._prof = prof
+        # Live telemetry plane (repro.obs.live), carried by the tracer.
+        # Spans drive it from inside tracer.emit; the advance-boundary
+        # tick below only flushes snapshot cadences through quiet
+        # stretches, so epoch drivers (the control loop) get a snapshot
+        # per epoch even when no span lands in it.
+        self._live = tracer.live if trace else None
         self._prof_sched = None
         if prof:
             scheduler = getattr(server.policy, "scheduler", None)
@@ -1123,6 +1129,8 @@ class ServingSession:
                 server._f_worker_up(payload, now)
                 if buffered:
                     self._try_schedule(now)
+        if until is not None and self._live is not None:
+            self._live.tick(until)
         return self._now
 
     def finish(self) -> ServingResult:

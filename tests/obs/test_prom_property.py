@@ -1,0 +1,158 @@
+"""Property tests: Prometheus text exposition must round-trip.
+
+``metrics_to_prometheus`` is one half of the repo's run-diffing
+contract — ``parse_prometheus_text`` must read back exactly what was
+written, for *any* registry content and *any* label value, including
+the exposition format's awkward corners: backslash/quote/newline
+escaping inside label values, the non-finite sample spellings
+(``+Inf``/``-Inf``/``NaN``), and the sorted-family determinism that
+makes two scrapes of equal registries byte-identical.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.export import (
+    _prom_label_value,
+    _prom_name,
+    _unescape_label,
+    metrics_to_prometheus,
+    parse_prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+
+# Metric names as the simulator uses them: dotted lowercase segments.
+metric_names = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz_0123456789", min_size=1,
+        max_size=8,
+    ).filter(lambda s: not s[0].isdigit()),
+    min_size=1, max_size=3,
+).map(".".join)
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+any_float = st.one_of(
+    finite,
+    st.just(float("inf")),
+    st.just(float("-inf")),
+    st.just(float("nan")),
+)
+
+
+def same_value(a: float, b: float) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    return a == b
+
+
+class TestLabelEscaping:
+    @given(st.text(max_size=64))
+    def test_escape_unescape_is_identity(self, value):
+        assert _unescape_label(_prom_label_value(value)) == value
+
+    @given(st.text(max_size=64))
+    def test_escaped_label_survives_a_full_parse(self, value):
+        text = f'm{{l="{_prom_label_value(value)}"}} 1.0\n'
+        parsed = parse_prometheus_text(text)
+        assert parsed == {"m": {(("l", value),): 1.0}}
+
+    @given(st.text(max_size=32), st.text(max_size=32))
+    def test_distinct_labels_stay_distinct(self, a, b):
+        """Escaping must be injective — two different raw label values
+        may never collapse into the same exposition bytes."""
+        if a != b:
+            assert _prom_label_value(a) != _prom_label_value(b)
+
+
+class TestSampleValues:
+    @given(any_float)
+    def test_value_round_trips_through_a_sample_line(self, value):
+        registry = MetricsRegistry()
+        registry.gauge("g").sample(0.0, value)
+        parsed = parse_prometheus_text(metrics_to_prometheus(registry))
+        assert same_value(parsed["repro_g"][()], value)
+
+    @given(st.lists(finite, min_size=0, max_size=20))
+    def test_counter_and_summary_round_trip(self, increments):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        hist = registry.histogram("lat")
+        for x in increments:
+            counter.inc(abs(x))
+            hist.add(x)
+        parsed = parse_prometheus_text(metrics_to_prometheus(registry))
+        assert same_value(parsed["repro_hits"][()], counter.value)
+        assert parsed["repro_lat_count"][()] == float(len(increments))
+        assert same_value(parsed["repro_lat_sum"][()], hist.total)
+        for q in (0.5, 0.95, 0.99):
+            assert same_value(
+                parsed["repro_lat"][(("quantile", str(q)),)],
+                hist.quantile(q),
+            )
+
+
+@st.composite
+def registries(draw):
+    """A registry plus the ground-truth {prom_name: value} it holds.
+
+    Metric names that collide after ``_prom_name`` sanitisation are
+    skipped so the ground truth stays single-valued.
+    """
+    registry = MetricsRegistry()
+    expected = {}
+    for name in draw(
+        st.lists(metric_names, min_size=1, max_size=6, unique=True)
+    ):
+        prom = _prom_name(name)
+        if prom in expected:
+            continue
+        kind = draw(st.sampled_from(["counter", "gauge"]))
+        if kind == "counter":
+            value = abs(draw(finite))
+            registry.counter(name).inc(value)
+            expected[prom] = value
+        else:
+            value = draw(any_float)
+            registry.gauge(name).sample(0.0, value)
+            expected[prom] = value
+    return registry, expected
+
+
+class TestFamilyOrdering:
+    @settings(max_examples=50)
+    @given(registries())
+    def test_families_emit_sorted_and_complete(self, case):
+        registry, expected = case
+        text = metrics_to_prometheus(registry)
+        families = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE ")
+        ]
+        assert families == sorted(families)
+        parsed = parse_prometheus_text(text)
+        assert set(parsed) == set(expected)
+        for prom, value in expected.items():
+            assert same_value(parsed[prom][()], value)
+
+    @settings(max_examples=50)
+    @given(registries())
+    def test_render_is_insertion_order_independent(self, case):
+        registry, expected = case
+        # Rebuild the same content with registration order reversed:
+        # byte-identical output is the determinism contract run-diff
+        # tooling relies on.
+        rebuilt = MetricsRegistry()
+        for name in reversed(registry.names()):
+            metric = registry.get(name)
+            if hasattr(metric, "last"):  # Gauge
+                rebuilt.gauge(name).sample(0.0, metric.last)
+            else:
+                rebuilt.counter(name).inc(metric.value)
+        assert metrics_to_prometheus(rebuilt) == metrics_to_prometheus(
+            registry
+        )

@@ -4,15 +4,57 @@ The span stream is the repo's observability contract — exporters,
 the SLO monitor and external tooling all key off ``Span.kind``. Adding
 a kind to ``repro.obs.spans.KINDS`` without documenting it in the
 README "Span schema" table (or vice versa) breaks that contract
-silently; this test makes it loud.
+silently; this test makes it loud. The emitted-kind scan goes one step
+further: it statically walks every ``emit(...)`` call site under
+``src/`` and resolves the first argument, so a span kind emitted
+anywhere in the codebase without a README row fails CI even if its
+constant was never added to ``KINDS``.
 """
 
 import re
 from pathlib import Path
 
+import repro.obs.spans as spans_module
 from repro.obs.spans import KINDS
 
 README = Path(__file__).resolve().parents[2] / "README.md"
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+# First argument of an emit(...) call: a dotted name (sp.DISPATCH,
+# span.kind, self), a bare name (SLO_BREACH, kind) or a string literal.
+# \s* spans newlines so wrapped call sites resolve too.
+_EMIT_ARG = re.compile(
+    r"\bemit\(\s*([A-Za-z_][\w.]*|\"[a-z_]+\"|'[a-z_]+')"
+)
+
+
+def emitted_kinds():
+    """Span kinds statically resolvable from emit() call sites in src/.
+
+    Returns ``(kinds, unresolved)``: ``kinds`` maps each resolved kind
+    string to one ``file:token`` witness; ``unresolved`` lists
+    uppercase constants that do not exist on ``repro.obs.spans``.
+    Lowercase names (``kind``, ``span.kind``, ``self``) are dynamic
+    forwarding sites, not emissions of a specific kind, and are skipped.
+    """
+    kinds, unresolved = {}, []
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text()
+        for match in _EMIT_ARG.finditer(text):
+            token = match.group(1)
+            where = f"{path.relative_to(SRC)}:{token}"
+            if token[0] in "\"'":
+                kinds.setdefault(token[1:-1], where)
+                continue
+            name = token.rsplit(".", 1)[-1]
+            if name == "emit" or not name.isupper():
+                continue  # def emit(...)/forwarded variable, not a kind
+            value = getattr(spans_module, name, None)
+            if isinstance(value, str):
+                kinds.setdefault(value, where)
+            else:
+                unresolved.append(where)
+    return kinds, unresolved
 
 
 def readme_table_kinds():
@@ -42,3 +84,46 @@ class TestSpanSchemaLock:
 
     def test_kinds_are_unique(self):
         assert len(KINDS) == len(set(KINDS))
+
+
+class TestEmittedKindScan:
+    """Every kind actually emitted under src/ must be documented."""
+
+    def test_scan_sees_the_emitters(self):
+        # Guard against the regex rotting into matching nothing: the
+        # core lifecycle kinds are definitely emitted somewhere.
+        kinds, _ = emitted_kinds()
+        for expected in ("arrival", "complete", "reject", "dispatch"):
+            assert expected in kinds, (
+                f"emit-site scan no longer finds '{expected}' — "
+                "has the scan regex or the emit idiom changed?"
+            )
+
+    def test_every_emitted_kind_is_a_known_constant(self):
+        _, unresolved = emitted_kinds()
+        assert not unresolved, (
+            "emit() call sites reference constants missing from "
+            f"repro.obs.spans: {unresolved}"
+        )
+
+    def test_every_emitted_kind_is_documented(self):
+        documented = set(readme_table_kinds())
+        kinds, _ = emitted_kinds()
+        missing = {
+            kind: where for kind, where in sorted(kinds.items())
+            if kind not in documented
+        }
+        assert not missing, (
+            "span kinds emitted in src/ without a README span-table "
+            f"row: {missing}"
+        )
+
+    def test_every_emitted_kind_is_in_registry(self):
+        kinds, _ = emitted_kinds()
+        rogue = {
+            kind: where for kind, where in sorted(kinds.items())
+            if kind not in KINDS
+        }
+        assert not rogue, (
+            f"span kinds emitted in src/ but absent from KINDS: {rogue}"
+        )

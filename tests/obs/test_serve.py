@@ -1,0 +1,101 @@
+"""Tests of the mid-run HTTP scrape surface (``repro.obs.serve``).
+
+A :class:`MetricsServer` on an ephemeral port, exercised with plain
+``urllib`` — the same way the CI smoke job curls a live run.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import parse_prometheus_text
+from repro.obs.live import LiveConfig, LiveTelemetry
+from repro.obs.serve import MetricsServer
+from repro.obs.spans import ARRIVAL, COMPLETE
+from repro.obs.tracer import RecordingTracer
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+@pytest.fixture()
+def live_tracer():
+    live = LiveTelemetry(LiveConfig(cadence=1.0))
+    tracer = RecordingTracer(live=live)
+    for i in range(5):
+        t = 0.1 + i * 0.2
+        tracer.emit(ARRIVAL, t, i)
+        tracer.emit(COMPLETE, t, i, latency=0.01, slack=0.02)
+    tracer.finalize(1.2)
+    return tracer
+
+
+class TestEndpoints:
+    def test_healthz(self, live_tracer):
+        with MetricsServer(live_tracer) as server:
+            status, body = fetch(server.url + "/healthz")
+        assert (status, body) == (200, "ok\n")
+
+    def test_metrics_is_parseable_prometheus(self, live_tracer):
+        with MetricsServer(live_tracer) as server:
+            status, body = fetch(server.url + "/metrics")
+        assert status == 200
+        samples = parse_prometheus_text(body)
+        assert samples["repro_queries_arrived"][()] == 5.0
+        assert samples["repro_queries_completed"][()] == 5.0
+        # The live plane's own activity is scrapeable too.
+        assert samples["repro_telemetry_snapshots"][()] >= 1.0
+
+    def test_snapshot_json(self, live_tracer):
+        with MetricsServer(live_tracer) as server:
+            status, body = fetch(server.url + "/snapshot")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["source"] == "server"
+        assert payload["incidents"] == 0
+        # latest is the final partial window; totals are cumulative.
+        assert payload["snapshot"]["totals"]["queries.arrived"] == 5
+        assert payload["snapshots"] == len(live_tracer.live.snapshots)
+
+    def test_snapshot_without_live_plane_is_404(self):
+        with MetricsServer(RecordingTracer()) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                fetch(server.url + "/snapshot")
+        assert err.value.code == 404
+
+    def test_unknown_route_is_404(self, live_tracer):
+        with MetricsServer(live_tracer) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                fetch(server.url + "/nope")
+        assert err.value.code == 404
+
+
+class TestLifecycle:
+    def test_ephemeral_port_and_url(self, live_tracer):
+        server = MetricsServer(live_tracer, port=0)
+        with pytest.raises(RuntimeError):
+            server.port  # not running yet
+        server.start()
+        try:
+            assert server.running
+            assert server.url.endswith(str(server.port))
+        finally:
+            server.stop()
+        assert not server.running
+
+    def test_double_start_raises(self, live_tracer):
+        server = MetricsServer(live_tracer).start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent(self, live_tracer):
+        server = MetricsServer(live_tracer).start()
+        server.stop()
+        server.stop()  # no-op, no error

@@ -412,3 +412,130 @@ class TestDistillCommand:
     def test_distill_missing_decisions_errors(self):
         with pytest.raises(SystemExit):
             main(["distill", "--decisions", "nope.jsonl"])
+
+
+class TestLiveOps:
+    def test_live_parser_defaults(self):
+        for command in ("trace", "control"):
+            args = build_parser().parse_args([command])
+            assert args.live is False
+            assert args.cadence == 1.0
+            assert args.serve_metrics is None
+            assert args.serve_hold == 0.0
+
+    def test_top_parser_defaults(self):
+        args = build_parser().parse_args(["top"])
+        # top is always live: no --live opt-in flag, just the knobs.
+        assert not hasattr(args, "live")
+        assert args.mode == "trace"
+        assert args.once is False
+        assert args.refresh == 0.5
+        assert args.cadence == 1.0
+        assert args.out is None
+
+    def test_trace_live_writes_snapshot_stream(self, capsys, tm_setup,
+                                               tmp_path):
+        assert main([
+            "trace", "--duration", "5", "--live", "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        snaps = tmp_path / "text_matching_schemble_snapshots.jsonl"
+        assert snaps.exists()
+        assert f"wrote {snaps}" in out
+        lines = [json.loads(l) for l in snaps.read_text().splitlines()]
+        assert [s["seq"] for s in lines] == list(range(len(lines)))
+        assert lines[-1]["totals"]["queries.arrived"] > 0
+
+    def test_top_once_prints_one_frame(self, capsys, tm_setup, tmp_path):
+        assert main([
+            "top", "--once", "--duration", "5", "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "live top" in out
+        assert (tmp_path / "text_matching_top_server_snapshots.jsonl"
+                ).exists()
+
+    def test_incident_post_mortem(self, capsys, tmp_path):
+        # Freeze a bundle with the library, then post-mortem it with
+        # the CLI — deterministic and fast, no breach orchestration.
+        from repro.obs import (
+            LiveConfig,
+            LiveTelemetry,
+            RecordingTracer,
+            write_incident_json,
+        )
+        from repro.obs.spans import ARRIVAL, COMPLETE, SLO_BREACH
+
+        live = LiveTelemetry(LiveConfig(cadence=1.0, watchdog=False))
+        tracer = RecordingTracer(live=live)
+        for i in range(6):
+            t = 0.1 + i * 0.1
+            tracer.emit(ARRIVAL, t, i)
+            tracer.emit(COMPLETE, t, i, latency=0.01, slack=-0.01)
+        tracer.emit(SLO_BREACH, 0.8, -1, burn=2.0)
+        path = write_incident_json(
+            live.incidents[0], tmp_path / "incident_00.json"
+        )
+        assert main(["incident", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "incident post-mortem" in out
+        assert "slo_breach" in out
+        assert "re-derived" in out
+
+    def test_incident_missing_bundle_errors(self):
+        with pytest.raises(SystemExit):
+            main(["incident", "nope.json"])
+
+    def test_incident_rejects_non_bundle_json(self, tmp_path):
+        path = tmp_path / "not_a_bundle.json"
+        path.write_text('{"schema": "other/1"}')
+        with pytest.raises(SystemExit, match="incident bundle"):
+            main(["incident", str(path)])
+
+    def test_trace_serve_metrics_scrape(self, capsys, tm_setup, tmp_path):
+        # --serve-metrics 0 implies --live; the endpoint URL is
+        # announced on stderr before the run, and --serve-hold keeps it
+        # scrapeable after the run finishes.
+        import re
+        import threading
+        import time
+        import urllib.error
+        import urllib.request
+
+        result = {}
+
+        def run():
+            result["rc"] = main([
+                "trace", "--duration", "5", "--serve-metrics", "0",
+                "--serve-hold", "8", "--out", str(tmp_path),
+            ])
+
+        def scrape(url):
+            for _ in range(25):  # a mid-run mutation race answers 503
+                try:
+                    with urllib.request.urlopen(url, timeout=5.0) as resp:
+                        return resp.read().decode()
+                except urllib.error.HTTPError as err:
+                    if err.code != 503:
+                        raise
+                    time.sleep(0.2)
+            raise AssertionError(f"{url} stayed busy")
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        stderr, url = "", None
+        deadline = time.monotonic() + 30.0
+        while url is None and time.monotonic() < deadline:
+            stderr += capsys.readouterr().err
+            match = re.search(r"http://[\d.]+:\d+", stderr)
+            if match:
+                url = match.group(0)
+            else:
+                time.sleep(0.1)
+        assert url is not None, stderr
+        metrics = scrape(url + "/metrics")
+        snapshot = json.loads(scrape(url + "/snapshot"))
+        thread.join(timeout=60.0)
+        assert result["rc"] == 0
+        assert "repro_queries_arrived" in metrics
+        assert snapshot["source"] == "server"
